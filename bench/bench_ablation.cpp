@@ -1,0 +1,73 @@
+// E11 — ablations of the design choices called out in DESIGN.md:
+//
+//  (a) LevelFlow counter scale: the 2-competitive setting uses increments
+//      penalty/β; halving or doubling the speed must hurt on the
+//      adversarial family.
+//  (b) Memoryless balance θ: θ = 2 is the optimal memoryless setting.
+//  (c) Offline kernel: bounded-DP work of the binary-search solver vs. the
+//      full DP at growing m (the O(T log m) claim, in evaluation counts).
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "E11: ablations\n\n";
+
+  std::cout << "-- (a) LevelFlow counter scale on the E7 adversary --\n";
+  rs::util::TextTable level_table({"scale", "ratio (eps=0.05)"});
+  double best_scale_ratio = rs::util::kInf;
+  double default_ratio = 0.0;
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    rs::online::LevelFlow flow(scale);
+    const rs::lowerbound::AdversaryOutcome outcome =
+        rs::lowerbound::continuous_adversary(flow, 0.05, 1600);
+    if (scale == 1.0) default_ratio = outcome.ratio;
+    best_scale_ratio = std::min(best_scale_ratio, outcome.ratio);
+    level_table.add_row({rs::util::TextTable::num(scale, 2),
+                         rs::util::TextTable::num(outcome.ratio, 4)});
+  }
+  rs::bench::check(default_ratio <= best_scale_ratio + 1e-9,
+                   "scale 1.0 (the 2-competitive setting) is best on the "
+                   "adversarial family");
+  std::cout << level_table;
+
+  std::cout << "\n-- (b) memoryless balance theta on the E7 adversary --\n";
+  rs::util::TextTable theta_table({"theta", "ratio (eps=0.05)"});
+  double theta2_ratio = 0.0;
+  double theta_best = rs::util::kInf;
+  for (double theta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    rs::online::MemorylessBalance alg(theta);
+    const rs::lowerbound::AdversaryOutcome outcome =
+        rs::lowerbound::continuous_adversary(alg, 0.05, 1600);
+    if (theta == 2.0) theta2_ratio = outcome.ratio;
+    theta_best = std::min(theta_best, outcome.ratio);
+    theta_table.add_row({rs::util::TextTable::num(theta, 2),
+                         rs::util::TextTable::num(outcome.ratio, 4)});
+  }
+  rs::bench::check(theta2_ratio <= theta_best + 0.25,
+                   "theta = 2 is near-optimal among balance parameters");
+  std::cout << theta_table;
+
+  std::cout << "\n-- (c) offline kernel work: binary search vs DP --\n";
+  rs::util::Rng rng(23);
+  rs::util::TextTable work_table({"m", "bsearch f-evals", "dp f-evals",
+                                  "ratio"});
+  for (int log_m : {8, 12, 16}) {
+    const int m = 1 << log_m;
+    const int T = 48;
+    const rs::core::Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kQuadratic, T, m, 2.0);
+    rs::offline::BinarySearchStats stats;
+    rs::offline::BinarySearchSolver().solve_with_stats(p, stats);
+    const std::int64_t dp_evals = static_cast<std::int64_t>(T) * (m + 1);
+    rs::bench::check(stats.dp.function_evaluations * 4 < dp_evals,
+                     "binary search does a small fraction of DP's work");
+    work_table.add_row(
+        {std::to_string(m), std::to_string(stats.dp.function_evaluations),
+         std::to_string(dp_evals),
+         rs::util::TextTable::num(
+             static_cast<double>(dp_evals) /
+                 static_cast<double>(stats.dp.function_evaluations),
+             1)});
+  }
+  std::cout << work_table;
+  return rs::bench::finish("E11 (ablations)");
+}

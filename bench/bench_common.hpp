@@ -1,0 +1,70 @@
+// Shared helpers for the experiment binaries (see DESIGN.md §4 for the
+// experiment index).  Each bench prints the paper-style rows for one
+// experiment and exits 0; failures of the documented qualitative claims
+// exit non-zero so the bench suite doubles as a regression harness.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "rightsizer/rightsizer.hpp"
+
+namespace rs::bench {
+
+inline int g_check_failures = 0;
+
+/// Records a qualitative expectation of the experiment; prints loudly on
+/// violation and makes the binary exit non-zero at the end.
+inline void check(bool condition, const std::string& message) {
+  if (!condition) {
+    ++g_check_failures;
+    std::cerr << "[CHECK FAILED] " << message << "\n";
+  }
+}
+
+inline int finish(const std::string& experiment) {
+  if (g_check_failures > 0) {
+    std::cerr << experiment << ": " << g_check_failures
+              << " qualitative check(s) failed\n";
+    return 1;
+  }
+  std::cout << "\n" << experiment << ": all qualitative checks passed\n";
+  return 0;
+}
+
+/// Standard experiment workloads as general-model instances.
+inline rs::core::Problem hotmail_restricted(rs::util::Rng& rng, int servers,
+                                            int days, double beta_scale) {
+  rs::dcsim::DataCenterModel model;
+  model.servers = servers;
+  model.power.transition_joules *= beta_scale;
+  const rs::workload::Trace trace =
+      rs::workload::hotmail_like(rng, days, 96, 0.6 * servers);
+  return rs::dcsim::restricted_datacenter_problem(model, trace);
+}
+
+inline rs::core::Problem msr_restricted(rs::util::Rng& rng, int servers,
+                                        int days, double beta_scale) {
+  rs::dcsim::DataCenterModel model;
+  model.servers = servers;
+  model.power.transition_joules *= beta_scale;
+  const rs::workload::Trace trace =
+      rs::workload::msr_like(rng, days, 96, 0.6 * servers);
+  return rs::dcsim::restricted_datacenter_problem(model, trace);
+}
+
+inline rs::core::Problem mmpp_soft(rs::util::Rng& rng, int servers, int T,
+                                   double beta_scale) {
+  rs::dcsim::SoftSlaModel model;
+  model.servers = servers;
+  model.beta *= beta_scale;
+  rs::workload::Mmpp2Params params;
+  params.horizon = T;
+  params.rate_low = 0.15 * servers;
+  params.rate_high = 0.7 * servers;
+  const rs::workload::Trace trace = rs::workload::mmpp2(rng, params);
+  return rs::dcsim::soft_sla_problem(model, trace);
+}
+
+}  // namespace rs::bench

@@ -1,0 +1,55 @@
+// E1 — Figure 1: the layered-graph model of the discrete data-center
+// optimization problem.
+//
+// Reproduces the construction of Section 2.1: vertex/edge counts match the
+// closed forms |V| = 2 + T(m+1) and |E| = (m+1) + (T−1)(m+1)² + (m+1),
+// path lengths equal schedule costs, and the shortest path equals the DP
+// optimum (the O(T·m²) pseudo-polynomial baseline the paper improves on).
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "E1 / Figure 1: layered-graph model G = (V, E)\n\n";
+  rs::util::Rng rng(1);
+  rs::util::TextTable table({"T", "m", "|V|", "|E|", "sssp cost", "dp cost",
+                             "build+sssp ms"});
+
+  for (const auto& [T, m] : {std::pair{8, 8}, std::pair{32, 16},
+                             std::pair{64, 32}, std::pair{128, 64}}) {
+    const rs::core::Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kQuadratic, T, m, 1.5);
+
+    rs::util::Stopwatch watch;
+    const rs::graph::LayeredGraph graph = rs::graph::build_schedule_graph(p);
+    const auto path = graph.shortest_path(0, 0);
+    const double elapsed_ms = watch.milliseconds();
+
+    const double dp_cost = rs::offline::DpSolver().solve_cost(p);
+
+    const std::int64_t expected_vertices =
+        2 + static_cast<std::int64_t>(T) * (m + 1);
+    const std::int64_t expected_edges =
+        (m + 1) + static_cast<std::int64_t>(T - 1) * (m + 1) * (m + 1) +
+        (m + 1);
+    rs::bench::check(graph.num_vertices() == expected_vertices,
+                     "vertex count matches 2 + T(m+1)");
+    rs::bench::check(graph.num_edges() == expected_edges,
+                     "edge count matches Figure 1");
+    rs::bench::check(std::abs(path.distance - dp_cost) < 1e-6,
+                     "shortest path equals optimal schedule cost");
+
+    // Path <-> schedule equivalence on the optimal path.
+    const rs::core::Schedule schedule = rs::graph::path_to_schedule(path);
+    rs::bench::check(
+        std::abs(rs::core::total_cost(p, schedule) - path.distance) < 1e-6,
+        "path length equals schedule cost");
+
+    table.add_row({std::to_string(T), std::to_string(m),
+                   std::to_string(graph.num_vertices()),
+                   std::to_string(graph.num_edges()),
+                   rs::util::TextTable::num(path.distance, 3),
+                   rs::util::TextTable::num(dp_cost, 3),
+                   rs::util::TextTable::num(elapsed_ms, 2)});
+  }
+  std::cout << table;
+  return rs::bench::finish("E1 (Figure 1)");
+}

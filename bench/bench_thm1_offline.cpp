@@ -1,0 +1,91 @@
+// E2 — Theorem 1 (google-benchmark): wall-clock scaling of the offline
+// solvers.  The paper's binary-search algorithm runs in O(T·log m); the DP
+// baseline in O(T·m); the Figure-1 shortest path in O(T·m²).
+#include <benchmark/benchmark.h>
+
+#include "rightsizer/rightsizer.hpp"
+
+namespace {
+
+rs::core::Problem make_instance(int T, int m) {
+  // Deterministic per-size instance; materialized so cost-function
+  // evaluation is a table lookup for DP/graph.  The binary-search solver is
+  // measured on the same tables.
+  rs::util::Rng rng(static_cast<std::uint64_t>(T) * 1000003u +
+                    static_cast<std::uint64_t>(m));
+  return rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kQuadratic, T, m, 2.0);
+}
+
+void BM_DpSolver(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const rs::core::Problem p = rs::core::materialize(make_instance(T, m));
+  const rs::offline::DpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_cost(p));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(T) * m);
+}
+
+void BM_BinarySearchSolver(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const rs::core::Problem p = make_instance(T, m);  // lazy: O(T log m) evals
+  const rs::offline::BinarySearchSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p).cost);
+  }
+}
+
+void BM_GraphSolver(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const rs::core::Problem p = rs::core::materialize(make_instance(T, m));
+  const rs::offline::GraphSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p).cost);
+  }
+}
+
+void BM_BackwardSolver(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const rs::core::Problem p = rs::core::materialize(make_instance(T, m));
+  const rs::offline::BackwardSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(p).cost);
+  }
+}
+
+void BM_LcpOnline(benchmark::State& state) {
+  const int T = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  const rs::core::Problem p = rs::core::materialize(make_instance(T, m));
+  for (auto _ : state) {
+    rs::online::Lcp lcp;
+    benchmark::DoNotOptimize(rs::online::run_online(lcp, p).size());
+  }
+}
+
+}  // namespace
+
+// m-scaling at fixed T: DP grows linearly in m, binary search
+// logarithmically.
+BENCHMARK(BM_DpSolver)->Args({64, 256})->Args({64, 1024})->Args({64, 4096})
+    ->Args({64, 16384})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BinarySearchSolver)->Args({64, 256})->Args({64, 1024})
+    ->Args({64, 4096})->Args({64, 16384})->Args({64, 262144})
+    ->Unit(benchmark::kMicrosecond);
+// T-scaling at fixed m: both linear in T.
+BENCHMARK(BM_DpSolver)->Args({256, 1024})->Args({1024, 1024})
+    ->Args({4096, 1024})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BinarySearchSolver)->Args({256, 1024})->Args({1024, 1024})
+    ->Args({4096, 1024})->Unit(benchmark::kMicrosecond);
+// The pseudo-polynomial baseline (kept small; O(T·m²) edges).
+BENCHMARK(BM_GraphSolver)->Args({64, 64})->Args({64, 128})->Args({64, 256})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BackwardSolver)->Args({1024, 256})->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LcpOnline)->Args({1024, 256})->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// E4 — Theorem 3: the randomized online algorithm (fractional LevelFlow +
+// Section-4.1 rounding) is 2-competitive in expectation.
+//
+// For each workload the table reports: the fractional schedule's cost
+// (which equals the exact expected cost of the rounded algorithm by
+// Lemmas 19/20), a Monte-Carlo estimate with a 95% CI, the offline optimum,
+// and the expected ratio — which must stay at or below 2.
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "E4 / Theorem 3: randomized rounding, expected ratio <= 2\n\n";
+  rs::util::Rng rng(13);
+
+  rs::util::TextTable table({"workload", "T", "E[cost] exact", "MC mean",
+                             "MC 95% ci", "opt", "E[ratio]"});
+  double max_ratio = 0.0;
+
+  struct Case {
+    std::string name;
+    rs::core::Problem problem;
+  };
+  rs::util::Rng hot = rng.split();
+  rs::util::Rng mm = rng.split();
+  rs::util::Rng tab = rng.split();
+  rs::util::Rng flat = rng.split();
+  const Case cases[] = {
+      {"hotmail/restricted", rs::bench::hotmail_restricted(hot, 24, 2, 1.0)},
+      {"mmpp/soft-sla", rs::bench::mmpp_soft(mm, 16, 400, 1.0)},
+      {"random convex tables",
+       rs::workload::random_instance(
+           tab, rs::workload::InstanceFamily::kConvexTable, 150, 12, 1.5)},
+      {"flat regions",
+       rs::workload::random_instance(
+           flat, rs::workload::InstanceFamily::kFlatRegions, 150, 10, 0.8)},
+  };
+
+  for (const Case& c : cases) {
+    // Exact expectation via the fractional schedule (Lemmas 19/20).
+    rs::online::LevelFlow flow;
+    const rs::core::FractionalSchedule xbar =
+        rs::online::run_online(flow, c.problem);
+    const double expected_cost = rs::core::total_cost(c.problem, xbar);
+
+    const rs::analysis::MonteCarloReport mc =
+        rs::analysis::monte_carlo_randomized_rounding(c.problem, 192, 99);
+
+    const double ratio =
+        mc.optimal_cost > 0.0 ? expected_cost / mc.optimal_cost : 0.0;
+    max_ratio = std::max(max_ratio, ratio);
+
+    rs::bench::check(ratio <= 2.0 + 1e-6, "expected ratio <= 2 on " + c.name);
+    rs::bench::check(
+        std::abs(mc.cost.mean - expected_cost) <=
+            4.0 * mc.cost.ci95_half_width + 1e-6 * expected_cost,
+        "Monte-Carlo mean consistent with exact expectation on " + c.name);
+
+    table.add_row({c.name, std::to_string(c.problem.horizon()),
+                   rs::util::TextTable::num(expected_cost, 2),
+                   rs::util::TextTable::num(mc.cost.mean, 2),
+                   "±" + rs::util::TextTable::num(mc.cost.ci95_half_width, 2),
+                   rs::util::TextTable::num(mc.optimal_cost, 2),
+                   rs::util::TextTable::num(ratio, 4)});
+  }
+  std::cout << table;
+  std::cout << "\nmax expected ratio: " << max_ratio
+            << "  (Theorem 3 bound: 2; E[C(X)] = C(X̄) by Lemmas 19/20)\n";
+  return rs::bench::finish("E4 (Theorem 3)");
+}

@@ -1,0 +1,35 @@
+// E6 — Theorem 5: the deterministic lower bound of 3 survives in the
+// restricted model (eq. 2): m = 2 servers, single per-server cost
+// f(z) = ε|1−2z|, workloads λ_t ∈ {0.5, 1}, constraint x_t >= λ_t.
+#include "bench_common.hpp"
+
+int main() {
+  std::cout
+      << "E6 / Theorem 5: deterministic lower bound -> 3 (restricted model)\n\n";
+
+  rs::util::TextTable table({"epsilon", "T", "lcp ratio", "all_on ratio"});
+  double last_ratio = 0.0;
+  for (double eps : {0.2, 0.1, 0.05, 0.02, 0.01}) {
+    const int horizon = static_cast<int>(4.0 / (eps * eps));
+    rs::online::Lcp lcp;
+    const rs::lowerbound::AdversaryOutcome lcp_outcome =
+        rs::lowerbound::restricted_discrete_adversary(lcp, eps, horizon);
+    rs::online::AllOn all_on;
+    const rs::lowerbound::AdversaryOutcome allon_outcome =
+        rs::lowerbound::restricted_discrete_adversary(all_on, eps, horizon);
+
+    rs::bench::check(lcp_outcome.ratio <= 3.0 + 1e-9,
+                     "LCP within bound in the restricted model");
+    last_ratio = lcp_outcome.ratio;
+
+    table.add_row({rs::util::TextTable::num(eps, 3), std::to_string(horizon),
+                   rs::util::TextTable::num(lcp_outcome.ratio, 4),
+                   rs::util::TextTable::num(allon_outcome.ratio, 4)});
+  }
+  rs::bench::check(last_ratio > 2.9,
+                   "restricted-model ratio converges to 3 (reached > 2.9)");
+  std::cout << table;
+  std::cout << "\nThe reduction maps G-model states {0,1} to L-model states "
+               "{1,2}; the bound carries over unchanged.\n";
+  return rs::bench::finish("E6 (Theorem 5)");
+}

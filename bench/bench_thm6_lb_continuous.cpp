@@ -1,0 +1,54 @@
+// E7 — Theorems 6/7: in the continuous setting no deterministic online
+// algorithm beats ratio 2.
+//
+// The Lemma-23 adversary plays any fractional algorithm against the
+// reference algorithm B (ε/2 steps toward the minimizer).  Against B itself
+// the measured ratio is 2 − Θ(ε) (Lemma 21); algorithms deviating from B
+// (faster movers, the memoryless balance algorithm) pay at least as much.
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "E7 / Theorems 6-7: continuous lower bound -> 2\n\n";
+
+  rs::util::TextTable table({"epsilon", "T", "B (gradient)", "level_flow",
+                             "eager (3x B)", "memoryless"});
+  double last_b_ratio = 0.0;
+  for (double eps : {0.2, 0.1, 0.05, 0.02}) {
+    const int horizon = static_cast<int>(2.0 / (eps * eps));
+    rs::online::GradientFlow b;
+    const rs::lowerbound::AdversaryOutcome b_outcome =
+        rs::lowerbound::continuous_adversary(b, eps, horizon);
+    rs::online::LevelFlow level;
+    const rs::lowerbound::AdversaryOutcome level_outcome =
+        rs::lowerbound::continuous_adversary(level, eps, horizon);
+    rs::online::GradientFlow eager(3.0);
+    const rs::lowerbound::AdversaryOutcome eager_outcome =
+        rs::lowerbound::continuous_adversary(eager, eps, horizon);
+    rs::online::MemorylessBalance memoryless;
+    const rs::lowerbound::AdversaryOutcome memoryless_outcome =
+        rs::lowerbound::continuous_adversary(memoryless, eps, horizon);
+
+    rs::bench::check(b_outcome.ratio <= 2.0 + 1e-6,
+                     "B stays within its factor-2 guarantee");
+    rs::bench::check(b_outcome.ratio >= 2.0 - 3.0 * eps,
+                     "B's ratio is 2 - O(eps) (Lemma 21)");
+    rs::bench::check(eager_outcome.ratio >= b_outcome.ratio - 1e-9,
+                     "deviating from B does not help (Lemma 23)");
+    rs::bench::check(memoryless_outcome.ratio >= b_outcome.ratio - 1e-9,
+                     "memoryless balance pays at least B");
+    last_b_ratio = b_outcome.ratio;
+
+    table.add_row({rs::util::TextTable::num(eps, 3), std::to_string(horizon),
+                   rs::util::TextTable::num(b_outcome.ratio, 4),
+                   rs::util::TextTable::num(level_outcome.ratio, 4),
+                   rs::util::TextTable::num(eager_outcome.ratio, 4),
+                   rs::util::TextTable::num(memoryless_outcome.ratio, 4)});
+  }
+  rs::bench::check(last_b_ratio > 1.95,
+                   "continuous bound converges to 2 (reached > 1.95)");
+  std::cout << table;
+  std::cout << "\nB (the specialization of Bansal et al.'s algorithm) is "
+               "optimal in the continuous setting; everything else pays "
+               "more.\n";
+  return rs::bench::finish("E7 (Theorems 6-7)");
+}

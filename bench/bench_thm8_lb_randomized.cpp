@@ -1,0 +1,54 @@
+// E8 — Theorems 8/9: no randomized online algorithm beats expected ratio 2
+// against an oblivious adversary in the discrete setting.
+//
+// The adversary of Section 5.3 plays against the rounding marginals
+// x̄^A_t = Pr[x^A_t = 1]; the expected cost of the rounded algorithm equals
+// the fractional cost of its marginal schedule (Lemmas 19/20), so the table
+// reports exact expected ratios.  The randomized rounding algorithm of
+// Theorem 3 is therefore optimal.
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "E8 / Theorems 8-9: randomized lower bound -> 2 (discrete)\n\n";
+
+  rs::util::TextTable table(
+      {"epsilon", "T", "E[ratio] exact", "MC mean ratio", "MC 95% ci"});
+  double last_ratio = 0.0;
+  for (double eps : {0.2, 0.1, 0.05, 0.02}) {
+    const int horizon = static_cast<int>(2.0 / (eps * eps));
+    rs::online::RandomizedRounding algorithm(4242);
+    const rs::lowerbound::AdversaryOutcome outcome =
+        rs::lowerbound::randomized_discrete_adversary(algorithm, eps, horizon);
+
+    // Monte-Carlo confirmation on the generated instance: replay the
+    // randomized algorithm with many seeds.
+    const rs::analysis::MonteCarloReport mc = rs::analysis::monte_carlo(
+        outcome.problem, 96, 1000, [&outcome](std::uint64_t seed) {
+          rs::online::RandomizedRounding trial(seed);
+          const rs::core::Schedule x =
+              rs::online::run_online(trial, outcome.problem);
+          return rs::core::total_cost(outcome.problem, x);
+        });
+
+    rs::bench::check(outcome.ratio <= 2.0 + 1e-6,
+                     "expected ratio within the factor-2 guarantee");
+    rs::bench::check(
+        std::abs(mc.cost.mean - outcome.algorithm_cost) <=
+            4.0 * mc.cost.ci95_half_width +
+                1e-3 * outcome.algorithm_cost,
+        "Monte-Carlo cost matches the exact expectation");
+    last_ratio = outcome.ratio;
+
+    table.add_row(
+        {rs::util::TextTable::num(eps, 3), std::to_string(horizon),
+         rs::util::TextTable::num(outcome.ratio, 4),
+         rs::util::TextTable::num(mc.ratio.mean, 4),
+         "±" + rs::util::TextTable::num(mc.ratio.ci95_half_width, 4)});
+  }
+  rs::bench::check(last_ratio > 1.95,
+                   "randomized bound converges to 2 (reached > 1.95)");
+  std::cout << table;
+  std::cout << "\nExpected ratio -> 2 as epsilon -> 0: the Theorem-3 "
+               "algorithm is optimal among randomized algorithms.\n";
+  return rs::bench::finish("E8 (Theorems 8-9)");
+}

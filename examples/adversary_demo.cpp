@@ -1,0 +1,41 @@
+// Lower-bound adversary demo (Theorem 4): the ϕ0/ϕ1 adversary drives LCP —
+// and every deterministic online algorithm — toward competitive ratio 3.
+//
+//   ./example_adversary_demo [--horizon=0 (auto)]
+#include <iostream>
+
+#include "rightsizer/rightsizer.hpp"
+
+int main(int argc, char** argv) {
+  const rs::util::CliArgs args(argc, argv);
+  const int horizon = static_cast<int>(args.get_int("horizon", 0));
+
+  rs::util::TextTable table(
+      {"epsilon", "T", "algorithm", "alg cost", "opt cost", "ratio"});
+  for (double eps : {0.2, 0.1, 0.05, 0.02, 0.01}) {
+    rs::online::Lcp lcp;
+    const rs::lowerbound::AdversaryOutcome lcp_outcome =
+        rs::lowerbound::deterministic_discrete_adversary(lcp, eps, horizon);
+    table.add_row({rs::util::TextTable::num(eps, 3),
+                   std::to_string(lcp_outcome.problem.horizon()), "lcp",
+                   rs::util::TextTable::num(lcp_outcome.algorithm_cost, 3),
+                   rs::util::TextTable::num(lcp_outcome.optimal_cost, 3),
+                   rs::util::TextTable::num(lcp_outcome.ratio, 4)});
+
+    rs::online::FollowTheMinimizer follow;
+    const rs::lowerbound::AdversaryOutcome follow_outcome =
+        rs::lowerbound::deterministic_discrete_adversary(follow, eps, horizon);
+    table.add_row({rs::util::TextTable::num(eps, 3),
+                   std::to_string(follow_outcome.problem.horizon()),
+                   "follow_min",
+                   rs::util::TextTable::num(follow_outcome.algorithm_cost, 3),
+                   rs::util::TextTable::num(follow_outcome.optimal_cost, 3),
+                   rs::util::TextTable::num(follow_outcome.ratio, 4)});
+  }
+  std::cout << "Theorem 4: no deterministic online algorithm beats ratio 3 "
+               "(discrete setting).\n\n"
+            << table
+            << "\nLCP's ratio approaches its Theorem-2 guarantee of exactly 3 "
+               "as epsilon -> 0.\n";
+  return 0;
+}

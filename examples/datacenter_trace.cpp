@@ -1,0 +1,64 @@
+// Trace-driven right-sizing of a simulated data center.
+//
+// Builds a Hotmail-like diurnal arrival trace, derives the restricted-model
+// instance (eq. 2) from an energy + M/M/1-delay cost model, solves it
+// offline and online, and reports both objective costs and physical
+// energy/transition statistics.
+//
+//   ./example_datacenter_trace [--servers=32] [--days=3] [--seed=7]
+#include <iostream>
+
+#include "rightsizer/rightsizer.hpp"
+
+int main(int argc, char** argv) {
+  const rs::util::CliArgs args(argc, argv);
+  rs::dcsim::DataCenterModel model;
+  model.servers = static_cast<int>(args.get_int("servers", 32));
+  const int days = static_cast<int>(args.get_int("days", 3));
+  rs::util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  const rs::workload::Trace trace = rs::workload::hotmail_like(
+      rng, days, 144, 0.6 * model.servers);
+  const rs::workload::TraceStats stats = rs::workload::compute_stats(trace);
+  std::cout << "Trace: " << trace.horizon() << " slots, mean=" << stats.mean
+            << " peak=" << stats.peak << " peak/mean=" << stats.peak_to_mean
+            << "\n\n";
+
+  const rs::core::Problem p =
+      rs::dcsim::restricted_datacenter_problem(model, trace);
+
+  const rs::offline::OfflineResult optimal = rs::offline::DpSolver().solve(p);
+  rs::online::Lcp lcp;
+  const rs::core::Schedule lcp_schedule = rs::online::run_online(lcp, p);
+  const rs::online::StaticOptimum static_best = rs::online::best_static_level(p);
+
+  rs::util::TextTable table(
+      {"policy", "objective", "vs static", "energy savings %", "power-ups"});
+  auto add = [&](const std::string& name, const rs::core::Schedule& x,
+                 double cost) {
+    const rs::dcsim::SimulationReport sim =
+        rs::dcsim::simulate(model, trace, x);
+    table.add_row(
+        {name, rs::util::TextTable::num(cost, 2),
+         rs::util::TextTable::num(100.0 * (1.0 - cost / static_best.cost), 1) +
+             "%",
+         rs::util::TextTable::num(
+             rs::dcsim::energy_savings_percent(model, trace, x), 1),
+         std::to_string(sim.power_ups)});
+  };
+  const rs::core::Schedule static_schedule(
+      static_cast<std::size_t>(trace.horizon()), static_best.level);
+  add("static(best=" + std::to_string(static_best.level) + ")",
+      static_schedule, static_best.cost);
+  add("lcp (online)", lcp_schedule, rs::core::total_cost(p, lcp_schedule));
+  add("optimal (offline)", optimal.schedule, optimal.cost);
+  std::cout << table;
+
+  const rs::dcsim::SimulationReport sim =
+      rs::dcsim::simulate(model, trace, optimal.schedule);
+  std::cout << "\nOptimal schedule physicals: mean active servers="
+            << sim.mean_active_servers
+            << ", mean utilization=" << sim.mean_utilization
+            << ", SLA violations=" << sim.sla_violation_slots << "\n";
+  return 0;
+}

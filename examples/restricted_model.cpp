@@ -1,0 +1,71 @@
+// The restricted model of Lin et al. (paper eq. 2) end to end:
+// a single convex per-server cost f(z), a workload trace λ_t, the hard
+// constraint x_t >= λ_t, and equal load distribution x·f(λ/x).
+//
+//   ./example_restricted_model [--T=96] [--m=16] [--seed=5]
+#include <cmath>
+#include <iostream>
+
+#include "rightsizer/rightsizer.hpp"
+
+int main(int argc, char** argv) {
+  const rs::util::CliArgs args(argc, argv);
+  const int T = static_cast<int>(args.get_int("T", 96));
+  const int m = static_cast<int>(args.get_int("m", 16));
+  rs::util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+
+  // f(z): energy grows affinely with load, delay diverges near overload.
+  rs::core::RestrictedModel model;
+  model.m = m;
+  model.beta = 4.0;
+  model.per_server_cost = [](double z) {
+    if (z > 0.95) return rs::util::kInf;
+    return 0.4 + 0.6 * z + 0.3 * z / (1.0 - z);
+  };
+
+  rs::workload::DiurnalParams diurnal;
+  diurnal.horizon = T;
+  diurnal.period = T / 2;
+  diurnal.peak = 0.7 * m;
+  diurnal.base = 0.2;
+  const rs::workload::Trace trace = rs::workload::diurnal(rng, diurnal);
+
+  const rs::core::Problem p =
+      rs::core::restricted_problem(model, trace.lambda);
+  p.validate();
+
+  const rs::offline::OfflineResult optimal = rs::offline::DpSolver().solve(p);
+  rs::online::Lcp lcp;
+  const rs::core::Schedule lcp_schedule = rs::online::run_online(lcp, p);
+
+  std::cout << "Restricted model: m=" << m << " beta=" << model.beta
+            << " horizon=" << T << "\n";
+  std::cout << "OPT=" << optimal.cost
+            << "  LCP=" << rs::core::total_cost(p, lcp_schedule)
+            << "  ratio=" << rs::core::total_cost(p, lcp_schedule) / optimal.cost
+            << "\n\n";
+
+  // Show a window of the trajectory with the constraint.
+  rs::util::TextTable table({"t", "lambda", "x_opt", "x_lcp", "x>=lambda"});
+  for (int t = 1; t <= std::min(T, 24); ++t) {
+    const double lambda = trace.lambda[static_cast<std::size_t>(t - 1)];
+    const int x_opt = optimal.schedule[static_cast<std::size_t>(t - 1)];
+    const int x_lcp = lcp_schedule[static_cast<std::size_t>(t - 1)];
+    table.add_row({std::to_string(t), rs::util::TextTable::num(lambda, 2),
+                   std::to_string(x_opt), std::to_string(x_lcp),
+                   x_lcp >= lambda ? "yes" : "VIOLATED"});
+  }
+  std::cout << table;
+
+  // Constraint check over the whole horizon.
+  int violations = 0;
+  for (int t = 1; t <= T; ++t) {
+    if (lcp_schedule[static_cast<std::size_t>(t - 1)] <
+        trace.lambda[static_cast<std::size_t>(t - 1)]) {
+      ++violations;
+    }
+  }
+  std::cout << "\nConstraint x_t >= lambda_t violations (LCP): " << violations
+            << " of " << T << " slots\n";
+  return 0;
+}

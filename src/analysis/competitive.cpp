@@ -1,0 +1,44 @@
+#include "analysis/competitive.hpp"
+
+#include "core/schedule.hpp"
+#include "offline/dp_solver.hpp"
+
+namespace rs::analysis {
+
+namespace {
+
+double safe_ratio(double algorithm_cost, double optimal_cost) {
+  if (!(optimal_cost > 0.0)) return 0.0;
+  return algorithm_cost / optimal_cost;
+}
+
+}  // namespace
+
+RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p, int window) {
+  RatioReport report;
+  report.algorithm = algorithm.name();
+  const rs::core::Schedule x = rs::online::run_online(algorithm, p, window);
+  report.operating_cost = rs::core::operating_cost(p, x);
+  report.switching_cost = rs::core::switching_cost_up(p, x);
+  report.algorithm_cost = report.operating_cost + report.switching_cost;
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(p);
+  report.ratio = safe_ratio(report.algorithm_cost, report.optimal_cost);
+  return report;
+}
+
+RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p, int window) {
+  RatioReport report;
+  report.algorithm = algorithm.name();
+  const rs::core::FractionalSchedule x =
+      rs::online::run_online(algorithm, p, window);
+  report.operating_cost = rs::core::operating_cost(p, x);
+  report.switching_cost = rs::core::switching_cost_up(p, x);
+  report.algorithm_cost = report.operating_cost + report.switching_cost;
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(p);
+  report.ratio = safe_ratio(report.algorithm_cost, report.optimal_cost);
+  return report;
+}
+
+}  // namespace rs::analysis

@@ -1,0 +1,31 @@
+// Competitive-ratio measurement harness: replays an online algorithm
+// against an instance and compares with the exact offline optimum.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "online/online_algorithm.hpp"
+
+namespace rs::analysis {
+
+struct RatioReport {
+  std::string algorithm;
+  double algorithm_cost = 0.0;
+  double optimal_cost = 0.0;
+  double ratio = 0.0;
+  double operating_cost = 0.0;   // algorithm's operating component
+  double switching_cost = 0.0;   // algorithm's switching component
+};
+
+/// Measures the cost ratio of an integral online algorithm on `p`
+/// (optionally with a prediction window).  OPT is the O(T·m) DP.
+RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p, int window = 0);
+
+/// Same for a fractional algorithm; OPT is still the integral optimum,
+/// which by Lemma 4 equals the continuous optimum of P̄.
+RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p, int window = 0);
+
+}  // namespace rs::analysis

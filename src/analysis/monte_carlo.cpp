@@ -1,0 +1,49 @@
+#include "analysis/monte_carlo.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "offline/dp_solver.hpp"
+#include "online/randomized_rounding.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rs::analysis {
+
+MonteCarloReport monte_carlo(
+    const rs::core::Problem& p, int trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& run_trial) {
+  if (trials < 1) throw std::invalid_argument("monte_carlo: trials < 1");
+  if (!run_trial) throw std::invalid_argument("monte_carlo: null trial");
+
+  MonteCarloReport report;
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(p);
+
+  std::vector<double> costs(static_cast<std::size_t>(trials));
+  rs::util::global_pool().parallel_for(
+      0, static_cast<std::size_t>(trials), [&](std::size_t trial) {
+        costs[trial] = run_trial(base_seed + trial);
+      });
+
+  report.cost = rs::util::summarize(costs);
+  if (report.optimal_cost > 0.0) {
+    std::vector<double> ratios(costs.size());
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      ratios[i] = costs[i] / report.optimal_cost;
+    }
+    report.ratio = rs::util::summarize(ratios);
+  }
+  return report;
+}
+
+MonteCarloReport monte_carlo_randomized_rounding(const rs::core::Problem& p,
+                                                 int trials,
+                                                 std::uint64_t base_seed) {
+  return monte_carlo(p, trials, base_seed, [&p](std::uint64_t seed) {
+    rs::online::RandomizedRounding algorithm(seed);
+    const rs::core::Schedule x = rs::online::run_online(algorithm, p);
+    return rs::core::total_cost(p, x);
+  });
+}
+
+}  // namespace rs::analysis

@@ -1,0 +1,34 @@
+// Parallel Monte-Carlo evaluation of randomized online algorithms.
+//
+// Trials run on the global thread pool with independent, deterministic
+// seeds (base_seed + trial index), so results are reproducible regardless
+// of scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/problem.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::analysis {
+
+struct MonteCarloReport {
+  rs::util::SampleStats cost;
+  rs::util::SampleStats ratio;   // per-trial cost / OPT
+  double optimal_cost = 0.0;
+};
+
+/// Runs `trials` independent replays of a seed-constructed randomized
+/// algorithm on `p` and summarizes total cost and ratio.  `make_run` must
+/// build and run one trial: given a seed, return the trial's total cost.
+MonteCarloReport monte_carlo(
+    const rs::core::Problem& p, int trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& run_trial);
+
+/// Convenience: Monte Carlo of the Theorem-3 randomized rounding algorithm.
+MonteCarloReport monte_carlo_randomized_rounding(const rs::core::Problem& p,
+                                                 int trials,
+                                                 std::uint64_t base_seed);
+
+}  // namespace rs::analysis

@@ -1,0 +1,53 @@
+#include "analysis/savings.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/schedule.hpp"
+#include "dcsim/datacenter.hpp"
+#include "offline/dp_solver.hpp"
+#include "online/baselines.hpp"
+#include "online/lcp.hpp"
+
+namespace rs::analysis {
+
+SavingsRow evaluate_savings(const rs::dcsim::DataCenterModel& model,
+                            const rs::workload::Trace& trace,
+                            const std::string& trace_name,
+                            double beta_scale) {
+  if (!(beta_scale > 0.0)) {
+    throw std::invalid_argument("evaluate_savings: beta_scale must be > 0");
+  }
+  rs::dcsim::DataCenterModel scaled = model;
+  scaled.power.transition_joules *= beta_scale;
+
+  const rs::core::Problem p =
+      rs::dcsim::restricted_datacenter_problem(scaled, trace);
+
+  SavingsRow row;
+  row.trace_name = trace_name;
+  row.beta_scale = beta_scale;
+  row.peak_to_mean = rs::workload::compute_stats(trace).peak_to_mean;
+
+  row.static_cost = rs::online::best_static_level(p).cost;
+
+  rs::online::Lcp lcp;
+  const rs::core::Schedule lcp_schedule = rs::online::run_online(lcp, p);
+  row.lcp_cost = rs::core::total_cost(p, lcp_schedule);
+
+  const rs::offline::OfflineResult optimal = rs::offline::DpSolver().solve(p);
+  row.optimal_cost = optimal.cost;
+  row.lcp_ratio = row.optimal_cost > 0.0 ? row.lcp_cost / row.optimal_cost : 0.0;
+  if (row.static_cost > 0.0) {
+    row.lcp_savings_percent = 100.0 * (1.0 - row.lcp_cost / row.static_cost);
+    row.optimal_savings_percent =
+        100.0 * (1.0 - row.optimal_cost / row.static_cost);
+  }
+  if (optimal.feasible()) {
+    row.energy_savings_percent =
+        rs::dcsim::energy_savings_percent(scaled, trace, optimal.schedule);
+  }
+  return row;
+}
+
+}  // namespace rs::analysis

@@ -1,0 +1,33 @@
+// The E10 trace study: cost of right-sizing policies versus static
+// provisioning on a workload trace, in the style of Lin et al.'s
+// experimental section (which the paper's introduction builds on).
+#pragma once
+
+#include <string>
+
+#include "dcsim/cost_model.hpp"
+#include "workload/trace.hpp"
+
+namespace rs::analysis {
+
+struct SavingsRow {
+  std::string trace_name;
+  double beta_scale = 1.0;       // multiplier on the model's β
+  double peak_to_mean = 0.0;
+  double static_cost = 0.0;      // best single provisioning level
+  double lcp_cost = 0.0;         // online LCP
+  double optimal_cost = 0.0;     // offline optimum
+  double lcp_ratio = 0.0;        // lcp / optimal
+  double lcp_savings_percent = 0.0;      // vs. static, objective units
+  double optimal_savings_percent = 0.0;  // vs. static
+  double energy_savings_percent = 0.0;   // physical energy, OPT vs all-on
+};
+
+/// Evaluates static / LCP / OPT on the restricted-model instance built from
+/// `trace` with the switching cost scaled by `beta_scale`.
+SavingsRow evaluate_savings(const rs::dcsim::DataCenterModel& model,
+                            const rs::workload::Trace& trace,
+                            const std::string& trace_name,
+                            double beta_scale = 1.0);
+
+}  // namespace rs::analysis

@@ -1,0 +1,110 @@
+#include "analysis/sweep.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace rs::analysis {
+
+SweepRunner::SweepRunner(std::vector<SweepPoint> points,
+                         std::function<SweepRow(std::size_t)> evaluate)
+    : points_(std::move(points)), evaluate_(std::move(evaluate)) {
+  if (!evaluate_) throw std::invalid_argument("SweepRunner: null evaluator");
+  if (points_.empty()) throw std::invalid_argument("SweepRunner: no points");
+}
+
+void SweepRunner::run(bool parallel) {
+  if (finished_) return;
+  rows_.assign(points_.size(), SweepRow{});
+  if (parallel) {
+    rs::util::global_pool().parallel_for(
+        0, points_.size(), [this](std::size_t i) { rows_[i] = evaluate_(i); });
+  } else {
+    for (std::size_t i = 0; i < points_.size(); ++i) rows_[i] = evaluate_(i);
+  }
+  finished_ = true;
+}
+
+void SweepRunner::require_finished() const {
+  if (!finished_) throw std::logic_error("SweepRunner: run() first");
+}
+
+const std::vector<SweepRow>& SweepRunner::rows() const {
+  require_finished();
+  return rows_;
+}
+
+namespace {
+
+std::vector<std::string> header_of(const SweepPoint& point,
+                                   const SweepRow& row) {
+  std::vector<std::string> header;
+  header.reserve(point.size() + row.size());
+  for (const auto& [name, value] : point) header.push_back(name);
+  for (const auto& [name, value] : row) header.push_back(name);
+  return header;
+}
+
+}  // namespace
+
+rs::util::TextTable SweepRunner::to_table(int precision) const {
+  require_finished();
+  rs::util::TextTable table(header_of(points_.front(), rows_.front()));
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    std::vector<std::string> cells;
+    for (const auto& [name, value] : points_[i]) cells.push_back(value);
+    for (const auto& [name, value] : rows_[i]) {
+      cells.push_back(rs::util::TextTable::num(value, precision));
+    }
+    table.add_row(std::move(cells));
+  }
+  return table;
+}
+
+rs::util::CsvTable SweepRunner::to_csv(int precision) const {
+  require_finished();
+  rs::util::CsvTable csv;
+  csv.header = header_of(points_.front(), rows_.front());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    rs::util::CsvRow row;
+    for (const auto& [name, value] : points_[i]) row.push_back(value);
+    for (const auto& [name, value] : rows_[i]) {
+      std::ostringstream os;
+      os.precision(precision);
+      os << value;
+      row.push_back(os.str());
+    }
+    csv.rows.push_back(std::move(row));
+  }
+  return csv;
+}
+
+std::vector<SweepPoint> grid(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& axes) {
+  if (axes.empty()) throw std::invalid_argument("grid: no axes");
+  std::size_t total = 1;
+  for (const auto& [name, values] : axes) {
+    if (values.empty()) throw std::invalid_argument("grid: empty axis");
+    total *= values.size();
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(total);
+  std::vector<std::size_t> index(axes.size(), 0);
+  for (;;) {
+    SweepPoint point;
+    point.reserve(axes.size());
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      point.emplace_back(axes[a].first, axes[a].second[index[a]]);
+    }
+    points.push_back(std::move(point));
+    std::size_t position = axes.size();
+    while (position-- > 0) {
+      if (++index[position] < axes[position].second.size()) break;
+      index[position] = 0;
+      if (position == 0) return points;
+    }
+  }
+}
+
+}  // namespace rs::analysis

@@ -1,0 +1,62 @@
+// Generic parameter-sweep driver with parallel execution and CSV export.
+//
+// Experiments across this repository share one shape: a grid of named
+// parameter points, one (expensive, independent) evaluation per point, and
+// a row of named metrics per evaluation.  SweepRunner runs the grid on the
+// global thread pool deterministically (results are ordered by point index,
+// not completion order) and renders the result as an aligned table or CSV
+// artifact.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace rs::analysis {
+
+/// One grid point: ordered (name, value) pairs — order defines the column
+/// order of the parameter block.
+using SweepPoint = std::vector<std::pair<std::string, std::string>>;
+
+/// One result row: ordered (metric, value) pairs.
+using SweepRow = std::vector<std::pair<std::string, double>>;
+
+class SweepRunner {
+ public:
+  /// `evaluate` maps a grid point index to its metric row; it must be
+  /// thread-safe across distinct indices.
+  SweepRunner(std::vector<SweepPoint> points,
+              std::function<SweepRow(std::size_t)> evaluate);
+
+  /// Runs all points (in parallel) and stores the rows.  Idempotent.
+  void run(bool parallel = true);
+
+  bool finished() const noexcept { return finished_; }
+  std::size_t size() const noexcept { return points_.size(); }
+  const std::vector<SweepRow>& rows() const;
+
+  /// Column-aligned text table of parameters + metrics.
+  rs::util::TextTable to_table(int precision = 4) const;
+
+  /// CSV artifact with one column per parameter and metric.
+  rs::util::CsvTable to_csv(int precision = 6) const;
+
+ private:
+  void require_finished() const;
+
+  std::vector<SweepPoint> points_;
+  std::function<SweepRow(std::size_t)> evaluate_;
+  std::vector<SweepRow> rows_;
+  bool finished_ = false;
+};
+
+/// Cartesian product helper: expands named axes into grid points, last axis
+/// fastest (row-major).
+std::vector<SweepPoint> grid(
+    const std::vector<std::pair<std::string, std::vector<std::string>>>& axes);
+
+}  // namespace rs::analysis

@@ -1,0 +1,289 @@
+#include "core/cost_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rs::core {
+
+using util::kInf;
+
+double CostFunction::at_real(double x) const {
+  if (x < 0.0) throw std::invalid_argument("CostFunction::at_real: x < 0");
+  const double floor_x = std::floor(x);
+  const int lo = static_cast<int>(floor_x);
+  const double theta = x - floor_x;
+  if (theta == 0.0) return at(lo);
+  const double f_lo = at(lo);
+  const double f_hi = at(lo + 1);
+  if (std::isinf(f_lo) || std::isinf(f_hi)) return kInf;
+  return (1.0 - theta) * f_lo + theta * f_hi;
+}
+
+// ---------------------------------------------------------------------------
+
+TableCost::TableCost(std::vector<double> values, std::string label)
+    : values_(std::move(values)), label_(std::move(label)) {
+  if (values_.empty()) {
+    throw std::invalid_argument("TableCost: empty value table");
+  }
+}
+
+double TableCost::at(int x) const {
+  if (x < 0) throw std::invalid_argument("TableCost::at: x < 0");
+  const int n = static_cast<int>(values_.size());
+  if (x < n) return values_[static_cast<std::size_t>(x)];
+  // Extend linearly with the last slope (0 for single-entry tables) so that
+  // convex tables stay convex beyond their explicit domain.
+  const double last = values_[static_cast<std::size_t>(n - 1)];
+  const double slope =
+      n >= 2 ? last - values_[static_cast<std::size_t>(n - 2)] : 0.0;
+  if (std::isinf(last)) return last;
+  return last + slope * static_cast<double>(x - (n - 1));
+}
+
+// ---------------------------------------------------------------------------
+
+AffineAbsCost::AffineAbsCost(double slope, double center, double offset)
+    : slope_(slope), center_(center), offset_(offset) {
+  if (slope < 0.0) throw std::invalid_argument("AffineAbsCost: slope < 0");
+}
+
+double AffineAbsCost::at(int x) const {
+  return slope_ * std::fabs(static_cast<double>(x) - center_) + offset_;
+}
+
+double AffineAbsCost::at_real(double x) const {
+  return slope_ * std::fabs(x - center_) + offset_;
+}
+
+// ---------------------------------------------------------------------------
+
+QuadraticCost::QuadraticCost(double curvature, double center, double offset)
+    : curvature_(curvature), center_(center), offset_(offset) {
+  if (curvature < 0.0) {
+    throw std::invalid_argument("QuadraticCost: curvature < 0");
+  }
+}
+
+double QuadraticCost::at(int x) const {
+  return at_real(static_cast<double>(x));
+}
+
+double QuadraticCost::at_real(double x) const {
+  const double d = x - center_;
+  return curvature_ * d * d + offset_;
+}
+
+// ---------------------------------------------------------------------------
+
+FunctionCost::FunctionCost(std::function<double(int)> fn, std::string label)
+    : fn_(std::move(fn)), label_(std::move(label)) {
+  if (!fn_) throw std::invalid_argument("FunctionCost: null callable");
+}
+
+double FunctionCost::at(int x) const { return fn_(x); }
+
+// ---------------------------------------------------------------------------
+
+RestrictedSlotCost::RestrictedSlotCost(
+    std::shared_ptr<const std::function<double(double)>> f, double lambda)
+    : f_(std::move(f)), lambda_(lambda) {
+  if (!f_ || !*f_) {
+    throw std::invalid_argument("RestrictedSlotCost: null load-cost function");
+  }
+  if (lambda < 0.0) {
+    throw std::invalid_argument("RestrictedSlotCost: negative workload");
+  }
+}
+
+double RestrictedSlotCost::at(int x) const {
+  return at_real(static_cast<double>(x));
+}
+
+double RestrictedSlotCost::at_real(double x) const {
+  if (x < 0.0) throw std::invalid_argument("RestrictedSlotCost: x < 0");
+  if (x < lambda_) return kInf;  // constraint x_t >= λ_t (paper eq. 2)
+  if (x == 0.0) return 0.0;      // λ must be 0 here; an empty center is free
+  return x * (*f_)(lambda_ / x);
+}
+
+// ---------------------------------------------------------------------------
+
+ScaledCost::ScaledCost(CostPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  if (!base_) throw std::invalid_argument("ScaledCost: null base");
+  if (factor < 0.0) throw std::invalid_argument("ScaledCost: factor < 0");
+}
+
+double ScaledCost::at(int x) const { return factor_ * base_->at(x); }
+
+double ScaledCost::at_real(double x) const {
+  return factor_ * base_->at_real(x);
+}
+
+std::string ScaledCost::name() const { return "scaled(" + base_->name() + ")"; }
+
+// ---------------------------------------------------------------------------
+
+StrideCost::StrideCost(CostPtr base, int stride)
+    : base_(std::move(base)), stride_(stride) {
+  if (!base_) throw std::invalid_argument("StrideCost: null base");
+  if (stride <= 0) throw std::invalid_argument("StrideCost: stride <= 0");
+}
+
+double StrideCost::at(int x) const { return base_->at(x * stride_); }
+
+std::string StrideCost::name() const {
+  return "stride" + std::to_string(stride_) + "(" + base_->name() + ")";
+}
+
+// ---------------------------------------------------------------------------
+
+PaddedCost::PaddedCost(CostPtr base, int original_m)
+    : base_(std::move(base)), original_m_(original_m) {
+  if (!base_) throw std::invalid_argument("PaddedCost: null base");
+  if (original_m < 0) throw std::invalid_argument("PaddedCost: m < 0");
+  // For convex base, the maximum slope on {0,..,m} is the last one; extend
+  // with a strictly larger slope so every state above m is strictly
+  // dominated and the extension stays convex.
+  double last_slope = 0.0;
+  if (original_m >= 1) {
+    const double fm = base_->at(original_m);
+    const double fm1 = base_->at(original_m - 1);
+    if (std::isfinite(fm) && std::isfinite(fm1)) last_slope = fm - fm1;
+  }
+  extension_slope_ = std::max(last_slope, 0.0) + 1.0;
+}
+
+double PaddedCost::at(int x) const {
+  if (x <= original_m_) return base_->at(x);
+  const double base_value = base_->at(original_m_);
+  if (std::isinf(base_value)) return base_value;
+  return base_value + extension_slope_ * static_cast<double>(x - original_m_);
+}
+
+std::string PaddedCost::name() const {
+  return "padded(" + base_->name() + ")";
+}
+
+// ---------------------------------------------------------------------------
+
+CostFunctionReport validate_cost_function(const CostFunction& f, int m) {
+  CostFunctionReport report;
+  if (m < 0) throw std::invalid_argument("validate_cost_function: m < 0");
+
+  std::vector<double> values(static_cast<std::size_t>(m) + 1);
+  for (int x = 0; x <= m; ++x) {
+    values[static_cast<std::size_t>(x)] = f.at(x);
+  }
+
+  for (int x = 0; x <= m; ++x) {
+    const double v = values[static_cast<std::size_t>(x)];
+    if (std::isnan(v)) {
+      report.convex = false;
+      report.non_negative = false;
+      continue;
+    }
+    if (v < 0.0) report.non_negative = false;
+    if (std::isfinite(v)) {
+      if (report.first_finite < 0) report.first_finite = x;
+      report.last_finite = x;
+    }
+  }
+  if (report.first_finite < 0) {
+    report.finite_somewhere = false;
+    report.contiguous_finite_range = true;
+    return report;
+  }
+  for (int x = report.first_finite; x <= report.last_finite; ++x) {
+    if (!std::isfinite(values[static_cast<std::size_t>(x)])) {
+      report.contiguous_finite_range = false;
+      report.convex = false;
+    }
+  }
+  // Slopes non-decreasing on the finite range.
+  double previous_slope = -util::kInf;
+  for (int x = report.first_finite + 1; x <= report.last_finite; ++x) {
+    const double slope = values[static_cast<std::size_t>(x)] -
+                         values[static_cast<std::size_t>(x - 1)];
+    if (slope + 1e-9 < previous_slope) {
+      report.convex = false;
+      break;
+    }
+    previous_slope = std::max(previous_slope, slope);
+  }
+  return report;
+}
+
+int smallest_minimizer_scan(const CostFunction& f, int m) {
+  int best = 0;
+  double best_value = f.at(0);
+  for (int x = 1; x <= m; ++x) {
+    const double v = f.at(x);
+    if (v < best_value) {
+      best_value = v;
+      best = x;
+    }
+  }
+  return best;
+}
+
+int largest_minimizer_scan(const CostFunction& f, int m) {
+  int best = 0;
+  double best_value = f.at(0);
+  for (int x = 1; x <= m; ++x) {
+    const double v = f.at(x);
+    if (v <= best_value) {  // ties move right
+      best_value = v;
+      best = x;
+    }
+  }
+  return best;
+}
+
+int smallest_minimizer_convex(const CostFunction& f, int m) {
+  // Find the smallest x with f(x+1) - f(x) >= 0; for convex f the slopes are
+  // non-decreasing so this is a monotone predicate.  +inf prefixes (from
+  // constraint states) are skipped by treating inf-to-finite slopes as
+  // negative and finite-to-inf slopes as positive.
+  int lo = 0;
+  int hi = m;  // invariant: answer in [lo, hi]
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const double here = f.at(mid);
+    const double next = f.at(mid + 1);
+    bool non_decreasing;
+    if (std::isinf(here) && std::isinf(next)) {
+      // Deep in an infeasible prefix or suffix; decide by probing which side
+      // the finite range is on (cheap: one probe at lo).
+      non_decreasing = std::isinf(f.at(lo)) ? false : true;
+    } else if (std::isinf(here)) {
+      non_decreasing = false;  // slope -inf: still descending
+    } else if (std::isinf(next)) {
+      non_decreasing = true;  // slope +inf: already ascending
+    } else {
+      non_decreasing = next - here >= 0.0;
+    }
+    if (non_decreasing) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double interpolate(const CostFunction& f, double x) {
+  // Route through the default implementation regardless of overrides, so the
+  // result always matches paper eq. (3) exactly.
+  const double floor_x = std::floor(x);
+  const int lo = static_cast<int>(floor_x);
+  const double theta = x - floor_x;
+  if (theta == 0.0) return f.at(lo);
+  const double f_lo = f.at(lo);
+  const double f_hi = f.at(lo + 1);
+  if (std::isinf(f_lo) || std::isinf(f_hi)) return kInf;
+  return (1.0 - theta) * f_lo + theta * f_hi;
+}
+
+}  // namespace rs::core

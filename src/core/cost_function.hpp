@@ -1,0 +1,209 @@
+// Convex operating-cost functions f_t.
+//
+// The data-center optimization problem (paper eq. 1) charges f_t(x_t) for
+// running x_t servers in slot t, where every f_t : {0,..,m} -> R>=0 is
+// convex.  This header defines the cost-function interface, the concrete
+// families used throughout the paper and experiments, the continuous
+// extension f̄_t of eq. (3), and convexity/feasibility validators.
+//
+// Infeasible states (e.g. x_t < λ_t in the restricted model of eq. 2) are
+// modelled as +infinity; a convex function may be +inf on a prefix and/or a
+// suffix of its domain but must be finite on a contiguous non-empty range.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace rs::core {
+
+/// Abstract convex operating-cost function on server counts.
+///
+/// Implementations must be convex and non-negative on {0,..,m} for every m
+/// they are used with; validate_cost_function() checks this for tests and
+/// API-boundary validation.
+class CostFunction {
+ public:
+  virtual ~CostFunction() = default;
+
+  /// Operating cost of running `x` servers; +inf marks infeasible states.
+  /// `x` may be any non-negative integer (functions are defined on all of
+  /// N_0 so that instance transforms can extend domains).
+  virtual double at(int x) const = 0;
+
+  /// Continuous extension f̄ (paper eq. 3): linear interpolation between
+  /// adjacent integer states.  Overridden by families that have an exact
+  /// closed form on the reals (the interpolation then coincides with it).
+  virtual double at_real(double x) const;
+
+  /// Human-readable family name for diagnostics.
+  virtual std::string name() const { return "cost"; }
+};
+
+using CostPtr = std::shared_ptr<const CostFunction>;
+
+// ---------------------------------------------------------------------------
+// Concrete families
+// ---------------------------------------------------------------------------
+
+/// Explicit value table on {0,..,m}; evaluation beyond the table extends
+/// linearly with the last slope so that transformed instances stay convex.
+class TableCost final : public CostFunction {
+ public:
+  explicit TableCost(std::vector<double> values, std::string label = "table");
+  double at(int x) const override;
+  std::string name() const override { return label_; }
+  int table_size() const noexcept { return static_cast<int>(values_.size()); }
+
+ private:
+  std::vector<double> values_;
+  std::string label_;
+};
+
+/// a·|x − center| + offset, the ϕ family of the lower-bound constructions
+/// (ϕ0(x) = ε|x|, ϕ1(x) = ε|x−1|).  Requires a >= 0.
+class AffineAbsCost final : public CostFunction {
+ public:
+  AffineAbsCost(double slope, double center, double offset = 0.0);
+  double at(int x) const override;
+  double at_real(double x) const override;
+  std::string name() const override { return "affine_abs"; }
+  double slope() const noexcept { return slope_; }
+  double center() const noexcept { return center_; }
+
+ private:
+  double slope_;
+  double center_;
+  double offset_;
+};
+
+/// a·(x − center)^2 + offset with a >= 0.
+class QuadraticCost final : public CostFunction {
+ public:
+  QuadraticCost(double curvature, double center, double offset = 0.0);
+  double at(int x) const override;
+  double at_real(double x) const override;
+  std::string name() const override { return "quadratic"; }
+
+ private:
+  double curvature_;
+  double center_;
+  double offset_;
+};
+
+/// Wraps an arbitrary callable; the caller asserts convexity (checked by
+/// validate_cost_function in tests).
+class FunctionCost final : public CostFunction {
+ public:
+  explicit FunctionCost(std::function<double(int)> fn,
+                        std::string label = "function");
+  double at(int x) const override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::function<double(int)> fn_;
+  std::string label_;
+};
+
+/// Restricted-model slot cost (paper eq. 2): x·f(λ/x) subject to x >= λ,
+/// where f : [0,1] -> R>=0 is convex (cost of one server at load z) and λ is
+/// the incoming workload of the slot.  States x < λ are +inf; the perspective
+/// x·f(λ/x) of a convex f is convex in x, and a +inf prefix keeps convexity.
+class RestrictedSlotCost final : public CostFunction {
+ public:
+  RestrictedSlotCost(std::shared_ptr<const std::function<double(double)>> f,
+                     double lambda);
+  double at(int x) const override;
+  double at_real(double x) const override;
+  std::string name() const override { return "restricted_slot"; }
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  std::shared_ptr<const std::function<double(double)>> f_;
+  double lambda_;
+};
+
+/// base(x) * factor, factor >= 0.  Used by the Theorem-10 sequence
+/// stretching (each replica charges f_t / (n·w)).
+class ScaledCost final : public CostFunction {
+ public:
+  ScaledCost(CostPtr base, double factor);
+  double at(int x) const override;
+  double at_real(double x) const override;
+  std::string name() const override;
+
+ private:
+  CostPtr base_;
+  double factor_;
+};
+
+/// base(x * stride), the Ψ_l rescaling of Section 2.3 (state x of the scaled
+/// instance corresponds to x·2^l of the original one).
+class StrideCost final : public CostFunction {
+ public:
+  StrideCost(CostPtr base, int stride);
+  double at(int x) const override;
+  std::string name() const override;
+
+ private:
+  CostPtr base_;
+  int stride_;
+};
+
+/// Extension used by the power-of-two padding of Section 2.2: equals `base`
+/// on {0,..,m} and continues linearly above m with a slope strictly larger
+/// than any slope of `base` (see DESIGN.md §2 for why this deviates from the
+/// paper's literal x·(f(m)+ε) formula).
+class PaddedCost final : public CostFunction {
+ public:
+  PaddedCost(CostPtr base, int original_m);
+  double at(int x) const override;
+  std::string name() const override;
+
+ private:
+  CostPtr base_;
+  int original_m_;
+  double extension_slope_;
+};
+
+// ---------------------------------------------------------------------------
+// Validation and helpers
+// ---------------------------------------------------------------------------
+
+struct CostFunctionReport {
+  bool convex = true;
+  bool non_negative = true;
+  bool finite_somewhere = true;
+  bool contiguous_finite_range = true;
+  int first_finite = -1;  // smallest feasible state, -1 if none
+  int last_finite = -1;   // largest feasible state
+  bool ok() const noexcept {
+    return convex && non_negative && finite_somewhere &&
+           contiguous_finite_range;
+  }
+};
+
+/// Scans f on {0,..,m} and reports convexity (slopes non-decreasing on the
+/// finite range, +inf allowed only as prefix/suffix), non-negativity, and
+/// the feasible range.
+CostFunctionReport validate_cost_function(const CostFunction& f, int m);
+
+/// Smallest state in {0,..,m} minimizing f (paper's x_t^{min-}).  Linear
+/// scan; correct for arbitrary functions.
+int smallest_minimizer_scan(const CostFunction& f, int m);
+
+/// Largest state in {0,..,m} minimizing f (paper's x_t^{min+}).
+int largest_minimizer_scan(const CostFunction& f, int m);
+
+/// O(log m) minimizer search for *convex* f via binary search on slopes.
+/// Returns the smallest minimizer.
+int smallest_minimizer_convex(const CostFunction& f, int m);
+
+/// Continuous extension f̄ of eq. (3) for any cost function: interpolates the
+/// integer values (identical to f.at_real for the default implementation).
+double interpolate(const CostFunction& f, double x);
+
+}  // namespace rs::core

@@ -1,0 +1,86 @@
+#include "core/piecewise_linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace rs::core {
+
+PiecewiseLinearCost::PiecewiseLinearCost(std::vector<Breakpoint> breakpoints)
+    : breakpoints_(std::move(breakpoints)) {
+  if (breakpoints_.empty()) {
+    throw std::invalid_argument("PiecewiseLinearCost: no breakpoints");
+  }
+  double previous_slope = -rs::util::kInf;
+  for (std::size_t i = 1; i < breakpoints_.size(); ++i) {
+    const double dx = breakpoints_[i].x - breakpoints_[i - 1].x;
+    if (!(dx > 0.0)) {
+      throw std::invalid_argument(
+          "PiecewiseLinearCost: breakpoints must have increasing x");
+    }
+    const double slope = (breakpoints_[i].value - breakpoints_[i - 1].value) / dx;
+    if (slope + 1e-12 < previous_slope) {
+      throw std::invalid_argument("PiecewiseLinearCost: not convex");
+    }
+    previous_slope = slope;
+  }
+}
+
+double PiecewiseLinearCost::at(int x) const {
+  return at_real(static_cast<double>(x));
+}
+
+double PiecewiseLinearCost::at_real(double x) const {
+  if (breakpoints_.size() == 1) return breakpoints_.front().value;
+  // Find the segment; extend the boundary segments outward.
+  std::size_t hi = 1;
+  while (hi + 1 < breakpoints_.size() && breakpoints_[hi].x < x) ++hi;
+  const Breakpoint& a = breakpoints_[hi - 1];
+  const Breakpoint& b = breakpoints_[hi];
+  const double slope = (b.value - a.value) / (b.x - a.x);
+  return a.value + slope * (x - a.x);
+}
+
+CostPtr make_hinge(double slope, double knee) {
+  if (slope < 0.0) throw std::invalid_argument("make_hinge: slope < 0");
+  return std::make_shared<PiecewiseLinearCost>(std::vector<Breakpoint>{
+      {knee - 1.0, 0.0}, {knee, 0.0}, {knee + 1.0, slope}});
+}
+
+CostPtr make_shortfall_hinge(double slope, double knee) {
+  if (slope < 0.0) {
+    throw std::invalid_argument("make_shortfall_hinge: slope < 0");
+  }
+  return std::make_shared<PiecewiseLinearCost>(std::vector<Breakpoint>{
+      {knee - 1.0, slope}, {knee, 0.0}, {knee + 1.0, 0.0}});
+}
+
+SumCost::SumCost(std::vector<CostPtr> parts) : parts_(std::move(parts)) {
+  if (parts_.empty()) throw std::invalid_argument("SumCost: no parts");
+  for (const CostPtr& part : parts_) {
+    if (!part) throw std::invalid_argument("SumCost: null part");
+  }
+}
+
+double SumCost::at(int x) const {
+  double sum = 0.0;
+  for (const CostPtr& part : parts_) {
+    const double v = part->at(x);
+    if (std::isinf(v)) return v;
+    sum += v;
+  }
+  return sum;
+}
+
+double SumCost::at_real(double x) const {
+  double sum = 0.0;
+  for (const CostPtr& part : parts_) {
+    const double v = part->at_real(x);
+    if (std::isinf(v)) return v;
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,93 @@
+#include "core/problem.hpp"
+
+#include <stdexcept>
+
+namespace rs::core {
+
+Problem::Problem(int m, double beta, std::vector<CostPtr> functions)
+    : m_(m), beta_(beta), functions_(std::move(functions)) {
+  if (m < 0) throw std::invalid_argument("Problem: m < 0");
+  if (!(beta > 0.0)) throw std::invalid_argument("Problem: beta must be > 0");
+  for (const CostPtr& f : functions_) {
+    if (!f) throw std::invalid_argument("Problem: null cost function");
+  }
+}
+
+const CostFunction& Problem::f(int t) const {
+  if (t < 1 || t > horizon()) {
+    throw std::out_of_range("Problem::f: t out of [1, T]");
+  }
+  return *functions_[static_cast<std::size_t>(t - 1)];
+}
+
+CostPtr Problem::f_ptr(int t) const {
+  if (t < 1 || t > horizon()) {
+    throw std::out_of_range("Problem::f_ptr: t out of [1, T]");
+  }
+  return functions_[static_cast<std::size_t>(t - 1)];
+}
+
+double Problem::cost_at(int t, int x) const {
+  if (x < 0 || x > m_) {
+    throw std::out_of_range("Problem::cost_at: x out of [0, m]");
+  }
+  return f(t).at(x);
+}
+
+double Problem::cost_at_real(int t, double x) const {
+  if (x < 0.0 || x > static_cast<double>(m_)) {
+    throw std::out_of_range("Problem::cost_at_real: x out of [0, m]");
+  }
+  return interpolate(f(t), x);
+}
+
+void Problem::validate() const {
+  for (int t = 1; t <= horizon(); ++t) {
+    const CostFunctionReport report = validate_cost_function(f(t), m_);
+    if (!report.ok()) {
+      throw std::invalid_argument(
+          "Problem::validate: f_" + std::to_string(t) + " (" + f(t).name() +
+          ") failed: " + (!report.convex ? "non-convex " : "") +
+          (!report.non_negative ? "negative " : "") +
+          (!report.finite_somewhere ? "all-infinite " : "") +
+          (!report.contiguous_finite_range ? "gapped-finite-range " : ""));
+    }
+  }
+}
+
+Problem Problem::prefix(int tau) const {
+  if (tau < 0 || tau > horizon()) {
+    throw std::out_of_range("Problem::prefix: tau out of [0, T]");
+  }
+  std::vector<CostPtr> fs(functions_.begin(), functions_.begin() + tau);
+  return Problem(m_, beta_, std::move(fs));
+}
+
+Problem make_table_problem(int m, double beta,
+                           const std::vector<std::vector<double>>& values) {
+  std::vector<CostPtr> fs;
+  fs.reserve(values.size());
+  for (const std::vector<double>& row : values) {
+    if (static_cast<int>(row.size()) != m + 1) {
+      throw std::invalid_argument(
+          "make_table_problem: each row must have m+1 entries");
+    }
+    fs.push_back(std::make_shared<TableCost>(row));
+  }
+  return Problem(m, beta, std::move(fs));
+}
+
+Problem materialize(const Problem& p) {
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) {
+    std::vector<double> row(static_cast<std::size_t>(p.max_servers()) + 1);
+    for (int x = 0; x <= p.max_servers(); ++x) {
+      row[static_cast<std::size_t>(x)] = p.f(t).at(x);
+    }
+    fs.push_back(std::make_shared<TableCost>(std::move(row), p.f(t).name()));
+  }
+  return Problem(p.max_servers(), p.beta(), std::move(fs));
+}
+
+}  // namespace rs::core

@@ -1,0 +1,58 @@
+// Problem instance P = (T, m, β, F) of the discrete data-center
+// optimization problem (paper Section 1): m homogeneous servers, horizon T,
+// power-up cost β, and one convex operating-cost function per slot.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_function.hpp"
+
+namespace rs::core {
+
+class Problem {
+ public:
+  /// Constructs an instance.  `functions[t-1]` is f_t; the horizon is
+  /// `functions.size()`.  Requires m >= 0, beta > 0, no null functions.
+  Problem(int m, double beta, std::vector<CostPtr> functions);
+
+  int horizon() const noexcept { return static_cast<int>(functions_.size()); }
+  int max_servers() const noexcept { return m_; }
+  double beta() const noexcept { return beta_; }
+
+  /// f_t for t in [1, T] (paper's 1-based time).
+  const CostFunction& f(int t) const;
+  CostPtr f_ptr(int t) const;
+
+  /// f_t(x) with a domain check 0 <= x <= m.
+  double cost_at(int t, int x) const;
+
+  /// Continuous extension f̄_t(x) for x in [0, m] (paper eq. 3).
+  double cost_at_real(int t, double x) const;
+
+  /// Throws std::invalid_argument if any f_t fails validation on {0,..,m}
+  /// (convexity, non-negativity, contiguous finite range).  Scans all T·(m+1)
+  /// values; intended for tests and example/bench entry points.
+  void validate() const;
+
+  /// New instance with the first `tau` slots (1 <= tau <= T); used to build
+  /// the truncated-workload bounds of Section 3.1 in brute-force form.
+  Problem prefix(int tau) const;
+
+ private:
+  int m_;
+  double beta_;
+  std::vector<CostPtr> functions_;
+};
+
+/// Builds a Problem whose slot costs are explicit (T x (m+1)) tables;
+/// `values[t-1][x]` is f_t(x).  Convenient in tests.
+Problem make_table_problem(int m, double beta,
+                           const std::vector<std::vector<double>>& values);
+
+/// Materializes all slot costs of `p` as tables (useful to freeze
+/// lazily-generated instances before timing-sensitive benchmarks).
+Problem materialize(const Problem& p);
+
+}  // namespace rs::core

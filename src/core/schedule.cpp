@@ -1,0 +1,188 @@
+#include "core/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::core {
+
+using util::KahanSum;
+using util::pos;
+
+namespace {
+
+int resolve_tau(const Problem& p, std::size_t length, int tau,
+                const char* where) {
+  if (static_cast<int>(length) != p.horizon()) {
+    throw std::invalid_argument(std::string(where) +
+                                ": schedule length != horizon");
+  }
+  if (tau < 0) return p.horizon();
+  if (tau > p.horizon()) {
+    throw std::out_of_range(std::string(where) + ": tau > T");
+  }
+  return tau;
+}
+
+}  // namespace
+
+bool is_within_bounds(const Problem& p, const Schedule& x) {
+  if (static_cast<int>(x.size()) != p.horizon()) return false;
+  for (int value : x) {
+    if (value < 0 || value > p.max_servers()) return false;
+  }
+  return true;
+}
+
+bool is_feasible(const Problem& p, const Schedule& x) {
+  if (!is_within_bounds(p, x)) return false;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    if (std::isinf(p.cost_at(t, x[static_cast<std::size_t>(t - 1)]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double operating_cost(const Problem& p, const Schedule& x, int tau) {
+  tau = resolve_tau(p, x.size(), tau, "operating_cost");
+  KahanSum sum;
+  for (int t = 1; t <= tau; ++t) {
+    sum.add(p.cost_at(t, x[static_cast<std::size_t>(t - 1)]));
+  }
+  return sum.value();
+}
+
+double switching_cost_up(const Problem& p, const Schedule& x, int tau) {
+  tau = resolve_tau(p, x.size(), tau, "switching_cost_up");
+  KahanSum sum;
+  int previous = 0;
+  for (int t = 1; t <= tau; ++t) {
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.beta() * static_cast<double>(pos(current - previous)));
+    previous = current;
+  }
+  return sum.value();
+}
+
+double switching_cost_down(const Problem& p, const Schedule& x, int tau) {
+  tau = resolve_tau(p, x.size(), tau, "switching_cost_down");
+  KahanSum sum;
+  int previous = 0;
+  for (int t = 1; t <= tau; ++t) {
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.beta() * static_cast<double>(pos(previous - current)));
+    previous = current;
+  }
+  return sum.value();
+}
+
+double cost_up_to(const Problem& p, const Schedule& x, int tau) {
+  return operating_cost(p, x, tau) + switching_cost_up(p, x, tau);
+}
+
+double cost_down_up_to(const Problem& p, const Schedule& x, int tau) {
+  return operating_cost(p, x, tau) + switching_cost_down(p, x, tau);
+}
+
+double total_cost(const Problem& p, const Schedule& x) {
+  return cost_up_to(p, x, p.horizon());
+}
+
+double total_cost_symmetric(const Problem& p, const Schedule& x) {
+  resolve_tau(p, x.size(), -1, "total_cost_symmetric");
+  KahanSum sum;
+  int previous = 0;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.cost_at(t, current));
+    sum.add(0.5 * p.beta() * std::fabs(static_cast<double>(current - previous)));
+    previous = current;
+  }
+  sum.add(0.5 * p.beta() * std::fabs(static_cast<double>(previous)));  // x_{T+1}=0
+  return sum.value();
+}
+
+double interval_cost(const Problem& p, const Schedule& x, int a, int b) {
+  if (a < 0 || b > p.horizon() || a > b) {
+    throw std::out_of_range("interval_cost: bad interval");
+  }
+  if (static_cast<int>(x.size()) != p.horizon()) {
+    throw std::invalid_argument("interval_cost: schedule length != horizon");
+  }
+  KahanSum sum;
+  for (int t = std::max(a, 1); t <= b; ++t) {
+    sum.add(p.cost_at(t, x[static_cast<std::size_t>(t - 1)]));
+  }
+  for (int t = std::max(a, 0) + 1; t <= b; ++t) {
+    const int previous = t - 1 >= 1 ? x[static_cast<std::size_t>(t - 2)] : 0;
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.beta() * static_cast<double>(pos(current - previous)));
+  }
+  return sum.value();
+}
+
+// --- fractional -------------------------------------------------------------
+
+double operating_cost(const Problem& p, const FractionalSchedule& x, int tau) {
+  tau = resolve_tau(p, x.size(), tau, "operating_cost(frac)");
+  KahanSum sum;
+  for (int t = 1; t <= tau; ++t) {
+    sum.add(p.cost_at_real(t, x[static_cast<std::size_t>(t - 1)]));
+  }
+  return sum.value();
+}
+
+double switching_cost_up(const Problem& p, const FractionalSchedule& x,
+                         int tau) {
+  tau = resolve_tau(p, x.size(), tau, "switching_cost_up(frac)");
+  KahanSum sum;
+  double previous = 0.0;
+  for (int t = 1; t <= tau; ++t) {
+    const double current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.beta() * pos(current - previous));
+    previous = current;
+  }
+  return sum.value();
+}
+
+double total_cost(const Problem& p, const FractionalSchedule& x) {
+  return operating_cost(p, x) + switching_cost_up(p, x);
+}
+
+double total_cost_symmetric(const Problem& p, const FractionalSchedule& x) {
+  resolve_tau(p, x.size(), -1, "total_cost_symmetric(frac)");
+  KahanSum sum;
+  double previous = 0.0;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const double current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.cost_at_real(t, current));
+    sum.add(0.5 * p.beta() * std::fabs(current - previous));
+    previous = current;
+  }
+  sum.add(0.5 * p.beta() * std::fabs(previous));
+  return sum.value();
+}
+
+Schedule floor_schedule(const FractionalSchedule& x) {
+  Schedule out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<int>(std::floor(x[i]));
+  }
+  return out;
+}
+
+Schedule ceil_schedule(const FractionalSchedule& x) {
+  Schedule out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = static_cast<int>(std::ceil(x[i]));
+  }
+  return out;
+}
+
+FractionalSchedule to_fractional(const Schedule& x) {
+  return FractionalSchedule(x.begin(), x.end());
+}
+
+}  // namespace rs::core

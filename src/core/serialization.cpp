@@ -1,0 +1,155 @@
+#include "core/serialization.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::core {
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+double parse_value(const std::string& s) {
+  if (s == "inf") return rs::util::kInf;
+  if (s == "-inf") return -rs::util::kInf;
+  return std::stod(s);
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string schedule_to_csv(const Schedule& x) {
+  rs::util::CsvTable table;
+  table.header = {"t", "x"};
+  table.rows.reserve(x.size());
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    table.rows.push_back({std::to_string(t + 1), std::to_string(x[t])});
+  }
+  return rs::util::csv_format(table);
+}
+
+Schedule schedule_from_csv(const std::string& text) {
+  const rs::util::CsvTable table = rs::util::csv_parse(text, true);
+  if (table.header.size() != 2 || table.header[0] != "t") {
+    throw std::runtime_error("schedule_from_csv: bad header");
+  }
+  Schedule x;
+  x.reserve(table.rows.size());
+  for (const rs::util::CsvRow& row : table.rows) {
+    if (row.size() != 2) {
+      throw std::runtime_error("schedule_from_csv: bad row arity");
+    }
+    const int t = std::stoi(row[0]);
+    if (t != static_cast<int>(x.size()) + 1) {
+      throw std::runtime_error("schedule_from_csv: non-contiguous slots");
+    }
+    x.push_back(std::stoi(row[1]));
+  }
+  return x;
+}
+
+void write_schedule_csv(const Schedule& x, const std::string& path) {
+  write_text(path, schedule_to_csv(x));
+}
+
+Schedule read_schedule_csv(const std::string& path) {
+  return schedule_from_csv(read_text(path));
+}
+
+std::string problem_to_csv(const Problem& p) {
+  std::ostringstream out;
+  out << "# m=" << p.max_servers() << " beta=" << format_value(p.beta())
+      << "\n";
+  rs::util::CsvTable table;
+  table.header = {"t"};
+  for (int x = 0; x <= p.max_servers(); ++x) {
+    std::string column = "f";
+    column += std::to_string(x);
+    table.header.push_back(std::move(column));
+  }
+  table.rows.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) {
+    rs::util::CsvRow row = {std::to_string(t)};
+    for (int x = 0; x <= p.max_servers(); ++x) {
+      row.push_back(format_value(p.cost_at(t, x)));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  out << rs::util::csv_format(table);
+  return out.str();
+}
+
+Problem problem_from_csv(const std::string& text) {
+  // Parse the metadata comment line first.
+  std::istringstream stream(text);
+  std::string line;
+  int m = -1;
+  double beta = 0.0;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') break;
+    std::istringstream meta(line.substr(1));
+    std::string token;
+    while (meta >> token) {
+      if (token.rfind("m=", 0) == 0) m = std::stoi(token.substr(2));
+      if (token.rfind("beta=", 0) == 0) beta = parse_value(token.substr(5));
+    }
+  }
+  if (m < 0 || !(beta > 0.0)) {
+    throw std::runtime_error("problem_from_csv: missing '# m=.. beta=..'");
+  }
+
+  const rs::util::CsvTable table = rs::util::csv_parse(text, true);
+  if (static_cast<int>(table.header.size()) != m + 2) {
+    throw std::runtime_error("problem_from_csv: header arity != m+2");
+  }
+  std::vector<std::vector<double>> values;
+  values.reserve(table.rows.size());
+  for (const rs::util::CsvRow& row : table.rows) {
+    if (static_cast<int>(row.size()) != m + 2) {
+      throw std::runtime_error("problem_from_csv: row arity != m+2");
+    }
+    std::vector<double> slot(static_cast<std::size_t>(m) + 1);
+    for (int x = 0; x <= m; ++x) {
+      slot[static_cast<std::size_t>(x)] =
+          parse_value(row[static_cast<std::size_t>(x) + 1]);
+    }
+    values.push_back(std::move(slot));
+  }
+  return make_table_problem(m, beta, values);
+}
+
+void write_problem_csv(const Problem& p, const std::string& path) {
+  write_text(path, problem_to_csv(p));
+}
+
+Problem read_problem_csv(const std::string& path) {
+  return problem_from_csv(read_text(path));
+}
+
+}  // namespace rs::core

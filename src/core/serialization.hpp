@@ -1,0 +1,32 @@
+// CSV serialization of schedules and (table-materialized) problem
+// instances, so experiment artifacts can be exported, diffed and re-loaded.
+//
+// Formats:
+//   schedule:  header "t,x"; one row per slot.
+//   problem:   comment header "# m=<m> beta=<beta>", then header
+//              "t,f0,f1,..,fm"; one row per slot with f_t(0..m).
+//              +inf serializes as the literal "inf".
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace rs::core {
+
+std::string schedule_to_csv(const Schedule& x);
+Schedule schedule_from_csv(const std::string& text);
+
+void write_schedule_csv(const Schedule& x, const std::string& path);
+Schedule read_schedule_csv(const std::string& path);
+
+/// Materializes every slot cost on {0,..,m}; lossless for table-backed
+/// instances, a faithful snapshot for lazily generated ones.
+std::string problem_to_csv(const Problem& p);
+Problem problem_from_csv(const std::string& text);
+
+void write_problem_csv(const Problem& p, const std::string& path);
+Problem read_problem_csv(const std::string& path);
+
+}  // namespace rs::core

@@ -1,0 +1,94 @@
+#include "dcsim/cost_model.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::dcsim {
+
+using rs::core::CostPtr;
+using rs::core::Problem;
+using rs::util::kInf;
+
+void DataCenterModel::validate() const {
+  power.validate();
+  delay.validate();
+  if (servers < 1 || energy_price < 0.0 || delay_weight < 0.0 ||
+      utilization_cap <= 0.0 || utilization_cap >= 1.0) {
+    throw std::invalid_argument("DataCenterModel: inconsistent parameters");
+  }
+}
+
+rs::core::RestrictedModel restricted_model(const DataCenterModel& model) {
+  model.validate();
+  const ServerPowerModel power = model.power;
+  const DelayParams delay = model.delay;
+  const double energy_price = model.energy_price;
+  const double delay_weight = model.delay_weight;
+  const double cap = model.utilization_cap;
+
+  rs::core::RestrictedModel restricted;
+  restricted.m = model.servers;
+  restricted.beta = model.beta();
+  restricted.per_server_cost = [power, delay, energy_price, delay_weight,
+                                cap](double z) -> double {
+    if (z < 0.0) return kInf;
+    if (z > cap) return kInf;  // keeps per-server utilization bounded
+    const double energy = energy_price * power.active_energy(z);
+    // Aggregate delay per server: arrival rate z times mean response time.
+    const double delay_cost = delay_weight * z * mean_response_time(delay, z);
+    return energy + delay_cost;
+  };
+  return restricted;
+}
+
+Problem restricted_datacenter_problem(const DataCenterModel& model,
+                                      const rs::workload::Trace& trace) {
+  const rs::core::RestrictedModel restricted = restricted_model(model);
+  // With the utilization cap the feasibility constraint is x >= λ/cap:
+  // scale the workload so RestrictedSlotCost's built-in x >= λ' check
+  // enforces the cap (λ' = λ/cap, f'(z') = f(z'·cap) keeps costs equal).
+  // We keep it simpler and faithful to eq. (2): feed λ directly; the cap
+  // materializes as +inf slot costs for x < λ/cap because f(z) = +inf for
+  // z > cap.
+  for (double lambda : trace.lambda) {
+    if (lambda < 0.0 ||
+        lambda > model.utilization_cap * static_cast<double>(model.servers)) {
+      throw std::invalid_argument(
+          "restricted_datacenter_problem: trace exceeds data-center "
+          "capacity (peak must be <= cap * servers)");
+    }
+  }
+  return rs::core::restricted_problem(restricted, trace.lambda);
+}
+
+Problem soft_sla_problem(const SoftSlaModel& model,
+                         const rs::workload::Trace& trace) {
+  if (model.servers < 1 || model.beta <= 0.0 ||
+      model.energy_per_server < 0.0 || model.sla_penalty < 0.0 ||
+      model.headroom < 0.0) {
+    throw std::invalid_argument("soft_sla_problem: inconsistent parameters");
+  }
+  std::vector<CostPtr> fs;
+  fs.reserve(trace.lambda.size());
+  for (double lambda : trace.lambda) {
+    if (lambda < 0.0) {
+      throw std::invalid_argument("soft_sla_problem: negative workload");
+    }
+    const double target = model.headroom * lambda;
+    const double energy = model.energy_per_server;
+    const double penalty = model.sla_penalty;
+    fs.push_back(std::make_shared<rs::core::FunctionCost>(
+        [target, energy, penalty](int x) {
+          const double shortfall = target - static_cast<double>(x);
+          return energy * static_cast<double>(x) +
+                 penalty * (shortfall > 0.0 ? shortfall : 0.0);
+        },
+        "soft_sla"));
+  }
+  return Problem(model.servers, model.beta, std::move(fs));
+}
+
+}  // namespace rs::dcsim

@@ -1,0 +1,60 @@
+// Builders turning an arrival trace into a data-center optimization
+// instance P = (T, m, β, F).
+//
+// Two model families are provided, matching the paper:
+//
+// 1. The restricted model (eq. 2): a single per-server load cost
+//    f(z) = energy_price·(idle + (peak−idle)·z)·slot + delay_weight·z·E[T(z)]
+//    with the hard constraint x_t >= λ_t.  z·E[T(z)] is the aggregate delay
+//    experienced per unit time by the jobs on one server (arrival rate
+//    z·μ_normalized times mean response time); it is convex on [0, 1).
+//
+// 2. A general-model "soft SLA" family: f_t(x) = energy·x + sla_penalty·
+//    (κ·λ_t − x)⁺, convex and finite everywhere, for experiments that need
+//    finite costs at every state.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/transforms.hpp"
+#include "dcsim/delay_model.hpp"
+#include "dcsim/power_model.hpp"
+#include "workload/trace.hpp"
+
+namespace rs::dcsim {
+
+struct DataCenterModel {
+  int servers = 64;                 // m
+  ServerPowerModel power;           // energy model
+  DelayParams delay;                // queueing model
+  double energy_price = 1e-6;       // cost units per joule
+  double delay_weight = 0.1;        // cost units per unit aggregate delay
+  double utilization_cap = 0.98;    // keep per-server load below this
+
+  void validate() const;
+
+  /// Switching cost β implied by the transition energy.
+  double beta() const { return energy_price * power.beta_energy(); }
+};
+
+/// Per-server load cost f(z) of the restricted model; convex, non-negative
+/// on [0, 1] with f(z) finite for z <= utilization_cap.
+rs::core::RestrictedModel restricted_model(const DataCenterModel& model);
+
+/// Restricted-model instance for a trace: slot costs x·f(λ_t/x),
+/// constraint x_t >= λ_t (λ in units of "servers of work").
+rs::core::Problem restricted_datacenter_problem(
+    const DataCenterModel& model, const rs::workload::Trace& trace);
+
+struct SoftSlaModel {
+  int servers = 64;
+  double beta = 6.0;
+  double energy_per_server = 1.0;   // cost of one active server per slot
+  double sla_penalty = 20.0;        // cost per unit of unserved demand
+  double headroom = 1.25;           // κ: provision κ·λ servers for SLA
+};
+
+/// General-model instance: f_t(x) = energy·x + sla·(κλ_t − x)⁺.
+rs::core::Problem soft_sla_problem(const SoftSlaModel& model,
+                                   const rs::workload::Trace& trace);
+
+}  // namespace rs::dcsim

@@ -1,0 +1,78 @@
+#include "dcsim/datacenter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::dcsim {
+
+SimulationReport simulate(const DataCenterModel& model,
+                          const rs::workload::Trace& trace,
+                          const rs::core::Schedule& schedule) {
+  model.validate();
+  if (static_cast<int>(schedule.size()) != trace.horizon()) {
+    throw std::invalid_argument("simulate: schedule/trace length mismatch");
+  }
+  SimulationReport report;
+  rs::util::KahanSum active_energy;
+  rs::util::KahanSum sleep_energy;
+  rs::util::KahanSum utilization_sum;
+  rs::util::KahanSum active_sum;
+
+  int previous = 0;
+  for (int t = 0; t < trace.horizon(); ++t) {
+    const int x = schedule[static_cast<std::size_t>(t)];
+    if (x < 0 || x > model.servers) {
+      throw std::invalid_argument("simulate: schedule outside [0, m]");
+    }
+    const double lambda = trace.lambda[static_cast<std::size_t>(t)];
+    const double z = x > 0 ? std::min(lambda / x, 1.0) : 0.0;
+    if (x > 0) {
+      active_energy.add(static_cast<double>(x) * model.power.active_energy(z));
+    }
+    sleep_energy.add(static_cast<double>(model.servers - x) *
+                     model.power.sleep_energy());
+    if (x > previous) {
+      report.power_ups += x - previous;
+      report.transition_energy_joules +=
+          static_cast<double>(x - previous) * model.power.transition_joules;
+    } else {
+      report.power_downs += previous - x;
+    }
+    if (static_cast<double>(x) < lambda) ++report.sla_violation_slots;
+    utilization_sum.add(z);
+    active_sum.add(static_cast<double>(x));
+    report.peak_utilization = std::max(report.peak_utilization, z);
+    previous = x;
+  }
+  // Final power-down at the horizon end (x_{T+1} = 0).
+  report.power_downs += previous;
+
+  report.active_energy_joules = active_energy.value();
+  report.sleep_energy_joules = sleep_energy.value();
+  report.total_energy_joules = report.active_energy_joules +
+                               report.sleep_energy_joules +
+                               report.transition_energy_joules;
+  if (trace.horizon() > 0) {
+    report.mean_utilization =
+        utilization_sum.value() / static_cast<double>(trace.horizon());
+    report.mean_active_servers =
+        active_sum.value() / static_cast<double>(trace.horizon());
+  }
+  return report;
+}
+
+double energy_savings_percent(const DataCenterModel& model,
+                              const rs::workload::Trace& trace,
+                              const rs::core::Schedule& schedule) {
+  const SimulationReport dynamic = simulate(model, trace, schedule);
+  const rs::core::Schedule all_on(
+      static_cast<std::size_t>(trace.horizon()), model.servers);
+  const SimulationReport static_report = simulate(model, trace, all_on);
+  if (static_report.total_energy_joules <= 0.0) return 0.0;
+  return 100.0 * (1.0 - dynamic.total_energy_joules /
+                            static_report.total_energy_joules);
+}
+
+}  // namespace rs::dcsim

@@ -1,0 +1,38 @@
+// Data-center simulator: replays a schedule against a trace and a power
+// model and reports physical quantities (energy, transitions, SLA
+// violations, utilization) — the quantities the E10 savings study and the
+// examples print alongside the abstract objective value.
+#pragma once
+
+#include "core/schedule.hpp"
+#include "dcsim/cost_model.hpp"
+#include "workload/trace.hpp"
+
+namespace rs::dcsim {
+
+struct SimulationReport {
+  double active_energy_joules = 0.0;   // energy of active servers
+  double sleep_energy_joules = 0.0;    // energy of sleeping servers
+  double transition_energy_joules = 0.0;
+  double total_energy_joules = 0.0;
+  std::int64_t power_ups = 0;          // server power-up events
+  std::int64_t power_downs = 0;
+  int sla_violation_slots = 0;         // slots with x_t < λ_t
+  double mean_utilization = 0.0;       // mean per-server load over slots
+  double peak_utilization = 0.0;
+  double mean_active_servers = 0.0;
+};
+
+/// Simulates `schedule` serving `trace` on `model.servers` machines.
+/// Schedule length must match the trace horizon.
+SimulationReport simulate(const DataCenterModel& model,
+                          const rs::workload::Trace& trace,
+                          const rs::core::Schedule& schedule);
+
+/// Percentage of energy saved by `schedule` relative to keeping all
+/// servers active the whole horizon.
+double energy_savings_percent(const DataCenterModel& model,
+                              const rs::workload::Trace& trace,
+                              const rs::core::Schedule& schedule);
+
+}  // namespace rs::dcsim

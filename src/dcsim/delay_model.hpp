@@ -1,0 +1,63 @@
+// Queueing-delay models for a single server at utilization z ∈ [0, 1).
+//
+// Lin et al.'s experimental section models the performance cost per server
+// as a mean-response-time penalty; we provide the two standard choices.
+// Both are convex and increasing in z and diverge as z -> 1, which is what
+// creates the operating-cost pressure to keep enough servers active.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/math_util.hpp"
+
+namespace rs::dcsim {
+
+enum class DelayModel {
+  kMM1,    // M/M/1: mean response time 1/(μ(1−z))
+  kMG1PS,  // M/G/1 processor sharing with squared coefficient of variation c²
+};
+
+struct DelayParams {
+  DelayModel model = DelayModel::kMM1;
+  double service_rate = 1.0;  // μ: jobs per slot one server completes
+  double scv = 1.0;           // c² for M/G/1-PS (1.0 reduces to M/M/1-like)
+
+  void validate() const {
+    if (service_rate <= 0.0 || scv < 0.0) {
+      throw std::invalid_argument("DelayParams: bad parameters");
+    }
+  }
+};
+
+/// Mean response time of one server at utilization z (jobs arrive at rate
+/// z·μ).  Returns +inf for z >= 1 (overload).
+inline double mean_response_time(const DelayParams& params, double z) {
+  if (z < 0.0) throw std::invalid_argument("mean_response_time: z < 0");
+  if (z >= 1.0) return rs::util::kInf;
+  switch (params.model) {
+    case DelayModel::kMM1:
+      return 1.0 / (params.service_rate * (1.0 - z));
+    case DelayModel::kMG1PS: {
+      // Mean sojourn in M/G/1 round-robin/PS is insensitive to the service
+      // distribution: 1/(μ(1−z)); the c² term enters the waiting-time
+      // variant used for SLA percentiles — we apply the standard
+      // Pollaczek-Khinchine mean-waiting correction for FCFS as the
+      // pessimistic choice.
+      const double waiting = (1.0 + params.scv) / 2.0 * z /
+                             (params.service_rate * (1.0 - z));
+      return 1.0 / params.service_rate + waiting;
+    }
+  }
+  throw std::invalid_argument("mean_response_time: unknown model");
+}
+
+inline std::string delay_model_name(DelayModel model) {
+  switch (model) {
+    case DelayModel::kMM1: return "mm1";
+    case DelayModel::kMG1PS: return "mg1ps";
+  }
+  return "unknown";
+}
+
+}  // namespace rs::dcsim

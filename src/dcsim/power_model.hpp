@@ -1,0 +1,44 @@
+// Server power model.
+//
+// The introduction of the paper motivates right-sizing with two facts:
+// idle servers draw about half their peak power, and state transitions cost
+// energy.  This model captures exactly that: affine active power in the
+// utilization, a small sleep power, and a fixed transition energy that maps
+// to the switching cost β.
+#pragma once
+
+#include <stdexcept>
+
+namespace rs::dcsim {
+
+struct ServerPowerModel {
+  double idle_watts = 150.0;    // active but idle (~half of peak, [26])
+  double peak_watts = 300.0;    // active at full utilization
+  double sleep_watts = 10.0;    // sleep state
+  double transition_joules = 30000.0;  // energy to wake a server up
+  double slot_seconds = 300.0;  // slot length (5-minute slots by default)
+
+  void validate() const {
+    if (idle_watts < 0 || peak_watts < idle_watts || sleep_watts < 0 ||
+        transition_joules < 0 || slot_seconds <= 0) {
+      throw std::invalid_argument("ServerPowerModel: inconsistent parameters");
+    }
+  }
+
+  /// Energy (joules) one active server consumes during one slot at
+  /// utilization z in [0, 1].
+  double active_energy(double z) const {
+    if (z < 0.0) z = 0.0;
+    if (z > 1.0) z = 1.0;
+    return (idle_watts + (peak_watts - idle_watts) * z) * slot_seconds;
+  }
+
+  /// Energy (joules) a sleeping server consumes during one slot.
+  double sleep_energy() const { return sleep_watts * slot_seconds; }
+
+  /// The switching cost β expressed in the same units as slot energy costs:
+  /// transition energy normalized by the energy price unit used for f_t.
+  double beta_energy() const { return transition_joules; }
+};
+
+}  // namespace rs::dcsim

@@ -1,0 +1,88 @@
+#include "graph/dot_export.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/schedule_graph.hpp"
+
+namespace rs::graph {
+
+namespace {
+
+std::string vertex_name(int layer, int index) {
+  std::string name = "v";
+  name += std::to_string(layer);
+  name += '_';
+  name += std::to_string(index);
+  return name;
+}
+
+}  // namespace
+
+std::string to_dot(const LayeredGraph& graph, const DotOptions& options) {
+  if (graph.num_layers() > options.max_layers) {
+    throw std::invalid_argument("to_dot: too many layers to render");
+  }
+  for (int layer = 0; layer < graph.num_layers(); ++layer) {
+    if (graph.layer_size(layer) > options.max_layer_size) {
+      throw std::invalid_argument("to_dot: layer too large to render");
+    }
+  }
+
+  std::ostringstream out;
+  out << "digraph schedule_graph {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=circle, fontsize=10];\n";
+
+  auto on_path = [&](int layer, int index) {
+    return options.highlight_path &&
+           layer < static_cast<int>(options.path.size()) &&
+           options.path[static_cast<std::size_t>(layer)] == index;
+  };
+
+  for (int layer = 0; layer < graph.num_layers(); ++layer) {
+    out << "  { rank=same;";
+    for (int index = 0; index < graph.layer_size(layer); ++index) {
+      out << " " << vertex_name(layer, index);
+      out << " [label=\"" << layer << "," << index << "\"";
+      if (on_path(layer, index)) out << ", style=filled, fillcolor=gold";
+      out << "];";
+    }
+    out << " }\n";
+  }
+
+  graph.visit_edges([&](int layer, int from, int to, double weight) {
+    if (std::isinf(weight)) return;
+    out << "  " << vertex_name(layer, from) << " -> "
+        << vertex_name(layer + 1, to) << " [label=\"";
+    std::ostringstream w;
+    w.precision(options.weight_precision);
+    w << std::fixed << weight;
+    out << w.str() << "\", fontsize=8";
+    if (on_path(layer, from) && on_path(layer + 1, to)) {
+      out << ", color=gold3, penwidth=2";
+    }
+    out << "];\n";
+  });
+  out << "}\n";
+  return out.str();
+}
+
+std::string schedule_graph_dot(const rs::core::Problem& p,
+                               bool highlight_optimal) {
+  const LayeredGraph graph = build_schedule_graph(p);
+  DotOptions options;
+  options.max_layers = 12;
+  options.max_layer_size = 12;
+  if (highlight_optimal) {
+    const LayeredGraph::PathResult path = graph.shortest_path(0, 0);
+    if (path.reachable()) {
+      options.highlight_path = true;
+      options.path = path.vertex_per_layer;
+    }
+  }
+  return to_dot(graph, options);
+}
+
+}  // namespace rs::graph

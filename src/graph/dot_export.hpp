@@ -1,0 +1,31 @@
+// Graphviz DOT rendering of the Figure-1 graph, for documentation and
+// debugging of small instances.  Vertices are laid out in time-ordered
+// columns (rank = layer), edge labels carry the weights.
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "graph/layered_graph.hpp"
+
+namespace rs::graph {
+
+struct DotOptions {
+  int max_layers = 12;      // refuse to render bigger graphs
+  int max_layer_size = 12;
+  int weight_precision = 2;
+  bool highlight_path = false;
+  std::vector<int> path;    // per-layer vertex indices (as in PathResult)
+};
+
+/// Renders the graph to DOT.  Throws std::invalid_argument if it exceeds
+/// the option limits (rendering large graphs is never useful).
+std::string to_dot(const LayeredGraph& graph, const DotOptions& options = {});
+
+/// Convenience: builds the Figure-1 graph of `p`, optionally highlighting
+/// the optimal schedule's path.
+std::string schedule_graph_dot(const rs::core::Problem& p,
+                               bool highlight_optimal = true);
+
+}  // namespace rs::graph

@@ -1,0 +1,145 @@
+#include "graph/layered_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rs::graph {
+
+using rs::util::kInf;
+
+LayeredGraph::LayeredGraph(std::vector<int> layer_sizes)
+    : layer_sizes_(std::move(layer_sizes)) {
+  if (layer_sizes_.empty()) {
+    throw std::invalid_argument("LayeredGraph: no layers");
+  }
+  for (int size : layer_sizes_) {
+    if (size < 1) throw std::invalid_argument("LayeredGraph: empty layer");
+    total_vertices_ += size;
+  }
+  edges_per_layer_.resize(layer_sizes_.size() > 0 ? layer_sizes_.size() - 1 : 0);
+}
+
+int LayeredGraph::layer_size(int layer) const {
+  check_layer(layer);
+  return layer_sizes_[static_cast<std::size_t>(layer)];
+}
+
+void LayeredGraph::check_layer(int layer) const {
+  if (layer < 0 || layer >= num_layers()) {
+    throw std::out_of_range("LayeredGraph: layer out of range");
+  }
+}
+
+void LayeredGraph::add_edge(int layer, int from, int to, double weight) {
+  check_layer(layer);
+  if (layer + 1 >= num_layers()) {
+    throw std::out_of_range("LayeredGraph: edge from last layer");
+  }
+  if (from < 0 || from >= layer_size(layer) || to < 0 ||
+      to >= layer_size(layer + 1)) {
+    throw std::out_of_range("LayeredGraph: endpoint out of range");
+  }
+  if (std::isnan(weight)) {
+    throw std::invalid_argument("LayeredGraph: NaN edge weight");
+  }
+  const Edge edge{from, to, weight};
+  edges_per_layer_[static_cast<std::size_t>(layer)].push_back(edge);
+  edges_.push_back(edge);
+}
+
+LayeredGraph::PathResult LayeredGraph::shortest_path(int source,
+                                                     int target) const {
+  if (source < 0 || source >= layer_size(0)) {
+    throw std::out_of_range("shortest_path: bad source");
+  }
+  const int last = num_layers() - 1;
+  if (target < 0 || target >= layer_size(last)) {
+    throw std::out_of_range("shortest_path: bad target");
+  }
+
+  // Distance labels and parent pointers per layer.
+  std::vector<std::vector<double>> distance(static_cast<std::size_t>(num_layers()));
+  std::vector<std::vector<int>> parent(static_cast<std::size_t>(num_layers()));
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    distance[static_cast<std::size_t>(layer)]
+        .assign(static_cast<std::size_t>(layer_size(layer)), kInf);
+    parent[static_cast<std::size_t>(layer)]
+        .assign(static_cast<std::size_t>(layer_size(layer)), -1);
+  }
+  distance[0][static_cast<std::size_t>(source)] = 0.0;
+
+  for (int layer = 0; layer + 1 < num_layers(); ++layer) {
+    for (const Edge& edge : edges_per_layer_[static_cast<std::size_t>(layer)]) {
+      const double from_distance =
+          distance[static_cast<std::size_t>(layer)][static_cast<std::size_t>(edge.from)];
+      if (std::isinf(from_distance) || std::isinf(edge.weight)) continue;
+      double& to_distance =
+          distance[static_cast<std::size_t>(layer + 1)][static_cast<std::size_t>(edge.to)];
+      const double candidate = from_distance + edge.weight;
+      if (candidate < to_distance) {
+        to_distance = candidate;
+        parent[static_cast<std::size_t>(layer + 1)][static_cast<std::size_t>(edge.to)] =
+            edge.from;
+      }
+    }
+  }
+
+  PathResult result;
+  result.distance = distance[static_cast<std::size_t>(last)][static_cast<std::size_t>(target)];
+  if (!result.reachable()) return result;
+
+  result.vertex_per_layer.assign(static_cast<std::size_t>(num_layers()), -1);
+  int vertex = target;
+  for (int layer = last; layer >= 0; --layer) {
+    result.vertex_per_layer[static_cast<std::size_t>(layer)] = vertex;
+    if (layer > 0) {
+      vertex = parent[static_cast<std::size_t>(layer)][static_cast<std::size_t>(vertex)];
+      if (vertex < 0) {
+        throw std::logic_error("shortest_path: broken parent chain");
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> LayeredGraph::last_layer_distances(int source) const {
+  if (source < 0 || source >= layer_size(0)) {
+    throw std::out_of_range("last_layer_distances: bad source");
+  }
+  std::vector<double> current(static_cast<std::size_t>(layer_size(0)), kInf);
+  current[static_cast<std::size_t>(source)] = 0.0;
+  for (int layer = 0; layer + 1 < num_layers(); ++layer) {
+    std::vector<double> next(static_cast<std::size_t>(layer_size(layer + 1)), kInf);
+    for (const Edge& edge : edges_per_layer_[static_cast<std::size_t>(layer)]) {
+      const double from_distance = current[static_cast<std::size_t>(edge.from)];
+      if (std::isinf(from_distance) || std::isinf(edge.weight)) continue;
+      double& to_distance = next[static_cast<std::size_t>(edge.to)];
+      to_distance = std::min(to_distance, from_distance + edge.weight);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void LayeredGraph::visit_edges(
+    const std::function<void(int, int, int, double)>& visitor) const {
+  for (int layer = 0; layer + 1 < num_layers(); ++layer) {
+    for (const Edge& edge : edges_per_layer_[static_cast<std::size_t>(layer)]) {
+      visitor(layer, edge.from, edge.to, edge.weight);
+    }
+  }
+}
+
+void add_dense_layer(LayeredGraph& graph, int layer,
+                     const std::function<double(int, int)>& weight) {
+  const int from_size = graph.layer_size(layer);
+  const int to_size = graph.layer_size(layer + 1);
+  for (int from = 0; from < from_size; ++from) {
+    for (int to = 0; to < to_size; ++to) {
+      const double w = weight(from, to);
+      if (!std::isinf(w)) graph.add_edge(layer, from, to, w);
+    }
+  }
+}
+
+}  // namespace rs::graph

@@ -1,0 +1,80 @@
+// Generic layered directed acyclic graphs.
+//
+// The offline algorithm of Section 2 models the data-center optimization
+// problem as a grid-structured graph (Figure 1): one layer per time slot,
+// one vertex per server count, and edges between consecutive layers weighted
+// with switching plus operating cost.  This module provides the generic
+// layered-DAG substrate: storage, validation, and single-source shortest
+// paths by per-layer relaxation (optimal for DAGs, O(#edges)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace rs::graph {
+
+/// Vertex address: (layer, index within layer).
+struct VertexId {
+  int layer = 0;
+  int index = 0;
+  friend bool operator==(const VertexId&, const VertexId&) = default;
+};
+
+/// A layered DAG with explicit edge lists.  Edges only connect layer k to
+/// layer k+1.
+class LayeredGraph {
+ public:
+  /// `layer_sizes[k]` is the number of vertices in layer k; all sizes >= 1.
+  explicit LayeredGraph(std::vector<int> layer_sizes);
+
+  int num_layers() const noexcept { return static_cast<int>(layer_sizes_.size()); }
+  int layer_size(int layer) const;
+  std::int64_t num_vertices() const noexcept { return total_vertices_; }
+  std::int64_t num_edges() const noexcept { return static_cast<std::int64_t>(edges_.size()); }
+
+  /// Adds a directed edge from (layer, from) to (layer+1, to).
+  void add_edge(int layer, int from, int to, double weight);
+
+  /// Shortest path from (0, source) to (last, target); returns the per-layer
+  /// vertex indices of an optimal path and its length, or an infinite
+  /// distance and empty path if the target is unreachable.
+  struct PathResult {
+    std::vector<int> vertex_per_layer;  // size = num_layers() when reachable
+    double distance = rs::util::kInf;
+    bool reachable() const noexcept { return std::isfinite(distance); }
+  };
+  PathResult shortest_path(int source, int target) const;
+
+  /// Distance labels of all vertices in the last layer from (0, source).
+  std::vector<double> last_layer_distances(int source) const;
+
+  /// Visits every edge as (layer, from, to, weight); iteration order is the
+  /// insertion order per layer.
+  void visit_edges(
+      const std::function<void(int, int, int, double)>& visitor) const;
+
+ private:
+  struct Edge {
+    int from;
+    int to;
+    double weight;
+  };
+
+  void check_layer(int layer) const;
+
+  std::vector<int> layer_sizes_;
+  std::vector<std::vector<Edge>> edges_per_layer_;  // edges leaving layer k
+  std::vector<Edge> edges_;                         // flat view for counting
+  std::int64_t total_vertices_ = 0;
+};
+
+/// Dense builder: adds all edges between two consecutive layers with weights
+/// from a callable (from, to) -> double; skips +inf weights.
+void add_dense_layer(LayeredGraph& graph, int layer,
+                     const std::function<double(int, int)>& weight);
+
+}  // namespace rs::graph

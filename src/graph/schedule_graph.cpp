@@ -1,0 +1,74 @@
+#include "graph/schedule_graph.hpp"
+
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::graph {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::pos;
+
+LayeredGraph build_schedule_graph(const Problem& p) {
+  const int T = p.horizon();
+  const int m = p.max_servers();
+  std::vector<int> layer_sizes;
+  layer_sizes.reserve(static_cast<std::size_t>(T) + 2);
+  layer_sizes.push_back(1);                      // v_{0,0}
+  for (int t = 1; t <= T; ++t) layer_sizes.push_back(m + 1);
+  layer_sizes.push_back(1);                      // v_{T+1,0}
+
+  LayeredGraph graph(std::move(layer_sizes));
+  if (T == 0) {
+    graph.add_edge(0, 0, 0, 0.0);
+    return graph;
+  }
+
+  // Layer 0 -> 1: weight f_1(j') + β·j' (power-up from x_0 = 0).
+  for (int j = 0; j <= m; ++j) {
+    const double w = p.cost_at(1, j) + p.beta() * static_cast<double>(j);
+    if (std::isfinite(w)) graph.add_edge(0, 0, j, w);
+  }
+  // Layers t-1 -> t for t = 2..T: weight β(j'−j)⁺ + f_t(j').
+  for (int t = 2; t <= T; ++t) {
+    for (int j = 0; j <= m; ++j) {
+      for (int jp = 0; jp <= m; ++jp) {
+        const double w =
+            p.beta() * static_cast<double>(pos(jp - j)) + p.cost_at(t, jp);
+        if (std::isfinite(w)) graph.add_edge(t - 1, j, jp, w);
+      }
+    }
+  }
+  // Layer T -> T+1: weight 0 (powering down is free at the horizon end).
+  for (int j = 0; j <= m; ++j) graph.add_edge(T, j, 0, 0.0);
+  return graph;
+}
+
+Schedule path_to_schedule(const LayeredGraph::PathResult& path) {
+  if (!path.reachable()) {
+    throw std::invalid_argument("path_to_schedule: unreachable path");
+  }
+  if (path.vertex_per_layer.size() < 2) {
+    throw std::invalid_argument("path_to_schedule: too few layers");
+  }
+  return Schedule(path.vertex_per_layer.begin() + 1,
+                  path.vertex_per_layer.end() - 1);
+}
+
+double schedule_path_length(const Problem& p, const Schedule& x) {
+  if (static_cast<int>(x.size()) != p.horizon()) {
+    throw std::invalid_argument("schedule_path_length: length mismatch");
+  }
+  rs::util::KahanSum sum;
+  int previous = 0;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(p.beta() * static_cast<double>(pos(current - previous)));
+    sum.add(p.cost_at(t, current));
+    previous = current;
+  }
+  return sum.value();  // final edge into v_{T+1,0} weighs 0
+}
+
+}  // namespace rs::graph

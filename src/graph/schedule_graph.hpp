@@ -1,0 +1,33 @@
+// The Figure-1 construction: builds the layered graph G = (V, E) of the
+// discrete data-center optimization problem and converts between paths and
+// schedules.
+//
+// Layers: layer 0 holds the single initial vertex v_{0,0}; layers 1..T hold
+// vertices v_{t,j} for j in {0,..,m}; layer T+1 holds the final vertex
+// v_{T+1,0}.  Edge v_{t-1,j} -> v_{t,j'} has weight β(j'−j)⁺ + f_t(j'), and
+// edges into the final vertex have weight 0, so path length equals schedule
+// cost (paper eq. 1).
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "graph/layered_graph.hpp"
+
+namespace rs::graph {
+
+/// Materializes the Figure-1 graph for `p`.  Memory/edge count is
+/// Θ(T·m²) — intended for the pedagogical baseline and cross-validation,
+/// not for large instances.
+LayeredGraph build_schedule_graph(const rs::core::Problem& p);
+
+/// Extracts the schedule encoded by a source-to-sink path in the Figure-1
+/// graph (drops the artificial first and last layers).
+rs::core::Schedule path_to_schedule(const LayeredGraph::PathResult& path);
+
+/// Length of the path corresponding to schedule `x` in the Figure-1 graph;
+/// by construction equals total_cost(p, x).  Used in tests to pin the
+/// path <-> schedule equivalence.
+double schedule_path_length(const rs::core::Problem& p,
+                            const rs::core::Schedule& x);
+
+}  // namespace rs::graph

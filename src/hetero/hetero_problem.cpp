@@ -1,0 +1,129 @@
+#include "hetero/hetero_problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::hetero {
+
+SeparableHeteroCost::SeparableHeteroCost(std::vector<rs::core::CostPtr> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("SeparableHeteroCost: no parts");
+  }
+  for (const rs::core::CostPtr& part : parts_) {
+    if (!part) throw std::invalid_argument("SeparableHeteroCost: null part");
+  }
+}
+
+double SeparableHeteroCost::at(const HeteroState& x) const {
+  if (x.size() != parts_.size()) {
+    throw std::invalid_argument("SeparableHeteroCost: arity mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const double v = parts_[i]->at(x[i]);
+    if (std::isinf(v)) return v;
+    sum += v;
+  }
+  return sum;
+}
+
+FunctionHeteroCost::FunctionHeteroCost(
+    std::function<double(const HeteroState&)> fn, std::string label)
+    : fn_(std::move(fn)), label_(std::move(label)) {
+  if (!fn_) throw std::invalid_argument("FunctionHeteroCost: null callable");
+}
+
+double FunctionHeteroCost::at(const HeteroState& x) const { return fn_(x); }
+
+void HeteroConfig::validate() const {
+  if (capacity.empty() || capacity.size() != beta.size()) {
+    throw std::invalid_argument("HeteroConfig: capacity/beta arity mismatch");
+  }
+  for (int m : capacity) {
+    if (m < 0) throw std::invalid_argument("HeteroConfig: negative capacity");
+  }
+  for (double b : beta) {
+    if (!(b > 0.0)) throw std::invalid_argument("HeteroConfig: beta <= 0");
+  }
+}
+
+std::int64_t HeteroConfig::state_count() const {
+  std::int64_t count = 1;
+  for (int m : capacity) {
+    count *= static_cast<std::int64_t>(m) + 1;
+    if (count > (1ll << 40)) {
+      throw std::overflow_error("HeteroConfig: state space too large");
+    }
+  }
+  return count;
+}
+
+HeteroProblem::HeteroProblem(HeteroConfig config,
+                             std::vector<HeteroCostPtr> functions)
+    : config_(std::move(config)), functions_(std::move(functions)) {
+  config_.validate();
+  for (const HeteroCostPtr& f : functions_) {
+    if (!f) throw std::invalid_argument("HeteroProblem: null cost");
+  }
+}
+
+const HeteroCost& HeteroProblem::f(int t) const {
+  if (t < 1 || t > horizon()) {
+    throw std::out_of_range("HeteroProblem::f: t out of [1, T]");
+  }
+  return *functions_[static_cast<std::size_t>(t - 1)];
+}
+
+double hetero_total_cost(const HeteroProblem& p, const HeteroSchedule& x) {
+  if (static_cast<int>(x.size()) != p.horizon()) {
+    throw std::invalid_argument("hetero_total_cost: length mismatch");
+  }
+  const int d = p.config().types();
+  rs::util::KahanSum sum;
+  HeteroState previous(static_cast<std::size_t>(d), 0);
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const HeteroState& current = x[static_cast<std::size_t>(t - 1)];
+    if (static_cast<int>(current.size()) != d) {
+      throw std::invalid_argument("hetero_total_cost: state arity mismatch");
+    }
+    for (int i = 0; i < d; ++i) {
+      const int xi = current[static_cast<std::size_t>(i)];
+      if (xi < 0 || xi > p.config().capacity[static_cast<std::size_t>(i)]) {
+        throw std::invalid_argument("hetero_total_cost: state out of range");
+      }
+      sum.add(p.config().beta[static_cast<std::size_t>(i)] *
+              static_cast<double>(
+                  std::max(0, xi - previous[static_cast<std::size_t>(i)])));
+    }
+    sum.add(p.f(t).at(current));
+    previous = current;
+  }
+  return sum.value();
+}
+
+std::vector<HeteroState> enumerate_states(const HeteroConfig& config) {
+  config.validate();
+  std::vector<HeteroState> states;
+  states.reserve(static_cast<std::size_t>(config.state_count()));
+  HeteroState current(config.capacity.size(), 0);
+  for (;;) {
+    states.push_back(current);
+    int position = static_cast<int>(current.size()) - 1;
+    while (position >= 0) {
+      if (current[static_cast<std::size_t>(position)] <
+          config.capacity[static_cast<std::size_t>(position)]) {
+        ++current[static_cast<std::size_t>(position)];
+        break;
+      }
+      current[static_cast<std::size_t>(position)] = 0;
+      --position;
+    }
+    if (position < 0) break;
+  }
+  return states;
+}
+
+}  // namespace rs::hetero

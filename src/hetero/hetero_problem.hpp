@@ -1,0 +1,98 @@
+// Heterogeneous data centers: d server types (the paper's concluding
+// future-work direction, studied by the same authors in the follow-up
+// "Algorithms for Right-Sizing Heterogeneous Data Centers").
+//
+// State: a vector x⃗_t = (x_1,..,x_d) with 0 <= x_i <= m_i; objective
+//
+//   Σ_t f_t(x⃗_t) + Σ_t Σ_i β_i (x_{i,t} − x_{i,t−1})⁺ ,  x⃗_0 = x⃗_{T+1} = 0.
+//
+// Costs f_t are arbitrary non-negative functions of the joint state (the
+// canonical instance is the optimal workload split across types, which is
+// jointly convex when the per-type costs are convex).  This module provides
+// the exact product-state DP (practical for small d·m — the regime where
+// heterogeneity questions are interesting), a separable-cost decomposition
+// that reduces to d independent homogeneous problems, and instance
+// builders.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace rs::hetero {
+
+/// Joint state: active servers per type.
+using HeteroState = std::vector<int>;
+
+/// Joint operating-cost function of one slot.
+class HeteroCost {
+ public:
+  virtual ~HeteroCost() = default;
+  /// Cost of the joint state; +inf marks infeasible states.
+  virtual double at(const HeteroState& x) const = 0;
+  virtual std::string name() const { return "hetero_cost"; }
+};
+
+using HeteroCostPtr = std::shared_ptr<const HeteroCost>;
+
+/// Separable joint cost: Σ_i g_i(x_i).
+class SeparableHeteroCost final : public HeteroCost {
+ public:
+  explicit SeparableHeteroCost(std::vector<rs::core::CostPtr> parts);
+  double at(const HeteroState& x) const override;
+  std::string name() const override { return "separable"; }
+  const std::vector<rs::core::CostPtr>& parts() const { return parts_; }
+
+ private:
+  std::vector<rs::core::CostPtr> parts_;
+};
+
+/// Joint cost from a callable.
+class FunctionHeteroCost final : public HeteroCost {
+ public:
+  explicit FunctionHeteroCost(std::function<double(const HeteroState&)> fn,
+                              std::string label = "function");
+  double at(const HeteroState& x) const override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::function<double(const HeteroState&)> fn_;
+  std::string label_;
+};
+
+struct HeteroConfig {
+  std::vector<int> capacity;   // m_i per type
+  std::vector<double> beta;    // β_i per type
+
+  int types() const noexcept { return static_cast<int>(capacity.size()); }
+  void validate() const;
+  /// Number of joint states Π (m_i + 1).
+  std::int64_t state_count() const;
+};
+
+class HeteroProblem {
+ public:
+  HeteroProblem(HeteroConfig config, std::vector<HeteroCostPtr> functions);
+
+  int horizon() const noexcept { return static_cast<int>(functions_.size()); }
+  const HeteroConfig& config() const noexcept { return config_; }
+  const HeteroCost& f(int t) const;
+
+ private:
+  HeteroConfig config_;
+  std::vector<HeteroCostPtr> functions_;
+};
+
+/// Joint schedule; index t-1 holds x⃗_t.
+using HeteroSchedule = std::vector<HeteroState>;
+
+/// Objective value (operating + per-type power-up switching).
+double hetero_total_cost(const HeteroProblem& p, const HeteroSchedule& x);
+
+/// Enumerates all joint states of a configuration in lexicographic order.
+std::vector<HeteroState> enumerate_states(const HeteroConfig& config);
+
+}  // namespace rs::hetero

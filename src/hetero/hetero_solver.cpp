@@ -1,0 +1,191 @@
+#include "hetero/hetero_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "offline/dp_solver.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::hetero {
+
+using rs::util::kInf;
+
+HeteroResult solve_hetero_dp(const HeteroProblem& p) {
+  const HeteroConfig& config = p.config();
+  const std::vector<HeteroState> states = enumerate_states(config);
+  const std::size_t S = states.size();
+  const int T = p.horizon();
+  const int d = config.types();
+
+  HeteroResult result;
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+
+  // Switching cost between two joint states (power-up only, per type).
+  auto switch_cost = [&](const HeteroState& from, const HeteroState& to) {
+    double cost = 0.0;
+    for (int i = 0; i < d; ++i) {
+      cost += config.beta[static_cast<std::size_t>(i)] *
+              static_cast<double>(std::max(
+                  0, to[static_cast<std::size_t>(i)] -
+                         from[static_cast<std::size_t>(i)]));
+    }
+    return cost;
+  };
+
+  std::vector<double> labels(S, kInf);
+  labels[0] = 0.0;  // states[0] is the all-zero state (lexicographic)
+  std::vector<std::vector<std::int32_t>> parents(
+      static_cast<std::size_t>(T), std::vector<std::int32_t>(S, -1));
+  std::vector<double> next(S);
+
+  for (int t = 1; t <= T; ++t) {
+    for (std::size_t j = 0; j < S; ++j) {
+      const double f = p.f(t).at(states[j]);
+      if (std::isinf(f)) {
+        next[j] = kInf;
+        continue;
+      }
+      double best = kInf;
+      std::int32_t best_parent = -1;
+      for (std::size_t i = 0; i < S; ++i) {
+        if (std::isinf(labels[i])) continue;
+        const double candidate = labels[i] + switch_cost(states[i], states[j]);
+        if (candidate < best) {
+          best = candidate;
+          best_parent = static_cast<std::int32_t>(i);
+        }
+      }
+      next[j] = std::isinf(best) ? kInf : best + f;
+      parents[static_cast<std::size_t>(t - 1)][j] = best_parent;
+    }
+    labels.swap(next);
+  }
+
+  std::size_t best_final = 0;
+  for (std::size_t j = 1; j < S; ++j) {
+    if (labels[j] < labels[best_final]) best_final = j;
+  }
+  result.cost = labels[best_final];
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), HeteroState{});
+  std::int32_t index = static_cast<std::int32_t>(best_final);
+  for (int t = T; t >= 1; --t) {
+    result.schedule[static_cast<std::size_t>(t - 1)] =
+        states[static_cast<std::size_t>(index)];
+    index = parents[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(index)];
+  }
+  return result;
+}
+
+HeteroResult solve_separable(const HeteroProblem& p) {
+  const HeteroConfig& config = p.config();
+  const int d = config.types();
+  const int T = p.horizon();
+
+  // Split into d homogeneous problems.
+  std::vector<std::vector<rs::core::CostPtr>> per_type(
+      static_cast<std::size_t>(d));
+  for (int t = 1; t <= T; ++t) {
+    const auto* separable = dynamic_cast<const SeparableHeteroCost*>(&p.f(t));
+    if (separable == nullptr ||
+        static_cast<int>(separable->parts().size()) != d) {
+      throw std::invalid_argument("solve_separable: non-separable slot cost");
+    }
+    for (int i = 0; i < d; ++i) {
+      per_type[static_cast<std::size_t>(i)].push_back(
+          separable->parts()[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  HeteroResult result;
+  result.schedule.assign(static_cast<std::size_t>(T),
+                         HeteroState(static_cast<std::size_t>(d), 0));
+  result.cost = 0.0;
+  const rs::offline::DpSolver dp;
+  for (int i = 0; i < d; ++i) {
+    const rs::core::Problem sub(config.capacity[static_cast<std::size_t>(i)],
+                                config.beta[static_cast<std::size_t>(i)],
+                                std::move(per_type[static_cast<std::size_t>(i)]));
+    const rs::offline::OfflineResult sub_result = dp.solve(sub);
+    if (!sub_result.feasible()) {
+      result.cost = kInf;
+      result.schedule.clear();
+      return result;
+    }
+    result.cost += sub_result.cost;
+    for (int t = 0; t < T; ++t) {
+      result.schedule[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+          sub_result.schedule[static_cast<std::size_t>(t)];
+    }
+  }
+  return result;
+}
+
+HeteroProblem two_type_problem(const TwoTypeModel& model,
+                               const rs::workload::Trace& trace) {
+  model.type_a.validate();
+  model.type_b.validate();
+  const rs::core::RestrictedModel cost_a =
+      rs::dcsim::restricted_model(model.type_a);
+  const rs::core::RestrictedModel cost_b =
+      rs::dcsim::restricted_model(model.type_b);
+
+  HeteroConfig config;
+  config.capacity = {model.type_a.servers, model.type_b.servers};
+  config.beta = {model.type_a.beta(), model.type_b.beta()};
+
+  // Per-type slot cost at x servers carrying workload λ: x·f_i(λ/x).
+  auto type_cost = [](const rs::core::RestrictedModel& m_i, int x,
+                      double lambda) -> double {
+    if (lambda < 0.0) return kInf;
+    if (lambda == 0.0) return x == 0 ? 0.0 : x * m_i.per_server_cost(0.0);
+    if (x == 0) return kInf;
+    return x * m_i.per_server_cost(lambda / x);
+  };
+
+  std::vector<HeteroCostPtr> fs;
+  fs.reserve(trace.lambda.size());
+  for (double lambda : trace.lambda) {
+    fs.push_back(std::make_shared<FunctionHeteroCost>(
+        [cost_a, cost_b, type_cost, lambda](const HeteroState& x) -> double {
+          if (x.size() != 2) {
+            throw std::invalid_argument("two_type cost: need 2 types");
+          }
+          // Inner problem: split λ between the types; convex in the split,
+          // solved by ternary search.
+          auto split_cost = [&](double lambda_a) {
+            const double a = type_cost(cost_a, x[0], lambda_a);
+            if (std::isinf(a)) return kInf;
+            const double b = type_cost(cost_b, x[1], lambda - lambda_a);
+            if (std::isinf(b)) return kInf;
+            return a + b;
+          };
+          double lo = 0.0;
+          double hi = lambda;
+          for (int iter = 0; iter < 80; ++iter) {
+            const double l1 = lo + (hi - lo) / 3.0;
+            const double l2 = hi - (hi - lo) / 3.0;
+            const double c1 = split_cost(l1);
+            const double c2 = split_cost(l2);
+            if (c1 <= c2) {
+              hi = l2;
+            } else {
+              lo = l1;
+            }
+          }
+          const double mid = 0.5 * (lo + hi);
+          double best = std::min({split_cost(mid), split_cost(0.0),
+                                  split_cost(lambda)});
+          return best;
+        },
+        "two_type_split"));
+  }
+  return HeteroProblem(std::move(config), std::move(fs));
+}
+
+}  // namespace rs::hetero

@@ -1,0 +1,47 @@
+// Solvers for the heterogeneous problem.
+#pragma once
+
+#include "core/problem.hpp"
+#include "dcsim/cost_model.hpp"
+#include "hetero/hetero_problem.hpp"
+#include "workload/trace.hpp"
+
+namespace rs::hetero {
+
+struct HeteroResult {
+  HeteroSchedule schedule;
+  double cost = rs::util::kInf;
+  bool feasible() const noexcept { return std::isfinite(cost); }
+};
+
+/// Exact optimum by dynamic programming over the product state space:
+/// O(T · S²) with S = Π(m_i + 1).  Intended for small type counts and
+/// capacities — the regime where heterogeneity trade-offs are studied.
+HeteroResult solve_hetero_dp(const HeteroProblem& p);
+
+/// Exact optimum for *separable* instances (every slot cost a
+/// SeparableHeteroCost): the problem decomposes into d independent
+/// homogeneous problems solved with the core O(T·m_i) DP.  Throws if any
+/// slot is not separable.
+HeteroResult solve_separable(const HeteroProblem& p);
+
+// ---------------------------------------------------------------------------
+// Instance builder: two server classes serving a shared workload
+// ---------------------------------------------------------------------------
+
+/// A heterogeneous data center with per-type restricted-model cost curves;
+/// the slot cost of a joint state is the *optimal split* of the arriving
+/// workload across the active servers of each type:
+///
+///   f_t(x⃗) = min_{λ_1 + λ_2 = λ_t} Σ_i cost_i(x_i, λ_i)
+///
+/// computed by ternary search over the (convex in the split) inner problem.
+struct TwoTypeModel {
+  rs::dcsim::DataCenterModel type_a;  // e.g. fast, power-hungry
+  rs::dcsim::DataCenterModel type_b;  // e.g. slow, efficient
+};
+
+HeteroProblem two_type_problem(const TwoTypeModel& model,
+                               const rs::workload::Trace& trace);
+
+}  // namespace rs::hetero

@@ -1,0 +1,186 @@
+#include "lowerbound/adversary.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "core/cost_function.hpp"
+#include "core/transforms.hpp"
+#include "offline/dp_solver.hpp"
+#include "offline/grid_continuous.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::lowerbound {
+
+using rs::core::AffineAbsCost;
+using rs::core::CostPtr;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::online::OnlineContext;
+
+namespace {
+
+int default_horizon(double eps, int horizon) {
+  if (horizon > 0) return horizon;
+  if (!(eps > 0.0) || eps >= 1.0) {
+    throw std::invalid_argument("adversary: need 0 < eps < 1");
+  }
+  const double suggested = 1.0 / (eps * eps);
+  return static_cast<int>(std::min(suggested, 4e6)) + 1;
+}
+
+CostPtr phi(double eps, double center) {
+  return std::make_shared<AffineAbsCost>(eps, center);
+}
+
+}  // namespace
+
+AdversaryOutcome deterministic_discrete_adversary(
+    rs::online::OnlineAlgorithm& algorithm, double eps, int horizon) {
+  const int T = default_horizon(eps, horizon);
+  const double beta = 2.0;
+  algorithm.reset(OnlineContext{1, beta});
+
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  Schedule play;
+  play.reserve(static_cast<std::size_t>(T));
+  int state = 0;  // x_0 = 0
+  for (int t = 1; t <= T; ++t) {
+    // Penalize the algorithm's current state (proof of Theorem 4).
+    CostPtr f = phi(eps, state == 0 ? 1.0 : 0.0);
+    fs.push_back(f);
+    state = algorithm.decide(f, {});
+    if (state < 0 || state > 1) {
+      throw std::logic_error("adversary: algorithm left {0, 1}");
+    }
+    play.push_back(state);
+  }
+
+  AdversaryOutcome outcome{Problem(1, beta, std::move(fs))};
+  outcome.algorithm_cost =
+      rs::core::total_cost_symmetric(outcome.problem, play);
+  outcome.optimal_cost = rs::offline::DpSolver().solve_cost(outcome.problem);
+  outcome.ratio = outcome.optimal_cost > 0.0
+                      ? outcome.algorithm_cost / outcome.optimal_cost
+                      : 0.0;
+  return outcome;
+}
+
+AdversaryOutcome restricted_discrete_adversary(
+    rs::online::OnlineAlgorithm& algorithm, double eps, int horizon) {
+  const int T = default_horizon(eps, horizon);
+  const double beta = 2.0;
+  // Restricted model of Theorem 5: two servers, f(z) = ε|1−2z|; workload
+  // λ = 1 penalizes state 1 (pushing to 2), λ = 0.5 penalizes state 2.
+  auto per_server = std::make_shared<const std::function<double(double)>>(
+      [eps](double z) { return eps * std::fabs(1.0 - 2.0 * z); });
+
+  algorithm.reset(OnlineContext{2, beta});
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  Schedule play;
+  play.reserve(static_cast<std::size_t>(T));
+  int state = 0;  // x_0 = 0; the first workload forces x >= 1
+  for (int t = 1; t <= T; ++t) {
+    // G-model state is x^L − 1; penalize it as in Theorem 4.
+    const double lambda = state <= 1 ? 1.0 : 0.5;
+    CostPtr f = std::make_shared<rs::core::RestrictedSlotCost>(per_server,
+                                                               lambda);
+    fs.push_back(f);
+    state = algorithm.decide(f, {});
+    play.push_back(state);
+  }
+
+  AdversaryOutcome outcome{Problem(2, beta, std::move(fs))};
+  outcome.algorithm_cost =
+      rs::core::total_cost_symmetric(outcome.problem, play);
+  outcome.optimal_cost = rs::offline::DpSolver().solve_cost(outcome.problem);
+  outcome.ratio = outcome.optimal_cost > 0.0
+                      ? outcome.algorithm_cost / outcome.optimal_cost
+                      : 0.0;
+  return outcome;
+}
+
+AdversaryOutcome continuous_adversary(
+    rs::online::FractionalOnlineAlgorithm& algorithm, double eps,
+    int horizon) {
+  const int T = default_horizon(eps, horizon);
+  const double beta = 2.0;
+  algorithm.reset(OnlineContext{1, beta});
+
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  rs::core::FractionalSchedule play;
+  play.reserve(static_cast<std::size_t>(T));
+
+  double a = 0.0;  // algorithm state
+  double b = 0.0;  // reference algorithm B state
+  for (int t = 1; t <= T; ++t) {
+    // Lemma 23 strategy: ϕ1 while a_t <= b_t and a_t < 1; ϕ0 otherwise
+    // (also when a_t has reached 1).
+    const bool send_phi1 = a <= b && a < 1.0;
+    CostPtr f = phi(eps, send_phi1 ? 1.0 : 0.0);
+    fs.push_back(f);
+    // B moves by ε/2 toward the minimizer.
+    b = send_phi1 ? std::min(b + eps / 2.0, 1.0)
+                  : std::max(b - eps / 2.0, 0.0);
+    a = algorithm.decide(f, {});
+    play.push_back(a);
+  }
+
+  AdversaryOutcome outcome{Problem(1, beta, std::move(fs))};
+  outcome.algorithm_cost =
+      rs::core::total_cost_symmetric(outcome.problem, play);
+  // Continuous optimum: grid of resolution ε/2 is exact for trajectories of
+  // B and the piecewise-linear ϕ costs.
+  const int q = std::max(2, static_cast<int>(std::ceil(2.0 / eps)));
+  outcome.optimal_cost =
+      rs::offline::solve_continuous_on_grid(outcome.problem, q).cost;
+  outcome.ratio = outcome.optimal_cost > 0.0
+                      ? outcome.algorithm_cost / outcome.optimal_cost
+                      : 0.0;
+  return outcome;
+}
+
+AdversaryOutcome randomized_discrete_adversary(
+    rs::online::RandomizedRounding& algorithm, double eps, int horizon) {
+  const int T = default_horizon(eps, horizon);
+  const double beta = 2.0;
+  algorithm.reset(OnlineContext{1, beta});
+
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  rs::core::FractionalSchedule marginals;
+  marginals.reserve(static_cast<std::size_t>(T));
+
+  double a = 0.0;  // marginal Pr[x^A_t = 1] = fractional state (m = 1)
+  double b = 0.0;  // reference algorithm B
+  for (int t = 1; t <= T; ++t) {
+    const bool send_phi1 = a <= b && a < 1.0;
+    CostPtr f = phi(eps, send_phi1 ? 1.0 : 0.0);
+    fs.push_back(f);
+    b = send_phi1 ? std::min(b + eps / 2.0, 1.0)
+                  : std::max(b - eps / 2.0, 0.0);
+    algorithm.decide(f, {});
+    a = algorithm.last_fractional();
+    marginals.push_back(a);
+  }
+
+  AdversaryOutcome outcome{Problem(1, beta, std::move(fs))};
+  // Expected cost of the randomized algorithm = fractional cost of its
+  // marginal schedule (Lemmas 19/20, proven exact in the rounding tests).
+  outcome.algorithm_cost =
+      rs::core::total_cost_symmetric(outcome.problem, marginals);
+  outcome.optimal_cost = rs::offline::DpSolver().solve_cost(outcome.problem);
+  outcome.ratio = outcome.optimal_cost > 0.0
+                      ? outcome.algorithm_cost / outcome.optimal_cost
+                      : 0.0;
+  return outcome;
+}
+
+Problem stretch_for_window(const Problem& base, int factor) {
+  return rs::core::stretch_problem(base, factor);
+}
+
+}  // namespace rs::lowerbound

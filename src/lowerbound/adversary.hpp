@@ -1,0 +1,66 @@
+// Lower-bound adversaries (Section 5).
+//
+// All constructions use the ϕ functions ϕ0(x) = ε|x| and ϕ1(x) = ε|1−x|
+// with β = 2, so one unit of movement costs 1 per direction and the cost
+// convention of Section 5 (C = Σf + Σ|Δx| over the closed trajectory)
+// coincides with eq. (1).
+//
+//   Theorem 4: deterministic discrete, ratio -> 3.  The adversary penalizes
+//     the algorithm's current state: ϕ1 while at 0, ϕ0 while at 1.
+//   Theorem 5: the same bound in the restricted model (m = 2,
+//     f(z) = ε|1−2z|, λ ∈ {0.5, 1}).
+//   Theorems 6/7: continuous setting, ratio -> 2 against any fractional
+//     algorithm (Lemma 23 strategy, driving the algorithm against B).
+//   Theorems 8/9: randomized discrete, ratio -> 2 against the rounding
+//     marginals.
+//
+// Each run returns the generated instance, the algorithm's cost, the
+// offline optimum and their ratio, so benches can print convergence tables.
+#pragma once
+
+#include <functional>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "online/online_algorithm.hpp"
+#include "online/randomized_rounding.hpp"
+
+namespace rs::lowerbound {
+
+struct AdversaryOutcome {
+  rs::core::Problem problem;
+  double algorithm_cost = 0.0;
+  double optimal_cost = 0.0;
+  double ratio = 0.0;
+};
+
+/// Theorem 4: deterministic adversary for the discrete general model
+/// (m = 1, β = 2).  Runs for T = max(⌈1/ε²⌉, min_T) slots.
+AdversaryOutcome deterministic_discrete_adversary(
+    rs::online::OnlineAlgorithm& algorithm, double eps, int horizon = 0);
+
+/// Theorem 5: deterministic adversary for the discrete restricted model
+/// (m = 2, f(z) = ε|1−2z|, λ_t ∈ {0.5, 1}, β = 2).
+AdversaryOutcome restricted_discrete_adversary(
+    rs::online::OnlineAlgorithm& algorithm, double eps, int horizon = 0);
+
+/// Theorems 6/7: adversary for the continuous setting.  Sends ϕ1 while the
+/// algorithm is at or below the reference algorithm B and below 1, else ϕ0
+/// (Lemma 23).  The optimum is computed on a grid of resolution ε/2.
+AdversaryOutcome continuous_adversary(
+    rs::online::FractionalOnlineAlgorithm& algorithm, double eps,
+    int horizon = 0);
+
+/// Theorems 8/9: adversary for randomized discrete algorithms, playing
+/// against the rounding marginals x̄^A_t; reports the *expected* algorithm
+/// cost (= the fractional cost by Lemmas 19/20).
+AdversaryOutcome randomized_discrete_adversary(
+    rs::online::RandomizedRounding& algorithm, double eps, int horizon = 0);
+
+/// Theorem-10 helper: replicates every slot of the base outcome's problem
+/// `factor` times at 1/factor scale; with a prediction window w < factor
+/// the lower bound construction retains its strength.
+rs::core::Problem stretch_for_window(const rs::core::Problem& base,
+                                     int factor);
+
+}  // namespace rs::lowerbound

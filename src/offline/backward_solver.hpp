@@ -1,0 +1,25 @@
+// Offline optimal schedule from the Lemma-11 backward recursion:
+//
+//   x̂_{T+1} = 0,   x̂_t = [ x̂_{t+1} ]^{x^U_t}_{x^L_t}  for t = T..1,
+//
+// i.e. project the successor state into the online bound corridor.  Lemma 11
+// proves the result is optimal; this gives an O(T·m) optimal solver whose
+// machinery is shared with the online LCP algorithm, and an executable
+// witness for the Lemma-6/11 property tests.
+#pragma once
+
+#include "offline/solver.hpp"
+#include "offline/work_function.hpp"
+
+namespace rs::offline {
+
+class BackwardSolver final : public OfflineSolver {
+ public:
+  OfflineResult solve(const rs::core::Problem& p) const override;
+  std::string name() const override { return "backward_lemma11"; }
+};
+
+/// The Lemma-11 schedule for precomputed bounds (exposed for tests).
+rs::core::Schedule backward_schedule(const BoundTrajectory& bounds);
+
+}  // namespace rs::offline

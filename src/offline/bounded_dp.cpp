@@ -1,0 +1,103 @@
+#include "offline/bounded_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/transforms.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::offline {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::kInf;
+using rs::util::pos;
+
+OfflineResult solve_bounded(const Problem& p,
+                            const std::vector<std::vector<int>>& states,
+                            BoundedDpStats* stats) {
+  const int T = p.horizon();
+  if (static_cast<int>(states.size()) != T) {
+    throw std::invalid_argument("solve_bounded: need one state set per slot");
+  }
+  OfflineResult result;
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+  for (const std::vector<int>& column : states) {
+    if (column.empty()) {
+      throw std::invalid_argument("solve_bounded: empty candidate column");
+    }
+    if (!std::is_sorted(column.begin(), column.end())) {
+      throw std::invalid_argument("solve_bounded: candidates must be sorted");
+    }
+    if (column.front() < 0 || column.back() > p.max_servers()) {
+      throw std::invalid_argument("solve_bounded: candidate out of [0, m]");
+    }
+  }
+
+  // labels[i]: best cost ending in states[t-1][i]; parents for backtracking.
+  std::vector<std::vector<std::int32_t>> parents(static_cast<std::size_t>(T));
+  std::vector<double> labels;
+  std::vector<int> previous_column = {0};  // x_0 = 0
+  std::vector<double> previous_labels = {0.0};
+
+  for (int t = 1; t <= T; ++t) {
+    const std::vector<int>& column = states[static_cast<std::size_t>(t - 1)];
+    labels.assign(column.size(), kInf);
+    parents[static_cast<std::size_t>(t - 1)].assign(column.size(), -1);
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      const double f = p.cost_at(t, column[i]);
+      if (stats != nullptr) ++stats->function_evaluations;
+      if (std::isinf(f)) continue;
+      double best = kInf;
+      std::int32_t best_parent = -1;
+      for (std::size_t j = 0; j < previous_column.size(); ++j) {
+        if (stats != nullptr) ++stats->transitions_evaluated;
+        if (std::isinf(previous_labels[j])) continue;
+        const double candidate =
+            previous_labels[j] +
+            p.beta() * static_cast<double>(pos(column[i] - previous_column[j]));
+        if (candidate < best) {
+          best = candidate;
+          best_parent = static_cast<std::int32_t>(j);
+        }
+      }
+      if (std::isfinite(best)) {
+        labels[i] = best + f;
+        parents[static_cast<std::size_t>(t - 1)][i] = best_parent;
+      }
+    }
+    previous_column = column;
+    previous_labels = labels;
+  }
+
+  const auto best_it =
+      std::min_element(previous_labels.begin(), previous_labels.end());
+  result.cost = *best_it;
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
+  std::int32_t index =
+      static_cast<std::int32_t>(best_it - previous_labels.begin());
+  for (int t = T; t >= 1; --t) {
+    result.schedule[static_cast<std::size_t>(t - 1)] =
+        states[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(index)];
+    index = parents[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(index)];
+  }
+  return result;
+}
+
+OfflineResult solve_phi_restricted(const Problem& p, int k) {
+  if (k < 0) throw std::invalid_argument("solve_phi_restricted: k < 0");
+  const std::vector<int> column =
+      rs::core::multiples_of(1 << k, p.max_servers());
+  return solve_bounded(
+      p, std::vector<std::vector<int>>(static_cast<std::size_t>(p.horizon()),
+                                       column));
+}
+
+}  // namespace rs::offline

@@ -1,0 +1,32 @@
+// Dynamic program restricted to explicit per-column candidate state sets.
+//
+// This is the inner kernel of the paper's O(T·log m) offline algorithm
+// (Section 2.2): every binary-search iteration solves the instance on at
+// most five candidate states per column.  It also computes optima of the
+// Φ_k-restricted instances P_k (states that are multiples of 2^k), which the
+// correctness lemmas of Section 2.3 quantify over.
+#pragma once
+
+#include <vector>
+
+#include "offline/solver.hpp"
+
+namespace rs::offline {
+
+struct BoundedDpStats {
+  std::int64_t transitions_evaluated = 0;  // (x', x) pairs relaxed
+  std::int64_t function_evaluations = 0;   // f_t(x) calls
+};
+
+/// Optimal schedule over schedules with x_t ∈ states[t-1] for every t.
+/// Each states[t-1] must be non-empty, sorted ascending, within [0, m].
+/// Returns an infeasible result if every allowed path has infinite cost.
+OfflineResult solve_bounded(const rs::core::Problem& p,
+                            const std::vector<std::vector<int>>& states,
+                            BoundedDpStats* stats = nullptr);
+
+/// Optimal schedule of P_k = Φ_k(P): states restricted to multiples of
+/// 2^k (Section 2.3).  k = 0 reproduces the unrestricted optimum.
+OfflineResult solve_phi_restricted(const rs::core::Problem& p, int k);
+
+}  // namespace rs::offline

@@ -1,0 +1,138 @@
+#include "offline/dp_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace rs::offline {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::kInf;
+
+namespace {
+
+// One DP step: given W_{t-1} (in `previous`), writes W_t into `next` and,
+// if `parent` is non-null, records the argmin predecessor of each state.
+// Tie-breaking: the prefix candidate (largest x' <= x among prefix argmins)
+// is preferred only when strictly better than the suffix candidate, and
+// argmins keep the smallest x'.
+void dp_step(const Problem& p, int t, const std::vector<double>& previous,
+             std::vector<double>& next, std::int32_t* parent) {
+  const int m = p.max_servers();
+  const double beta = p.beta();
+
+  // Suffix minima of W_{t-1}: suffix_min[x] = min_{x' >= x} W_{t-1}(x').
+  std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
+  std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
+  suffix_min[static_cast<std::size_t>(m)] = previous[static_cast<std::size_t>(m)];
+  suffix_arg[static_cast<std::size_t>(m)] = m;
+  for (int x = m - 1; x >= 0; --x) {
+    const double here = previous[static_cast<std::size_t>(x)];
+    if (here <= suffix_min[static_cast<std::size_t>(x + 1)]) {
+      suffix_min[static_cast<std::size_t>(x)] = here;
+      suffix_arg[static_cast<std::size_t>(x)] = x;  // smallest argmin
+    } else {
+      suffix_min[static_cast<std::size_t>(x)] = suffix_min[static_cast<std::size_t>(x + 1)];
+      suffix_arg[static_cast<std::size_t>(x)] = suffix_arg[static_cast<std::size_t>(x + 1)];
+    }
+  }
+
+  // Running prefix minimum of W_{t-1}(x') − β·x'.
+  double prefix_min = kInf;
+  std::int32_t prefix_arg = -1;
+  for (int x = 0; x <= m; ++x) {
+    const double shifted =
+        previous[static_cast<std::size_t>(x)] - beta * static_cast<double>(x);
+    if (shifted < prefix_min) {
+      prefix_min = shifted;
+      prefix_arg = static_cast<std::int32_t>(x);
+    }
+    const double up_candidate = prefix_min + beta * static_cast<double>(x);
+    const double stay_candidate = suffix_min[static_cast<std::size_t>(x)];
+    double transition;
+    std::int32_t chosen;
+    if (up_candidate < stay_candidate) {
+      transition = up_candidate;
+      chosen = prefix_arg;
+    } else {
+      transition = stay_candidate;
+      chosen = suffix_arg[static_cast<std::size_t>(x)];
+    }
+    const double f = p.cost_at(t, x);
+    next[static_cast<std::size_t>(x)] =
+        std::isinf(f) || std::isinf(transition) ? kInf : transition + f;
+    if (parent != nullptr) parent[x] = chosen;
+  }
+}
+
+std::vector<double> initial_labels(int m, double beta) {
+  // W_0 encodes x_0 = 0: transitioning to x costs β·x in the power-up
+  // accounting, folded into the first dp_step via W_0(0) = 0, +inf else.
+  std::vector<double> w(static_cast<std::size_t>(m) + 1, kInf);
+  w[0] = 0.0;
+  (void)beta;
+  return w;
+}
+
+}  // namespace
+
+OfflineResult DpSolver::solve(const Problem& p) const {
+  const int T = p.horizon();
+  const int m = p.max_servers();
+  OfflineResult result;
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+
+  std::vector<std::int32_t> parents(static_cast<std::size_t>(T) *
+                                    (static_cast<std::size_t>(m) + 1));
+  std::vector<double> current = initial_labels(m, p.beta());
+  std::vector<double> next(static_cast<std::size_t>(m) + 1);
+  for (int t = 1; t <= T; ++t) {
+    dp_step(p, t, current, next,
+            parents.data() + static_cast<std::size_t>(t - 1) *
+                                 (static_cast<std::size_t>(m) + 1));
+    std::swap(current, next);
+  }
+
+  // Final state: cheapest label (power-down to x_{T+1} = 0 is free).
+  int best = 0;
+  for (int x = 1; x <= m; ++x) {
+    if (current[static_cast<std::size_t>(x)] < current[static_cast<std::size_t>(best)]) {
+      best = x;
+    }
+  }
+  result.cost = current[static_cast<std::size_t>(best)];
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
+  int state = best;
+  for (int t = T; t >= 1; --t) {
+    result.schedule[static_cast<std::size_t>(t - 1)] = state;
+    state = parents[static_cast<std::size_t>(t - 1) *
+                        (static_cast<std::size_t>(m) + 1) +
+                    static_cast<std::size_t>(state)];
+  }
+  return result;
+}
+
+double DpSolver::solve_cost(const Problem& p) const {
+  const int T = p.horizon();
+  const int m = p.max_servers();
+  if (T == 0) return 0.0;
+  std::vector<double> current = initial_labels(m, p.beta());
+  std::vector<double> next(static_cast<std::size_t>(m) + 1);
+  for (int t = 1; t <= T; ++t) {
+    dp_step(p, t, current, next, nullptr);
+    std::swap(current, next);
+  }
+  return *std::min_element(current.begin(), current.end());
+}
+
+}  // namespace rs::offline

@@ -1,0 +1,26 @@
+// Exact dynamic program over the full state space.
+//
+// Computes W_t(x) = min_{x'} { W_{t-1}(x') + β(x − x')⁺ } + f_t(x) for all
+// x in {0,..,m}.  The inner minimum splits into a prefix part (x' <= x, pay
+// β per powered-up server) and a suffix part (x' >= x, free power-down), so
+// one time step costs O(m) using running prefix/suffix minima — O(T·m)
+// total, the standard baseline the paper's O(T·log m) algorithm improves on
+// (a naive shortest-path in the Figure-1 graph would be O(T·m²)).
+#pragma once
+
+#include "offline/solver.hpp"
+
+namespace rs::offline {
+
+class DpSolver final : public OfflineSolver {
+ public:
+  OfflineResult solve(const rs::core::Problem& p) const override;
+
+  /// O(m)-memory variant that skips parent bookkeeping; used by the scaling
+  /// benchmarks where T·m parent tables would not fit.
+  double solve_cost(const rs::core::Problem& p) const override;
+
+  std::string name() const override { return "dp"; }
+};
+
+}  // namespace rs::offline

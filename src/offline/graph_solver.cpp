@@ -1,0 +1,24 @@
+#include "offline/graph_solver.hpp"
+
+#include "graph/layered_graph.hpp"
+#include "graph/schedule_graph.hpp"
+
+namespace rs::offline {
+
+OfflineResult GraphSolver::solve(const rs::core::Problem& p) const {
+  OfflineResult result;
+  if (p.horizon() == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+  const rs::graph::LayeredGraph graph = rs::graph::build_schedule_graph(p);
+  const rs::graph::LayeredGraph::PathResult path = graph.shortest_path(0, 0);
+  result.cost = path.distance;
+  if (path.reachable()) {
+    result.schedule = rs::graph::path_to_schedule(path);
+  }
+  return result;
+}
+
+}  // namespace rs::offline

@@ -1,0 +1,18 @@
+// Shortest-path baseline over the explicit Figure-1 graph.
+//
+// O(T·m²) time and memory — the pseudo-polynomial algorithm Section 2.1
+// starts from.  Kept as an independently-implemented cross-check for the DP
+// and binary-search solvers, and as the subject of the E1/E2 benchmarks.
+#pragma once
+
+#include "offline/solver.hpp"
+
+namespace rs::offline {
+
+class GraphSolver final : public OfflineSolver {
+ public:
+  OfflineResult solve(const rs::core::Problem& p) const override;
+  std::string name() const override { return "graph_sssp"; }
+};
+
+}  // namespace rs::offline

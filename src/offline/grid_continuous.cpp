@@ -1,0 +1,45 @@
+#include "offline/grid_continuous.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "offline/dp_solver.hpp"
+
+namespace rs::offline {
+
+using rs::core::CostPtr;
+using rs::core::FunctionCost;
+using rs::core::Problem;
+
+ContinuousResult solve_continuous_on_grid(const Problem& p, int q) {
+  if (q < 1) throw std::invalid_argument("solve_continuous_on_grid: q < 1");
+
+  // Scaled instance: grid index j represents the fractional state j/q.
+  // Switching β(Δx)⁺ becomes (β/q)(Δj)⁺ and operating cost f̄_t(j/q).
+  const int grid_m = p.max_servers() * q;
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) {
+    CostPtr base = p.f_ptr(t);
+    fs.push_back(std::make_shared<FunctionCost>(
+        [base, q](int j) {
+          return rs::core::interpolate(*base,
+                                       static_cast<double>(j) / q);
+        },
+        "grid(" + base->name() + ")"));
+  }
+  const Problem grid_problem(grid_m, p.beta() / static_cast<double>(q),
+                             std::move(fs));
+
+  const OfflineResult grid_result = DpSolver().solve(grid_problem);
+  ContinuousResult result;
+  result.cost = grid_result.cost;
+  if (!grid_result.feasible()) return result;
+  result.schedule.reserve(grid_result.schedule.size());
+  for (int j : grid_result.schedule) {
+    result.schedule.push_back(static_cast<double>(j) / q);
+  }
+  return result;
+}
+
+}  // namespace rs::offline

@@ -1,0 +1,29 @@
+// Continuous-setting optimum on a uniform grid.
+//
+// The continuous extension P̄ of an instance (eq. 3) has piecewise-linear
+// slot costs with breakpoints at the integers, so its optimum is attained at
+// grid points of any grid refining the integers (Lemma 4 rounds optima to
+// integers; intermediate resolutions are used by the continuous lower-bound
+// experiments of Section 5.2 where the adversary's ϕ functions make the
+// online algorithm move in ε/2 steps).  This solver discretizes [0, m] into
+// steps of 1/q and runs the exact DP on the scaled integer instance; for
+// cost functions whose breakpoints lie on the grid the result is the exact
+// continuous optimum.
+#pragma once
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace rs::offline {
+
+struct ContinuousResult {
+  rs::core::FractionalSchedule schedule;
+  double cost = rs::util::kInf;
+  bool feasible() const noexcept { return std::isfinite(cost); }
+};
+
+/// Optimal fractional schedule of P̄ on the grid {0, 1/q, 2/q, .., m}.
+/// Requires q >= 1.
+ContinuousResult solve_continuous_on_grid(const rs::core::Problem& p, int q);
+
+}  // namespace rs::offline

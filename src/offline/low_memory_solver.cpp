@@ -1,0 +1,163 @@
+#include "offline/low_memory_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace rs::offline {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::kInf;
+
+namespace {
+
+// One forward relax step: labels(x) <- min_x' labels(x') + β(x−x')⁺, then
+// += f_t(x).  Identical kernel to the DP solver, kept local for the
+// self-contained O(m) memory guarantee.
+void forward_step(const Problem& p, int t, std::vector<double>& labels) {
+  const int m = p.max_servers();
+  const double beta = p.beta();
+  double best_shifted = kInf;
+  for (int x = 0; x <= m; ++x) {
+    best_shifted =
+        std::min(best_shifted, labels[static_cast<std::size_t>(x)] -
+                                   beta * static_cast<double>(x));
+    labels[static_cast<std::size_t>(x)] =
+        std::min(labels[static_cast<std::size_t>(x)],
+                 best_shifted + beta * static_cast<double>(x));
+  }
+  double suffix = kInf;
+  for (int x = m; x >= 0; --x) {
+    suffix = std::min(suffix, labels[static_cast<std::size_t>(x)]);
+    labels[static_cast<std::size_t>(x)] = suffix;
+  }
+  for (int x = 0; x <= m; ++x) {
+    const double f = p.cost_at(t, x);
+    labels[static_cast<std::size_t>(x)] =
+        std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
+  }
+}
+
+// One backward relax step: given B_t (cost of suffix starting *after* slot
+// t from state x), produce B_{t-1}(x) = min_x' β(x'−x)⁺ + f_t(x') + B_t(x').
+void backward_step(const Problem& p, int t, std::vector<double>& labels) {
+  const int m = p.max_servers();
+  const double beta = p.beta();
+  for (int x = 0; x <= m; ++x) {
+    const double f = p.cost_at(t, x);
+    labels[static_cast<std::size_t>(x)] =
+        std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
+  }
+  // d(x) = min( min_{x'>=x} g(x') + β(x'−x), min_{x'<=x} g(x') ).
+  double best_shifted = kInf;
+  std::vector<double>& g = labels;
+  std::vector<double> d(static_cast<std::size_t>(m) + 1);
+  for (int x = m; x >= 0; --x) {
+    best_shifted = std::min(best_shifted,
+                            g[static_cast<std::size_t>(x)] +
+                                beta * static_cast<double>(x));
+    d[static_cast<std::size_t>(x)] = best_shifted - beta * static_cast<double>(x);
+  }
+  double prefix = kInf;
+  for (int x = 0; x <= m; ++x) {
+    prefix = std::min(prefix, g[static_cast<std::size_t>(x)]);
+    d[static_cast<std::size_t>(x)] = std::min(d[static_cast<std::size_t>(x)], prefix);
+  }
+  labels.swap(d);
+}
+
+struct Recursion {
+  const Problem& p;
+  Schedule& out;
+
+  // Serves slots lo..hi given x_{lo-1} = start; if `end` is set, x_hi must
+  // equal *end.  Writes the optimal states into out[lo-1..hi-1].
+  void run(int lo, int hi, int start, std::optional<int> end) {
+    const int m = p.max_servers();
+    if (lo > hi) return;
+    if (lo == hi) {
+      if (end) {
+        out[static_cast<std::size_t>(lo - 1)] = *end;
+        return;
+      }
+      // Single slot: pick argmin of the direct transition.
+      int best = start;
+      double best_value = kInf;
+      for (int x = 0; x <= m; ++x) {
+        const double f = p.cost_at(lo, x);
+        if (std::isinf(f)) continue;
+        const double value =
+            p.beta() * static_cast<double>(std::max(0, x - start)) + f;
+        if (value < best_value) {
+          best_value = value;
+          best = x;
+        }
+      }
+      out[static_cast<std::size_t>(lo - 1)] = best;
+      return;
+    }
+
+    const int mid = lo + (hi - lo) / 2;
+
+    // Forward labels over lo..mid from the pinned start state.
+    std::vector<double> forward(static_cast<std::size_t>(m) + 1, kInf);
+    forward[static_cast<std::size_t>(start)] = 0.0;
+    for (int t = lo; t <= mid; ++t) forward_step(p, t, forward);
+
+    // Backward labels over mid+1..hi, terminal condition from `end`.
+    std::vector<double> backward(static_cast<std::size_t>(m) + 1, 0.0);
+    if (end) {
+      backward.assign(static_cast<std::size_t>(m) + 1, kInf);
+      backward[static_cast<std::size_t>(*end)] = 0.0;
+    }
+    for (int t = hi; t > mid; --t) backward_step(p, t, backward);
+
+    int best_mid = -1;
+    double best_value = kInf;
+    for (int x = 0; x <= m; ++x) {
+      const double value = forward[static_cast<std::size_t>(x)] +
+                           backward[static_cast<std::size_t>(x)];
+      if (value < best_value) {
+        best_value = value;
+        best_mid = x;
+      }
+    }
+    if (best_mid < 0) {
+      throw std::logic_error("LowMemorySolver: infeasible sub-range");
+    }
+    out[static_cast<std::size_t>(mid - 1)] = best_mid;
+    run(lo, mid, start, best_mid);  // left half, x_mid pinned
+    run(mid + 1, hi, best_mid, end);
+  }
+};
+
+}  // namespace
+
+OfflineResult LowMemorySolver::solve(const Problem& p) const {
+  OfflineResult result;
+  const int T = p.horizon();
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+  // Feasibility and optimal value via one forward sweep.
+  std::vector<double> labels(static_cast<std::size_t>(p.max_servers()) + 1,
+                             kInf);
+  labels[0] = 0.0;
+  for (int t = 1; t <= T; ++t) forward_step(p, t, labels);
+  double optimum = kInf;
+  for (double label : labels) optimum = std::min(optimum, label);
+  result.cost = optimum;
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
+  Recursion recursion{p, result.schedule};
+  recursion.run(1, T, 0, std::nullopt);
+  return result;
+}
+
+}  // namespace rs::offline

@@ -1,0 +1,26 @@
+// Divide-and-conquer (Hirschberg-style) optimal solver with O(m + T)
+// working memory.
+//
+// The plain DP stores T·(m+1) parent pointers to reconstruct a schedule —
+// prohibitive for the largest instances the O(T·log m) cost-only solvers
+// handle easily.  This solver recovers a full optimal schedule using only
+// two label vectors: split the horizon at its midpoint, compute forward
+// labels W (cost of a prefix ending in x) and backward labels B (cost of a
+// suffix starting from x), fix the optimal midpoint state
+// argmin_x W(x) + B(x), and recurse on both halves with pinned boundary
+// states.  Time O(T·m·log T), memory O(m) labels + the output schedule.
+#pragma once
+
+#include <optional>
+
+#include "offline/solver.hpp"
+
+namespace rs::offline {
+
+class LowMemorySolver final : public OfflineSolver {
+ public:
+  OfflineResult solve(const rs::core::Problem& p) const override;
+  std::string name() const override { return "low_memory_dnc"; }
+};
+
+}  // namespace rs::offline

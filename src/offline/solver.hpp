@@ -1,0 +1,37 @@
+// Common interface of the offline optimal solvers (Section 2).
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace rs::offline {
+
+struct OfflineResult {
+  rs::core::Schedule schedule;  // empty iff the instance is infeasible
+  double cost = rs::util::kInf;
+
+  bool feasible() const noexcept { return std::isfinite(cost); }
+};
+
+/// An algorithm computing an optimal schedule for eq. (1).
+class OfflineSolver {
+ public:
+  virtual ~OfflineSolver() = default;
+
+  /// Computes an optimal schedule and its cost.  All solvers in this module
+  /// return schedules with identical (optimal) cost; the schedules
+  /// themselves may differ when the optimum is not unique.
+  virtual OfflineResult solve(const rs::core::Problem& p) const = 0;
+
+  /// Optimal cost only; the default forwards to solve().  Overridden by
+  /// solvers that can avoid storing reconstruction state.
+  virtual double solve_cost(const rs::core::Problem& p) const {
+    return solve(p).cost;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rs::offline

@@ -1,0 +1,145 @@
+#include "offline/work_function.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::offline {
+
+using rs::util::kInf;
+
+WorkFunctionTracker::WorkFunctionTracker(int m, double beta)
+    : m_(m), beta_(beta) {
+  if (m < 0) throw std::invalid_argument("WorkFunctionTracker: m < 0");
+  if (!(beta > 0.0)) {
+    throw std::invalid_argument("WorkFunctionTracker: beta must be > 0");
+  }
+  // τ = 0 state encodes x_0 = 0: reaching x already "costs" the pending
+  // power-up βx under L-accounting and nothing under U-accounting; those
+  // charges materialize on the first advance through the relax step, so the
+  // initial labels are 0 at state 0 and +inf elsewhere.
+  chat_l_.assign(static_cast<std::size_t>(m_) + 1, kInf);
+  chat_u_.assign(static_cast<std::size_t>(m_) + 1, kInf);
+  chat_l_[0] = 0.0;
+  chat_u_[0] = 0.0;
+  scratch_.resize(static_cast<std::size_t>(m_) + 1);
+}
+
+void WorkFunctionTracker::relax(std::vector<double>& chat, double beta,
+                                bool charge_up) {
+  const int m = static_cast<int>(chat.size()) - 1;
+  if (charge_up) {
+    // new(x) = min( min_{x'<=x} chat(x') + β(x−x'), min_{x'>=x} chat(x') ).
+    // Forward sweep folds the prefix part; backward sweep the suffix part.
+    double best_shifted = kInf;  // min chat(x') − βx'
+    for (int x = 0; x <= m; ++x) {
+      best_shifted = std::min(
+          best_shifted, chat[static_cast<std::size_t>(x)] - beta * x);
+      chat[static_cast<std::size_t>(x)] =
+          std::min(chat[static_cast<std::size_t>(x)], best_shifted + beta * x);
+    }
+    double suffix = kInf;
+    for (int x = m; x >= 0; --x) {
+      suffix = std::min(suffix, chat[static_cast<std::size_t>(x)]);
+      chat[static_cast<std::size_t>(x)] = suffix;
+    }
+  } else {
+    // U-accounting: moving down from x' > x costs β(x'−x); moving up is
+    // free.  new(x) = min( min_{x'>=x} chat(x') + β(x'−x),
+    //                      min_{x'<=x} chat(x') ).
+    double best_shifted = kInf;  // min chat(x') + βx'
+    for (int x = m; x >= 0; --x) {
+      best_shifted = std::min(
+          best_shifted, chat[static_cast<std::size_t>(x)] + beta * x);
+      chat[static_cast<std::size_t>(x)] =
+          std::min(chat[static_cast<std::size_t>(x)], best_shifted - beta * x);
+    }
+    double prefix = kInf;
+    for (int x = 0; x <= m; ++x) {
+      prefix = std::min(prefix, chat[static_cast<std::size_t>(x)]);
+      chat[static_cast<std::size_t>(x)] = prefix;
+    }
+  }
+}
+
+void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
+  for (int x = 0; x <= m_; ++x) {
+    scratch_[static_cast<std::size_t>(x)] = f.at(x);
+  }
+  advance(scratch_);
+}
+
+void WorkFunctionTracker::advance(const std::vector<double>& values) {
+  if (static_cast<int>(values.size()) != m_ + 1) {
+    throw std::invalid_argument("WorkFunctionTracker::advance: need m+1 values");
+  }
+  relax(chat_l_, beta_, /*charge_up=*/true);
+  relax(chat_u_, beta_, /*charge_up=*/false);
+  for (int x = 0; x <= m_; ++x) {
+    const double f = values[static_cast<std::size_t>(x)];
+    if (std::isnan(f)) {
+      throw std::invalid_argument("WorkFunctionTracker::advance: NaN cost");
+    }
+    chat_l_[static_cast<std::size_t>(x)] += f;
+    chat_u_[static_cast<std::size_t>(x)] += f;
+  }
+  ++tau_;
+}
+
+void WorkFunctionTracker::require_started() const {
+  if (tau_ == 0) {
+    throw std::logic_error("WorkFunctionTracker: no function fed yet");
+  }
+}
+
+double WorkFunctionTracker::chat_lower(int x) const {
+  require_started();
+  if (x < 0 || x > m_) throw std::out_of_range("chat_lower: x out of range");
+  return chat_l_[static_cast<std::size_t>(x)];
+}
+
+double WorkFunctionTracker::chat_upper(int x) const {
+  require_started();
+  if (x < 0 || x > m_) throw std::out_of_range("chat_upper: x out of range");
+  return chat_u_[static_cast<std::size_t>(x)];
+}
+
+int WorkFunctionTracker::x_lower() const {
+  require_started();
+  int best = 0;
+  for (int x = 1; x <= m_; ++x) {
+    if (chat_l_[static_cast<std::size_t>(x)] <
+        chat_l_[static_cast<std::size_t>(best)]) {
+      best = x;  // strict: keeps the smallest minimizer
+    }
+  }
+  return best;
+}
+
+int WorkFunctionTracker::x_upper() const {
+  require_started();
+  int best = 0;
+  for (int x = 1; x <= m_; ++x) {
+    if (chat_u_[static_cast<std::size_t>(x)] <=
+        chat_u_[static_cast<std::size_t>(best)]) {
+      best = x;  // ties move right: keeps the largest minimizer
+    }
+  }
+  return best;
+}
+
+BoundTrajectory compute_bounds(const rs::core::Problem& p) {
+  BoundTrajectory bounds;
+  bounds.lower.reserve(static_cast<std::size_t>(p.horizon()));
+  bounds.upper.reserve(static_cast<std::size_t>(p.horizon()));
+  WorkFunctionTracker tracker(p.max_servers(), p.beta());
+  for (int t = 1; t <= p.horizon(); ++t) {
+    tracker.advance(p.f(t));
+    bounds.lower.push_back(tracker.x_lower());
+    bounds.upper.push_back(tracker.x_upper());
+  }
+  return bounds;
+}
+
+}  // namespace rs::offline

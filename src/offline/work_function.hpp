@@ -1,0 +1,69 @@
+// Incremental maintenance of the bound work functions of Section 3.1.
+//
+//   Ĉ^L_τ(x) = min cost of serving f_1..f_τ ending in state x, switching
+//              cost charged on power-UP (eq. 11 minimized over prefixes);
+//   Ĉ^U_τ(x) = same with switching cost charged on power-DOWN (eq. 12).
+//
+// From them the online bounds are
+//   x^L_τ = smallest minimizer of Ĉ^L_τ   (lower bound, Lemma 6)
+//   x^U_τ = largest  minimizer of Ĉ^U_τ   (upper bound, Lemma 6)
+//
+// One advance() costs O(m) via prefix/suffix minima.  Both functions are
+// maintained independently even though Lemma 7 proves
+// Ĉ^L_τ(x) = Ĉ^U_τ(x) + βx — the redundancy is asserted in tests.
+//
+// This tracker powers the discrete LCP algorithm (Section 3), the
+// prediction-window variant, and the Lemma-11 offline construction.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace rs::offline {
+
+class WorkFunctionTracker {
+ public:
+  /// Tracker for a data center with m servers and power-up cost beta.
+  WorkFunctionTracker(int m, double beta);
+
+  /// Feeds f_τ (the next operating-cost function); O(m).
+  void advance(const rs::core::CostFunction& f);
+
+  /// Feeds f_τ given as explicit values f(0..m).
+  void advance(const std::vector<double>& values);
+
+  int tau() const noexcept { return tau_; }
+  int max_servers() const noexcept { return m_; }
+
+  /// Ĉ^L_τ(x) and Ĉ^U_τ(x); require 0 <= x <= m and τ >= 1.
+  double chat_lower(int x) const;
+  double chat_upper(int x) const;
+  const std::vector<double>& chat_lower_vector() const { return chat_l_; }
+  const std::vector<double>& chat_upper_vector() const { return chat_u_; }
+
+  /// The online bounds x^L_τ and x^U_τ (tie-broken per Section 3.1).
+  int x_lower() const;
+  int x_upper() const;
+
+ private:
+  void require_started() const;
+  static void relax(std::vector<double>& chat, double beta, bool charge_up);
+
+  int m_;
+  double beta_;
+  int tau_ = 0;
+  std::vector<double> chat_l_;
+  std::vector<double> chat_u_;
+  std::vector<double> scratch_;
+};
+
+/// Runs the tracker over the full instance and returns (x^L_τ, x^U_τ) for
+/// every τ in [1, T].
+struct BoundTrajectory {
+  std::vector<int> lower;  // x^L_1..x^L_T
+  std::vector<int> upper;  // x^U_1..x^U_T
+};
+BoundTrajectory compute_bounds(const rs::core::Problem& p);
+
+}  // namespace rs::offline

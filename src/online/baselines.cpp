@@ -1,0 +1,50 @@
+#include "online/baselines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost_function.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+int FollowTheMinimizer::decide(const rs::core::CostPtr& f,
+                               std::span<const rs::core::CostPtr> lookahead) {
+  (void)lookahead;
+  return rs::core::smallest_minimizer_convex(*f, context_.m);
+}
+
+StaticProvisioning::StaticProvisioning(int level) : level_(level) {
+  if (level < 0) throw std::invalid_argument("StaticProvisioning: level < 0");
+}
+
+void StaticProvisioning::reset(const OnlineContext& context) {
+  effective_level_ = std::min(level_, context.m);
+}
+
+int StaticProvisioning::decide(const rs::core::CostPtr& f,
+                               std::span<const rs::core::CostPtr> lookahead) {
+  (void)f;
+  (void)lookahead;
+  return effective_level_;
+}
+
+StaticOptimum best_static_level(const rs::core::Problem& p) {
+  StaticOptimum best;
+  for (int level = 0; level <= p.max_servers(); ++level) {
+    rs::util::KahanSum sum;
+    sum.add(p.beta() * static_cast<double>(level));
+    for (int t = 1; t <= p.horizon(); ++t) {
+      sum.add(p.cost_at(t, level));
+      if (std::isinf(sum.value())) break;
+    }
+    const double cost = sum.value();
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.level = level;
+    }
+  }
+  return best;
+}
+
+}  // namespace rs::online

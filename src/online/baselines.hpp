@@ -1,0 +1,62 @@
+// Baseline policies used as comparison points in the experiments:
+// naive online strategies and the static-provisioning offline references of
+// the E10 trace study.
+#pragma once
+
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+/// x_t = smallest minimizer of f_t: chases the instantaneous optimum and
+/// ignores switching cost entirely.  No constant competitive ratio.
+class FollowTheMinimizer final : public OnlineAlgorithm {
+ public:
+  std::string name() const override { return "follow_min"; }
+  void reset(const OnlineContext& context) override { context_ = context; }
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override;
+
+ private:
+  OnlineContext context_;
+};
+
+/// Constant provisioning at a fixed level (clamped to m).
+class StaticProvisioning final : public OnlineAlgorithm {
+ public:
+  explicit StaticProvisioning(int level);
+  std::string name() const override { return "static"; }
+  void reset(const OnlineContext& context) override;
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override;
+
+ private:
+  int level_;
+  int effective_level_ = 0;
+};
+
+/// Never-switch-off reference: all m servers active the whole horizon.
+class AllOn final : public OnlineAlgorithm {
+ public:
+  std::string name() const override { return "all_on"; }
+  void reset(const OnlineContext& context) override { context_ = context; }
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override {
+    (void)f;
+    (void)lookahead;
+    return context_.m;
+  }
+
+ private:
+  OnlineContext context_;
+};
+
+/// Offline reference for the savings study: the best *single* provisioning
+/// level for the whole horizon, min_x [ Σ_t f_t(x) + βx ].  Returns the
+/// level and its total cost.
+struct StaticOptimum {
+  int level = 0;
+  double cost = rs::util::kInf;
+};
+StaticOptimum best_static_level(const rs::core::Problem& p);
+
+}  // namespace rs::online

@@ -1,0 +1,77 @@
+#include "online/gradient_flow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost_function.hpp"
+
+namespace rs::online {
+
+GradientFlow::GradientFlow(double speed_scale) : speed_scale_(speed_scale) {
+  if (!(speed_scale > 0.0)) {
+    throw std::invalid_argument("GradientFlow: speed_scale must be > 0");
+  }
+}
+
+void GradientFlow::reset(const OnlineContext& context) {
+  context_ = context;
+  position_ = 0.0;
+}
+
+double GradientFlow::decide(const rs::core::CostPtr& f,
+                            std::span<const rs::core::CostPtr> lookahead) {
+  (void)lookahead;
+  const int m = context_.m;
+  const rs::core::CostFunction& cost = *f;
+
+  // Minimizer interval of the interpolated f̄: its endpoints are integers.
+  const int arg_lo = rs::core::smallest_minimizer_convex(cost, m);
+  int arg_hi = arg_lo;
+  while (arg_hi < m && cost.at(arg_hi + 1) <= cost.at(arg_lo)) ++arg_hi;
+
+  double remaining = 1.0;  // the slot has unit length
+  double x = position_;
+
+  if (x > static_cast<double>(arg_hi)) {
+    // Move down: in cell (k, k+1) the slope is f(k+1) − f(k) > 0.
+    while (remaining > 0.0 && x > static_cast<double>(arg_hi)) {
+      const int cell = static_cast<int>(std::ceil(x)) - 1;  // cell [cell, cell+1]
+      const double slope = cost.at(cell + 1) - cost.at(cell);
+      if (!(slope > 0.0) || std::isinf(slope)) break;  // flat or infeasible cell
+      const double speed = speed_scale_ * slope / context_.beta;
+      const double target = std::max(static_cast<double>(cell),
+                                     static_cast<double>(arg_hi));
+      const double time_to_target = (x - target) / speed;
+      if (time_to_target <= remaining) {
+        x = target;
+        remaining -= time_to_target;
+      } else {
+        x -= speed * remaining;
+        remaining = 0.0;
+      }
+    }
+  } else if (x < static_cast<double>(arg_lo)) {
+    // Move up: in cell (k, k+1) the slope is f(k+1) − f(k) < 0.
+    while (remaining > 0.0 && x < static_cast<double>(arg_lo)) {
+      const int cell = static_cast<int>(std::floor(x));  // cell [cell, cell+1]
+      const double slope = cost.at(cell + 1) - cost.at(cell);
+      if (!(slope < 0.0) || std::isinf(slope)) break;
+      const double speed = -speed_scale_ * slope / context_.beta;
+      const double target = std::min(static_cast<double>(cell + 1),
+                                     static_cast<double>(arg_lo));
+      const double time_to_target = (target - x) / speed;
+      if (time_to_target <= remaining) {
+        x = target;
+        remaining -= time_to_target;
+      } else {
+        x += speed * remaining;
+        remaining = 0.0;
+      }
+    }
+  }
+
+  position_ = x;
+  return position_;
+}
+
+}  // namespace rs::online

@@ -1,0 +1,42 @@
+// Fractional 2-competitive online algorithm (Bansal et al. [7]), in its
+// continuous-time gradient form.
+//
+// Within each time slot the state moves toward the minimizer of the
+// (interpolated) arriving cost f̄_t with speed |∂f̄_t(x)| / β, integrated
+// over the unit-length slot.  On the lower-bound family ϕ0/ϕ1 with β = 2
+// this is exactly the paper's algorithm B of Section 5.2.1 (a step of ε/2
+// toward the minimizer per slot, saturating at it), which the paper states
+// is the specialization of Bansal et al.'s algorithm.  Intuition for the
+// speed: moving distance d costs (β/2)·d per direction amortized, while
+// lingering at derivative magnitude s costs s per unit time; equalizing
+// marginal movement spend with marginal hitting savings at ratio 2 yields
+// ẋ = s/β.  See DESIGN.md §2 for the substitution note.
+//
+// f̄_t is the eq.-(3) interpolation, so its slope is constant within every
+// integer cell and the flow integrates in closed form cell by cell.
+#pragma once
+
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+class GradientFlow final : public FractionalOnlineAlgorithm {
+ public:
+  /// `speed_scale` multiplies the flow speed (1.0 = the 2-competitive
+  /// setting; other values are exposed for the ablation experiment E11).
+  explicit GradientFlow(double speed_scale = 1.0);
+
+  std::string name() const override { return "gradient_flow"; }
+  void reset(const OnlineContext& context) override;
+  double decide(const rs::core::CostPtr& f,
+                std::span<const rs::core::CostPtr> lookahead) override;
+
+  double position() const { return position_; }
+
+ private:
+  OnlineContext context_;
+  double position_ = 0.0;
+  double speed_scale_ = 1.0;
+};
+
+}  // namespace rs::online

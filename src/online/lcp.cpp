@@ -1,0 +1,25 @@
+#include "online/lcp.hpp"
+
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+void Lcp::reset(const OnlineContext& context) {
+  tracker_ = std::make_unique<rs::offline::WorkFunctionTracker>(context.m,
+                                                                context.beta);
+  current_ = 0;
+  last_lower_ = 0;
+  last_upper_ = 0;
+}
+
+int Lcp::decide(const rs::core::CostPtr& f,
+                std::span<const rs::core::CostPtr> lookahead) {
+  (void)lookahead;  // LCP uses no predictions (see WindowedLcp for w > 0)
+  tracker_->advance(*f);
+  last_lower_ = tracker_->x_lower();
+  last_upper_ = tracker_->x_upper();
+  current_ = rs::util::project(current_, last_lower_, last_upper_);
+  return current_;
+}
+
+}  // namespace rs::online

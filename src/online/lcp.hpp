@@ -1,0 +1,38 @@
+// Discrete Lazy Capacity Provisioning (Section 3, Theorem 2).
+//
+//   x^LCP_0 = 0,   x^LCP_τ = [ x^LCP_{τ-1} ]^{x^U_τ}_{x^L_τ}   (eq. 13)
+//
+// where x^L_τ / x^U_τ are the smallest/largest minimizers of the work
+// functions Ĉ^L_τ / Ĉ^U_τ (Section 3.1).  The algorithm changes its state
+// only when forced out of the [x^L, x^U] corridor — it is 3-competitive and,
+// by Theorem 4, optimally so among deterministic online algorithms for the
+// discrete problem.
+#pragma once
+
+#include <memory>
+
+#include "offline/work_function.hpp"
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+class Lcp final : public OnlineAlgorithm {
+ public:
+  std::string name() const override { return "lcp"; }
+  void reset(const OnlineContext& context) override;
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override;
+
+  /// Bounds of the most recent step (for diagnostics and the Lemma-12/13
+  /// structure tests).
+  int last_lower() const { return last_lower_; }
+  int last_upper() const { return last_upper_; }
+
+ private:
+  std::unique_ptr<rs::offline::WorkFunctionTracker> tracker_;
+  int current_ = 0;
+  int last_lower_ = 0;
+  int last_upper_ = 0;
+};
+
+}  // namespace rs::online

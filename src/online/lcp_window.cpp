@@ -1,0 +1,105 @@
+#include "online/lcp_window.hpp"
+
+#include <cmath>
+
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+using rs::util::kInf;
+
+std::vector<double> completion_costs(
+    std::span<const rs::core::CostPtr> window, int m, double beta,
+    bool charge_up) {
+  // Backward DP: D_j(x) = min_{x'} [ switch(x -> x') + f_j(x') + D_{j+1}(x') ]
+  // with D_{end}(x) = 0.  switch(x -> x') = β(x'−x)⁺ under L-accounting and
+  // β(x−x')⁺ under U-accounting.
+  std::vector<double> d(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1);
+  for (std::size_t j = window.size(); j-- > 0;) {
+    const rs::core::CostFunction& f = *window[j];
+    for (int x = 0; x <= m; ++x) {
+      const double fx = f.at(x);
+      g[static_cast<std::size_t>(x)] =
+          std::isinf(fx) ? kInf : fx + d[static_cast<std::size_t>(x)];
+    }
+    if (charge_up) {
+      // D(x) = min( min_{x'>=x} g(x') + β(x'−x), min_{x'<=x} g(x') ).
+      double best_shifted = kInf;  // min g(x') + βx'
+      for (int x = m; x >= 0; --x) {
+        best_shifted =
+            std::min(best_shifted, g[static_cast<std::size_t>(x)] + beta * x);
+        d[static_cast<std::size_t>(x)] = best_shifted - beta * x;
+      }
+      double prefix = kInf;
+      for (int x = 0; x <= m; ++x) {
+        prefix = std::min(prefix, g[static_cast<std::size_t>(x)]);
+        d[static_cast<std::size_t>(x)] =
+            std::min(d[static_cast<std::size_t>(x)], prefix);
+      }
+    } else {
+      // D(x) = min( min_{x'<=x} g(x') + β(x−x'), min_{x'>=x} g(x') ).
+      double best_shifted = kInf;  // min g(x') − βx'
+      for (int x = 0; x <= m; ++x) {
+        best_shifted =
+            std::min(best_shifted, g[static_cast<std::size_t>(x)] - beta * x);
+        d[static_cast<std::size_t>(x)] = best_shifted + beta * x;
+      }
+      double suffix = kInf;
+      for (int x = m; x >= 0; --x) {
+        suffix = std::min(suffix, g[static_cast<std::size_t>(x)]);
+        d[static_cast<std::size_t>(x)] =
+            std::min(d[static_cast<std::size_t>(x)], suffix);
+      }
+    }
+  }
+  return d;
+}
+
+void WindowedLcp::reset(const OnlineContext& context) {
+  context_ = context;
+  tracker_ = std::make_unique<rs::offline::WorkFunctionTracker>(context.m,
+                                                                context.beta);
+  current_ = 0;
+  last_lower_ = 0;
+  last_upper_ = 0;
+}
+
+int WindowedLcp::decide(const rs::core::CostPtr& f,
+                        std::span<const rs::core::CostPtr> lookahead) {
+  tracker_->advance(*f);
+  const int m = context_.m;
+
+  const std::vector<double> d_lower =
+      completion_costs(lookahead, m, context_.beta, /*charge_up=*/true);
+  const std::vector<double> d_upper =
+      completion_costs(lookahead, m, context_.beta, /*charge_up=*/false);
+
+  // Smallest minimizer of Ĉ^L_τ + D^L; largest minimizer of Ĉ^U_τ + D^U.
+  int lower = 0;
+  int upper = 0;
+  double best_lower = kInf;
+  double best_upper = kInf;
+  for (int x = 0; x <= m; ++x) {
+    const double l = tracker_->chat_lower(x) + d_lower[static_cast<std::size_t>(x)];
+    const double u = tracker_->chat_upper(x) + d_upper[static_cast<std::size_t>(x)];
+    if (l < best_lower) {
+      best_lower = l;
+      lower = x;
+    }
+    if (u <= best_upper) {
+      best_upper = u;
+      upper = x;
+    }
+  }
+  last_lower_ = lower;
+  last_upper_ = upper;
+  // With predictions the corridor may inverte on pathological ties; projecting
+  // into [min, max] keeps the decision well-defined.
+  const int lo = std::min(lower, upper);
+  const int hi = std::max(lower, upper);
+  current_ = rs::util::project(current_, lo, hi);
+  return current_;
+}
+
+}  // namespace rs::online

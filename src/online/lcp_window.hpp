@@ -1,0 +1,53 @@
+// LCP with a finite prediction window (Sections 3 and 5.4).
+//
+// At time τ the algorithm additionally knows f_{τ+1}..f_{τ+w}.  Following
+// Lin et al., the bounds become the τ-th components of optimal solutions of
+// the horizon-(τ+w) truncated problems:
+//
+//   x^{L,w}_τ = smallest x_τ over minimizers of C^L_{τ+w}
+//   x^{U,w}_τ = largest  x_τ over minimizers of C^U_{τ+w}
+//
+// computed as argmin_x [ Ĉ^B_τ(x) + D^B_τ(x) ], where D^B_τ(x) is the
+// optimal completion cost of serving the window starting from state x under
+// accounting B (up-charging for L, down-charging for U).  The completion
+// pass costs O(w·m) per step; w = 0 reduces exactly to LCP.
+//
+// Theorem 10 shows no constant window improves the competitive ratio on
+// stretched instances; the E9 experiment reproduces this, while the E10
+// trace study shows the practical benefit on real-shaped workloads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "offline/work_function.hpp"
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+class WindowedLcp final : public OnlineAlgorithm {
+ public:
+  std::string name() const override { return "lcp_window"; }
+  void reset(const OnlineContext& context) override;
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override;
+
+  int last_lower() const { return last_lower_; }
+  int last_upper() const { return last_upper_; }
+
+ private:
+  OnlineContext context_;
+  std::unique_ptr<rs::offline::WorkFunctionTracker> tracker_;
+  int current_ = 0;
+  int last_lower_ = 0;
+  int last_upper_ = 0;
+};
+
+/// Optimal completion cost D^B(x) over the window under the two accounting
+/// schemes (exposed for tests).  `window` holds f_{τ+1}.. in order; the
+/// horizon end after the window is free.  Returned vector has m+1 entries.
+std::vector<double> completion_costs(
+    std::span<const rs::core::CostPtr> window, int m, double beta,
+    bool charge_up);
+
+}  // namespace rs::online

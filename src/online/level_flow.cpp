@@ -1,0 +1,65 @@
+#include "online/level_flow.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost_function.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+LevelFlow::LevelFlow(double counter_scale) : counter_scale_(counter_scale) {
+  if (!(counter_scale > 0.0)) {
+    throw std::invalid_argument("LevelFlow: counter_scale must be > 0");
+  }
+}
+
+void LevelFlow::reset(const OnlineContext& context) {
+  context_ = context;
+  profile_.assign(static_cast<std::size_t>(std::max(0, context.m)), 0.0);
+}
+
+double LevelFlow::position() const {
+  rs::util::KahanSum sum;
+  for (double p : profile_) sum.add(p);
+  return sum.value();
+}
+
+double LevelFlow::decide(const rs::core::CostPtr& f,
+                         std::span<const rs::core::CostPtr> lookahead) {
+  (void)lookahead;
+  const rs::core::CostFunction& cost = *f;
+  const int m = context_.m;
+
+  std::vector<double> values(static_cast<std::size_t>(m) + 1);
+  int first_finite = -1;
+  int last_finite = -1;
+  for (int x = 0; x <= m; ++x) {
+    values[static_cast<std::size_t>(x)] = cost.at(x);
+    if (std::isfinite(values[static_cast<std::size_t>(x)])) {
+      if (first_finite < 0) first_finite = x;
+      last_finite = x;
+    }
+  }
+  if (first_finite < 0) return position();  // fully infeasible slot
+
+  for (int k = 0; k < m; ++k) {
+    double& p = profile_[static_cast<std::size_t>(k)];
+    if (k < first_finite) {
+      p = 1.0;  // +inf prefix: every feasible x keeps these levels on
+    } else if (k >= last_finite) {
+      p = 0.0;  // +inf suffix: every feasible x keeps these levels off
+    } else {
+      const double slope = values[static_cast<std::size_t>(k + 1)] -
+                           values[static_cast<std::size_t>(k)];
+      if (slope < 0.0) {
+        p = std::min(1.0, p + counter_scale_ * (-slope) / context_.beta);
+      } else if (slope > 0.0) {
+        p = std::max(0.0, p - counter_scale_ * slope / context_.beta);
+      }
+    }
+  }
+  return position();
+}
+
+}  // namespace rs::online

@@ -1,0 +1,63 @@
+// Fractional 2-competitive online algorithm in the level/threshold view of
+// Bansal et al. [7].
+//
+// A fractional state x ∈ [0, m] is identified with the "on"-profile of the
+// m unit levels: p_k ∈ [0, 1] is the probability that level k (servers
+// k..k+1) is active, and x̄ = Σ_k p_k.  Because the interpolated cost f̄_t is
+// piecewise linear with integer breakpoints, its level decomposition
+//
+//   f̄_t(x) = f_t(m_t) + Σ_{k < m_t} (off-penalty of level k)·(1 − 1{on})
+//                      + Σ_{k >= m_t} (on-penalty of level k)·1{on}
+//
+// has per-level penalties |s_k| with s_k = f_t(k+1) − f_t(k): levels on the
+// minimizer's left are penalized for being off, levels on its right for
+// being on.  Each level runs the linear counter rule of the two-state
+// subproblem ("ski rental with returns"):
+//
+//   off-penalty a:  p_k <- min(1, p_k + a/β)      (β = 2·(β/2): one unit of
+//   on-penalty  b:  p_k <- max(0, p_k − b/β)       level movement costs β/2
+//                                                  per direction)
+//
+// which pays at most twice the per-level optimum per activation phase;
+// summing over levels bounds the whole trajectory by 2·OPT (the per-level
+// optima underestimate the global optimum).  Penalties are constant within
+// integer cells, so the profile stays cell-uniform and the state is just a
+// vector of m counters.
+//
+// On the lower-bound family ϕ0/ϕ1 with m = 1, β = 2 the rule moves the
+// expected position by exactly ε/2 per slot — the paper's algorithm B
+// (Section 5.2.1), stated there to be the specialization of Bansal et al.
+// The played position is the profile mean x̄; by Jensen's inequality its
+// interpolated cost lower-bounds the profile's expected cost, so the played
+// schedule inherits the 2-competitive bound.  ±inf slopes (hard
+// constraints) saturate the affected levels immediately.
+#pragma once
+
+#include <vector>
+
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+class LevelFlow final : public FractionalOnlineAlgorithm {
+ public:
+  /// `counter_scale` multiplies the counter increments (1.0 = the
+  /// 2-competitive setting; exposed for the E11 ablation).
+  explicit LevelFlow(double counter_scale = 1.0);
+
+  std::string name() const override { return "level_flow"; }
+  void reset(const OnlineContext& context) override;
+  double decide(const rs::core::CostPtr& f,
+                std::span<const rs::core::CostPtr> lookahead) override;
+
+  /// Current on-fractions per unit level (diagnostics and tests).
+  const std::vector<double>& profile() const { return profile_; }
+  double position() const;
+
+ private:
+  OnlineContext context_;
+  std::vector<double> profile_;
+  double counter_scale_ = 1.0;
+};
+
+}  // namespace rs::online

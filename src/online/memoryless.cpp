@@ -1,0 +1,76 @@
+#include "online/memoryless.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/cost_function.hpp"
+
+namespace rs::online {
+
+MemorylessBalance::MemorylessBalance(double theta) : theta_(theta) {
+  if (!(theta > 0.0)) {
+    throw std::invalid_argument("MemorylessBalance: theta must be > 0");
+  }
+}
+
+void MemorylessBalance::reset(const OnlineContext& context) {
+  context_ = context;
+  position_ = 0.0;
+}
+
+double MemorylessBalance::decide(const rs::core::CostPtr& f,
+                                 std::span<const rs::core::CostPtr> lookahead) {
+  (void)lookahead;
+  const rs::core::CostFunction& cost = *f;
+  const int m = context_.m;
+
+  const int arg_lo = rs::core::smallest_minimizer_convex(cost, m);
+  int arg_hi = arg_lo;
+  while (arg_hi < m && cost.at(arg_hi + 1) <= cost.at(arg_lo)) ++arg_hi;
+
+  // Target endpoint of the minimizer interval on our side.
+  double target;
+  if (position_ < static_cast<double>(arg_lo)) {
+    target = static_cast<double>(arg_lo);
+  } else if (position_ > static_cast<double>(arg_hi)) {
+    target = static_cast<double>(arg_hi);
+  } else {
+    return position_;  // already minimal; balance keeps us in place
+  }
+
+  // g(δ) = f̄(x_{t−1} ± δ) − θ(β/2)δ is strictly decreasing in δ until the
+  // minimizer (f̄ non-increasing toward it, linear term increasing), so the
+  // balance point is found by bisection on δ ∈ [0, |target − position|].
+  const double direction = target > position_ ? 1.0 : -1.0;
+  const double max_delta = std::fabs(target - position_);
+  const double rate = theta_ * context_.beta / 2.0;
+
+  auto imbalance = [&](double delta) {
+    return rs::core::interpolate(cost, position_ + direction * delta) -
+           rate * delta;
+  };
+
+  double x_new;
+  if (imbalance(max_delta) >= 0.0) {
+    x_new = target;  // hitting cost still dominates at the minimizer
+  } else if (imbalance(0.0) <= 0.0) {
+    x_new = position_;  // already balanced without moving
+  } else {
+    double lo = 0.0;
+    double hi = max_delta;
+    for (int iter = 0; iter < 80; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (imbalance(mid) > 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    x_new = position_ + direction * 0.5 * (lo + hi);
+  }
+
+  position_ = x_new;
+  return position_;
+}
+
+}  // namespace rs::online

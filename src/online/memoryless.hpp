@@ -1,0 +1,35 @@
+// Memoryless balance algorithm (Bansal et al. [7]) for the continuous
+// setting.
+//
+// On the arrival of f_t, move from x_{t−1} toward the minimizer of f̄_t and
+// stop at the first point x_t where the hitting cost balances against the
+// distance travelled:
+//
+//   f̄_t(x_t) = θ · (β/2) · |x_t − x_{t−1}|
+//
+// saturating at the minimizer when even there the hitting cost exceeds the
+// balance.  With θ = 2 this is the memoryless algorithm that Bansal et al.
+// prove 3-competitive — and optimally so among memoryless deterministic
+// algorithms.  θ is exposed for the E11 ablation.
+#pragma once
+
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+class MemorylessBalance final : public FractionalOnlineAlgorithm {
+ public:
+  explicit MemorylessBalance(double theta = 2.0);
+
+  std::string name() const override { return "memoryless_balance"; }
+  void reset(const OnlineContext& context) override;
+  double decide(const rs::core::CostPtr& f,
+                std::span<const rs::core::CostPtr> lookahead) override;
+
+ private:
+  OnlineContext context_;
+  double position_ = 0.0;
+  double theta_ = 2.0;
+};
+
+}  // namespace rs::online

@@ -1,0 +1,61 @@
+// Online-algorithm interfaces and replay harness.
+//
+// In the online version of the data-center optimization problem the
+// functions f_t arrive over time; at time t the algorithm knows f_1..f_t
+// (plus, optionally, a prediction window f_{t+1}..f_{t+w}, Section 5.4) and
+// must commit to x_t.  Integral algorithms play the discrete problem;
+// fractional algorithms play the continuous extension.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+
+namespace rs::online {
+
+/// Static instance parameters known to an online player up front.
+struct OnlineContext {
+  int m = 0;
+  double beta = 1.0;
+};
+
+/// Deterministic or randomized online algorithm for the discrete problem.
+class OnlineAlgorithm {
+ public:
+  virtual ~OnlineAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before a run; must clear all per-run state.
+  virtual void reset(const OnlineContext& context) = 0;
+
+  /// Observes f_t (and an optional prediction window of future functions,
+  /// empty unless the replayer is given w > 0) and returns x_t in [0, m].
+  virtual int decide(const rs::core::CostPtr& f,
+                     std::span<const rs::core::CostPtr> lookahead) = 0;
+};
+
+/// Online algorithm for the continuous setting: states are reals in [0, m].
+class FractionalOnlineAlgorithm {
+ public:
+  virtual ~FractionalOnlineAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+  virtual void reset(const OnlineContext& context) = 0;
+  virtual double decide(const rs::core::CostPtr& f,
+                        std::span<const rs::core::CostPtr> lookahead) = 0;
+};
+
+/// Replays an instance through an online algorithm, revealing f_t one slot
+/// at a time plus `window` future functions, and validates every decision
+/// against [0, m].  Returns the produced schedule.
+rs::core::Schedule run_online(OnlineAlgorithm& algorithm,
+                              const rs::core::Problem& p, int window = 0);
+
+rs::core::FractionalSchedule run_online(FractionalOnlineAlgorithm& algorithm,
+                                        const rs::core::Problem& p,
+                                        int window = 0);
+
+}  // namespace rs::online

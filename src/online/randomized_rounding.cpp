@@ -1,0 +1,87 @@
+#include "online/randomized_rounding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "online/level_flow.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+using rs::util::ceil_star;
+using rs::util::frac;
+using rs::util::project;
+
+double rounding_upper_probability(int current, double previous_fractional,
+                                  double next_fractional) {
+  const double lower = std::floor(next_fractional);
+  const double upper = static_cast<double>(ceil_star(next_fractional));
+  // x̄'_{t−1}: previous fractional state projected into [⌊x̄_t⌋, ⌈x̄_t⌉*].
+  const double projected = project(previous_fractional, lower, upper);
+  // Within-cell coordinate of the projection, in [0, 1].  On single-cell
+  // moves this equals the paper's frac(x̄'_{t−1}); for multi-cell moves the
+  // projection lands on the cell border, where the literal frac() would
+  // wrap to 0 and break the Lemma-18 marginals.
+  const double rel = projected - lower;
+
+  if (previous_fractional <= next_fractional) {
+    // Increasing step: keep the upper state if already there, otherwise
+    // jump up with p↑ = (x̄_t − x̄'_{t−1}) / (1 − frac(x̄'_{t−1})).
+    if (current >= static_cast<int>(upper)) return 1.0;
+    const double p_up = (next_fractional - projected) / (1.0 - rel);
+    return project(p_up, 0.0, 1.0);
+  }
+  // Decreasing step: keep the lower state if already there, otherwise drop
+  // with p↓ = (x̄'_{t−1} − x̄_t) / frac(x̄'_{t−1}).
+  if (current <= static_cast<int>(lower)) return 0.0;
+  const double p_down = (projected - next_fractional) / rel;
+  return 1.0 - project(p_down, 0.0, 1.0);
+}
+
+int RoundingChain::step(double fractional) {
+  if (fractional < 0.0) {
+    throw std::invalid_argument("RoundingChain::step: negative state");
+  }
+  const int lower = static_cast<int>(std::floor(fractional));
+  const int upper = static_cast<int>(ceil_star(fractional));
+  const double p_upper =
+      rounding_upper_probability(current_, previous_fractional_, fractional);
+  current_ = rng_.bernoulli(p_upper) ? upper : lower;
+  previous_fractional_ = fractional;
+  return current_;
+}
+
+rs::core::Schedule round_schedule(const rs::core::FractionalSchedule& x,
+                                  std::uint64_t seed) {
+  RoundingChain chain{rs::util::Rng(seed)};
+  rs::core::Schedule out;
+  out.reserve(x.size());
+  for (double value : x) out.push_back(chain.step(value));
+  return out;
+}
+
+RandomizedRounding::RandomizedRounding(
+    std::unique_ptr<FractionalOnlineAlgorithm> fractional, std::uint64_t seed)
+    : fractional_(std::move(fractional)), seed_(seed) {
+  if (!fractional_) {
+    throw std::invalid_argument("RandomizedRounding: null fractional");
+  }
+}
+
+RandomizedRounding::RandomizedRounding(std::uint64_t seed)
+    : RandomizedRounding(std::make_unique<LevelFlow>(), seed) {}
+
+void RandomizedRounding::reset(const OnlineContext& context) {
+  fractional_->reset(context);
+  chain_ = std::make_unique<RoundingChain>(rs::util::Rng(seed_));
+  last_fractional_ = 0.0;
+}
+
+int RandomizedRounding::decide(const rs::core::CostPtr& f,
+                               std::span<const rs::core::CostPtr> lookahead) {
+  if (!chain_) throw std::logic_error("RandomizedRounding: reset() first");
+  last_fractional_ = fractional_->decide(f, lookahead);
+  return chain_->step(last_fractional_);
+}
+
+}  // namespace rs::online

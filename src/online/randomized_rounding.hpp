@@ -1,0 +1,81 @@
+// Randomized rounding of fractional schedules (Section 4.1) and the full
+// 2-competitive randomized online algorithm of Theorem 3.
+//
+// Given the fractional state x̄_t, the integral state is always one of
+// ⌊x̄_t⌋ or ⌈x̄_t⌉* (the strict ceiling, = ⌊x̄_t⌋+1).  With
+// x̄'_{t−1} = [x̄_{t−1}]^{⌈x̄_t⌉*}_{⌊x̄_t⌋}:
+//
+//   increasing step (x̄_{t−1} <= x̄_t): if already at the upper state, stay;
+//     otherwise jump up with probability p↑ = (x̄_t − x̄'_{t−1}) /
+//     (1 − frac(x̄'_{t−1}));
+//   decreasing step: symmetric with p↓ = (x̄'_{t−1} − x̄_t) / frac(x̄'_{t−1}).
+//
+// Lemma 18: Pr[x_t = ⌈x̄_t⌉*] = frac(x̄_t); Lemmas 19/20: the expected
+// operating and switching costs equal the fractional ones, so the rounded
+// schedule inherits the fractional algorithm's competitive ratio.
+#pragma once
+
+#include <memory>
+
+#include "online/online_algorithm.hpp"
+#include "util/rng.hpp"
+
+namespace rs::online {
+
+/// Transition rule of the rounding chain: probability that the next
+/// integral state is the upper state ⌈next⌉*, given the current integral
+/// state and the previous/next fractional states.  Pure function exposed so
+/// the Lemma-18 tests can evolve exact two-point distributions.
+double rounding_upper_probability(int current, double previous_fractional,
+                                  double next_fractional);
+
+/// Stateful rounding chain.  Feed fractional states one at a time.
+class RoundingChain {
+ public:
+  explicit RoundingChain(rs::util::Rng rng) : rng_(rng) {}
+
+  /// Advances the chain to fractional state `fractional` and returns the
+  /// sampled integral state.
+  int step(double fractional);
+
+  int current() const noexcept { return current_; }
+
+ private:
+  rs::util::Rng rng_;
+  int current_ = 0;
+  double previous_fractional_ = 0.0;
+};
+
+/// Rounds a complete fractional schedule (offline use and Monte-Carlo
+/// analysis).  Deterministic given the seed.
+rs::core::Schedule round_schedule(const rs::core::FractionalSchedule& x,
+                                  std::uint64_t seed);
+
+/// The randomized online algorithm of Section 4: runs a fractional
+/// 2-competitive algorithm (GradientFlow by default) on the continuous
+/// extension and rounds its trajectory online.
+class RandomizedRounding final : public OnlineAlgorithm {
+ public:
+  RandomizedRounding(std::unique_ptr<FractionalOnlineAlgorithm> fractional,
+                     std::uint64_t seed);
+
+  /// Convenience: LevelFlow-backed instance (the Theorem-3 algorithm).
+  explicit RandomizedRounding(std::uint64_t seed);
+
+  std::string name() const override { return "randomized_rounding"; }
+  void reset(const OnlineContext& context) override;
+  int decide(const rs::core::CostPtr& f,
+             std::span<const rs::core::CostPtr> lookahead) override;
+
+  /// Fractional state after the last decide() (the oblivious adversary of
+  /// Theorem 8 plays against these marginals).
+  double last_fractional() const { return last_fractional_; }
+
+ private:
+  std::unique_ptr<FractionalOnlineAlgorithm> fractional_;
+  std::uint64_t seed_;
+  std::unique_ptr<RoundingChain> chain_;
+  double last_fractional_ = 0.0;
+};
+
+}  // namespace rs::online

@@ -1,0 +1,135 @@
+#include "online/receding_horizon.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::online {
+
+using rs::util::kInf;
+using rs::util::pos;
+
+std::vector<int> plan_fixed_horizon(
+    int start_state, const rs::core::CostPtr& f,
+    std::span<const rs::core::CostPtr> lookahead, int m, double beta) {
+  const std::size_t horizon = 1 + lookahead.size();
+  // Forward DP over the window with parent pointers; O(horizon · m) via the
+  // usual prefix/suffix split of min_{x'} [ W(x') + β(x−x')⁺ ].
+  std::vector<double> labels(static_cast<std::size_t>(m) + 1, kInf);
+  labels[static_cast<std::size_t>(start_state)] = 0.0;
+  std::vector<std::vector<std::int32_t>> parents(
+      horizon, std::vector<std::int32_t>(static_cast<std::size_t>(m) + 1, -1));
+  std::vector<double> next(static_cast<std::size_t>(m) + 1);
+
+  for (std::size_t j = 0; j < horizon; ++j) {
+    const rs::core::CostFunction& cost = j == 0 ? *f : *lookahead[j - 1];
+    // Suffix minima (free power-down).
+    std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
+    std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
+    suffix_min[static_cast<std::size_t>(m)] = labels[static_cast<std::size_t>(m)];
+    suffix_arg[static_cast<std::size_t>(m)] = m;
+    for (int x = m - 1; x >= 0; --x) {
+      if (labels[static_cast<std::size_t>(x)] <=
+          suffix_min[static_cast<std::size_t>(x + 1)]) {
+        suffix_min[static_cast<std::size_t>(x)] = labels[static_cast<std::size_t>(x)];
+        suffix_arg[static_cast<std::size_t>(x)] = x;
+      } else {
+        suffix_min[static_cast<std::size_t>(x)] =
+            suffix_min[static_cast<std::size_t>(x + 1)];
+        suffix_arg[static_cast<std::size_t>(x)] =
+            suffix_arg[static_cast<std::size_t>(x + 1)];
+      }
+    }
+    // Prefix minima of labels(x') − βx' (paid power-up).
+    double prefix_min = kInf;
+    std::int32_t prefix_arg = -1;
+    for (int x = 0; x <= m; ++x) {
+      const double shifted =
+          labels[static_cast<std::size_t>(x)] - beta * static_cast<double>(x);
+      if (shifted < prefix_min) {
+        prefix_min = shifted;
+        prefix_arg = static_cast<std::int32_t>(x);
+      }
+      const double up = prefix_min + beta * static_cast<double>(x);
+      const double stay = suffix_min[static_cast<std::size_t>(x)];
+      double transition;
+      std::int32_t parent;
+      if (up < stay) {
+        transition = up;
+        parent = prefix_arg;
+      } else {
+        transition = stay;
+        parent = suffix_arg[static_cast<std::size_t>(x)];
+      }
+      const double fx = cost.at(x);
+      next[static_cast<std::size_t>(x)] =
+          std::isinf(fx) || std::isinf(transition) ? kInf : transition + fx;
+      parents[j][static_cast<std::size_t>(x)] = parent;
+    }
+    labels.swap(next);
+  }
+
+  // Backtrack from the cheapest final state.
+  int state = 0;
+  for (int x = 1; x <= m; ++x) {
+    if (labels[static_cast<std::size_t>(x)] < labels[static_cast<std::size_t>(state)]) {
+      state = x;
+    }
+  }
+  if (std::isinf(labels[static_cast<std::size_t>(state)])) {
+    throw std::logic_error("plan_fixed_horizon: infeasible window");
+  }
+  std::vector<int> plan(horizon, 0);
+  for (std::size_t j = horizon; j-- > 0;) {
+    plan[j] = state;
+    state = parents[j][static_cast<std::size_t>(state)];
+  }
+  return plan;
+}
+
+void RecedingHorizon::reset(const OnlineContext& context) {
+  context_ = context;
+  current_ = 0;
+}
+
+int RecedingHorizon::decide(const rs::core::CostPtr& f,
+                            std::span<const rs::core::CostPtr> lookahead) {
+  const std::vector<int> plan =
+      plan_fixed_horizon(current_, f, lookahead, context_.m, context_.beta);
+  current_ = plan.front();
+  return current_;
+}
+
+AveragingFixedHorizon::AveragingFixedHorizon(int window) : window_(window) {
+  if (window < 0) throw std::invalid_argument("AveragingFixedHorizon: w < 0");
+}
+
+void AveragingFixedHorizon::reset(const OnlineContext& context) {
+  context_ = context;
+  tau_ = 0;
+  variants_.assign(static_cast<std::size_t>(window_) + 1, Variant{});
+}
+
+double AveragingFixedHorizon::decide(
+    const rs::core::CostPtr& f, std::span<const rs::core::CostPtr> lookahead) {
+  const int variants = window_ + 1;
+  double sum = 0.0;
+  for (int k = 0; k < variants; ++k) {
+    Variant& variant = variants_[static_cast<std::size_t>(k)];
+    const bool replan = (tau_ % variants) == k ||
+                        variant.next_action >= variant.plan.size();
+    if (replan) {
+      variant.plan = plan_fixed_horizon(variant.state, f, lookahead,
+                                        context_.m, context_.beta);
+      variant.next_action = 0;
+    }
+    variant.state = variant.plan[variant.next_action];
+    ++variant.next_action;
+    sum += static_cast<double>(variant.state);
+  }
+  ++tau_;
+  return sum / static_cast<double>(variants);
+}
+
+}  // namespace rs::online

@@ -1,0 +1,67 @@
+#include <stdexcept>
+#include <vector>
+
+#include "online/online_algorithm.hpp"
+
+namespace rs::online {
+
+namespace {
+
+std::vector<rs::core::CostPtr> collect_functions(const rs::core::Problem& p) {
+  std::vector<rs::core::CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) fs.push_back(p.f_ptr(t));
+  return fs;
+}
+
+std::span<const rs::core::CostPtr> window_of(
+    const std::vector<rs::core::CostPtr>& fs, int t, int window) {
+  const std::size_t begin = static_cast<std::size_t>(t);  // f_{t+1} at index t
+  const std::size_t end =
+      std::min(fs.size(), begin + static_cast<std::size_t>(window));
+  if (begin >= end) return {};
+  return {fs.data() + begin, end - begin};
+}
+
+}  // namespace
+
+rs::core::Schedule run_online(OnlineAlgorithm& algorithm,
+                              const rs::core::Problem& p, int window) {
+  if (window < 0) throw std::invalid_argument("run_online: window < 0");
+  const std::vector<rs::core::CostPtr> fs = collect_functions(p);
+  algorithm.reset(OnlineContext{p.max_servers(), p.beta()});
+  rs::core::Schedule schedule;
+  schedule.reserve(fs.size());
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const int x = algorithm.decide(fs[static_cast<std::size_t>(t - 1)],
+                                   window_of(fs, t, window));
+    if (x < 0 || x > p.max_servers()) {
+      throw std::logic_error("run_online: " + algorithm.name() +
+                             " returned x outside [0, m]");
+    }
+    schedule.push_back(x);
+  }
+  return schedule;
+}
+
+rs::core::FractionalSchedule run_online(FractionalOnlineAlgorithm& algorithm,
+                                        const rs::core::Problem& p,
+                                        int window) {
+  if (window < 0) throw std::invalid_argument("run_online: window < 0");
+  const std::vector<rs::core::CostPtr> fs = collect_functions(p);
+  algorithm.reset(OnlineContext{p.max_servers(), p.beta()});
+  rs::core::FractionalSchedule schedule;
+  schedule.reserve(fs.size());
+  for (int t = 1; t <= p.horizon(); ++t) {
+    const double x = algorithm.decide(fs[static_cast<std::size_t>(t - 1)],
+                                      window_of(fs, t, window));
+    if (!(x >= 0.0) || x > static_cast<double>(p.max_servers())) {
+      throw std::logic_error("run_online: " + algorithm.name() +
+                             " returned x outside [0, m]");
+    }
+    schedule.push_back(x);
+  }
+  return schedule;
+}
+
+}  // namespace rs::online

@@ -1,0 +1,54 @@
+// Umbrella header: the full public API of the rightsizer library.
+//
+// Reproduction of "Optimal Algorithms for Right-Sizing Data Centers"
+// (Albers & Quedenfeld, SPAA 2018).  See README.md for a tour and
+// DESIGN.md for the module inventory.
+#pragma once
+
+#include "analysis/competitive.hpp"      // IWYU pragma: export
+#include "analysis/monte_carlo.hpp"      // IWYU pragma: export
+#include "analysis/savings.hpp"          // IWYU pragma: export
+#include "analysis/sweep.hpp"            // IWYU pragma: export
+#include "core/cost_function.hpp"        // IWYU pragma: export
+#include "core/piecewise_linear.hpp"     // IWYU pragma: export
+#include "core/problem.hpp"              // IWYU pragma: export
+#include "core/schedule.hpp"             // IWYU pragma: export
+#include "core/transforms.hpp"           // IWYU pragma: export
+#include "dcsim/cost_model.hpp"          // IWYU pragma: export
+#include "dcsim/datacenter.hpp"          // IWYU pragma: export
+#include "dcsim/delay_model.hpp"         // IWYU pragma: export
+#include "dcsim/power_model.hpp"         // IWYU pragma: export
+#include "graph/dot_export.hpp"          // IWYU pragma: export
+#include "hetero/hetero_problem.hpp"     // IWYU pragma: export
+#include "hetero/hetero_solver.hpp"      // IWYU pragma: export
+#include "graph/layered_graph.hpp"       // IWYU pragma: export
+#include "graph/schedule_graph.hpp"      // IWYU pragma: export
+#include "lowerbound/adversary.hpp"      // IWYU pragma: export
+#include "offline/backward_solver.hpp"   // IWYU pragma: export
+#include "offline/binary_search_solver.hpp"  // IWYU pragma: export
+#include "offline/bounded_dp.hpp"        // IWYU pragma: export
+#include "offline/brute_force.hpp"       // IWYU pragma: export
+#include "offline/dp_solver.hpp"         // IWYU pragma: export
+#include "offline/graph_solver.hpp"      // IWYU pragma: export
+#include "offline/grid_continuous.hpp"   // IWYU pragma: export
+#include "offline/low_memory_solver.hpp" // IWYU pragma: export
+#include "offline/work_function.hpp"     // IWYU pragma: export
+#include "online/baselines.hpp"          // IWYU pragma: export
+#include "online/gradient_flow.hpp"      // IWYU pragma: export
+#include "online/lcp.hpp"                // IWYU pragma: export
+#include "online/lcp_window.hpp"         // IWYU pragma: export
+#include "online/level_flow.hpp"         // IWYU pragma: export
+#include "online/memoryless.hpp"         // IWYU pragma: export
+#include "online/online_algorithm.hpp"   // IWYU pragma: export
+#include "online/randomized_rounding.hpp"  // IWYU pragma: export
+#include "online/receding_horizon.hpp"   // IWYU pragma: export
+#include "util/cli.hpp"                  // IWYU pragma: export
+#include "util/csv.hpp"                  // IWYU pragma: export
+#include "util/math_util.hpp"            // IWYU pragma: export
+#include "util/rng.hpp"                  // IWYU pragma: export
+#include "util/stopwatch.hpp"            // IWYU pragma: export
+#include "util/table.hpp"                // IWYU pragma: export
+#include "util/thread_pool.hpp"          // IWYU pragma: export
+#include "workload/generators.hpp"       // IWYU pragma: export
+#include "workload/random_instance.hpp"  // IWYU pragma: export
+#include "workload/trace.hpp"            // IWYU pragma: export

@@ -1,0 +1,53 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace rs::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) const {
+  const auto it = flags_.find(key);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("CliArgs: bad boolean for --" + key + ": " + v);
+}
+
+}  // namespace rs::util

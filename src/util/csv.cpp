@@ -1,0 +1,114 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rs::util {
+
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string csv_format_row(const CsvRow& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out += ',';
+    out += needs_quoting(row[i]) ? quote(row[i]) : row[i];
+  }
+  return out;
+}
+
+CsvRow csv_parse_line(const std::string& line) {
+  CsvRow fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF line endings
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvTable csv_parse(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::istringstream stream(text);
+  std::string line;
+  bool header_pending = has_header;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    CsvRow row = csv_parse_line(line);
+    if (header_pending) {
+      table.header = std::move(row);
+      header_pending = false;
+    } else {
+      table.rows.push_back(std::move(row));
+    }
+  }
+  return table;
+}
+
+std::string csv_format(const CsvTable& table) {
+  std::string out;
+  if (!table.header.empty()) {
+    out += csv_format_row(table.header);
+    out += '\n';
+  }
+  for (const CsvRow& row : table.rows) {
+    out += csv_format_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+CsvTable csv_read_file(const std::string& path, bool has_header) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("csv_read_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return csv_parse(buffer.str(), has_header);
+}
+
+void csv_write_file(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("csv_write_file: cannot open " + path);
+  file << csv_format(table);
+  if (!file) throw std::runtime_error("csv_write_file: write failed for " + path);
+}
+
+}  // namespace rs::util

@@ -1,0 +1,36 @@
+// Tiny CSV reader/writer used for trace I/O and experiment exports.
+// Supports the subset of RFC 4180 the library needs: comma separation,
+// double-quoted fields with escaped quotes, and comment lines starting
+// with '#'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rs::util {
+
+using CsvRow = std::vector<std::string>;
+
+struct CsvTable {
+  CsvRow header;               // empty if the file had no header
+  std::vector<CsvRow> rows;
+};
+
+/// Serializes one row, quoting fields that contain separators/quotes.
+std::string csv_format_row(const CsvRow& row);
+
+/// Parses one CSV line into fields (handles quoted fields).
+CsvRow csv_parse_line(const std::string& line);
+
+/// Parses full CSV text.  If `has_header` the first non-comment line becomes
+/// the header.  Blank and '#'-comment lines are skipped.
+CsvTable csv_parse(const std::string& text, bool has_header);
+
+/// Serializes a table (header written only if non-empty).
+std::string csv_format(const CsvTable& table);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+CsvTable csv_read_file(const std::string& path, bool has_header);
+void csv_write_file(const std::string& path, const CsvTable& table);
+
+}  // namespace rs::util

@@ -1,0 +1,124 @@
+// Deterministic, seedable random number generation.
+//
+// All randomized components of the library (workload generators, the
+// randomized rounding algorithm of Section 4, Monte-Carlo harnesses) draw
+// from rs::util::Rng so that every experiment is reproducible from a single
+// 64-bit seed.  The engine is xoshiro256++ (public-domain algorithm by
+// Blackman & Vigna), seeded via SplitMix64; it satisfies
+// std::uniform_random_bit_generator and can therefore also back the standard
+// <random> distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rs::util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ engine.  Satisfies std::uniform_random_bit_generator.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump function: advances the state by 2^128 steps.  Used to derive
+  /// non-overlapping streams for parallel Monte-Carlo workers.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull, 0xa9582618e03fc9aaull,
+        0x39abdc4529b1661cull};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (1ull << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Convenience façade bundling the engine with the distributions the library
+/// actually uses.  Cheap to copy; copies evolve independently.
+class Rng {
+ public:
+  using result_type = Xoshiro256pp::result_type;
+
+  explicit Rng(std::uint64_t seed = 1) noexcept : engine_(seed) {}
+
+  static constexpr result_type min() noexcept { return Xoshiro256pp::min(); }
+  static constexpr result_type max() noexcept { return Xoshiro256pp::max(); }
+  result_type operator()() noexcept { return engine_(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (cached second sample).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Poisson sample (Knuth for small mean, normal approximation for large).
+  std::int64_t poisson(double mean) noexcept;
+
+  /// Derive an independent child generator (jump-based, deterministic).
+  Rng split() noexcept {
+    Rng child = *this;
+    child.engine_.jump();
+    child.has_cached_normal_ = false;
+    engine_();  // decorrelate the parent as well
+    return child;
+  }
+
+ private:
+  Xoshiro256pp engine_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace rs::util

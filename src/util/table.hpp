@@ -1,0 +1,36 @@
+// Column-aligned text tables.  The benchmark binaries print their
+// paper-style result rows through this printer so every experiment's output
+// has a uniform, diffable format (plain aligned text or GitHub markdown).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rs::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision, passing strings
+  /// through unchanged.
+  static std::string num(double value, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders as aligned plain text (default) or GitHub markdown.
+  std::string to_string(bool markdown = false) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rs::util

@@ -1,0 +1,68 @@
+// Minimal fixed-size thread pool used by the Monte-Carlo and sweep harnesses.
+//
+// Design notes (HPC guidance): work items are coarse-grained (one trial or
+// one parameter point per task), so a single mutex-protected deque is
+// sufficient; no work stealing is needed.  parallel_for chunks an index range
+// over the workers and blocks until completion, propagating the first
+// exception thrown by any chunk.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rs::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (defaults to hardware concurrency,
+  /// at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a nullary callable; returns a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(i) for i in [begin, end) across the pool and waits.  The first
+  /// exception (if any) is rethrown in the calling thread.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for harness code that does not care about lifetime.
+ThreadPool& global_pool();
+
+}  // namespace rs::util

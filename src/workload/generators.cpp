@@ -1,0 +1,158 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::workload {
+
+using rs::util::Rng;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double clamp_non_negative(double value) { return value < 0.0 ? 0.0 : value; }
+
+void check_horizon(int horizon, const char* where) {
+  if (horizon < 0) {
+    throw std::invalid_argument(std::string(where) + ": negative horizon");
+  }
+}
+
+}  // namespace
+
+Trace diurnal(Rng& rng, const DiurnalParams& params) {
+  check_horizon(params.horizon, "diurnal");
+  if (params.period < 1) throw std::invalid_argument("diurnal: period < 1");
+  if (params.base < 0.0 || params.base > 1.0) {
+    throw std::invalid_argument("diurnal: base must be in [0, 1]");
+  }
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  for (int t = 0; t < params.horizon; ++t) {
+    const double phase = 2.0 * kPi * static_cast<double>(t) / params.period;
+    // Sinusoid raised to sit between base·peak and peak.
+    const double wave = 0.5 * (1.0 - std::cos(phase));  // 0 at valley, 1 peak
+    double value = params.peak * (params.base + (1.0 - params.base) * wave);
+    value *= 1.0 + rng.normal(0.0, params.noise);
+    trace.lambda.push_back(clamp_non_negative(value));
+  }
+  return trace;
+}
+
+Trace mmpp2(Rng& rng, const Mmpp2Params& params) {
+  check_horizon(params.horizon, "mmpp2");
+  if (params.p_low_to_high < 0.0 || params.p_low_to_high > 1.0 ||
+      params.p_high_to_low < 0.0 || params.p_high_to_low > 1.0) {
+    throw std::invalid_argument("mmpp2: transition probabilities in [0,1]");
+  }
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  bool high = false;
+  for (int t = 0; t < params.horizon; ++t) {
+    if (high) {
+      if (rng.bernoulli(params.p_high_to_low)) high = false;
+    } else {
+      if (rng.bernoulli(params.p_low_to_high)) high = true;
+    }
+    const double rate = high ? params.rate_high : params.rate_low;
+    const double value = rate * (1.0 + rng.normal(0.0, params.jitter));
+    trace.lambda.push_back(clamp_non_negative(value));
+  }
+  return trace;
+}
+
+Trace spikes(Rng& rng, const SpikeParams& params) {
+  check_horizon(params.horizon, "spikes");
+  if (params.spike_duration < 1) {
+    throw std::invalid_argument("spikes: duration < 1");
+  }
+  Trace trace;
+  trace.lambda.assign(static_cast<std::size_t>(params.horizon),
+                      params.baseline);
+  for (int t = 0; t < params.horizon; ++t) {
+    if (rng.bernoulli(params.spike_probability)) {
+      for (int u = t; u < std::min(params.horizon, t + params.spike_duration);
+           ++u) {
+        trace.lambda[static_cast<std::size_t>(u)] = params.spike_height;
+      }
+    }
+  }
+  return trace;
+}
+
+Trace bounded_random_walk(Rng& rng, const RandomWalkParams& params) {
+  check_horizon(params.horizon, "bounded_random_walk");
+  if (params.floor > params.ceiling) {
+    throw std::invalid_argument("bounded_random_walk: floor > ceiling");
+  }
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  double value = rs::util::project(params.start, params.floor, params.ceiling);
+  for (int t = 0; t < params.horizon; ++t) {
+    value += rng.uniform(-params.step, params.step);
+    value = rs::util::project(value, params.floor, params.ceiling);
+    trace.lambda.push_back(value);
+  }
+  return trace;
+}
+
+Trace hotmail_like(Rng& rng, int days, int slots_per_day, double peak) {
+  if (days < 1 || slots_per_day < 2) {
+    throw std::invalid_argument("hotmail_like: need days >= 1, slots >= 2");
+  }
+  // Smooth diurnal with a deep overnight valley (base ≈ 0.25·peak gives
+  // peak-to-mean ≈ 2 for a raised cosine), small daily amplitude variation
+  // and mild noise — matching the "strong diurnal, peak-to-mean about 2"
+  // description of the Hotmail trace in Lin et al.
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(days) *
+                       static_cast<std::size_t>(slots_per_day));
+  for (int day = 0; day < days; ++day) {
+    const double day_scale = 1.0 + rng.normal(0.0, 0.05);
+    for (int slot = 0; slot < slots_per_day; ++slot) {
+      const double phase = 2.0 * kPi * slot / slots_per_day;
+      const double wave = 0.5 * (1.0 - std::cos(phase));
+      // Sharpen the valley: squaring the wave deepens the overnight dip.
+      const double shaped = 0.15 + 0.85 * wave * wave;
+      double value = peak * day_scale * shaped;
+      value *= 1.0 + rng.normal(0.0, 0.03);
+      trace.lambda.push_back(clamp_non_negative(value));
+    }
+  }
+  return trace;
+}
+
+Trace msr_like(Rng& rng, int days, int slots_per_day, double peak) {
+  if (days < 1 || slots_per_day < 2) {
+    throw std::invalid_argument("msr_like: need days >= 1, slots >= 2");
+  }
+  // Weak diurnal baseline plus bursty MMPP-style excursions: most slots sit
+  // near 0.2·peak, occasional sustained bursts reach the peak, yielding
+  // peak-to-mean around 4 as reported for the MSR trace.
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(days) *
+                       static_cast<std::size_t>(slots_per_day));
+  bool burst = false;
+  for (int day = 0; day < days; ++day) {
+    for (int slot = 0; slot < slots_per_day; ++slot) {
+      const double phase = 2.0 * kPi * slot / slots_per_day;
+      const double baseline = 0.14 + 0.08 * (0.5 * (1.0 - std::cos(phase)));
+      if (burst) {
+        if (rng.bernoulli(0.12)) burst = false;
+      } else {
+        if (rng.bernoulli(0.02)) burst = true;
+      }
+      double value = peak * baseline;
+      if (burst) value += peak * rng.uniform(0.45, 0.85);
+      value *= 1.0 + rng.normal(0.0, 0.10);
+      trace.lambda.push_back(clamp_non_negative(std::min(value, peak)));
+    }
+  }
+  return trace;
+}
+
+}  // namespace rs::workload

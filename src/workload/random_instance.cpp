@@ -1,0 +1,126 @@
+#include "workload/random_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+
+namespace rs::workload {
+
+using rs::core::AffineAbsCost;
+using rs::core::CostPtr;
+using rs::core::Problem;
+using rs::core::QuadraticCost;
+using rs::core::TableCost;
+using rs::util::kInf;
+using rs::util::Rng;
+
+const std::vector<InstanceFamily>& all_instance_families() {
+  static const std::vector<InstanceFamily> families = {
+      InstanceFamily::kConvexTable,  InstanceFamily::kQuadratic,
+      InstanceFamily::kAffineAbs,    InstanceFamily::kConstrained,
+      InstanceFamily::kFlatRegions,  InstanceFamily::kCapacityCapped};
+  return families;
+}
+
+std::string family_name(InstanceFamily family) {
+  switch (family) {
+    case InstanceFamily::kConvexTable: return "convex_table";
+    case InstanceFamily::kQuadratic: return "quadratic";
+    case InstanceFamily::kAffineAbs: return "affine_abs";
+    case InstanceFamily::kConstrained: return "constrained";
+    case InstanceFamily::kFlatRegions: return "flat_regions";
+    case InstanceFamily::kCapacityCapped: return "capacity_capped";
+  }
+  throw std::invalid_argument("family_name: unknown family");
+}
+
+std::vector<double> random_convex_table(Rng& rng, int m) {
+  std::vector<double> values(static_cast<std::size_t>(m) + 1);
+  values[0] = rng.uniform(0.0, 4.0);
+  double slope = rng.uniform(-2.0, 0.5);
+  for (int x = 1; x <= m; ++x) {
+    slope += rng.uniform(0.0, 1.0);  // slopes non-decreasing => convex
+    values[static_cast<std::size_t>(x)] =
+        values[static_cast<std::size_t>(x - 1)] + slope;
+  }
+  const double low = *std::min_element(values.begin(), values.end());
+  const double shift = low < 0.0 ? -low : 0.0;
+  for (double& v : values) v += shift;
+  return values;
+}
+
+namespace {
+
+CostPtr draw_cost(Rng& rng, InstanceFamily family, int m, int t, int T) {
+  switch (family) {
+    case InstanceFamily::kConvexTable:
+      return std::make_shared<TableCost>(random_convex_table(rng, m));
+    case InstanceFamily::kQuadratic: {
+      // Center drifts sinusoidally over the horizon plus noise: tracks the
+      // diurnal shape right-sizing exploits.
+      const double phase = 2.0 * 3.14159265358979323846 *
+                           static_cast<double>(t) / std::max(1, T);
+      const double center = (0.5 + 0.4 * std::sin(phase)) * m +
+                            rng.normal(0.0, 0.05 * m + 0.1);
+      return std::make_shared<QuadraticCost>(rng.uniform(0.05, 0.5),
+                                             center);
+    }
+    case InstanceFamily::kAffineAbs:
+      return std::make_shared<AffineAbsCost>(
+          rng.uniform(0.01, 1.0),
+          static_cast<double>(rng.uniform_int(0, m)));
+    case InstanceFamily::kConstrained: {
+      std::vector<double> values = random_convex_table(rng, m);
+      const int prefix = static_cast<int>(rng.uniform_int(0, m / 2));
+      for (int x = 0; x < prefix; ++x) {
+        values[static_cast<std::size_t>(x)] = kInf;
+      }
+      return std::make_shared<TableCost>(std::move(values));
+    }
+    case InstanceFamily::kCapacityCapped: {
+      std::vector<double> values = random_convex_table(rng, m);
+      // Cap in the upper half so state 0 stays feasible and caps bite.
+      const int cap = static_cast<int>(rng.uniform_int(std::max(1, m / 2), m));
+      for (int x = cap + 1; x <= m; ++x) {
+        values[static_cast<std::size_t>(x)] = kInf;
+      }
+      return std::make_shared<TableCost>(std::move(values));
+    }
+    case InstanceFamily::kFlatRegions: {
+      // V-shape with a wide flat bottom.
+      const int lo = static_cast<int>(rng.uniform_int(0, m));
+      const int hi = static_cast<int>(rng.uniform_int(lo, m));
+      const double left = rng.uniform(0.1, 2.0);
+      const double right = rng.uniform(0.1, 2.0);
+      const double base = rng.uniform(0.0, 1.0);
+      std::vector<double> values(static_cast<std::size_t>(m) + 1);
+      for (int x = 0; x <= m; ++x) {
+        double v = base;
+        if (x < lo) v += left * (lo - x);
+        if (x > hi) v += right * (x - hi);
+        values[static_cast<std::size_t>(x)] = v;
+      }
+      return std::make_shared<TableCost>(std::move(values));
+    }
+  }
+  throw std::invalid_argument("draw_cost: unknown family");
+}
+
+}  // namespace
+
+Problem random_instance(Rng& rng, InstanceFamily family, int T, int m,
+                        double beta) {
+  if (T < 0) throw std::invalid_argument("random_instance: T < 0");
+  if (m < 0) throw std::invalid_argument("random_instance: m < 0");
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  for (int t = 1; t <= T; ++t) {
+    fs.push_back(draw_cost(rng, family, m, t, T));
+  }
+  return Problem(m, beta, std::move(fs));
+}
+
+}  // namespace rs::workload

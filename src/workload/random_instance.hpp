@@ -1,0 +1,42 @@
+// Random convex problem instances for property tests and sweeps.
+//
+// Families cover the shapes the paper's algorithms are exercised on:
+// arbitrary convex tables (adversarially unstructured), quadratic "tracking"
+// costs with drifting centers (diurnal-like), affine-abs (the lower-bound ϕ
+// family), costs with infeasible prefixes (restricted-model-like hard
+// constraints), and piecewise-flat costs with large flat minimizer regions
+// (stress for tie-breaking).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/rng.hpp"
+
+namespace rs::workload {
+
+enum class InstanceFamily {
+  kConvexTable,      // random non-decreasing slopes
+  kQuadratic,        // a(x-c)^2 with drifting center
+  kAffineAbs,        // ε|x-c| functions
+  kConstrained,      // convex table with +inf prefix (hard lower bounds)
+  kFlatRegions,      // convex with wide flat minima (tie-break stress)
+  kCapacityCapped,   // convex table with +inf suffix (hard capacity caps)
+};
+
+/// All families, for parameterized sweeps.
+const std::vector<InstanceFamily>& all_instance_families();
+std::string family_name(InstanceFamily family);
+
+/// Draws a T-slot instance with m servers and the given beta.  Costs are
+/// convex, non-negative, finite except for kConstrained prefixes, and O(m)
+/// in magnitude.
+rs::core::Problem random_instance(rs::util::Rng& rng, InstanceFamily family,
+                                  int T, int m, double beta);
+
+/// Convex cost table on {0,..,m} with random non-decreasing slopes; minimum
+/// value shifted to land in [0, 2].
+std::vector<double> random_convex_table(rs::util::Rng& rng, int m);
+
+}  // namespace rs::workload

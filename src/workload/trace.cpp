@@ -1,0 +1,85 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/math_util.hpp"
+
+namespace rs::workload {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  if (trace.lambda.empty()) return stats;
+  rs::util::KahanSum sum;
+  stats.peak = -rs::util::kInf;
+  stats.valley = rs::util::kInf;
+  for (double value : trace.lambda) {
+    sum.add(value);
+    stats.peak = std::max(stats.peak, value);
+    stats.valley = std::min(stats.valley, value);
+  }
+  stats.mean = sum.value() / static_cast<double>(trace.lambda.size());
+  rs::util::KahanSum squares;
+  for (double value : trace.lambda) {
+    const double d = value - stats.mean;
+    squares.add(d * d);
+  }
+  stats.stddev =
+      std::sqrt(squares.value() / static_cast<double>(trace.lambda.size()));
+  stats.peak_to_mean = stats.mean > 0.0 ? stats.peak / stats.mean : 0.0;
+  return stats;
+}
+
+double autocorrelation(const Trace& trace, int lag) {
+  if (lag < 0) throw std::invalid_argument("autocorrelation: lag < 0");
+  const int n = trace.horizon();
+  if (n <= lag + 1) return 0.0;
+  const TraceStats stats = compute_stats(trace);
+  if (stats.stddev == 0.0) return 0.0;
+  rs::util::KahanSum cov;
+  for (int t = 0; t + lag < n; ++t) {
+    cov.add((trace.lambda[static_cast<std::size_t>(t)] - stats.mean) *
+            (trace.lambda[static_cast<std::size_t>(t + lag)] - stats.mean));
+  }
+  return cov.value() /
+         (static_cast<double>(n - lag) * stats.stddev * stats.stddev);
+}
+
+Trace rescale_peak(const Trace& trace, double new_peak) {
+  if (new_peak < 0.0) throw std::invalid_argument("rescale_peak: negative");
+  const TraceStats stats = compute_stats(trace);
+  Trace out = trace;
+  if (stats.peak <= 0.0) return out;
+  const double factor = new_peak / stats.peak;
+  for (double& value : out.lambda) value *= factor;
+  return out;
+}
+
+void write_trace_csv(const Trace& trace, const std::string& path) {
+  rs::util::CsvTable table;
+  table.header = {"lambda"};
+  table.rows.reserve(trace.lambda.size());
+  for (double value : trace.lambda) {
+    table.rows.push_back({std::to_string(value)});
+  }
+  rs::util::csv_write_file(path, table);
+}
+
+Trace read_trace_csv(const std::string& path) {
+  const rs::util::CsvTable table = rs::util::csv_read_file(path, true);
+  Trace trace;
+  trace.lambda.reserve(table.rows.size());
+  for (const rs::util::CsvRow& row : table.rows) {
+    if (row.empty()) continue;
+    const double value = std::stod(row[0]);
+    if (value < 0.0) {
+      throw std::runtime_error("read_trace_csv: negative workload");
+    }
+    trace.lambda.push_back(value);
+  }
+  return trace;
+}
+
+}  // namespace rs::workload

@@ -1,0 +1,42 @@
+// Arrival traces λ_1..λ_T and their summary statistics.
+//
+// Traces feed the restricted model (eq. 2) directly and, through the dcsim
+// cost builders, the general model.  Statistics cover the shape properties
+// the right-sizing literature cares about: peak-to-mean ratio (how much a
+// static provisioning over-provisions) and lag autocorrelation (how
+// predictable the trace is for prediction windows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rs::workload {
+
+struct Trace {
+  std::vector<double> lambda;  // λ_t >= 0, one entry per slot
+
+  int horizon() const noexcept { return static_cast<int>(lambda.size()); }
+};
+
+struct TraceStats {
+  double mean = 0.0;
+  double peak = 0.0;
+  double valley = 0.0;
+  double peak_to_mean = 0.0;
+  double stddev = 0.0;
+};
+
+TraceStats compute_stats(const Trace& trace);
+
+/// Pearson autocorrelation at the given lag (0 for degenerate traces).
+double autocorrelation(const Trace& trace, int lag);
+
+/// Rescales the trace so its peak equals `new_peak` (no-op on empty/zero
+/// traces).
+Trace rescale_peak(const Trace& trace, double new_peak);
+
+/// CSV I/O: single column "lambda", one row per slot.
+void write_trace_csv(const Trace& trace, const std::string& path);
+Trace read_trace_csv(const std::string& path);
+
+}  // namespace rs::workload

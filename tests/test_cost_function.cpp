@@ -1,0 +1,261 @@
+// Unit and property tests for the cost-function families, the convexity
+// validator, minimizer searches, and the continuous extension (eq. 3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/cost_function.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rs::core;
+using rs::util::kInf;
+
+TEST(TableCost, EvaluatesTableAndExtendsLinearly) {
+  TableCost f({5.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(f.at(3), 4.0);
+  // extension slope = 4 - 2 = 2
+  EXPECT_DOUBLE_EQ(f.at(4), 6.0);
+  EXPECT_DOUBLE_EQ(f.at(6), 10.0);
+}
+
+TEST(TableCost, EmptyTableThrows) {
+  EXPECT_THROW(TableCost({}), std::invalid_argument);
+}
+
+TEST(TableCost, NegativeArgumentThrows) {
+  TableCost f({1.0});
+  EXPECT_THROW(f.at(-1), std::invalid_argument);
+}
+
+TEST(TableCost, SingleEntryExtendsFlat) {
+  TableCost f({7.0});
+  EXPECT_DOUBLE_EQ(f.at(0), 7.0);
+  EXPECT_DOUBLE_EQ(f.at(10), 7.0);
+}
+
+TEST(AffineAbsCost, MatchesPhiFunctions) {
+  // ϕ0(x) = ε|x|, ϕ1(x) = ε|1 - x| with ε = 0.25
+  AffineAbsCost phi0(0.25, 0.0);
+  AffineAbsCost phi1(0.25, 1.0);
+  EXPECT_DOUBLE_EQ(phi0.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(phi0.at(4), 1.0);
+  EXPECT_DOUBLE_EQ(phi1.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(phi1.at(0), 0.25);
+  EXPECT_DOUBLE_EQ(phi1.at_real(0.5), 0.125);
+}
+
+TEST(AffineAbsCost, NegativeSlopeThrows) {
+  EXPECT_THROW(AffineAbsCost(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(QuadraticCost, EvaluatesAndValidates) {
+  QuadraticCost f(2.0, 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.at(3), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(5), 9.0);
+  EXPECT_THROW(QuadraticCost(-0.1, 0.0), std::invalid_argument);
+}
+
+TEST(FunctionCost, WrapsCallable) {
+  FunctionCost f([](int x) { return static_cast<double>(x * x); }, "sq");
+  EXPECT_DOUBLE_EQ(f.at(4), 16.0);
+  EXPECT_EQ(f.name(), "sq");
+  EXPECT_THROW(FunctionCost(nullptr), std::invalid_argument);
+}
+
+TEST(RestrictedSlotCost, ImplementsPerspectiveWithConstraint) {
+  // f(z) = z^2: slot cost x * (λ/x)^2 = λ^2 / x for x >= λ.
+  auto f = std::make_shared<const std::function<double(double)>>(
+      [](double z) { return z * z; });
+  RestrictedSlotCost slot(f, 2.0);
+  EXPECT_TRUE(std::isinf(slot.at(1)));  // below λ: infeasible
+  EXPECT_DOUBLE_EQ(slot.at(2), 2.0);    // 2 * 1^2
+  EXPECT_DOUBLE_EQ(slot.at(4), 1.0);    // 4 * (1/2)^2
+  EXPECT_DOUBLE_EQ(slot.lambda(), 2.0);
+}
+
+TEST(RestrictedSlotCost, ZeroWorkloadAllowsEmptyCenter) {
+  auto f = std::make_shared<const std::function<double(double)>>(
+      [](double z) { return 1.0 + z; });  // nonzero idle cost
+  RestrictedSlotCost slot(f, 0.0);
+  EXPECT_DOUBLE_EQ(slot.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(slot.at(3), 3.0);  // 3 * f(0)
+}
+
+TEST(RestrictedSlotCost, NegativeWorkloadThrows) {
+  auto f = std::make_shared<const std::function<double(double)>>(
+      [](double) { return 0.0; });
+  EXPECT_THROW(RestrictedSlotCost(f, -1.0), std::invalid_argument);
+}
+
+TEST(RestrictedSlotCost, PerspectiveIsConvex) {
+  // Perspective of several convex f's must validate as convex with an inf
+  // prefix at x < λ.
+  for (double lambda : {0.0, 0.5, 1.0, 2.5, 7.0}) {
+    auto f = std::make_shared<const std::function<double(double)>>(
+        [](double z) { return 0.3 + z * z + 0.5 * z; });
+    RestrictedSlotCost slot(f, lambda);
+    const CostFunctionReport report = validate_cost_function(slot, 16);
+    EXPECT_TRUE(report.ok()) << "lambda=" << lambda;
+    EXPECT_EQ(report.first_finite,
+              lambda == 0.0 ? 0 : static_cast<int>(std::ceil(lambda)));
+  }
+}
+
+TEST(ScaledCost, ScalesValues) {
+  auto base = std::make_shared<AffineAbsCost>(1.0, 0.0);
+  ScaledCost f(base, 0.5);
+  EXPECT_DOUBLE_EQ(f.at(4), 2.0);
+  EXPECT_DOUBLE_EQ(f.at_real(1.5), 0.75);
+  EXPECT_THROW(ScaledCost(base, -1.0), std::invalid_argument);
+  EXPECT_THROW(ScaledCost(nullptr, 1.0), std::invalid_argument);
+}
+
+TEST(StrideCost, ImplementsPsiComposition) {
+  auto base = std::make_shared<QuadraticCost>(1.0, 0.0);
+  StrideCost f(base, 4);
+  EXPECT_DOUBLE_EQ(f.at(3), 144.0);  // (3*4)^2
+  EXPECT_THROW(StrideCost(base, 0), std::invalid_argument);
+}
+
+TEST(PaddedCost, KeepsBaseAndDominatesAbove) {
+  auto base = std::make_shared<TableCost>(std::vector<double>{4.0, 1.0, 3.0});
+  PaddedCost f(base, 2);
+  EXPECT_DOUBLE_EQ(f.at(0), 4.0);
+  EXPECT_DOUBLE_EQ(f.at(2), 3.0);
+  // extension slope = max(3-1, 0) + 1 = 3
+  EXPECT_DOUBLE_EQ(f.at(3), 6.0);
+  EXPECT_DOUBLE_EQ(f.at(5), 12.0);
+  // padded region is strictly increasing => states > m dominated
+  EXPECT_GT(f.at(3), f.at(2));
+}
+
+TEST(PaddedCost, PaddedFunctionStaysConvex) {
+  rs::util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random convex table via random non-decreasing slopes.
+    const int m = 5;
+    std::vector<double> values(m + 1);
+    values[0] = rng.uniform(0.0, 5.0);
+    double slope = rng.uniform(-3.0, 0.0);
+    for (int x = 1; x <= m; ++x) {
+      slope += rng.uniform(0.0, 2.0);
+      values[x] = values[x - 1] + slope;
+    }
+    const double shift = *std::min_element(values.begin(), values.end());
+    for (double& v : values) v -= std::min(shift, 0.0);
+    auto base = std::make_shared<TableCost>(values);
+    PaddedCost padded(base, m);
+    EXPECT_TRUE(validate_cost_function(padded, 2 * m).ok());
+  }
+}
+
+TEST(Validate, AcceptsConvexRejectsConcave) {
+  TableCost convex({3.0, 1.0, 0.0, 0.5, 2.0});
+  EXPECT_TRUE(validate_cost_function(convex, 4).ok());
+
+  TableCost concave({0.0, 2.0, 3.0, 3.5, 3.6});  // slopes decreasing
+  EXPECT_FALSE(validate_cost_function(concave, 4).convex);
+}
+
+TEST(Validate, RejectsNegative) {
+  TableCost f({1.0, -0.5, 2.0});
+  EXPECT_FALSE(validate_cost_function(f, 2).non_negative);
+}
+
+TEST(Validate, InfPrefixAndSuffixAllowed) {
+  TableCost f({kInf, kInf, 1.0, 0.5, 2.0, kInf});
+  const CostFunctionReport report = validate_cost_function(f, 5);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.first_finite, 2);
+  EXPECT_EQ(report.last_finite, 4);
+}
+
+TEST(Validate, GapInFiniteRangeRejected) {
+  TableCost f({1.0, kInf, 1.0});
+  const CostFunctionReport report = validate_cost_function(f, 2);
+  EXPECT_FALSE(report.contiguous_finite_range);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, AllInfiniteReported) {
+  TableCost f({kInf, kInf});
+  const CostFunctionReport report = validate_cost_function(f, 1);
+  EXPECT_FALSE(report.finite_somewhere);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, NanRejected) {
+  TableCost f({0.0, std::nan(""), 1.0});
+  EXPECT_FALSE(validate_cost_function(f, 2).ok());
+}
+
+TEST(Minimizers, ScanFindsSmallestAndLargest) {
+  TableCost f({4.0, 2.0, 2.0, 2.0, 5.0});
+  EXPECT_EQ(smallest_minimizer_scan(f, 4), 1);
+  EXPECT_EQ(largest_minimizer_scan(f, 4), 3);
+}
+
+TEST(Minimizers, ConvexBinarySearchMatchesScan) {
+  rs::util::Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 64));
+    const double center = rng.uniform(-2.0, m + 2.0);
+    const double curvature = rng.uniform(0.1, 3.0);
+    QuadraticCost f(curvature, center);
+    EXPECT_EQ(smallest_minimizer_convex(f, m), smallest_minimizer_scan(f, m))
+        << "m=" << m << " center=" << center;
+  }
+}
+
+TEST(Minimizers, ConvexSearchHandlesFlatRegions) {
+  TableCost f({5.0, 3.0, 3.0, 3.0, 4.0});
+  EXPECT_EQ(smallest_minimizer_convex(f, 4), 1);
+}
+
+TEST(Minimizers, ConvexSearchHandlesInfPrefix) {
+  TableCost f({kInf, kInf, 4.0, 2.0, 3.0});
+  EXPECT_EQ(smallest_minimizer_convex(f, 4), 3);
+  EXPECT_EQ(smallest_minimizer_scan(f, 4), 3);
+}
+
+TEST(Interpolation, MatchesEquationThree) {
+  TableCost f({2.0, 0.0, 4.0});
+  // f̄(x) = (⌈x⌉-x) f(⌊x⌋) + (x-⌊x⌋) f(⌈x⌉)
+  EXPECT_DOUBLE_EQ(interpolate(f, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(interpolate(f, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(interpolate(f, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(interpolate(f, 2.0), 4.0);
+}
+
+TEST(Interpolation, DefaultAtRealAgreesWithInterpolate) {
+  TableCost f({3.0, 1.0, 2.0, 6.0});
+  for (double x = 0.0; x <= 3.0; x += 0.125) {
+    EXPECT_DOUBLE_EQ(f.at_real(x), interpolate(f, x));
+  }
+}
+
+TEST(Interpolation, ExactOverridesCoincideOnIntegerBreakpoints) {
+  // AffineAbs with integer center: closed form equals interpolation.
+  AffineAbsCost f(0.5, 2.0, 0.25);
+  for (double x = 0.0; x <= 5.0; x += 0.25) {
+    EXPECT_NEAR(f.at_real(x), interpolate(f, x), 1e-12);
+  }
+}
+
+TEST(Interpolation, InfinityPropagates) {
+  TableCost f({kInf, 1.0, 2.0});
+  EXPECT_TRUE(std::isinf(interpolate(f, 0.5)));
+  EXPECT_DOUBLE_EQ(interpolate(f, 1.0), 1.0);
+}
+
+TEST(Interpolation, NegativeArgumentThrows) {
+  TableCost f({1.0});
+  EXPECT_THROW(f.at_real(-0.5), std::invalid_argument);
+}
+
+}  // namespace

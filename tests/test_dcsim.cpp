@@ -1,0 +1,179 @@
+// Tests for the data-center substrate: power/delay models, the cost-model
+// builders (convexity of generated instances), and the schedule simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+#include "dcsim/cost_model.hpp"
+#include "dcsim/datacenter.hpp"
+#include "dcsim/delay_model.hpp"
+#include "dcsim/power_model.hpp"
+#include "offline/dp_solver.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace rs::dcsim;
+using rs::core::Problem;
+using rs::core::Schedule;
+
+TEST(PowerModel, EnergyInterpolatesIdleToPeak) {
+  ServerPowerModel power;
+  power.idle_watts = 100.0;
+  power.peak_watts = 200.0;
+  power.slot_seconds = 10.0;
+  EXPECT_DOUBLE_EQ(power.active_energy(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(power.active_energy(1.0), 2000.0);
+  EXPECT_DOUBLE_EQ(power.active_energy(0.5), 1500.0);
+  EXPECT_DOUBLE_EQ(power.active_energy(2.0), 2000.0);  // clamped
+  EXPECT_NO_THROW(power.validate());
+  power.peak_watts = 50.0;  // below idle
+  EXPECT_THROW(power.validate(), std::invalid_argument);
+}
+
+TEST(DelayModel, MM1DivergesAtSaturation) {
+  DelayParams params;
+  params.service_rate = 2.0;
+  EXPECT_DOUBLE_EQ(mean_response_time(params, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(mean_response_time(params, 0.5), 1.0);
+  EXPECT_TRUE(std::isinf(mean_response_time(params, 1.0)));
+  EXPECT_THROW(mean_response_time(params, -0.1), std::invalid_argument);
+}
+
+TEST(DelayModel, MG1PSReducesTowardMM1) {
+  DelayParams mm1;
+  mm1.model = DelayModel::kMM1;
+  DelayParams mg1;
+  mg1.model = DelayModel::kMG1PS;
+  mg1.scv = 1.0;
+  for (double z : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(mean_response_time(mg1, z), mean_response_time(mm1, z), 1e-9);
+  }
+  // Higher variability increases delay.
+  mg1.scv = 4.0;
+  EXPECT_GT(mean_response_time(mg1, 0.5), mean_response_time(mm1, 0.5));
+}
+
+TEST(CostModel, RestrictedInstanceIsValidConvex) {
+  rs::util::Rng rng(3);
+  DataCenterModel model;
+  model.servers = 16;
+  const rs::workload::Trace trace =
+      rs::workload::diurnal(rng, {96, 48, 0.2, 12.0, 0.02});
+  const Problem p = restricted_datacenter_problem(model, trace);
+  EXPECT_EQ(p.horizon(), 96);
+  EXPECT_EQ(p.max_servers(), 16);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_NEAR(p.beta(), model.beta(), 1e-12);
+}
+
+TEST(CostModel, RestrictedRejectsOverCapacityTrace) {
+  DataCenterModel model;
+  model.servers = 4;
+  rs::workload::Trace trace{{5.0}};
+  EXPECT_THROW(restricted_datacenter_problem(model, trace),
+               std::invalid_argument);
+}
+
+TEST(CostModel, MoreServersNeverIncreaseDelay) {
+  // Within the feasible range the delay component decreases with x while
+  // the energy component grows: the combined slot cost must be convex with
+  // an interior minimizer for mid workloads.
+  DataCenterModel model;
+  model.servers = 32;
+  const rs::core::RestrictedModel restricted = restricted_model(model);
+  const Problem p =
+      rs::core::restricted_problem(restricted, std::vector<double>{8.0});
+  const int minimizer = rs::core::smallest_minimizer_scan(p.f(1), 32);
+  EXPECT_GT(minimizer, 8);   // more than the bare minimum (delay pressure)
+  EXPECT_LT(minimizer, 32);  // but not everything (energy pressure)
+}
+
+TEST(CostModel, SoftSlaInstanceIsValidConvex) {
+  rs::util::Rng rng(5);
+  SoftSlaModel model;
+  model.servers = 20;
+  const rs::workload::Trace trace = rs::workload::mmpp2(
+      rng, {200, 2.0, 12.0, 0.05, 0.2, 0.05});
+  const Problem p = soft_sla_problem(model, trace);
+  EXPECT_EQ(p.horizon(), 200);
+  EXPECT_NO_THROW(p.validate());
+  // f_t is finite everywhere (general model, soft constraint).
+  for (int x = 0; x <= 20; ++x) {
+    EXPECT_TRUE(std::isfinite(p.cost_at(7, x)));
+  }
+}
+
+TEST(CostModel, ParameterValidation) {
+  DataCenterModel model;
+  model.servers = 0;
+  EXPECT_THROW(model.validate(), std::invalid_argument);
+  SoftSlaModel soft;
+  soft.beta = 0.0;
+  EXPECT_THROW(soft_sla_problem(soft, rs::workload::Trace{{1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, HandComputedEnergy) {
+  DataCenterModel model;
+  model.servers = 2;
+  model.power.idle_watts = 100.0;
+  model.power.peak_watts = 200.0;
+  model.power.sleep_watts = 10.0;
+  model.power.transition_joules = 500.0;
+  model.power.slot_seconds = 1.0;
+
+  rs::workload::Trace trace{{1.0, 0.5}};
+  const Schedule schedule = {2, 1};
+  const SimulationReport report = simulate(model, trace, schedule);
+
+  // Slot 1: 2 active at z = 0.5 -> 2·150 J; 0 sleeping.
+  // Slot 2: 1 active at z = 0.5 -> 150 J; 1 sleeping -> 10 J.
+  EXPECT_DOUBLE_EQ(report.active_energy_joules, 300.0 + 150.0);
+  EXPECT_DOUBLE_EQ(report.sleep_energy_joules, 10.0);
+  EXPECT_EQ(report.power_ups, 2);
+  EXPECT_EQ(report.power_downs, 2);  // 2->1 and final 1->0
+  EXPECT_DOUBLE_EQ(report.transition_energy_joules, 1000.0);
+  EXPECT_DOUBLE_EQ(report.total_energy_joules, 460.0 + 1000.0);
+  EXPECT_EQ(report.sla_violation_slots, 0);
+  EXPECT_DOUBLE_EQ(report.mean_utilization, 0.5);
+  EXPECT_DOUBLE_EQ(report.mean_active_servers, 1.5);
+}
+
+TEST(Simulator, DetectsSlaViolations) {
+  DataCenterModel model;
+  model.servers = 4;
+  rs::workload::Trace trace{{3.0, 1.0}};
+  const SimulationReport report = simulate(model, trace, {2, 1});
+  EXPECT_EQ(report.sla_violation_slots, 1);
+  EXPECT_DOUBLE_EQ(report.peak_utilization, 1.0);
+}
+
+TEST(Simulator, Validation) {
+  DataCenterModel model;
+  rs::workload::Trace trace{{1.0}};
+  EXPECT_THROW(simulate(model, trace, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(simulate(model, trace, {model.servers + 1}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, RightSizingSavesEnergyOnDiurnalTrace) {
+  // End-to-end E10 sanity: the offline optimal schedule of the restricted
+  // instance saves substantial energy vs. keeping everything on.
+  rs::util::Rng rng(21);
+  DataCenterModel model;
+  model.servers = 24;
+  rs::workload::Trace trace =
+      rs::workload::hotmail_like(rng, 2, 48, 0.6 * model.servers);
+  const Problem p = restricted_datacenter_problem(model, trace);
+  const rs::offline::OfflineResult optimal = rs::offline::DpSolver().solve(p);
+  ASSERT_TRUE(optimal.feasible());
+  const double savings = energy_savings_percent(model, trace, optimal.schedule);
+  EXPECT_GT(savings, 10.0);
+  EXPECT_LT(savings, 90.0);
+}
+
+}  // namespace

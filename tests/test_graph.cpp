@@ -1,0 +1,154 @@
+// Tests for the layered-graph substrate and the Figure-1 construction:
+// path <-> schedule equivalence (path length == schedule cost) and shortest
+// path == optimal schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+#include "graph/layered_graph.hpp"
+#include "graph/schedule_graph.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace rs::graph;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::kInf;
+
+TEST(LayeredGraph, ConstructionValidation) {
+  EXPECT_THROW(LayeredGraph({}), std::invalid_argument);
+  EXPECT_THROW(LayeredGraph({1, 0, 2}), std::invalid_argument);
+  LayeredGraph g({1, 3, 1});
+  EXPECT_EQ(g.num_layers(), 3);
+  EXPECT_EQ(g.layer_size(1), 3);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_THROW(g.layer_size(3), std::out_of_range);
+}
+
+TEST(LayeredGraph, EdgeValidation) {
+  LayeredGraph g({1, 2, 1});
+  EXPECT_NO_THROW(g.add_edge(0, 0, 1, 1.0));
+  EXPECT_THROW(g.add_edge(2, 0, 0, 1.0), std::out_of_range);  // last layer
+  EXPECT_THROW(g.add_edge(0, 1, 0, 1.0), std::out_of_range);  // bad from
+  EXPECT_THROW(g.add_edge(0, 0, 2, 1.0), std::out_of_range);  // bad to
+  EXPECT_THROW(g.add_edge(0, 0, 0, std::nan("")), std::invalid_argument);
+}
+
+TEST(LayeredGraph, ShortestPathPicksCheapestRoute) {
+  // Two routes through the middle layer: via 0 (cost 5) or via 1 (cost 3).
+  LayeredGraph g({1, 2, 1});
+  g.add_edge(0, 0, 0, 4.0);
+  g.add_edge(0, 0, 1, 1.0);
+  g.add_edge(1, 0, 0, 1.0);
+  g.add_edge(1, 1, 0, 2.0);
+  const auto path = g.shortest_path(0, 0);
+  ASSERT_TRUE(path.reachable());
+  EXPECT_DOUBLE_EQ(path.distance, 3.0);
+  EXPECT_EQ(path.vertex_per_layer, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(LayeredGraph, UnreachableTarget) {
+  LayeredGraph g({1, 2, 1});
+  g.add_edge(0, 0, 0, 1.0);
+  // no edge from layer 1 to layer 2
+  const auto path = g.shortest_path(0, 0);
+  EXPECT_FALSE(path.reachable());
+  EXPECT_TRUE(std::isinf(path.distance));
+  EXPECT_TRUE(path.vertex_per_layer.empty());
+}
+
+TEST(LayeredGraph, LastLayerDistances) {
+  LayeredGraph g({1, 3});
+  g.add_edge(0, 0, 0, 5.0);
+  g.add_edge(0, 0, 2, 1.0);
+  const std::vector<double> d = g.last_layer_distances(0);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_TRUE(std::isinf(d[1]));
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+}
+
+TEST(ScheduleGraph, SizesMatchFigureOne) {
+  // |V| = 2 + T(m+1); first layer fan-out m+1, inner layers (m+1)^2 edges,
+  // final layer m+1 zero-weight edges.
+  const Problem p = rs::core::make_table_problem(
+      2, 1.0, {{1.0, 0.5, 0.25}, {0.25, 0.5, 1.0}, {1.0, 1.0, 1.0}});
+  const LayeredGraph g = build_schedule_graph(p);
+  EXPECT_EQ(g.num_layers(), 5);                 // 0..T+1
+  EXPECT_EQ(g.num_vertices(), 2 + 3 * 3);
+  EXPECT_EQ(g.num_edges(), 3 + 9 + 9 + 3);
+}
+
+TEST(ScheduleGraph, PathLengthEqualsScheduleCost) {
+  rs::util::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 6));
+    const int m = static_cast<int>(rng.uniform_int(1, 5));
+    const Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kConvexTable, T, m, 1.5);
+    Schedule x(static_cast<std::size_t>(T));
+    for (int& v : x) v = static_cast<int>(rng.uniform_int(0, m));
+    EXPECT_NEAR(schedule_path_length(p, x), rs::core::total_cost(p, x), 1e-9);
+  }
+}
+
+TEST(ScheduleGraph, ShortestPathIsOptimalSchedule) {
+  rs::util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 5));
+    const int m = static_cast<int>(rng.uniform_int(1, 3));
+    const Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kConvexTable, T, m, 2.0);
+    const LayeredGraph g = build_schedule_graph(p);
+    const auto path = g.shortest_path(0, 0);
+    ASSERT_TRUE(path.reachable());
+    const Schedule from_path = path_to_schedule(path);
+    // Exhaustive check: no schedule beats the path.
+    Schedule probe(static_cast<std::size_t>(T), 0);
+    for (;;) {
+      EXPECT_LE(path.distance, rs::core::total_cost(p, probe) + 1e-9);
+      int position = 0;
+      while (position < T) {
+        if (probe[static_cast<std::size_t>(position)] < m) {
+          ++probe[static_cast<std::size_t>(position)];
+          break;
+        }
+        probe[static_cast<std::size_t>(position)] = 0;
+        ++position;
+      }
+      if (position == T) break;
+    }
+    EXPECT_NEAR(rs::core::total_cost(p, from_path), path.distance, 1e-9);
+  }
+}
+
+TEST(ScheduleGraph, InfeasibleStatesDropEdges) {
+  const Problem p = rs::core::make_table_problem(
+      1, 1.0, {{kInf, 1.0}, {0.5, kInf}});
+  const LayeredGraph g = build_schedule_graph(p);
+  const auto path = g.shortest_path(0, 0);
+  ASSERT_TRUE(path.reachable());
+  const Schedule x = path_to_schedule(path);
+  EXPECT_EQ(x, (Schedule{1, 0}));
+  EXPECT_NEAR(path.distance, 1.0 + 1.0 + 0.5, 1e-12);
+}
+
+TEST(ScheduleGraph, PathToScheduleValidation) {
+  LayeredGraph::PathResult bad;
+  EXPECT_THROW(path_to_schedule(bad), std::invalid_argument);
+}
+
+TEST(ScheduleGraph, EmptyHorizon) {
+  const Problem p(3, 1.0, {});
+  const LayeredGraph g = build_schedule_graph(p);
+  const auto path = g.shortest_path(0, 0);
+  ASSERT_TRUE(path.reachable());
+  EXPECT_DOUBLE_EQ(path.distance, 0.0);
+  EXPECT_TRUE(path_to_schedule(path).empty());
+}
+
+}  // namespace

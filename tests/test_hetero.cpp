@@ -1,0 +1,224 @@
+// Tests for the heterogeneous extension: product-state DP correctness
+// (brute force + homogeneous reduction), separable decomposition, and the
+// two-type workload-splitting instance builder.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hetero/hetero_problem.hpp"
+#include "hetero/hetero_solver.hpp"
+#include "offline/dp_solver.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace rs::hetero;
+using rs::util::kInf;
+
+HeteroProblem random_separable(rs::util::Rng& rng, int T,
+                               const HeteroConfig& config) {
+  std::vector<HeteroCostPtr> fs;
+  for (int t = 0; t < T; ++t) {
+    std::vector<rs::core::CostPtr> parts;
+    for (int m : config.capacity) {
+      parts.push_back(std::make_shared<rs::core::TableCost>(
+          rs::workload::random_convex_table(rng, m)));
+    }
+    fs.push_back(std::make_shared<SeparableHeteroCost>(std::move(parts)));
+  }
+  return HeteroProblem(config, std::move(fs));
+}
+
+TEST(HeteroConfig, Validation) {
+  HeteroConfig bad;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.capacity = {2, 3};
+  bad.beta = {1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.beta = {1.0, 0.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.beta = {1.0, 2.0};
+  EXPECT_NO_THROW(bad.validate());
+  EXPECT_EQ(bad.state_count(), 12);
+}
+
+TEST(HeteroProblem, EnumerateStatesCoversProduct) {
+  HeteroConfig config;
+  config.capacity = {2, 1};
+  config.beta = {1.0, 1.0};
+  const std::vector<HeteroState> states = enumerate_states(config);
+  ASSERT_EQ(states.size(), 6u);
+  EXPECT_EQ(states.front(), (HeteroState{0, 0}));
+  EXPECT_EQ(states.back(), (HeteroState{2, 1}));
+}
+
+TEST(HeteroProblem, TotalCostHandComputed) {
+  HeteroConfig config;
+  config.capacity = {1, 1};
+  config.beta = {2.0, 3.0};
+  std::vector<HeteroCostPtr> fs;
+  for (int t = 0; t < 2; ++t) {
+    fs.push_back(std::make_shared<FunctionHeteroCost>(
+        [](const HeteroState& x) {
+          return static_cast<double>(x[0] + 2 * x[1]);
+        }));
+  }
+  const HeteroProblem p(config, std::move(fs));
+  // Schedule: (1,1) then (0,1): op 3 + 2; switching 2+3 then 0.
+  const HeteroSchedule x = {{1, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(hetero_total_cost(p, x), 3.0 + 2.0 + 2.0 + 3.0);
+}
+
+TEST(HeteroDp, MatchesBruteForceOnTinyInstances) {
+  rs::util::Rng rng(71);
+  for (int trial = 0; trial < 8; ++trial) {
+    HeteroConfig config;
+    config.capacity = {2, 2};
+    config.beta = {rng.uniform(0.3, 2.0), rng.uniform(0.3, 2.0)};
+    const int T = static_cast<int>(rng.uniform_int(1, 4));
+    const HeteroProblem p = random_separable(rng, T, config);
+
+    const HeteroResult dp = solve_hetero_dp(p);
+
+    // Brute force over all S^T joint schedules.
+    const std::vector<HeteroState> states = enumerate_states(config);
+    double best = kInf;
+    std::vector<std::size_t> pick(static_cast<std::size_t>(T), 0);
+    for (;;) {
+      HeteroSchedule schedule;
+      for (std::size_t index : pick) schedule.push_back(states[index]);
+      best = std::min(best, hetero_total_cost(p, schedule));
+      int position = 0;
+      while (position < T) {
+        if (pick[static_cast<std::size_t>(position)] + 1 < states.size()) {
+          ++pick[static_cast<std::size_t>(position)];
+          break;
+        }
+        pick[static_cast<std::size_t>(position)] = 0;
+        ++position;
+      }
+      if (position == T) break;
+    }
+    EXPECT_NEAR(dp.cost, best, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(hetero_total_cost(p, dp.schedule), dp.cost, 1e-9);
+  }
+}
+
+TEST(HeteroDp, SingleTypeReducesToHomogeneousSolver) {
+  rs::util::Rng rng(72);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 6));
+    const int T = static_cast<int>(rng.uniform_int(1, 10));
+    const double beta = rng.uniform(0.3, 2.5);
+    const rs::core::Problem homogeneous = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kConvexTable, T, m, beta);
+
+    HeteroConfig config;
+    config.capacity = {m};
+    config.beta = {beta};
+    std::vector<HeteroCostPtr> fs;
+    for (int t = 1; t <= T; ++t) {
+      fs.push_back(std::make_shared<SeparableHeteroCost>(
+          std::vector<rs::core::CostPtr>{homogeneous.f_ptr(t)}));
+    }
+    const HeteroProblem p(config, std::move(fs));
+    EXPECT_NEAR(solve_hetero_dp(p).cost,
+                rs::offline::DpSolver().solve_cost(homogeneous), 1e-9);
+  }
+}
+
+TEST(HeteroSeparable, DecompositionEqualsJointDp) {
+  rs::util::Rng rng(73);
+  for (int trial = 0; trial < 6; ++trial) {
+    HeteroConfig config;
+    config.capacity = {3, 4};
+    config.beta = {rng.uniform(0.3, 2.0), rng.uniform(0.3, 2.0)};
+    const int T = static_cast<int>(rng.uniform_int(1, 8));
+    const HeteroProblem p = random_separable(rng, T, config);
+    const HeteroResult joint = solve_hetero_dp(p);
+    const HeteroResult decomposed = solve_separable(p);
+    EXPECT_NEAR(joint.cost, decomposed.cost, 1e-9);
+    EXPECT_NEAR(hetero_total_cost(p, decomposed.schedule), decomposed.cost,
+                1e-9);
+  }
+}
+
+TEST(HeteroSeparable, RejectsJointCosts) {
+  HeteroConfig config;
+  config.capacity = {1, 1};
+  config.beta = {1.0, 1.0};
+  std::vector<HeteroCostPtr> fs = {std::make_shared<FunctionHeteroCost>(
+      [](const HeteroState& x) { return static_cast<double>(x[0] * x[1]); })};
+  const HeteroProblem p(config, std::move(fs));
+  EXPECT_THROW(solve_separable(p), std::invalid_argument);
+}
+
+TEST(TwoType, SplitPrefersEfficientServersAtLowLoad) {
+  // Type A: fast but power-hungry; type B: efficient.  At low load the
+  // optimal joint schedule should favor type B.
+  TwoTypeModel model;
+  model.type_a.servers = 3;
+  model.type_a.power.idle_watts = 250.0;
+  model.type_a.power.peak_watts = 500.0;
+  model.type_a.delay.service_rate = 2.0;
+  model.type_b.servers = 3;
+  model.type_b.power.idle_watts = 80.0;
+  model.type_b.power.peak_watts = 160.0;
+  model.type_b.delay.service_rate = 1.0;
+
+  rs::workload::Trace trace{{0.8, 0.8, 0.8, 0.8}};
+  const HeteroProblem p = two_type_problem(model, trace);
+  const HeteroResult result = solve_hetero_dp(p);
+  ASSERT_TRUE(result.feasible());
+  // Count slot-type usage: B must carry the (constant, low) load.
+  int b_usage = 0;
+  int a_usage = 0;
+  for (const HeteroState& x : result.schedule) {
+    a_usage += x[0];
+    b_usage += x[1];
+  }
+  EXPECT_GT(b_usage, a_usage);
+}
+
+TEST(TwoType, JointStatesFeasibleOnlyWithEnoughCapacity) {
+  TwoTypeModel model;
+  model.type_a.servers = 1;
+  model.type_b.servers = 1;
+  rs::workload::Trace trace{{1.5}};
+  const HeteroProblem p = two_type_problem(model, trace);
+  // One server of each type cannot be avoided: (0,·) and (·,0) can carry at
+  // most cap < 1.5 total.
+  EXPECT_TRUE(std::isinf(p.f(1).at({0, 0})));
+  EXPECT_TRUE(std::isinf(p.f(1).at({1, 0})));
+  EXPECT_TRUE(std::isfinite(p.f(1).at({1, 1})));
+  const HeteroResult result = solve_hetero_dp(p);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.schedule[0], (HeteroState{1, 1}));
+}
+
+TEST(TwoType, MoreCapacityNeverIncreasesCost) {
+  rs::util::Rng rng(74);
+  TwoTypeModel small;
+  small.type_a.servers = 2;
+  small.type_b.servers = 2;
+  TwoTypeModel large = small;
+  large.type_a.servers = 4;
+  large.type_b.servers = 4;
+
+  rs::workload::DiurnalParams diurnal;
+  diurnal.horizon = 12;
+  diurnal.period = 6;
+  diurnal.peak = 1.5;
+  const rs::workload::Trace trace = rs::workload::diurnal(rng, diurnal);
+
+  const double small_cost =
+      solve_hetero_dp(two_type_problem(small, trace)).cost;
+  const double large_cost =
+      solve_hetero_dp(two_type_problem(large, trace)).cost;
+  EXPECT_LE(large_cost, small_cost + 1e-9);
+}
+
+}  // namespace

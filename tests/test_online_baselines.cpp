@@ -1,0 +1,112 @@
+// Tests for the baseline policies and the replay harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/schedule.hpp"
+#include "offline/dp_solver.hpp"
+#include "online/baselines.hpp"
+#include "online/online_algorithm.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace rs::online;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::workload::InstanceFamily;
+
+TEST(FollowTheMinimizer, ChasesMinimizers) {
+  const Problem p = rs::core::make_table_problem(
+      3, 1.0, {{3.0, 1.0, 0.0, 2.0}, {0.0, 1.0, 2.0, 3.0}});
+  FollowTheMinimizer alg;
+  const Schedule x = run_online(alg, p);
+  EXPECT_EQ(x, (Schedule{2, 0}));
+}
+
+TEST(StaticProvisioning, ClampsToM) {
+  const Problem p = rs::core::make_table_problem(2, 1.0, {{1.0, 1.0, 1.0}});
+  StaticProvisioning alg(5);
+  EXPECT_EQ(run_online(alg, p), (Schedule{2}));
+  EXPECT_THROW(StaticProvisioning(-1), std::invalid_argument);
+}
+
+TEST(AllOn, UsesFullCapacity) {
+  const Problem p = rs::core::make_table_problem(
+      3, 1.0, {{0.0, 0.0, 0.0, 0.0}, {0.0, 0.0, 0.0, 0.0}});
+  AllOn alg;
+  EXPECT_EQ(run_online(alg, p), (Schedule{3, 3}));
+}
+
+TEST(BestStaticLevel, MatchesExhaustiveScan) {
+  rs::util::Rng rng(71);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 12));
+    const int m = static_cast<int>(rng.uniform_int(1, 9));
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kConvexTable, T, m, rng.uniform(0.3, 3.0));
+    const StaticOptimum best = best_static_level(p);
+    for (int level = 0; level <= m; ++level) {
+      Schedule flat(static_cast<std::size_t>(T), level);
+      EXPECT_LE(best.cost, rs::core::total_cost(p, flat) + 1e-9);
+    }
+    // And the reported level prices to the reported cost.
+    Schedule flat(static_cast<std::size_t>(T), best.level);
+    EXPECT_NEAR(best.cost, rs::core::total_cost(p, flat), 1e-9);
+  }
+}
+
+TEST(BestStaticLevel, IsUpperBoundOnOptimal) {
+  rs::util::Rng rng(72);
+  const rs::offline::DpSolver dp;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kQuadratic, 20, 10, 1.0);
+    EXPECT_GE(best_static_level(p).cost, dp.solve_cost(p) - 1e-9);
+  }
+}
+
+TEST(Replay, ValidatesWindowArgument) {
+  const Problem p = rs::core::make_table_problem(1, 1.0, {{0.0, 1.0}});
+  FollowTheMinimizer alg;
+  EXPECT_THROW(run_online(alg, p, -1), std::invalid_argument);
+}
+
+TEST(Replay, RejectsOutOfRangeDecisions) {
+  class Rogue final : public OnlineAlgorithm {
+   public:
+    std::string name() const override { return "rogue"; }
+    void reset(const OnlineContext&) override {}
+    int decide(const rs::core::CostPtr&,
+               std::span<const rs::core::CostPtr>) override {
+      return 99;
+    }
+  };
+  const Problem p = rs::core::make_table_problem(1, 1.0, {{0.0, 1.0}});
+  Rogue rogue;
+  EXPECT_THROW(run_online(rogue, p), std::logic_error);
+}
+
+TEST(Replay, PassesLookaheadWindow) {
+  // An algorithm that records the lookahead sizes it was given.
+  class Recorder final : public OnlineAlgorithm {
+   public:
+    std::vector<std::size_t> sizes;
+    std::string name() const override { return "recorder"; }
+    void reset(const OnlineContext&) override { sizes.clear(); }
+    int decide(const rs::core::CostPtr&,
+               std::span<const rs::core::CostPtr> lookahead) override {
+      sizes.push_back(lookahead.size());
+      return 0;
+    }
+  };
+  const Problem p = rs::core::make_table_problem(
+      1, 1.0, {{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  Recorder recorder;
+  run_online(recorder, p, 2);
+  EXPECT_EQ(recorder.sizes, (std::vector<std::size_t>{2, 2, 1, 0}));
+}
+
+}  // namespace

@@ -1,0 +1,203 @@
+// Executable forms of the Section-2 correctness lemmas and exact (not
+// Monte-Carlo) verification of the Section-4 rounding lemmas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+#include "core/transforms.hpp"
+#include "offline/bounded_dp.hpp"
+#include "offline/dp_solver.hpp"
+#include "offline/grid_continuous.hpp"
+#include "online/randomized_rounding.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::ceil_star;
+using rs::util::frac;
+using rs::workload::InstanceFamily;
+
+// Lemma 1: Φ_{k−l}(Ψ_l(P_l)) and Ψ_l(P_k) are equivalent — solving either
+// restriction yields the same optimal cost.
+TEST(Lemma1, PhiPsiCommute) {
+  rs::util::Rng rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int m = 16;
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kConvexTable, 8, m, rng.uniform(0.3, 2.0));
+    for (int l : {1, 2}) {
+      for (int k = l + 1; k <= 3; ++k) {
+        // Ψ_l(P_l): scale the Φ_l restriction down by 2^l; since P_l's
+        // states are exactly the multiples of 2^l, the scaled instance uses
+        // all integers of [0, m/2^l].  Restricting it to multiples of
+        // 2^{k−l} must equal the Φ_k optimum of the original instance
+        // (whose states scale down by 2^l to the same set).
+        const Problem scaled = rs::core::psi_scale(p, l);
+        const double via_scaled =
+            rs::offline::solve_phi_restricted(scaled, k - l).cost;
+        const double direct = rs::offline::solve_phi_restricted(p, k).cost;
+        EXPECT_NEAR(via_scaled, direct, 1e-9)
+            << "l=" << l << " k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+// Lemma 5 (the refinement invariant behind Theorem 1): for every optimal
+// schedule X̂^k of P_k there is an optimal schedule of P_{k−1} within
+// distance 2^k — so the bounded DP over the ±2·2^{k−1} candidate corridor
+// around X̂^k must already attain OPT(P_{k−1}).
+TEST(Lemma5, RefinementCorridorContainsNextOptimum) {
+  rs::util::Rng rng(52);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int m = 16;  // power of two: K = 2
+    const int T = static_cast<int>(rng.uniform_int(2, 14));
+    const Problem p = rs::workload::random_instance(
+        rng, trial % 2 == 0 ? InstanceFamily::kConvexTable
+                            : InstanceFamily::kQuadratic,
+        T, m, rng.uniform(0.3, 2.5));
+    for (int k = 2; k >= 1; --k) {
+      const rs::offline::OfflineResult coarse =
+          rs::offline::solve_phi_restricted(p, k);
+      ASSERT_TRUE(coarse.feasible());
+      // Candidate corridor of the paper's iteration k−1.
+      std::vector<std::vector<int>> columns(static_cast<std::size_t>(T));
+      for (int t = 0; t < T; ++t) {
+        for (int xi = -2; xi <= 2; ++xi) {
+          const int state =
+              coarse.schedule[static_cast<std::size_t>(t)] + xi * (1 << (k - 1));
+          if (state >= 0 && state <= m) {
+            columns[static_cast<std::size_t>(t)].push_back(state);
+          }
+        }
+      }
+      const double corridor_cost = rs::offline::solve_bounded(p, columns).cost;
+      const double next_optimum =
+          rs::offline::solve_phi_restricted(p, k - 1).cost;
+      EXPECT_NEAR(corridor_cost, next_optimum, 1e-9)
+          << "k=" << k << " trial=" << trial;
+    }
+  }
+}
+
+// Lemma 3's consequence: the optimum of P_k is within a bounded factor...
+// quantified directly: OPT(P_k) is non-increasing in refinement and reaches
+// OPT(P) at k = 0, and the continuous optimum equals OPT(P) (Lemma 4).
+TEST(Lemma4, ContinuousOptimumEqualsDiscrete) {
+  rs::util::Rng rng(53);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 10));
+    const int m = static_cast<int>(rng.uniform_int(1, 8));
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kFlatRegions, T, m, rng.uniform(0.3, 2.0));
+    const double discrete = rs::offline::DpSolver().solve_cost(p);
+    const double continuous =
+        rs::offline::solve_continuous_on_grid(p, 3).cost;
+    EXPECT_NEAR(continuous, discrete, 1e-9);
+  }
+}
+
+// Lemma 20, exactly: evolve the joint distribution of (x_{t−1}, x_t) of the
+// rounding chain and compare the exact expected power-up switching cost per
+// step with the fractional schedule's.
+TEST(Lemma20, ExactSwitchingExpectation) {
+  rs::util::Rng rng(54);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double max_step = trial % 2 == 0 ? 0.7 : 2.4;
+    const int T = 40;
+    rs::core::FractionalSchedule xbar(static_cast<std::size_t>(T));
+    double value = 0.0;
+    for (int t = 0; t < T; ++t) {
+      value = rs::util::project(value + rng.uniform(-max_step, max_step),
+                                0.0, 5.0);
+      xbar[static_cast<std::size_t>(t)] = value;
+    }
+
+    double p_upper_prev = 0.0;
+    double previous_fractional = 0.0;
+    int prev_lower = 0;
+    int prev_upper = 1;
+    for (int t = 0; t < T; ++t) {
+      const double x = xbar[static_cast<std::size_t>(t)];
+      const int lower = static_cast<int>(std::floor(x));
+      const int upper = static_cast<int>(ceil_star(x));
+      const double from_lower = rs::online::rounding_upper_probability(
+          prev_lower, previous_fractional, x);
+      const double from_upper = rs::online::rounding_upper_probability(
+          prev_upper, previous_fractional, x);
+
+      // Exact E[(x_t − x_{t−1})⁺] over the four joint outcomes.
+      auto up_move = [](int from, int to) {
+        return static_cast<double>(std::max(0, to - from));
+      };
+      const double expected_up =
+          (1.0 - p_upper_prev) *
+              ((1.0 - from_lower) * up_move(prev_lower, lower) +
+               from_lower * up_move(prev_lower, upper)) +
+          p_upper_prev * ((1.0 - from_upper) * up_move(prev_upper, lower) +
+                          from_upper * up_move(prev_upper, upper));
+      const double fractional_up =
+          std::max(0.0, x - previous_fractional);
+      ASSERT_NEAR(expected_up, fractional_up, 1e-9)
+          << "t=" << t << " xbar=" << x << " prev=" << previous_fractional;
+
+      const double p_upper =
+          (1.0 - p_upper_prev) * from_lower + p_upper_prev * from_upper;
+      ASSERT_NEAR(p_upper, frac(x), 1e-9);
+      p_upper_prev = p_upper;
+      previous_fractional = x;
+      prev_lower = lower;
+      prev_upper = upper;
+    }
+  }
+}
+
+// Lemma 19, exactly: expected operating cost per step from the exact
+// marginals equals the interpolated fractional operating cost.
+TEST(Lemma19, ExactOperatingExpectation) {
+  rs::util::Rng rng(55);
+  const int T = 30;
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kConvexTable, T, 6, 1.0);
+  rs::core::FractionalSchedule xbar(static_cast<std::size_t>(T));
+  double value = 0.0;
+  for (int t = 0; t < T; ++t) {
+    value = rs::util::project(value + rng.uniform(-1.3, 1.3), 0.0, 6.0);
+    xbar[static_cast<std::size_t>(t)] = value;
+  }
+  // By Lemma 18 the marginal of x_t is Bernoulli(frac) over {⌊⌋, ⌈⌉*}: the
+  // expected operating cost is the eq.-(3) interpolation at x̄_t — exactly.
+  for (int t = 1; t <= T; ++t) {
+    const double x = xbar[static_cast<std::size_t>(t - 1)];
+    const int lower = static_cast<int>(std::floor(x));
+    const int upper = static_cast<int>(ceil_star(x));
+    const double expected =
+        (1.0 - frac(x)) * p.f(t).at(lower) + frac(x) * p.f(t).at(upper);
+    // Interpolation uses ⌈x⌉ rather than ⌈x⌉*, but both agree because the
+    // weight of the upper state is frac(x) = 0 whenever they differ.
+    EXPECT_NEAR(expected, rs::core::interpolate(p.f(t), x), 1e-9) << t;
+  }
+}
+
+// Scaling sanity used throughout Section 2.3: Ψ_l preserves schedule costs
+// under the state correspondence x <-> x/2^l.
+TEST(PsiScaling, OptimaCorrespond) {
+  rs::util::Rng rng(56);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kQuadratic, 10, 8, rng.uniform(0.5, 2.0));
+    // OPT(P_l) == OPT(Ψ_l(P_l)) for l = 1: the scaled instance's optimum
+    // equals the Φ-restricted optimum of the original.
+    const double restricted = rs::offline::solve_phi_restricted(p, 1).cost;
+    const Problem scaled = rs::core::psi_scale(p, 1);
+    const double scaled_cost = rs::offline::DpSolver().solve_cost(scaled);
+    EXPECT_NEAR(restricted, scaled_cost, 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the Section-4 randomized rounding: support invariant, exact
+// Lemma-18 marginals via distribution evolution, Lemmas 19/20 (expected
+// cost equals fractional cost) by exact computation and Monte Carlo, and
+// the Theorem-3 end-to-end algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/schedule.hpp"
+#include "offline/dp_solver.hpp"
+#include "online/level_flow.hpp"
+#include "online/randomized_rounding.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace rs::online;
+using rs::core::FractionalSchedule;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::util::ceil_star;
+using rs::util::frac;
+using rs::workload::InstanceFamily;
+
+FractionalSchedule random_trajectory(rs::util::Rng& rng, int T, double m,
+                                     double max_step) {
+  FractionalSchedule x(static_cast<std::size_t>(T));
+  double value = 0.0;
+  for (int t = 0; t < T; ++t) {
+    value = rs::util::project(value + rng.uniform(-max_step, max_step), 0.0, m);
+    x[static_cast<std::size_t>(t)] = value;
+  }
+  return x;
+}
+
+TEST(RoundingChain, SupportInvariant) {
+  // x_t is always ⌊x̄_t⌋ or ⌈x̄_t⌉*.
+  rs::util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FractionalSchedule x = random_trajectory(rng, 50, 5.0, 1.7);
+    const Schedule rounded = round_schedule(x, 1000 + trial);
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      const int lower = static_cast<int>(std::floor(x[t]));
+      const int upper = static_cast<int>(ceil_star(x[t]));
+      EXPECT_TRUE(rounded[t] == lower || rounded[t] == upper)
+          << "t=" << t << " xbar=" << x[t] << " x=" << rounded[t];
+    }
+  }
+}
+
+TEST(RoundingChain, DeterministicGivenSeed) {
+  rs::util::Rng rng(12);
+  const FractionalSchedule x = random_trajectory(rng, 40, 3.0, 0.8);
+  EXPECT_EQ(round_schedule(x, 7), round_schedule(x, 7));
+}
+
+TEST(RoundingChain, IntegralInputPassesThrough) {
+  const FractionalSchedule x = {1.0, 3.0, 0.0, 2.0};
+  const Schedule rounded = round_schedule(x, 5);
+  EXPECT_EQ(rounded, (Schedule{1, 3, 0, 2}));
+}
+
+TEST(RoundingChain, RejectsNegativeState) {
+  RoundingChain chain{rs::util::Rng(1)};
+  EXPECT_THROW(chain.step(-0.25), std::invalid_argument);
+}
+
+// Lemma 18 by exact distribution evolution: the chain state is supported on
+// {⌊x̄_t⌋, ⌈x̄_t⌉*}; evolving the two-point distribution through the
+// transition rule must keep Pr[upper] = frac(x̄_t).
+TEST(RoundingChain, Lemma18ExactMarginals) {
+  rs::util::Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Mix small (within-cell) and large (multi-cell) moves.
+    const double max_step = trial % 2 == 0 ? 0.6 : 2.9;
+    const FractionalSchedule x = random_trajectory(rng, 60, 6.0, max_step);
+    double previous_fractional = 0.0;
+    double p_upper_prev = 0.0;  // Pr[x_{t-1} = upper state of x̄_{t-1}]
+    int prev_lower = 0;
+    int prev_upper = 1;  // states of the chain at t-1 (x̄_0 = 0)
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      const int lower = static_cast<int>(std::floor(x[t]));
+      const int upper = static_cast<int>(ceil_star(x[t]));
+      // Transition from each support point of the previous distribution.
+      const double from_lower =
+          rounding_upper_probability(prev_lower, previous_fractional, x[t]);
+      const double from_upper =
+          rounding_upper_probability(prev_upper, previous_fractional, x[t]);
+      const double p_upper =
+          (1.0 - p_upper_prev) * from_lower + p_upper_prev * from_upper;
+      ASSERT_NEAR(p_upper, frac(x[t]), 1e-9)
+          << "t=" << t << " xbar=" << x[t] << " prev=" << previous_fractional;
+      previous_fractional = x[t];
+      p_upper_prev = p_upper;
+      prev_lower = lower;
+      prev_upper = upper;
+    }
+  }
+}
+
+// Lemmas 19/20 by Monte Carlo: expected operating and switching costs of
+// the rounded schedule match the fractional schedule's costs.
+TEST(RoundingChain, Lemma19And20ExpectedCosts) {
+  rs::util::Rng rng(14);
+  const int T = 30;
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kConvexTable, T, 6, 1.3);
+  const FractionalSchedule xbar = random_trajectory(rng, T, 6.0, 1.4);
+
+  const double frac_operating = rs::core::operating_cost(p, xbar);
+  const double frac_switching = rs::core::switching_cost_up(p, xbar);
+
+  const int samples = 60000;
+  double sum_operating = 0.0;
+  double sum_switching = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const Schedule x = round_schedule(xbar, 50000 + static_cast<std::uint64_t>(s));
+    sum_operating += rs::core::operating_cost(p, x);
+    sum_switching += rs::core::switching_cost_up(p, x);
+  }
+  const double mean_operating = sum_operating / samples;
+  const double mean_switching = sum_switching / samples;
+  EXPECT_NEAR(mean_operating, frac_operating,
+              0.02 * std::max(1.0, frac_operating));
+  EXPECT_NEAR(mean_switching, frac_switching,
+              0.03 * std::max(1.0, frac_switching));
+}
+
+TEST(RandomizedRounding, RequiresReset) {
+  RandomizedRounding alg(1);
+  const auto f = std::make_shared<rs::core::AffineAbsCost>(1.0, 0.0);
+  EXPECT_THROW(alg.decide(f, {}), std::logic_error);
+  EXPECT_THROW(RandomizedRounding(nullptr, 1), std::invalid_argument);
+}
+
+TEST(RandomizedRounding, TracksFractionalWithinOneUnit) {
+  rs::util::Rng rng(15);
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kQuadratic, 40, 8, 1.0);
+  RandomizedRounding alg(99);
+  const Schedule x = run_online(alg, p);
+  LevelFlow flow;
+  const FractionalSchedule xbar = run_online(flow, p);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    EXPECT_LE(std::fabs(static_cast<double>(x[t]) - xbar[t]), 1.0 + 1e-12);
+  }
+}
+
+TEST(RandomizedRounding, Theorem3ExpectedRatioAtMostTwo) {
+  // E[C(X)] = C(X̄) <= 2·OPT(P̄) = 2·OPT(P).  Check the expectation over
+  // seeds against 2·OPT with a small slack for sampling noise.
+  rs::util::Rng rng(16);
+  const rs::offline::DpSolver dp;
+  for (int trial = 0; trial < 6; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(5, 30));
+    const int m = static_cast<int>(rng.uniform_int(1, 6));
+    const Problem p = rs::workload::random_instance(
+        rng, InstanceFamily::kConvexTable, T, m, rng.uniform(0.4, 2.0));
+    const double optimal = dp.solve_cost(p);
+    if (!(optimal > 1e-6)) continue;
+
+    // Exact expectation: E[C] equals the fractional cost (Lemmas 19/20).
+    LevelFlow flow;
+    const FractionalSchedule xbar = run_online(flow, p);
+    const double expected_cost = rs::core::total_cost(p, xbar);
+    EXPECT_LE(expected_cost, 2.0 * optimal + 1e-6) << "trial=" << trial;
+
+    // Monte-Carlo confirmation through the online wrapper.
+    const int samples = 400;
+    double sum = 0.0;
+    for (int s = 0; s < samples; ++s) {
+      RandomizedRounding alg(static_cast<std::uint64_t>(trial) * 100000u + s);
+      sum += rs::core::total_cost(p, run_online(alg, p));
+    }
+    const double mean = sum / samples;
+    EXPECT_NEAR(mean, expected_cost, 0.15 * std::max(1.0, expected_cost));
+  }
+}
+
+}  // namespace

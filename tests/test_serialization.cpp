@@ -1,0 +1,89 @@
+// Round-trip tests for schedule/problem CSV serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+#include "core/serialization.hpp"
+#include "offline/dp_solver.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using namespace rs::core;
+using rs::util::kInf;
+
+TEST(ScheduleCsv, RoundTrip) {
+  const Schedule x = {0, 3, 2, 2, 0, 5};
+  EXPECT_EQ(schedule_from_csv(schedule_to_csv(x)), x);
+}
+
+TEST(ScheduleCsv, EmptySchedule) {
+  EXPECT_TRUE(schedule_from_csv(schedule_to_csv({})).empty());
+}
+
+TEST(ScheduleCsv, FileRoundTrip) {
+  const Schedule x = {1, 2, 1};
+  const std::string path = ::testing::TempDir() + "/rs_schedule.csv";
+  write_schedule_csv(x, path);
+  EXPECT_EQ(read_schedule_csv(path), x);
+}
+
+TEST(ScheduleCsv, RejectsCorruptInput) {
+  EXPECT_THROW(schedule_from_csv("bad,header\n1,2\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_csv("t,x\n2,1\n"), std::runtime_error);  // gap
+  EXPECT_THROW(schedule_from_csv("t,x\n1\n"), std::runtime_error);
+}
+
+TEST(ProblemCsv, RoundTripPreservesCostsExactly) {
+  rs::util::Rng rng(61);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 12));
+    const int m = static_cast<int>(rng.uniform_int(1, 8));
+    const Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kConvexTable, T, m,
+        rng.uniform(0.2, 3.0));
+    const Problem q = problem_from_csv(problem_to_csv(p));
+    ASSERT_EQ(q.horizon(), T);
+    ASSERT_EQ(q.max_servers(), m);
+    EXPECT_DOUBLE_EQ(q.beta(), p.beta());
+    for (int t = 1; t <= T; ++t) {
+      for (int x = 0; x <= m; ++x) {
+        EXPECT_DOUBLE_EQ(q.cost_at(t, x), p.cost_at(t, x));
+      }
+    }
+    // Optima must survive the round trip bit-exactly.
+    EXPECT_DOUBLE_EQ(rs::offline::DpSolver().solve_cost(p),
+                     rs::offline::DpSolver().solve_cost(q));
+  }
+}
+
+TEST(ProblemCsv, InfinityRoundTrips) {
+  const Problem p = make_table_problem(
+      2, 1.5, {{kInf, 1.0, 2.0}, {0.5, kInf, kInf}});
+  const Problem q = problem_from_csv(problem_to_csv(p));
+  EXPECT_TRUE(std::isinf(q.cost_at(1, 0)));
+  EXPECT_TRUE(std::isinf(q.cost_at(2, 2)));
+  EXPECT_DOUBLE_EQ(q.cost_at(1, 1), 1.0);
+}
+
+TEST(ProblemCsv, FileRoundTrip) {
+  const Problem p = make_table_problem(1, 2.0, {{0.25, 1.75}});
+  const std::string path = ::testing::TempDir() + "/rs_problem.csv";
+  write_problem_csv(p, path);
+  const Problem q = read_problem_csv(path);
+  EXPECT_DOUBLE_EQ(q.cost_at(1, 1), 1.75);
+  EXPECT_DOUBLE_EQ(q.beta(), 2.0);
+}
+
+TEST(ProblemCsv, RejectsCorruptInput) {
+  EXPECT_THROW(problem_from_csv("t,f0\n1,0.5\n"), std::runtime_error);
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0\n1,0.5\n"),
+               std::runtime_error);  // header arity != m+2
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,0.5\n"),
+               std::runtime_error);  // row arity
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Long-horizon stress and numerical-stability tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/schedule.hpp"
+#include "dcsim/cost_model.hpp"
+#include "offline/binary_search_solver.hpp"
+#include "offline/dp_solver.hpp"
+#include "offline/work_function.hpp"
+#include "online/lcp.hpp"
+#include "online/level_flow.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::workload::InstanceFamily;
+
+TEST(Stress, LcpOnTwentyThousandSlots) {
+  rs::util::Rng rng(81);
+  const int T = 20000;
+  const int m = 32;
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kQuadratic, T, m, 1.0);
+  rs::online::Lcp lcp;
+  const Schedule x = rs::online::run_online(lcp, p);
+  const double optimal = rs::offline::DpSolver().solve_cost(p);
+  ASSERT_GT(optimal, 0.0);
+  const double ratio = rs::core::total_cost(p, x) / optimal;
+  EXPECT_LE(ratio, 3.0 + 1e-9);
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+}
+
+TEST(Stress, WorkFunctionStableOverHundredThousandSteps) {
+  // Work functions accumulate T additions; relative errors must stay tiny
+  // and invariants (Lemma 7, convexity at spot checks) must survive.
+  const int m = 8;
+  const double beta = 1.5;
+  rs::offline::WorkFunctionTracker tracker(m, beta);
+  rs::util::Rng rng(82);
+  for (int t = 1; t <= 100000; ++t) {
+    std::vector<double> values(static_cast<std::size_t>(m) + 1);
+    const double center = rng.uniform(0.0, m);
+    for (int x = 0; x <= m; ++x) {
+      const double deviation = static_cast<double>(x) - center;
+      values[static_cast<std::size_t>(x)] = 0.01 * deviation * deviation;
+    }
+    tracker.advance(values);
+    if (t % 10000 == 0) {
+      for (int x = 0; x <= m; ++x) {
+        ASSERT_TRUE(std::isfinite(tracker.chat_lower(x)));
+        ASSERT_NEAR(tracker.chat_lower(x),
+                    tracker.chat_upper(x) + beta * x,
+                    1e-7 * (1.0 + std::fabs(tracker.chat_lower(x))));
+      }
+      ASSERT_LE(tracker.x_lower(), tracker.x_upper());
+    }
+  }
+}
+
+TEST(Stress, LevelFlowLongRunStaysNormalized) {
+  const int m = 16;
+  rs::online::LevelFlow flow;
+  flow.reset(rs::online::OnlineContext{m, 2.0});
+  rs::util::Rng rng(83);
+  for (int t = 0; t < 50000; ++t) {
+    const double x = flow.decide(
+        std::make_shared<rs::core::QuadraticCost>(rng.uniform(0.01, 1.0),
+                                                  rng.uniform(-2.0, 18.0)),
+        {});
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, static_cast<double>(m));
+  }
+  for (double p : flow.profile()) {
+    ASSERT_GE(p, 0.0);
+    ASSERT_LE(p, 1.0);
+  }
+}
+
+TEST(Stress, DpSolverHandlesWideStateSpace) {
+  // m = 4096 with a modest horizon: exercises the O(m) relax kernels.
+  rs::util::Rng rng(84);
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kQuadratic, 64, 4096, 2.0);
+  const double cost = rs::offline::DpSolver().solve_cost(p);
+  EXPECT_TRUE(std::isfinite(cost));
+  // Cross-check against the O(T log m) solver on the same instance.
+  EXPECT_NEAR(rs::offline::BinarySearchSolver().solve(p).cost, cost,
+              1e-6 * (1.0 + cost));
+}
+
+TEST(Stress, HotmailTraceMonthLong) {
+  // 30 days at 5-minute resolution (8640 slots) through the full pipeline.
+  rs::util::Rng rng(85);
+  rs::dcsim::DataCenterModel model;
+  model.servers = 24;
+  const rs::workload::Trace trace =
+      rs::workload::hotmail_like(rng, 30, 288, 0.6 * model.servers);
+  const Problem p = rs::dcsim::restricted_datacenter_problem(model, trace);
+  rs::online::Lcp lcp;
+  const Schedule x = rs::online::run_online(lcp, p);
+  EXPECT_TRUE(rs::core::is_feasible(p, x));
+  const double optimal = rs::offline::DpSolver().solve_cost(p);
+  EXPECT_LE(rs::core::total_cost(p, x), 1.1 * optimal);  // near-optimal
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Tests for the parameter-sweep driver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "analysis/sweep.hpp"
+
+namespace {
+
+using namespace rs::analysis;
+
+TEST(Grid, ExpandsCartesianProductRowMajor) {
+  const std::vector<SweepPoint> points =
+      grid({{"a", {"1", "2"}}, {"b", {"x", "y", "z"}}});
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0], (SweepPoint{{"a", "1"}, {"b", "x"}}));
+  EXPECT_EQ(points[1], (SweepPoint{{"a", "1"}, {"b", "y"}}));
+  EXPECT_EQ(points[3], (SweepPoint{{"a", "2"}, {"b", "x"}}));
+  EXPECT_EQ(points[5], (SweepPoint{{"a", "2"}, {"b", "z"}}));
+}
+
+TEST(Grid, Validation) {
+  EXPECT_THROW(grid({}), std::invalid_argument);
+  EXPECT_THROW(grid({{"a", {}}}), std::invalid_argument);
+}
+
+TEST(SweepRunner, RunsEveryPointOnceInOrder) {
+  const std::vector<SweepPoint> points = grid({{"i", {"0", "1", "2", "3"}}});
+  std::atomic<int> calls{0};
+  SweepRunner runner(points, [&calls](std::size_t i) {
+    ++calls;
+    return SweepRow{{"twice", 2.0 * static_cast<double>(i)}};
+  });
+  EXPECT_FALSE(runner.finished());
+  EXPECT_THROW(runner.rows(), std::logic_error);
+  runner.run();
+  EXPECT_EQ(calls.load(), 4);
+  ASSERT_EQ(runner.rows().size(), 4u);
+  EXPECT_DOUBLE_EQ(runner.rows()[3][0].second, 6.0);  // ordered by index
+  runner.run();  // idempotent
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(SweepRunner, SerialAndParallelAgree) {
+  const std::vector<SweepPoint> points = grid({{"i", {"0", "1", "2"}}});
+  auto eval = [](std::size_t i) {
+    return SweepRow{{"v", static_cast<double>(i * i)}};
+  };
+  SweepRunner serial(points, eval);
+  serial.run(/*parallel=*/false);
+  SweepRunner parallel(points, eval);
+  parallel.run(/*parallel=*/true);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.rows()[i][0].second,
+                     parallel.rows()[i][0].second);
+  }
+}
+
+TEST(SweepRunner, TableAndCsvRendering) {
+  SweepRunner runner(grid({{"eps", {"0.1", "0.2"}}}), [](std::size_t i) {
+    return SweepRow{{"ratio", 2.0 + static_cast<double>(i)}};
+  });
+  runner.run();
+  const rs::util::TextTable table = runner.to_table(2);
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_NE(table.to_string().find("ratio"), std::string::npos);
+
+  const rs::util::CsvTable csv = runner.to_csv();
+  ASSERT_EQ(csv.header, (rs::util::CsvRow{"eps", "ratio"}));
+  ASSERT_EQ(csv.rows.size(), 2u);
+  EXPECT_EQ(csv.rows[0][0], "0.1");
+}
+
+TEST(SweepRunner, Validation) {
+  EXPECT_THROW(SweepRunner({}, [](std::size_t) { return SweepRow{}; }),
+               std::invalid_argument);
+  EXPECT_THROW(SweepRunner(grid({{"a", {"1"}}}), nullptr),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, PropagatesEvaluatorExceptions) {
+  SweepRunner runner(grid({{"i", {"0", "1"}}}), [](std::size_t i) {
+    if (i == 1) throw std::runtime_error("boom");
+    return SweepRow{{"v", 0.0}};
+  });
+  EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+}  // namespace

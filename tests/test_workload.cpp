@@ -1,0 +1,179 @@
+// Tests for trace statistics and the synthetic workload generators,
+// including the documented shape targets of the Hotmail/MSR stand-ins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace rs::workload;
+
+TEST(TraceStats, HandComputedValues) {
+  Trace trace{{1.0, 3.0, 2.0, 2.0}};
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.peak, 3.0);
+  EXPECT_DOUBLE_EQ(stats.valley, 1.0);
+  EXPECT_DOUBLE_EQ(stats.peak_to_mean, 1.5);
+  EXPECT_NEAR(stats.stddev, std::sqrt(0.5), 1e-12);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  const TraceStats stats = compute_stats(Trace{});
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.peak_to_mean, 0.0);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  Trace trace;
+  for (int t = 0; t < 400; ++t) {
+    trace.lambda.push_back(std::sin(2.0 * 3.14159265 * t / 20.0) + 2.0);
+  }
+  EXPECT_GT(autocorrelation(trace, 20), 0.95);
+  EXPECT_LT(autocorrelation(trace, 10), -0.9);
+  EXPECT_THROW(autocorrelation(trace, -1), std::invalid_argument);
+}
+
+TEST(Autocorrelation, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(autocorrelation(Trace{{1.0, 1.0, 1.0}}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(Trace{{1.0}}, 2), 0.0);
+}
+
+TEST(RescalePeak, ScalesToTarget) {
+  Trace trace{{1.0, 4.0, 2.0}};
+  const Trace scaled = rescale_peak(trace, 10.0);
+  EXPECT_DOUBLE_EQ(compute_stats(scaled).peak, 10.0);
+  EXPECT_DOUBLE_EQ(scaled.lambda[0], 2.5);
+  EXPECT_THROW(rescale_peak(trace, -1.0), std::invalid_argument);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  Trace trace{{0.5, 1.25, 0.0}};
+  const std::string path = ::testing::TempDir() + "/rs_trace.csv";
+  write_trace_csv(trace, path);
+  const Trace round = read_trace_csv(path);
+  ASSERT_EQ(round.horizon(), 3);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_NEAR(round.lambda[static_cast<std::size_t>(t)],
+                trace.lambda[static_cast<std::size_t>(t)], 1e-9);
+  }
+}
+
+TEST(Diurnal, ShapeAndDeterminism) {
+  rs::util::Rng rng(1);
+  DiurnalParams params;
+  params.horizon = 288;
+  params.period = 144;
+  params.noise = 0.0;
+  const Trace trace = diurnal(rng, params);
+  ASSERT_EQ(trace.horizon(), 288);
+  // Valley at t = 0, peak near t = period/2.
+  EXPECT_NEAR(trace.lambda[0], params.peak * params.base, 1e-9);
+  EXPECT_NEAR(trace.lambda[72], params.peak, 1e-9);
+  // Periodicity without noise.
+  EXPECT_NEAR(trace.lambda[10], trace.lambda[154], 1e-9);
+
+  rs::util::Rng rng_a(7), rng_b(7);
+  params.noise = 0.05;
+  const Trace a = diurnal(rng_a, params);
+  const Trace b = diurnal(rng_b, params);
+  EXPECT_EQ(a.lambda, b.lambda);
+}
+
+TEST(Diurnal, Validation) {
+  rs::util::Rng rng(1);
+  DiurnalParams params;
+  params.horizon = -1;
+  EXPECT_THROW(diurnal(rng, params), std::invalid_argument);
+  params.horizon = 10;
+  params.period = 0;
+  EXPECT_THROW(diurnal(rng, params), std::invalid_argument);
+  params.period = 10;
+  params.base = 1.5;
+  EXPECT_THROW(diurnal(rng, params), std::invalid_argument);
+}
+
+TEST(Mmpp2, SwitchesBetweenRates) {
+  rs::util::Rng rng(5);
+  Mmpp2Params params;
+  params.horizon = 5000;
+  params.jitter = 0.0;
+  const Trace trace = mmpp2(rng, params);
+  int low = 0, high = 0;
+  for (double value : trace.lambda) {
+    if (std::fabs(value - params.rate_low) < 1e-9) ++low;
+    if (std::fabs(value - params.rate_high) < 1e-9) ++high;
+  }
+  EXPECT_EQ(low + high, 5000);
+  EXPECT_GT(low, 500);
+  EXPECT_GT(high, 500);
+}
+
+TEST(Spikes, BaselineWithSpikes) {
+  rs::util::Rng rng(9);
+  SpikeParams params;
+  params.horizon = 2000;
+  const Trace trace = spikes(rng, params);
+  int spike_slots = 0;
+  for (double value : trace.lambda) {
+    EXPECT_TRUE(std::fabs(value - params.baseline) < 1e-12 ||
+                std::fabs(value - params.spike_height) < 1e-12);
+    if (std::fabs(value - params.spike_height) < 1e-12) ++spike_slots;
+  }
+  EXPECT_GT(spike_slots, 10);
+  EXPECT_LT(spike_slots, 1000);
+}
+
+TEST(BoundedRandomWalk, StaysInBox) {
+  rs::util::Rng rng(11);
+  RandomWalkParams params;
+  params.horizon = 3000;
+  const Trace trace = bounded_random_walk(rng, params);
+  for (double value : trace.lambda) {
+    EXPECT_GE(value, params.floor);
+    EXPECT_LE(value, params.ceiling);
+  }
+}
+
+TEST(HotmailLike, MatchesDocumentedShape) {
+  rs::util::Rng rng(13);
+  const Trace trace = hotmail_like(rng, 7, 144, 100.0);
+  ASSERT_EQ(trace.horizon(), 7 * 144);
+  const TraceStats stats = compute_stats(trace);
+  // Documented target: peak-to-mean ≈ 2 with strong diurnal structure.
+  EXPECT_GT(stats.peak_to_mean, 1.6);
+  EXPECT_LT(stats.peak_to_mean, 2.6);
+  EXPECT_GT(autocorrelation(trace, 144), 0.5);  // daily cycle
+  // Deep valleys: valley below 40% of the mean.
+  EXPECT_LT(stats.valley, 0.4 * stats.mean);
+}
+
+TEST(MsrLike, MatchesDocumentedShape) {
+  rs::util::Rng rng(17);
+  const Trace trace = msr_like(rng, 7, 144, 100.0);
+  const TraceStats stats = compute_stats(trace);
+  // Documented target: burstier, peak-to-mean ≈ 4.
+  EXPECT_GT(stats.peak_to_mean, 3.0);
+  EXPECT_LT(stats.peak_to_mean, 5.5);
+  // Bursts exist: peak well above the 0.22·peak baseline band.
+  EXPECT_GT(stats.peak, 60.0);
+}
+
+TEST(Generators, Validation) {
+  rs::util::Rng rng(1);
+  EXPECT_THROW(hotmail_like(rng, 0), std::invalid_argument);
+  EXPECT_THROW(msr_like(rng, 1, 1), std::invalid_argument);
+  SpikeParams sp;
+  sp.spike_duration = 0;
+  EXPECT_THROW(spikes(rng, sp), std::invalid_argument);
+  RandomWalkParams rw;
+  rw.floor = 2.0;
+  rw.ceiling = 1.0;
+  EXPECT_THROW(bounded_random_walk(rng, rw), std::invalid_argument);
+}
+
+}  // namespace
