@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run all test suites.  Exits non-zero on
+# any failure.  This is the single entrypoint builders and CI should use.
+#
+# Usage: scripts/verify.sh [build-dir]   (default: <repo-root>/build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "${jobs}"
+cd "${build_dir}"
+ctest --output-on-failure -j "${jobs}"

@@ -13,16 +13,17 @@
 #include "core/piecewise_linear.hpp"     // IWYU pragma: export
 #include "core/problem.hpp"              // IWYU pragma: export
 #include "core/schedule.hpp"             // IWYU pragma: export
+#include "core/serialization.hpp"        // IWYU pragma: export
 #include "core/transforms.hpp"           // IWYU pragma: export
 #include "dcsim/cost_model.hpp"          // IWYU pragma: export
 #include "dcsim/datacenter.hpp"          // IWYU pragma: export
 #include "dcsim/delay_model.hpp"         // IWYU pragma: export
 #include "dcsim/power_model.hpp"         // IWYU pragma: export
 #include "graph/dot_export.hpp"          // IWYU pragma: export
-#include "hetero/hetero_problem.hpp"     // IWYU pragma: export
-#include "hetero/hetero_solver.hpp"      // IWYU pragma: export
 #include "graph/layered_graph.hpp"       // IWYU pragma: export
 #include "graph/schedule_graph.hpp"      // IWYU pragma: export
+#include "hetero/hetero_problem.hpp"     // IWYU pragma: export
+#include "hetero/hetero_solver.hpp"      // IWYU pragma: export
 #include "lowerbound/adversary.hpp"      // IWYU pragma: export
 #include "offline/backward_solver.hpp"   // IWYU pragma: export
 #include "offline/binary_search_solver.hpp"  // IWYU pragma: export
@@ -32,6 +33,7 @@
 #include "offline/graph_solver.hpp"      // IWYU pragma: export
 #include "offline/grid_continuous.hpp"   // IWYU pragma: export
 #include "offline/low_memory_solver.hpp" // IWYU pragma: export
+#include "offline/solver.hpp"            // IWYU pragma: export
 #include "offline/work_function.hpp"     // IWYU pragma: export
 #include "online/baselines.hpp"          // IWYU pragma: export
 #include "online/gradient_flow.hpp"      // IWYU pragma: export

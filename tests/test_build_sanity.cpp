@@ -1,0 +1,51 @@
+// Fast build canary: constructs a tiny instance, runs one offline solver and
+// one online algorithm end-to-end, and checks the ordering the paper
+// guarantees for every instance: cost(online) >= cost(offline optimum).
+// Registered first in the ctest order so build/link breakage surfaces in
+// milliseconds, before the heavier paper-property suites run.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_function.hpp"
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "offline/dp_solver.hpp"
+#include "online/lcp.hpp"
+#include "online/online_algorithm.hpp"
+
+namespace {
+
+rs::core::Problem tiny_problem() {
+  const int m = 4;
+  std::vector<rs::core::CostPtr> fs;
+  for (int t = 1; t <= 6; ++t) {
+    const double center = (t % 2 == 0) ? 3.0 : 1.0;
+    fs.push_back(std::make_shared<rs::core::QuadraticCost>(1.0, center));
+  }
+  return rs::core::Problem(m, 2.0, std::move(fs));
+}
+
+TEST(BuildSanity, OfflineSolvesTinyInstance) {
+  const auto p = tiny_problem();
+  const auto result = rs::offline::DpSolver{}.solve(p);
+  ASSERT_TRUE(result.feasible());
+  ASSERT_EQ(static_cast<int>(result.schedule.size()), p.horizon());
+  EXPECT_TRUE(rs::core::is_feasible(p, result.schedule));
+  EXPECT_NEAR(rs::core::total_cost(p, result.schedule), result.cost, 1e-9);
+}
+
+TEST(BuildSanity, OnlineNeverBeatsOfflineOptimum) {
+  const auto p = tiny_problem();
+  const double opt = rs::offline::DpSolver{}.solve_cost(p);
+
+  rs::online::Lcp lcp;
+  const auto online_schedule = rs::online::run_online(lcp, p);
+  ASSERT_TRUE(rs::core::is_feasible(p, online_schedule));
+  const double online_cost = rs::core::total_cost(p, online_schedule);
+
+  EXPECT_GE(online_cost, opt - 1e-9);
+}
+
+}  // namespace

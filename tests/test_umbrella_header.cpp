@@ -1,0 +1,14 @@
+// Compile-only guard for the public umbrella header: including it must pull
+// in every public module without errors or missing-header surprises.
+#include "rightsizer/rightsizer.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(UmbrellaHeader, CompilesAndExposesCoreTypes) {
+  // Touch one symbol from a few far-apart modules so the includes cannot be
+  // optimized away by an overzealous tool.
+  const rs::core::QuadraticCost q(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(q.at(0), 0.0);
+  EXPECT_EQ(rs::offline::DpSolver{}.name(), "dp");
+  EXPECT_EQ(rs::online::Lcp{}.name(), "lcp");
+}
