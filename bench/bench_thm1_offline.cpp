@@ -1,9 +1,16 @@
 // E2 — Theorem 1 (google-benchmark): wall-clock scaling of the offline
 // solvers.  The paper's binary-search algorithm runs in O(T·log m); the DP
 // baseline in O(T·m); the Figure-1 shortest path in O(T·m²).
+//
+// The *_Dense vs *_PerPoint pairs measure the dense evaluation layer
+// (CostFunction::eval_row + row-consuming kernels) against the seed's
+// per-point cost_at path on the two dispatch-heavy instance classes:
+// decorator chains (Scaled→Stride→Padded→Table) and RestrictedSlotCost
+// (a std::function call per evaluation).  scripts/bench_baseline.sh turns
+// these pairs into the speedup entries of BENCH_results.json.
 #include <benchmark/benchmark.h>
 
-#include "rightsizer/rightsizer.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -15,6 +22,113 @@ rs::core::Problem make_instance(int T, int m) {
                     static_cast<std::uint64_t>(m));
   return rs::workload::random_instance(
       rng, rs::workload::InstanceFamily::kQuadratic, T, m, 2.0);
+}
+
+void BM_DpDense_Decorated(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const rs::offline::DpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_cost(p));
+  }
+}
+
+void BM_DpPerPoint_Decorated(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::bench::per_point_dp_cost_reference(p));
+  }
+}
+
+void BM_DpDense_Restricted(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  const rs::offline::DpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_cost(p));
+  }
+}
+
+void BM_DpPerPoint_Restricted(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::bench::per_point_dp_cost_reference(p));
+  }
+}
+
+void BM_LcpDense_Decorated(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    rs::online::Lcp lcp;
+    benchmark::DoNotOptimize(rs::online::run_online(lcp, p).size());
+  }
+}
+
+void BM_LcpPerPoint_Decorated(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::bench::per_point_lcp_reference(p).size());
+  }
+}
+
+void BM_LcpDense_Restricted(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    rs::online::Lcp lcp;
+    benchmark::DoNotOptimize(rs::online::run_online(lcp, p).size());
+  }
+}
+
+void BM_LcpPerPoint_Restricted(benchmark::State& state) {
+  const rs::core::Problem p = rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::bench::per_point_lcp_reference(p).size());
+  }
+}
+
+// Table-backed variants: the DenseProblem is built once outside the timing
+// loop (the analysis-sweep / repeated-solve usage the layer was built for,
+// mirroring how the seed benchmarks materialize() instances up front), so
+// these measure the pure row-consuming kernels.
+
+void BM_DpTable_Decorated(benchmark::State& state) {
+  const rs::core::DenseProblem dense(rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1))));
+  const rs::offline::DpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_cost(dense));
+  }
+}
+
+void BM_DpTable_Restricted(benchmark::State& state) {
+  const rs::core::DenseProblem dense(rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1))));
+  const rs::offline::DpSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_cost(dense));
+  }
+}
+
+void BM_LcpTable_Decorated(benchmark::State& state) {
+  const rs::core::DenseProblem dense(rs::bench::decorated_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::online::run_lcp_dense(dense).size());
+  }
+}
+
+void BM_LcpTable_Restricted(benchmark::State& state) {
+  const rs::core::DenseProblem dense(rs::bench::restricted_slot_instance(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(1))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs::online::run_lcp_dense(dense).size());
+  }
 }
 
 void BM_DpSolver(benchmark::State& state) {
@@ -69,6 +183,24 @@ void BM_LcpOnline(benchmark::State& state) {
 }
 
 }  // namespace
+
+// Dense-vs-per-point pairs (acceptance: dense >= 2x on both classes at
+// T=10^4, m=10^3).  The {64, 64} variants exist for the --smoke ctest run.
+#define RIGHTSIZER_DENSE_ARGS \
+  ->Args({64, 64})->Args({10000, 1000})->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_DpDense_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_DpPerPoint_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_DpDense_Restricted) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_DpPerPoint_Restricted) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpDense_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpPerPoint_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpDense_Restricted) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpPerPoint_Restricted) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_DpTable_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_DpTable_Restricted) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpTable_Decorated) RIGHTSIZER_DENSE_ARGS;
+BENCHMARK(BM_LcpTable_Restricted) RIGHTSIZER_DENSE_ARGS;
+#undef RIGHTSIZER_DENSE_ARGS
 
 // m-scaling at fixed T: DP grows linearly in m, binary search
 // logarithmically.

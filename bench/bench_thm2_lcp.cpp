@@ -3,9 +3,85 @@
 // Measures LCP's cost ratio across workload families and switching-cost
 // scales.  Every measured ratio must stay at or below 3; realistic traces
 // sit far below the worst case (the adversarial bound is exercised by E5).
+//
+// A second section times LCP through the dense evaluation layer (one
+// eval_row per slot) against the seed's per-point work-function fill on the
+// dispatch-heavy instance classes; `--time-json PATH` dumps those rows for
+// scripts/bench_baseline.sh, and RIGHTSIZER_BENCH_SMOKE=1 shrinks the
+// instances for the ctest smoke entry.
+#include <fstream>
+
 #include "bench_common.hpp"
 
-int main() {
+namespace {
+
+struct LcpTiming {
+  std::string family;
+  int T = 0;
+  int m = 0;
+  double per_point_ms = 0.0;
+  double dense_ms = 0.0;  // streaming: eval_row per revealed slot
+  double table_ms = 0.0;  // pre-built DenseProblem, pure row walk
+  double speedup() const { return per_point_ms / dense_ms; }
+  double table_speedup() const { return per_point_ms / table_ms; }
+};
+
+LcpTiming time_lcp(const std::string& family, const rs::core::Problem& p) {
+  LcpTiming row;
+  row.family = family;
+  row.T = p.horizon();
+  row.m = p.max_servers();
+  // One warm-up + three timed repetitions each; keep the minimum, the usual
+  // noise-robust statistic for wall-clock micro timings.
+  rs::core::Schedule per_point;
+  rs::core::Schedule dense;
+  double best_pp = rs::util::kInf;
+  double best_dense = rs::util::kInf;
+  (void)rs::bench::per_point_lcp_reference(p);
+  for (int rep = 0; rep < 3; ++rep) {
+    rs::util::Stopwatch watch;
+    per_point = rs::bench::per_point_lcp_reference(p);
+    best_pp = std::min(best_pp, watch.milliseconds());
+  }
+  {
+    rs::online::Lcp warmup;
+    (void)rs::online::run_online(warmup, p);
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    rs::online::Lcp lcp;
+    rs::util::Stopwatch watch;
+    dense = rs::online::run_online(lcp, p);
+    best_dense = std::min(best_dense, watch.milliseconds());
+  }
+  const rs::core::DenseProblem table(p);
+  rs::core::Schedule dense_table;
+  double best_table = rs::util::kInf;
+  (void)rs::online::run_lcp_dense(table);
+  for (int rep = 0; rep < 3; ++rep) {
+    rs::util::Stopwatch watch;
+    dense_table = rs::online::run_lcp_dense(table);
+    best_table = std::min(best_table, watch.milliseconds());
+  }
+  rs::bench::check(per_point == dense,
+                   "dense and per-point LCP schedules agree on " + family);
+  rs::bench::check(per_point == dense_table,
+                   "table-backed LCP schedule agrees on " + family);
+  row.per_point_ms = best_pp;
+  row.dense_ms = best_dense;
+  row.table_ms = best_table;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string time_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--time-json" && i + 1 < argc) {
+      time_json_path = argv[++i];
+    }
+  }
+
   std::cout << "E3 / Theorem 2: LCP competitive ratio (bound: 3)\n\n";
   rs::util::Rng rng(11);
 
@@ -50,5 +126,50 @@ int main() {
   std::cout << "\nmax measured ratio: " << max_ratio
             << "  (Theorem 2 bound: 3; worst case attained only by the E5 "
                "adversary)\n";
+
+  // --- dense evaluation layer timing -------------------------------------
+  const bool smoke = std::getenv("RIGHTSIZER_BENCH_SMOKE") != nullptr;
+  const int timing_T = smoke ? 256 : 10000;
+  const int timing_m = smoke ? 64 : 1000;
+  std::cout << "\nLCP wall clock: dense eval_row rows vs seed per-point fill"
+            << " (T=" << timing_T << ", m=" << timing_m << ")\n\n";
+  const LcpTiming timings[] = {
+      time_lcp("decorated",
+               rs::bench::decorated_instance(timing_T, timing_m)),
+      time_lcp("restricted_slot",
+               rs::bench::restricted_slot_instance(timing_T, timing_m)),
+  };
+  rs::util::TextTable timing_table({"instance", "T", "m", "per-point ms",
+                                    "dense ms", "table ms", "speedup",
+                                    "table speedup"});
+  for (const LcpTiming& row : timings) {
+    timing_table.add_row({row.family, std::to_string(row.T),
+                          std::to_string(row.m),
+                          rs::util::TextTable::num(row.per_point_ms, 2),
+                          rs::util::TextTable::num(row.dense_ms, 2),
+                          rs::util::TextTable::num(row.table_ms, 2),
+                          rs::util::TextTable::num(row.speedup(), 2),
+                          rs::util::TextTable::num(row.table_speedup(), 2)});
+  }
+  std::cout << timing_table;
+
+  if (!time_json_path.empty()) {
+    std::ofstream out(time_json_path);
+    out << "[\n";
+    for (std::size_t i = 0; i < std::size(timings); ++i) {
+      const LcpTiming& row = timings[i];
+      out << "  {\"name\": \"bench_thm2_lcp/" << row.family
+          << "\", \"T\": " << row.T << ", \"m\": " << row.m
+          << ", \"per_point_ms\": " << row.per_point_ms
+          << ", \"dense_ms\": " << row.dense_ms
+          << ", \"table_ms\": " << row.table_ms
+          << ", \"speedup\": " << row.speedup()
+          << ", \"table_speedup\": " << row.table_speedup() << "}"
+          << (i + 1 < std::size(timings) ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::cout << "\nwrote timing rows to " << time_json_path << "\n";
+  }
+
   return rs::bench::finish("E3 (Theorem 2)");
 }

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Perf baseline: runs the thm1 offline / thm2 LCP benchmarks and writes
+# BENCH_results.json (benchmark name -> ns/op with T, m, git sha), the
+# repo's perf trajectory artifact.
+#
+# Usage:
+#   scripts/bench_baseline.sh                 # full run, writes ./BENCH_results.json
+#   scripts/bench_baseline.sh --smoke         # tiny sizes, fast (ctest entry)
+#   scripts/bench_baseline.sh --build-dir DIR # reuse an existing build tree
+#   scripts/bench_baseline.sh --out FILE      # alternative output path
+#
+# The dense-vs-per-point benchmark pairs (see bench/bench_thm1_offline.cpp)
+# are summarized under "speedups"; the acceptance numbers for the dense
+# evaluation layer come from the *_PerPoint vs *_Table pairs.
+set -euo pipefail
+
+SMOKE=0
+BUILD_DIR=""
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    --out) OUT="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+[[ -z "$BUILD_DIR" ]] && BUILD_DIR="$ROOT/build-bench"
+[[ -z "$OUT" ]] && OUT="$ROOT/BENCH_results.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" ]]; then
+  echo "== configuring bench build in $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+    -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target bench_thm1_offline bench_thm2_lcp
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+GBENCH_ARGS=(--benchmark_format=json)
+if [[ "$SMOKE" -eq 1 ]]; then
+  GBENCH_ARGS+=(--benchmark_filter='/64/64$' --benchmark_min_time=0.02)
+  export RIGHTSIZER_BENCH_SMOKE=1
+else
+  GBENCH_ARGS+=(--benchmark_filter='.')
+  unset RIGHTSIZER_BENCH_SMOKE || true
+fi
+
+echo "== running bench_thm1_offline"
+"$BUILD_DIR/bench/bench_thm1_offline" "${GBENCH_ARGS[@]}" > "$TMP/thm1.json"
+
+echo "== running bench_thm2_lcp"
+"$BUILD_DIR/bench/bench_thm2_lcp" --time-json "$TMP/thm2.json"
+
+GIT_SHA="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
+
+SMOKE="$SMOKE" GIT_SHA="$GIT_SHA" OUT="$OUT" TMP="$TMP" python3 - <<'PY'
+import datetime
+import json
+import os
+
+tmp = os.environ["TMP"]
+with open(os.path.join(tmp, "thm1.json")) as fh:
+    thm1 = json.load(fh)
+with open(os.path.join(tmp, "thm2.json")) as fh:
+    thm2 = json.load(fh)
+
+unit_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+benchmarks = []
+by_name = {}
+for entry in thm1.get("benchmarks", []):
+    if entry.get("run_type") == "aggregate":
+        continue
+    name = entry["name"]
+    parts = name.split("/")
+    T = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else None
+    m = int(parts[2]) if len(parts) > 2 and parts[2].isdigit() else None
+    ns = entry["real_time"] * unit_to_ns.get(entry.get("time_unit", "ns"), 1.0)
+    row = {"name": name, "ns_per_op": ns, "T": T, "m": m}
+    benchmarks.append(row)
+    by_name[name] = row
+
+# Pair BM_<Kind>PerPoint_<Family> against BM_<Kind>Dense_/BM_<Kind>Table_.
+speedups = {}
+for row in benchmarks:
+    name = row["name"]
+    if "PerPoint_" not in name:
+        continue
+    prefix, rest = name.split("PerPoint_", 1)
+    dense = by_name.get(f"{prefix}Dense_{rest}")
+    table = by_name.get(f"{prefix}Table_{rest}")
+    entry = {"per_point_ns": row["ns_per_op"], "T": row["T"], "m": row["m"]}
+    if dense:
+        entry["dense_ns"] = dense["ns_per_op"]
+        entry["dense_speedup"] = row["ns_per_op"] / dense["ns_per_op"]
+    if table:
+        entry["table_ns"] = table["ns_per_op"]
+        entry["table_speedup"] = row["ns_per_op"] / table["ns_per_op"]
+    key = f"{prefix.removeprefix('BM_')}{rest}".replace("__", "_")
+    speedups[key] = entry
+
+result = {
+    "git_sha": os.environ["GIT_SHA"],
+    "generated_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"),
+    "smoke": os.environ["SMOKE"] == "1",
+    "benchmarks": benchmarks,
+    "lcp_timings": thm2,
+    "speedups": speedups,
+}
+with open(os.environ["OUT"], "w") as fh:
+    json.dump(result, fh, indent=2)
+    fh.write("\n")
+print(f"wrote {os.environ['OUT']} ({len(benchmarks)} benchmarks, "
+      f"{len(speedups)} speedup pairs)")
+PY

@@ -18,7 +18,10 @@ void SweepRunner::run(bool parallel) {
   if (finished_) return;
   rows_.assign(points_.size(), SweepRow{});
   if (parallel) {
-    rs::util::global_pool().parallel_for(
+    // Dynamic scheduling: sweep axes routinely scale T or m, so per-point
+    // costs differ by orders of magnitude and static chunks would serialize
+    // behind the most expensive stretch of the grid.
+    rs::util::global_pool().parallel_for_dynamic(
         0, points_.size(), [this](std::size_t i) { rows_[i] = evaluate_(i); });
   } else {
     for (std::size_t i = 0; i < points_.size(); ++i) rows_[i] = evaluate_(i);

@@ -1,5 +1,7 @@
 #include "core/cost_function.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -17,6 +19,13 @@ double CostFunction::at_real(double x) const {
   const double f_hi = at(lo + 1);
   if (std::isinf(f_lo) || std::isinf(f_hi)) return kInf;
   return (1.0 - theta) * f_lo + theta * f_hi;
+}
+
+void CostFunction::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  for (int x = 0; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] = at(x);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -41,6 +50,23 @@ double TableCost::at(int x) const {
   return last + slope * static_cast<double>(x - (n - 1));
 }
 
+void TableCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  const int n = static_cast<int>(values_.size());
+  const int copied = std::min(n, m + 1);
+  std::copy_n(values_.begin(), copied, out.begin());
+  if (m + 1 <= n) return;
+  // Same linear extension (and exact expression) as at().
+  const double last = values_[static_cast<std::size_t>(n - 1)];
+  const double slope =
+      n >= 2 ? last - values_[static_cast<std::size_t>(n - 2)] : 0.0;
+  for (int x = n; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] =
+        std::isinf(last) ? last
+                         : last + slope * static_cast<double>(x - (n - 1));
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 AffineAbsCost::AffineAbsCost(double slope, double center, double offset)
@@ -54,6 +80,14 @@ double AffineAbsCost::at(int x) const {
 
 double AffineAbsCost::at_real(double x) const {
   return slope_ * std::fabs(x - center_) + offset_;
+}
+
+void AffineAbsCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  for (int x = 0; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] =
+        slope_ * std::fabs(static_cast<double>(x) - center_) + offset_;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +108,14 @@ double QuadraticCost::at_real(double x) const {
   return curvature_ * d * d + offset_;
 }
 
+void QuadraticCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  for (int x = 0; x <= m; ++x) {
+    const double d = static_cast<double>(x) - center_;
+    out[static_cast<std::size_t>(x)] = curvature_ * d * d + offset_;
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 FunctionCost::FunctionCost(std::function<double(int)> fn, std::string label)
@@ -82,6 +124,16 @@ FunctionCost::FunctionCost(std::function<double(int)> fn, std::string label)
 }
 
 double FunctionCost::at(int x) const { return fn_(x); }
+
+void FunctionCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  // One std::function dereference instead of one virtual + one std::function
+  // call per point.
+  const std::function<double(int)>& fn = fn_;
+  for (int x = 0; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] = fn(x);
+  }
+}
 
 // ---------------------------------------------------------------------------
 
@@ -107,6 +159,22 @@ double RestrictedSlotCost::at_real(double x) const {
   return x * (*f_)(lambda_ / x);
 }
 
+void RestrictedSlotCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  // Mirrors at_real() on integers with the shared_ptr resolved once.
+  const std::function<double(double)>& fn = *f_;
+  for (int x = 0; x <= m; ++x) {
+    const double xr = static_cast<double>(x);
+    if (xr < lambda_) {
+      out[static_cast<std::size_t>(x)] = kInf;
+    } else if (xr == 0.0) {
+      out[static_cast<std::size_t>(x)] = 0.0;
+    } else {
+      out[static_cast<std::size_t>(x)] = xr * fn(lambda_ / xr);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 ScaledCost::ScaledCost(CostPtr base, double factor)
@@ -121,6 +189,13 @@ double ScaledCost::at_real(double x) const {
   return factor_ * base_->at_real(x);
 }
 
+void ScaledCost::eval_row(int m, std::span<double> out) const {
+  base_->eval_row(m, out);
+  for (int x = 0; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] = factor_ * out[static_cast<std::size_t>(x)];
+  }
+}
+
 std::string ScaledCost::name() const { return "scaled(" + base_->name() + ")"; }
 
 // ---------------------------------------------------------------------------
@@ -132,6 +207,32 @@ StrideCost::StrideCost(CostPtr base, int stride)
 }
 
 double StrideCost::at(int x) const { return base_->at(x * stride_); }
+
+void StrideCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  if (stride_ == 1) {
+    base_->eval_row(m, out);
+    return;
+  }
+  // For small strides (the common Ψ_l refinement steps), materializing the
+  // base row keeps the whole decorator chain below on its bulk path and
+  // costs only stride·m sequential writes; for large strides the gathered
+  // states are sparse in the base domain and a per-point gather wins.
+  const long long base_m = static_cast<long long>(m) * stride_;
+  if (stride_ <= 4 && base_m + 1 <= (1LL << 22)) {
+    std::vector<double> base_row(static_cast<std::size_t>(base_m) + 1);
+    base_->eval_row(static_cast<int>(base_m), base_row);
+    for (int x = 0; x <= m; ++x) {
+      out[static_cast<std::size_t>(x)] =
+          base_row[static_cast<std::size_t>(x) * static_cast<std::size_t>(stride_)];
+    }
+    return;
+  }
+  const CostFunction& base = *base_;
+  for (int x = 0; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] = base.at(x * stride_);
+  }
+}
 
 std::string StrideCost::name() const {
   return "stride" + std::to_string(stride_) + "(" + base_->name() + ")";
@@ -160,6 +261,20 @@ double PaddedCost::at(int x) const {
   const double base_value = base_->at(original_m_);
   if (std::isinf(base_value)) return base_value;
   return base_value + extension_slope_ * static_cast<double>(x - original_m_);
+}
+
+void PaddedCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  const int inner = std::min(m, original_m_);
+  base_->eval_row(inner, out);
+  if (m <= original_m_) return;
+  const double base_value = base_->at(original_m_);
+  for (int x = original_m_ + 1; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] =
+        std::isinf(base_value)
+            ? base_value
+            : base_value + extension_slope_ * static_cast<double>(x - original_m_);
+  }
 }
 
 std::string PaddedCost::name() const {

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,14 @@ class CostFunction {
   /// closed form on the reals (the interpolation then coincides with it).
   virtual double at_real(double x) const;
 
+  /// Batched evaluation: writes f(0), .., f(m) into out[0..m] (requires
+  /// out.size() >= m+1 and m >= 0).  One virtual call fills a whole row, so
+  /// dense consumers (DenseProblem, the DP/work-function kernels) avoid
+  /// per-point dispatch through decorator chains.  Overrides MUST produce
+  /// bit-identical values to at() — the dense/per-point equivalence property
+  /// tests depend on it.
+  virtual void eval_row(int m, std::span<double> out) const;
+
   /// Human-readable family name for diagnostics.
   virtual std::string name() const { return "cost"; }
 };
@@ -55,6 +64,7 @@ class TableCost final : public CostFunction {
  public:
   explicit TableCost(std::vector<double> values, std::string label = "table");
   double at(int x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override { return label_; }
   int table_size() const noexcept { return static_cast<int>(values_.size()); }
 
@@ -70,6 +80,7 @@ class AffineAbsCost final : public CostFunction {
   AffineAbsCost(double slope, double center, double offset = 0.0);
   double at(int x) const override;
   double at_real(double x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override { return "affine_abs"; }
   double slope() const noexcept { return slope_; }
   double center() const noexcept { return center_; }
@@ -86,6 +97,7 @@ class QuadraticCost final : public CostFunction {
   QuadraticCost(double curvature, double center, double offset = 0.0);
   double at(int x) const override;
   double at_real(double x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override { return "quadratic"; }
 
  private:
@@ -101,6 +113,7 @@ class FunctionCost final : public CostFunction {
   explicit FunctionCost(std::function<double(int)> fn,
                         std::string label = "function");
   double at(int x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override { return label_; }
 
  private:
@@ -118,6 +131,7 @@ class RestrictedSlotCost final : public CostFunction {
                      double lambda);
   double at(int x) const override;
   double at_real(double x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override { return "restricted_slot"; }
   double lambda() const noexcept { return lambda_; }
 
@@ -133,6 +147,7 @@ class ScaledCost final : public CostFunction {
   ScaledCost(CostPtr base, double factor);
   double at(int x) const override;
   double at_real(double x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override;
 
  private:
@@ -146,6 +161,7 @@ class StrideCost final : public CostFunction {
  public:
   StrideCost(CostPtr base, int stride);
   double at(int x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override;
 
  private:
@@ -161,6 +177,7 @@ class PaddedCost final : public CostFunction {
  public:
   PaddedCost(CostPtr base, int original_m);
   double at(int x) const override;
+  void eval_row(int m, std::span<double> out) const override;
   std::string name() const override;
 
  private:

@@ -1,0 +1,78 @@
+#include "core/dense_problem.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace rs::core {
+
+namespace {
+
+// Eager construction switches to the pool above this many matrix entries;
+// below it the task-dispatch overhead dominates the row fills.
+constexpr std::size_t kParallelThreshold = 1u << 15;
+
+// Minimizer scans with the exact tie-breaking of smallest_minimizer_scan /
+// largest_minimizer_scan (core/cost_function.cpp), on a materialized row.
+std::int32_t row_smallest_minimizer(std::span<const double> row) {
+  std::size_t best = 0;
+  for (std::size_t x = 1; x < row.size(); ++x) {
+    if (row[x] < row[best]) best = x;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+std::int32_t row_largest_minimizer(std::span<const double> row) {
+  std::size_t best = 0;
+  for (std::size_t x = 1; x < row.size(); ++x) {
+    if (row[x] <= row[best]) best = x;  // ties move right
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+}  // namespace
+
+DenseProblem::DenseProblem(const Problem& p, Mode mode)
+    : T_(p.horizon()),
+      m_(p.max_servers()),
+      beta_(p.beta()),
+      mode_(mode),
+      stride_(static_cast<std::size_t>(m_) + 1) {
+  functions_.reserve(static_cast<std::size_t>(T_));
+  for (int t = 1; t <= T_; ++t) functions_.push_back(p.f_ptr(t));
+  values_.resize(static_cast<std::size_t>(T_) * stride_);
+  ready_.assign(static_cast<std::size_t>(T_), 0);
+  min_small_.assign(static_cast<std::size_t>(T_), -1);
+  min_large_.assign(static_cast<std::size_t>(T_), -1);
+  if (mode_ != Mode::kEager || T_ == 0) return;
+
+  // Minimizer caches are filled here too (the row is cache-hot), so an
+  // eager table is fully immutable afterwards and shareable across threads.
+  const auto build_row = [this](std::size_t i) {
+    materialize_row(static_cast<int>(i) + 1);
+    ensure_minimizers(static_cast<int>(i) + 1);
+  };
+  if (values_.size() >= kParallelThreshold && T_ > 1) {
+    rs::util::global_pool().parallel_for(0, static_cast<std::size_t>(T_),
+                                         build_row);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(T_); ++i) {
+      build_row(i);
+    }
+  }
+}
+
+void DenseProblem::materialize_row(int t) const {
+  const std::size_t i = static_cast<std::size_t>(t - 1);
+  const std::span<double> out{values_.data() + i * stride_, stride_};
+  functions_[i]->eval_row(m_, out);
+  ready_[i] = 1;
+}
+
+void DenseProblem::ensure_minimizers(int t) const {
+  const std::size_t i = static_cast<std::size_t>(t - 1);
+  if (min_small_[i] >= 0) return;
+  const std::span<const double> values{values_.data() + i * stride_, stride_};
+  min_small_[i] = row_smallest_minimizer(values);
+  min_large_[i] = row_largest_minimizer(values);
+}
+
+}  // namespace rs::core

@@ -1,0 +1,111 @@
+// Dense evaluation layer: flat row-major cost tables over a Problem.
+//
+// Every inner loop of the paper's algorithms (the O(T·m) DP of Theorem 1,
+// the work-function tracker behind LCP, the analysis sweeps) reads whole
+// rows f_t(0..m).  Evaluating them one state at a time through
+// Problem::cost_at pays a bounds check plus a virtual call per point —
+// frequently through nested decorator chains (ScaledCost→StrideCost→
+// PaddedCost) or a std::function.  DenseProblem materializes the T×(m+1)
+// value matrix once via CostFunction::eval_row (one virtual call per row)
+// and hands out contiguous spans, turning the solvers into pure
+// memory-bandwidth loops.
+//
+// Modes:
+//   kEager — all rows are filled at construction (parallelized over
+//            util::global_pool for large instances) and the object is
+//            immutable afterwards, hence safe to share across threads.
+//   kLazy  — rows are filled on first access.  This is the mode for online
+//            consumers: row(t) only ever touches f_t, so feeding rows
+//            1..τ to an online algorithm never evaluates a future cost
+//            function and the no-lookahead contract is preserved.  Lazy
+//            instances are NOT thread-safe.
+//
+// Bounds checks are debug assertions here (the Problem API keeps its
+// throwing checks); callers cross the boundary once, not per point.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace rs::core {
+
+class DenseProblem {
+ public:
+  enum class Mode { kEager, kLazy };
+
+  explicit DenseProblem(const Problem& p, Mode mode = Mode::kEager);
+
+  int horizon() const noexcept { return T_; }
+  int max_servers() const noexcept { return m_; }
+  double beta() const noexcept { return beta_; }
+  Mode mode() const noexcept { return mode_; }
+
+  /// Contiguous values f_t(0..m) (paper's 1-based t).  Materializes the row
+  /// first in lazy mode.
+  std::span<const double> row(int t) const {
+    assert(t >= 1 && t <= T_);
+    if (mode_ == Mode::kLazy && !ready_[static_cast<std::size_t>(t - 1)]) {
+      materialize_row(t);
+    }
+    return {values_.data() + static_cast<std::size_t>(t - 1) * stride_,
+            stride_};
+  }
+
+  /// f_t(x) by direct table lookup (debug-assert bounds).
+  double at(int t, int x) const {
+    assert(x >= 0 && x <= m_);
+    return row(t)[static_cast<std::size_t>(x)];
+  }
+
+  /// Cached smallest minimizer of f_t on {0,..,m} (paper's x_t^{min-});
+  /// tie-breaks identically to smallest_minimizer_scan.  Eager tables
+  /// compute the caches at construction (keeping them immutable and
+  /// shareable); lazy ones scan the row on first query, so pure row
+  /// consumers (e.g. run_lcp_dense) never pay for them.
+  int smallest_minimizer(int t) const {
+    touch(t);
+    ensure_minimizers(t);
+    return min_small_[static_cast<std::size_t>(t - 1)];
+  }
+
+  /// Cached largest minimizer of f_t (paper's x_t^{min+}); ties move right.
+  int largest_minimizer(int t) const {
+    touch(t);
+    ensure_minimizers(t);
+    return min_large_[static_cast<std::size_t>(t - 1)];
+  }
+
+  /// True once row t has been filled (always true in eager mode).
+  bool materialized(int t) const {
+    assert(t >= 1 && t <= T_);
+    return ready_[static_cast<std::size_t>(t - 1)] != 0;
+  }
+
+ private:
+  void touch(int t) const {
+    assert(t >= 1 && t <= T_);
+    if (mode_ == Mode::kLazy && !ready_[static_cast<std::size_t>(t - 1)]) {
+      materialize_row(t);
+    }
+  }
+
+  void materialize_row(int t) const;
+  void ensure_minimizers(int t) const;
+
+  int T_;
+  int m_;
+  double beta_;
+  Mode mode_;
+  std::size_t stride_;               // m + 1
+  std::vector<CostPtr> functions_;   // retained so lazy fills cannot dangle
+  mutable std::vector<double> values_;        // T x (m+1), row-major
+  mutable std::vector<std::uint8_t> ready_;   // per-row materialization flag
+  mutable std::vector<std::int32_t> min_small_;
+  mutable std::vector<std::int32_t> min_large_;
+};
+
+}  // namespace rs::core

@@ -81,11 +81,10 @@ Problem materialize(const Problem& p) {
   std::vector<CostPtr> fs;
   fs.reserve(static_cast<std::size_t>(p.horizon()));
   for (int t = 1; t <= p.horizon(); ++t) {
+    const CostFunction& f = p.f(t);
     std::vector<double> row(static_cast<std::size_t>(p.max_servers()) + 1);
-    for (int x = 0; x <= p.max_servers(); ++x) {
-      row[static_cast<std::size_t>(x)] = p.f(t).at(x);
-    }
-    fs.push_back(std::make_shared<TableCost>(std::move(row), p.f(t).name()));
+    f.eval_row(p.max_servers(), row);
+    fs.push_back(std::make_shared<TableCost>(std::move(row), f.name()));
   }
   return Problem(p.max_servers(), p.beta(), std::move(fs));
 }

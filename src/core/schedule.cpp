@@ -12,17 +12,36 @@ using util::pos;
 
 namespace {
 
-int resolve_tau(const Problem& p, std::size_t length, int tau,
-                const char* where) {
-  if (static_cast<int>(length) != p.horizon()) {
+int resolve_tau(int horizon, std::size_t length, int tau, const char* where) {
+  if (static_cast<int>(length) != horizon) {
     throw std::invalid_argument(std::string(where) +
                                 ": schedule length != horizon");
   }
-  if (tau < 0) return p.horizon();
-  if (tau > p.horizon()) {
+  if (tau < 0) return horizon;
+  if (tau > horizon) {
     throw std::out_of_range(std::string(where) + ": tau > T");
   }
   return tau;
+}
+
+int resolve_tau(const Problem& p, std::size_t length, int tau,
+                const char* where) {
+  return resolve_tau(p.horizon(), length, tau, where);
+}
+
+// Switching costs depend only on beta; shared by the Problem and
+// DenseProblem overloads so the summation order (hence every bit of the
+// result) is identical.
+double switching_sum(double beta, const Schedule& x, int tau, bool up) {
+  KahanSum sum;
+  int previous = 0;
+  for (int t = 1; t <= tau; ++t) {
+    const int current = x[static_cast<std::size_t>(t - 1)];
+    sum.add(beta * static_cast<double>(up ? pos(current - previous)
+                                          : pos(previous - current)));
+    previous = current;
+  }
+  return sum.value();
 }
 
 }  // namespace
@@ -56,26 +75,12 @@ double operating_cost(const Problem& p, const Schedule& x, int tau) {
 
 double switching_cost_up(const Problem& p, const Schedule& x, int tau) {
   tau = resolve_tau(p, x.size(), tau, "switching_cost_up");
-  KahanSum sum;
-  int previous = 0;
-  for (int t = 1; t <= tau; ++t) {
-    const int current = x[static_cast<std::size_t>(t - 1)];
-    sum.add(p.beta() * static_cast<double>(pos(current - previous)));
-    previous = current;
-  }
-  return sum.value();
+  return switching_sum(p.beta(), x, tau, /*up=*/true);
 }
 
 double switching_cost_down(const Problem& p, const Schedule& x, int tau) {
   tau = resolve_tau(p, x.size(), tau, "switching_cost_down");
-  KahanSum sum;
-  int previous = 0;
-  for (int t = 1; t <= tau; ++t) {
-    const int current = x[static_cast<std::size_t>(t - 1)];
-    sum.add(p.beta() * static_cast<double>(pos(previous - current)));
-    previous = current;
-  }
-  return sum.value();
+  return switching_sum(p.beta(), x, tau, /*up=*/false);
 }
 
 double cost_up_to(const Problem& p, const Schedule& x, int tau) {
@@ -121,6 +126,50 @@ double interval_cost(const Problem& p, const Schedule& x, int a, int b) {
     sum.add(p.beta() * static_cast<double>(pos(current - previous)));
   }
   return sum.value();
+}
+
+// --- dense-backed accounting ------------------------------------------------
+
+bool is_feasible(const DenseProblem& d, const Schedule& x) {
+  if (static_cast<int>(x.size()) != d.horizon()) return false;
+  for (int value : x) {
+    if (value < 0 || value > d.max_servers()) return false;
+  }
+  for (int t = 1; t <= d.horizon(); ++t) {
+    if (std::isinf(d.at(t, x[static_cast<std::size_t>(t - 1)]))) return false;
+  }
+  return true;
+}
+
+double operating_cost(const DenseProblem& d, const Schedule& x, int tau) {
+  tau = resolve_tau(d.horizon(), x.size(), tau, "operating_cost(dense)");
+  KahanSum sum;
+  for (int t = 1; t <= tau; ++t) {
+    sum.add(d.at(t, x[static_cast<std::size_t>(t - 1)]));
+  }
+  return sum.value();
+}
+
+double switching_cost_up(const DenseProblem& d, const Schedule& x, int tau) {
+  tau = resolve_tau(d.horizon(), x.size(), tau, "switching_cost_up(dense)");
+  return switching_sum(d.beta(), x, tau, /*up=*/true);
+}
+
+double switching_cost_down(const DenseProblem& d, const Schedule& x, int tau) {
+  tau = resolve_tau(d.horizon(), x.size(), tau, "switching_cost_down(dense)");
+  return switching_sum(d.beta(), x, tau, /*up=*/false);
+}
+
+double cost_up_to(const DenseProblem& d, const Schedule& x, int tau) {
+  return operating_cost(d, x, tau) + switching_cost_up(d, x, tau);
+}
+
+double cost_down_up_to(const DenseProblem& d, const Schedule& x, int tau) {
+  return operating_cost(d, x, tau) + switching_cost_down(d, x, tau);
+}
+
+double total_cost(const DenseProblem& d, const Schedule& x) {
+  return cost_up_to(d, x, d.horizon());
 }
 
 // --- fractional -------------------------------------------------------------

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "core/dense_problem.hpp"
 #include "core/problem.hpp"
 
 namespace rs::core {
@@ -60,6 +61,24 @@ double total_cost_symmetric(const Problem& p, const Schedule& x);
 /// C_{[a,b]}(X) of Section 2.3: Σ_{t=a}^{b} f_t(x_t) + β Σ_{t=a+1}^{b}
 /// (x_t − x_{t−1})⁺ with f_0 := 0 (a may be 0).
 double interval_cost(const Problem& p, const Schedule& x, int a, int b);
+
+// --- dense-backed accounting ------------------------------------------------
+//
+// Overloads over a DenseProblem read f_t(x_t) as direct table lookups — no
+// virtual dispatch, no throwing bounds checks.  They sum in the exact order
+// of the Problem overloads (Kahan operating sum + Kahan switching sum), so
+// the results are bit-identical; callers that repeatedly score schedules
+// against one instance (brute force, analysis loops) build the table once.
+
+bool is_feasible(const DenseProblem& d, const Schedule& x);
+double operating_cost(const DenseProblem& d, const Schedule& x, int tau = -1);
+double switching_cost_up(const DenseProblem& d, const Schedule& x,
+                         int tau = -1);
+double switching_cost_down(const DenseProblem& d, const Schedule& x,
+                           int tau = -1);
+double cost_up_to(const DenseProblem& d, const Schedule& x, int tau = -1);
+double cost_down_up_to(const DenseProblem& d, const Schedule& x, int tau = -1);
+double total_cost(const DenseProblem& d, const Schedule& x);
 
 // --- fractional costs -------------------------------------------------------
 

@@ -32,9 +32,13 @@ OfflineResult BackwardSolver::solve(const rs::core::Problem& p) const {
     result.cost = 0.0;
     return result;
   }
-  const BoundTrajectory bounds = compute_bounds(p);
+  // The bound pass reads every row anyway, so materialize them lazily once
+  // and let the final cost accounting reuse the table instead of
+  // re-dispatching through the cost functions.
+  const rs::core::DenseProblem dense(p, rs::core::DenseProblem::Mode::kLazy);
+  const BoundTrajectory bounds = compute_bounds(dense);
   result.schedule = backward_schedule(bounds);
-  result.cost = rs::core::total_cost(p, result.schedule);
+  result.cost = rs::core::total_cost(dense, result.schedule);
   if (!result.feasible()) result.schedule.clear();
   return result;
 }

@@ -42,6 +42,7 @@ OfflineResult solve_bounded(const Problem& p,
   // labels[i]: best cost ending in states[t-1][i]; parents for backtracking.
   std::vector<std::vector<std::int32_t>> parents(static_cast<std::size_t>(T));
   std::vector<double> labels;
+  std::vector<double> fvals;  // f_t over the candidate column
   std::vector<int> previous_column = {0};  // x_0 = 0
   std::vector<double> previous_labels = {0.0};
 
@@ -49,10 +50,37 @@ OfflineResult solve_bounded(const Problem& p,
     const std::vector<int>& column = states[static_cast<std::size_t>(t - 1)];
     labels.assign(column.size(), kInf);
     parents[static_cast<std::size_t>(t - 1)].assign(column.size(), -1);
+
+    // Row-oriented evaluation: resolve f_t once.  A column covering all of
+    // {0,..,m} (the exact-DP configurations) goes through eval_row — one
+    // virtual call for the whole row; sparse columns (the O(log m)
+    // binary-search grids) gather per candidate, keeping the solver's
+    // sublinear evaluation count in m.
+    const rs::core::CostFunction& f = p.f(t);
+    fvals.resize(column.size());
+    bool dense_column = column.size() == static_cast<std::size_t>(p.max_servers()) + 1;
+    if (dense_column) {
+      for (std::size_t i = 0; i < column.size(); ++i) {
+        if (column[i] != static_cast<int>(i)) {
+          dense_column = false;
+          break;
+        }
+      }
+    }
+    if (dense_column) {
+      f.eval_row(p.max_servers(), fvals);
+    } else {
+      for (std::size_t i = 0; i < column.size(); ++i) {
+        fvals[i] = f.at(column[i]);
+      }
+    }
+    if (stats != nullptr) {
+      stats->function_evaluations += static_cast<std::int64_t>(column.size());
+    }
+
     for (std::size_t i = 0; i < column.size(); ++i) {
-      const double f = p.cost_at(t, column[i]);
-      if (stats != nullptr) ++stats->function_evaluations;
-      if (std::isinf(f)) continue;
+      const double fv = fvals[i];
+      if (std::isinf(fv)) continue;
       double best = kInf;
       std::int32_t best_parent = -1;
       for (std::size_t j = 0; j < previous_column.size(); ++j) {
@@ -67,7 +95,7 @@ OfflineResult solve_bounded(const Problem& p,
         }
       }
       if (std::isfinite(best)) {
-        labels[i] = best + f;
+        labels[i] = best + fv;
         parents[static_cast<std::size_t>(t - 1)][i] = best_parent;
       }
     }

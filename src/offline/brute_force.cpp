@@ -23,9 +23,12 @@ OfflineResult BruteForceSolver::solve(const Problem& p) const {
     return best;
   }
 
+  // Up to (m+1)^T schedules are scored against the same T·(m+1) values;
+  // materialize them once so each evaluation is a table lookup.
+  const rs::core::DenseProblem dense(p);
   Schedule current(static_cast<std::size_t>(T), 0);
   for (;;) {
-    const double cost = rs::core::total_cost(p, current);
+    const double cost = rs::core::total_cost(dense, current);
     if (cost < best.cost) {
       best.cost = cost;
       best.schedule = current;

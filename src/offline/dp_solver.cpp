@@ -3,31 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/math_util.hpp"
 
 namespace rs::offline {
 
+using rs::core::DenseProblem;
 using rs::core::Problem;
 using rs::core::Schedule;
 using rs::util::kInf;
 
 namespace {
 
-// One DP step: given W_{t-1} (in `previous`), writes W_t into `next` and,
-// if `parent` is non-null, records the argmin predecessor of each state.
+// One DP step: given W_{t-1} (in `previous`) and the dense row f_t(0..m),
+// writes W_t into `next` and, if `parent` is non-null, records the argmin
+// predecessor of each state.  The row comes from CostFunction::eval_row (or
+// a DenseProblem), so the loop is branch-light and dispatch-free.
 // Tie-breaking: the prefix candidate (largest x' <= x among prefix argmins)
 // is preferred only when strictly better than the suffix candidate, and
 // argmins keep the smallest x'.
-void dp_step(const Problem& p, int t, const std::vector<double>& previous,
-             std::vector<double>& next, std::int32_t* parent) {
-  const int m = p.max_servers();
-  const double beta = p.beta();
+void dp_step(std::span<const double> frow, double beta,
+             const std::vector<double>& previous, std::vector<double>& next,
+             std::vector<double>& suffix_min,
+             std::vector<std::int32_t>& suffix_arg, std::int32_t* parent) {
+  const int m = static_cast<int>(frow.size()) - 1;
 
   // Suffix minima of W_{t-1}: suffix_min[x] = min_{x' >= x} W_{t-1}(x').
-  std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
-  std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
+  // The suffix workspaces are owned by the caller so the per-step loop is
+  // allocation-free.
   suffix_min[static_cast<std::size_t>(m)] = previous[static_cast<std::size_t>(m)];
   suffix_arg[static_cast<std::size_t>(m)] = m;
   for (int x = m - 1; x >= 0; --x) {
@@ -62,27 +67,26 @@ void dp_step(const Problem& p, int t, const std::vector<double>& previous,
       transition = stay_candidate;
       chosen = suffix_arg[static_cast<std::size_t>(x)];
     }
-    const double f = p.cost_at(t, x);
+    const double f = frow[static_cast<std::size_t>(x)];
     next[static_cast<std::size_t>(x)] =
         std::isinf(f) || std::isinf(transition) ? kInf : transition + f;
     if (parent != nullptr) parent[x] = chosen;
   }
 }
 
-std::vector<double> initial_labels(int m, double beta) {
+std::vector<double> initial_labels(int m) {
   // W_0 encodes x_0 = 0: transitioning to x costs β·x in the power-up
   // accounting, folded into the first dp_step via W_0(0) = 0, +inf else.
   std::vector<double> w(static_cast<std::size_t>(m) + 1, kInf);
   w[0] = 0.0;
-  (void)beta;
   return w;
 }
 
-}  // namespace
-
-OfflineResult DpSolver::solve(const Problem& p) const {
-  const int T = p.horizon();
-  const int m = p.max_servers();
+// The full solver parameterized over a row provider `row_at(t)`; shared by
+// the streaming (eval_row per step, O(m) extra memory) and the table-backed
+// (DenseProblem) entry points.
+template <typename RowAt>
+OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
   OfflineResult result;
   if (T == 0) {
     result.schedule = {};
@@ -92,10 +96,12 @@ OfflineResult DpSolver::solve(const Problem& p) const {
 
   std::vector<std::int32_t> parents(static_cast<std::size_t>(T) *
                                     (static_cast<std::size_t>(m) + 1));
-  std::vector<double> current = initial_labels(m, p.beta());
+  std::vector<double> current = initial_labels(m);
   std::vector<double> next(static_cast<std::size_t>(m) + 1);
+  std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
+  std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
   for (int t = 1; t <= T; ++t) {
-    dp_step(p, t, current, next,
+    dp_step(row_at(t), beta, current, next, suffix_min, suffix_arg,
             parents.data() + static_cast<std::size_t>(t - 1) *
                                  (static_cast<std::size_t>(m) + 1));
     std::swap(current, next);
@@ -122,17 +128,63 @@ OfflineResult DpSolver::solve(const Problem& p) const {
   return result;
 }
 
-double DpSolver::solve_cost(const Problem& p) const {
-  const int T = p.horizon();
-  const int m = p.max_servers();
+// Cost-only DP: no argmin bookkeeping, so the transition relax runs
+// in-place in two passes (forward prefix fold, backward suffix fold fused
+// with the f_t addition) — the same extended-real minima as dp_step, hence
+// bit-identical labels, at roughly half the memory traffic.
+template <typename RowAt>
+double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
   if (T == 0) return 0.0;
-  std::vector<double> current = initial_labels(m, p.beta());
-  std::vector<double> next(static_cast<std::size_t>(m) + 1);
+  std::vector<double> labels = initial_labels(m);
+  double* w = labels.data();
   for (int t = 1; t <= T; ++t) {
-    dp_step(p, t, current, next, nullptr);
-    std::swap(current, next);
+    const std::span<const double> frow = row_at(t);
+    double best_shifted = kInf;  // min W_{t-1}(x') − βx'
+    for (int x = 0; x <= m; ++x) {
+      best_shifted =
+          std::min(best_shifted, w[x] - beta * static_cast<double>(x));
+      w[x] = std::min(w[x], best_shifted + beta * static_cast<double>(x));
+    }
+    double suffix = kInf;  // free power-down: min over x' >= x
+    for (int x = m; x >= 0; --x) {
+      suffix = std::min(suffix, w[x]);
+      const double f = frow[static_cast<std::size_t>(x)];
+      w[x] = std::isinf(f) || std::isinf(suffix) ? kInf : suffix + f;
+    }
   }
-  return *std::min_element(current.begin(), current.end());
+  return *std::min_element(labels.begin(), labels.end());
+}
+
+}  // namespace
+
+OfflineResult DpSolver::solve(const Problem& p) const {
+  const int m = p.max_servers();
+  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
+  return solve_impl(p.horizon(), m, p.beta(),
+                    [&p, m, &frow](int t) -> std::span<const double> {
+                      p.f(t).eval_row(m, frow);
+                      return frow;
+                    });
+}
+
+OfflineResult DpSolver::solve(const DenseProblem& dense) const {
+  return solve_impl(dense.horizon(), dense.max_servers(), dense.beta(),
+                    [&dense](int t) { return dense.row(t); });
+}
+
+double DpSolver::solve_cost(const Problem& p) const {
+  const int m = p.max_servers();
+  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
+  return solve_cost_impl(p.horizon(), m, p.beta(),
+                         [&p, m, &frow](int t) -> std::span<const double> {
+                           p.f(t).eval_row(m, frow);
+                           return frow;
+                         });
+}
+
+double DpSolver::solve_cost(const DenseProblem& dense) const {
+  return solve_cost_impl(dense.horizon(), dense.max_servers(), dense.beta(),
+                         [&dense](int t) { return dense.row(t); });
 }
 
 }  // namespace rs::offline

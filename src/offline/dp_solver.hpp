@@ -8,17 +8,26 @@
 // (a naive shortest-path in the Figure-1 graph would be O(T·m²)).
 #pragma once
 
+#include "core/dense_problem.hpp"
 #include "offline/solver.hpp"
 
 namespace rs::offline {
 
 class DpSolver final : public OfflineSolver {
  public:
+  /// Streams one dense row per step through CostFunction::eval_row — the
+  /// per-step cost is a contiguous O(m) scan with no virtual dispatch in
+  /// the inner loop.
   OfflineResult solve(const rs::core::Problem& p) const override;
+
+  /// Runs on a pre-built dense table; use when several solvers (or repeated
+  /// runs) share one instance and the rows should be evaluated only once.
+  OfflineResult solve(const rs::core::DenseProblem& dense) const;
 
   /// O(m)-memory variant that skips parent bookkeeping; used by the scaling
   /// benchmarks where T·m parent tables would not fit.
   double solve_cost(const rs::core::Problem& p) const override;
+  double solve_cost(const rs::core::DenseProblem& dense) const;
 
   std::string name() const override { return "dp"; }
 };

@@ -1,6 +1,7 @@
 #include "offline/low_memory_solver.hpp"
 
 #include <cmath>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -14,12 +15,22 @@ using rs::util::kInf;
 
 namespace {
 
+// The divide-and-conquer recursion re-evaluates each slot O(log T) times;
+// rows are streamed through CostFunction::eval_row into a caller-provided
+// scratch buffer instead of a DenseProblem table, preserving the solver's
+// O(m) memory guarantee.
+std::span<const double> eval_slot(const Problem& p, int t,
+                                  std::vector<double>& scratch) {
+  p.f(t).eval_row(p.max_servers(), scratch);
+  return scratch;
+}
+
 // One forward relax step: labels(x) <- min_x' labels(x') + β(x−x')⁺, then
 // += f_t(x).  Identical kernel to the DP solver, kept local for the
 // self-contained O(m) memory guarantee.
-void forward_step(const Problem& p, int t, std::vector<double>& labels) {
-  const int m = p.max_servers();
-  const double beta = p.beta();
+void forward_step(std::span<const double> frow, double beta,
+                  std::vector<double>& labels) {
+  const int m = static_cast<int>(frow.size()) - 1;
   double best_shifted = kInf;
   for (int x = 0; x <= m; ++x) {
     best_shifted =
@@ -35,7 +46,7 @@ void forward_step(const Problem& p, int t, std::vector<double>& labels) {
     labels[static_cast<std::size_t>(x)] = suffix;
   }
   for (int x = 0; x <= m; ++x) {
-    const double f = p.cost_at(t, x);
+    const double f = frow[static_cast<std::size_t>(x)];
     labels[static_cast<std::size_t>(x)] =
         std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
   }
@@ -43,11 +54,11 @@ void forward_step(const Problem& p, int t, std::vector<double>& labels) {
 
 // One backward relax step: given B_t (cost of suffix starting *after* slot
 // t from state x), produce B_{t-1}(x) = min_x' β(x'−x)⁺ + f_t(x') + B_t(x').
-void backward_step(const Problem& p, int t, std::vector<double>& labels) {
-  const int m = p.max_servers();
-  const double beta = p.beta();
+void backward_step(std::span<const double> frow, double beta,
+                   std::vector<double>& labels) {
+  const int m = static_cast<int>(frow.size()) - 1;
   for (int x = 0; x <= m; ++x) {
-    const double f = p.cost_at(t, x);
+    const double f = frow[static_cast<std::size_t>(x)];
     labels[static_cast<std::size_t>(x)] =
         std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
   }
@@ -72,6 +83,7 @@ void backward_step(const Problem& p, int t, std::vector<double>& labels) {
 struct Recursion {
   const Problem& p;
   Schedule& out;
+  std::vector<double>& frow;  // shared O(m) row scratch
 
   // Serves slots lo..hi given x_{lo-1} = start; if `end` is set, x_hi must
   // equal *end.  Writes the optimal states into out[lo-1..hi-1].
@@ -84,10 +96,11 @@ struct Recursion {
         return;
       }
       // Single slot: pick argmin of the direct transition.
+      const std::span<const double> row = eval_slot(p, lo, frow);
       int best = start;
       double best_value = kInf;
       for (int x = 0; x <= m; ++x) {
-        const double f = p.cost_at(lo, x);
+        const double f = row[static_cast<std::size_t>(x)];
         if (std::isinf(f)) continue;
         const double value =
             p.beta() * static_cast<double>(std::max(0, x - start)) + f;
@@ -105,7 +118,9 @@ struct Recursion {
     // Forward labels over lo..mid from the pinned start state.
     std::vector<double> forward(static_cast<std::size_t>(m) + 1, kInf);
     forward[static_cast<std::size_t>(start)] = 0.0;
-    for (int t = lo; t <= mid; ++t) forward_step(p, t, forward);
+    for (int t = lo; t <= mid; ++t) {
+      forward_step(eval_slot(p, t, frow), p.beta(), forward);
+    }
 
     // Backward labels over mid+1..hi, terminal condition from `end`.
     std::vector<double> backward(static_cast<std::size_t>(m) + 1, 0.0);
@@ -113,7 +128,9 @@ struct Recursion {
       backward.assign(static_cast<std::size_t>(m) + 1, kInf);
       backward[static_cast<std::size_t>(*end)] = 0.0;
     }
-    for (int t = hi; t > mid; --t) backward_step(p, t, backward);
+    for (int t = hi; t > mid; --t) {
+      backward_step(eval_slot(p, t, frow), p.beta(), backward);
+    }
 
     int best_mid = -1;
     double best_value = kInf;
@@ -145,17 +162,20 @@ OfflineResult LowMemorySolver::solve(const Problem& p) const {
     return result;
   }
   // Feasibility and optimal value via one forward sweep.
+  std::vector<double> frow(static_cast<std::size_t>(p.max_servers()) + 1);
   std::vector<double> labels(static_cast<std::size_t>(p.max_servers()) + 1,
                              kInf);
   labels[0] = 0.0;
-  for (int t = 1; t <= T; ++t) forward_step(p, t, labels);
+  for (int t = 1; t <= T; ++t) {
+    forward_step(eval_slot(p, t, frow), p.beta(), labels);
+  }
   double optimum = kInf;
   for (double label : labels) optimum = std::min(optimum, label);
   result.cost = optimum;
   if (!result.feasible()) return result;
 
   result.schedule.assign(static_cast<std::size_t>(T), 0);
-  Recursion recursion{p, result.schedule};
+  Recursion recursion{p, result.schedule, frow};
   recursion.run(1, T, 0, std::nullopt);
   return result;
 }

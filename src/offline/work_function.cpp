@@ -26,64 +26,74 @@ WorkFunctionTracker::WorkFunctionTracker(int m, double beta)
   scratch_.resize(static_cast<std::size_t>(m_) + 1);
 }
 
-void WorkFunctionTracker::relax(std::vector<double>& chat, double beta,
-                                bool charge_up) {
-  const int m = static_cast<int>(chat.size()) - 1;
-  if (charge_up) {
-    // new(x) = min( min_{x'<=x} chat(x') + β(x−x'), min_{x'>=x} chat(x') ).
-    // Forward sweep folds the prefix part; backward sweep the suffix part.
-    double best_shifted = kInf;  // min chat(x') − βx'
-    for (int x = 0; x <= m; ++x) {
-      best_shifted = std::min(
-          best_shifted, chat[static_cast<std::size_t>(x)] - beta * x);
-      chat[static_cast<std::size_t>(x)] =
-          std::min(chat[static_cast<std::size_t>(x)], best_shifted + beta * x);
-    }
-    double suffix = kInf;
-    for (int x = m; x >= 0; --x) {
-      suffix = std::min(suffix, chat[static_cast<std::size_t>(x)]);
-      chat[static_cast<std::size_t>(x)] = suffix;
-    }
-  } else {
-    // U-accounting: moving down from x' > x costs β(x'−x); moving up is
-    // free.  new(x) = min( min_{x'>=x} chat(x') + β(x'−x),
-    //                      min_{x'<=x} chat(x') ).
-    double best_shifted = kInf;  // min chat(x') + βx'
-    for (int x = m; x >= 0; --x) {
-      best_shifted = std::min(
-          best_shifted, chat[static_cast<std::size_t>(x)] + beta * x);
-      chat[static_cast<std::size_t>(x)] =
-          std::min(chat[static_cast<std::size_t>(x)], best_shifted - beta * x);
-    }
-    double prefix = kInf;
-    for (int x = 0; x <= m; ++x) {
-      prefix = std::min(prefix, chat[static_cast<std::size_t>(x)]);
-      chat[static_cast<std::size_t>(x)] = prefix;
-    }
-  }
-}
-
 void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
-  for (int x = 0; x <= m_; ++x) {
-    scratch_[static_cast<std::size_t>(x)] = f.at(x);
-  }
-  advance(scratch_);
+  f.eval_row(m_, scratch_);
+  advance(std::span<const double>(scratch_));
 }
 
 void WorkFunctionTracker::advance(const std::vector<double>& values) {
+  advance(std::span<const double>(values));
+}
+
+void WorkFunctionTracker::advance(std::span<const double> values) {
   if (static_cast<int>(values.size()) != m_ + 1) {
     throw std::invalid_argument("WorkFunctionTracker::advance: need m+1 values");
   }
-  relax(chat_l_, beta_, /*charge_up=*/true);
-  relax(chat_u_, beta_, /*charge_up=*/false);
-  for (int x = 0; x <= m_; ++x) {
+  const int m = m_;
+  const double beta = beta_;
+  double* cl = chat_l_.data();
+  double* cu = chat_u_.data();
+
+  // Pass 1 (forward) — L-relax prefix part:
+  //   chat_l(x) <- min( chat_l(x), min_{x'<=x} chat_l(x') + β(x−x') ).
+  double best_up = kInf;  // min chat_l(x') − βx'
+  for (int x = 0; x <= m; ++x) {
+    best_up = std::min(best_up, cl[x] - beta * x);
+    cl[x] = std::min(cl[x], best_up + beta * x);
+  }
+
+  // Pass 2 (backward) — L suffix minimum (free power-down under
+  // L-accounting) and the U-relax descent part
+  //   chat_u(x) <- min( chat_u(x), min_{x'>=x} chat_u(x') + β(x'−x) ).
+  double suffix_l = kInf;
+  double best_down = kInf;  // min chat_u(x') + βx'
+  for (int x = m; x >= 0; --x) {
+    suffix_l = std::min(suffix_l, cl[x]);
+    cl[x] = suffix_l;
+    best_down = std::min(best_down, cu[x] + beta * x);
+    cu[x] = std::min(cu[x], best_down - beta * x);
+  }
+
+  // Pass 3 (forward) — U prefix minimum (free power-up under U-accounting),
+  // the f_τ addition for both accountings, and the minimizer bounds of
+  // Section 3.1 tracked on the final values (strict < keeps the smallest
+  // argmin of Ĉ^L; <= moves x^U right onto the largest argmin of Ĉ^U).
+  double prefix_u = kInf;
+  double best_l = kInf;
+  double best_u = kInf;
+  int x_lower = 0;
+  int x_upper = 0;
+  for (int x = 0; x <= m; ++x) {
     const double f = values[static_cast<std::size_t>(x)];
     if (std::isnan(f)) {
       throw std::invalid_argument("WorkFunctionTracker::advance: NaN cost");
     }
-    chat_l_[static_cast<std::size_t>(x)] += f;
-    chat_u_[static_cast<std::size_t>(x)] += f;
+    prefix_u = std::min(prefix_u, cu[x]);
+    const double l = cl[x] + f;
+    const double u = prefix_u + f;
+    cl[x] = l;
+    cu[x] = u;
+    if (l < best_l) {
+      best_l = l;
+      x_lower = x;
+    }
+    if (u <= best_u) {
+      best_u = u;
+      x_upper = x;
+    }
   }
+  x_lower_ = x_lower;
+  x_upper_ = x_upper;
   ++tau_;
 }
 
@@ -107,26 +117,12 @@ double WorkFunctionTracker::chat_upper(int x) const {
 
 int WorkFunctionTracker::x_lower() const {
   require_started();
-  int best = 0;
-  for (int x = 1; x <= m_; ++x) {
-    if (chat_l_[static_cast<std::size_t>(x)] <
-        chat_l_[static_cast<std::size_t>(best)]) {
-      best = x;  // strict: keeps the smallest minimizer
-    }
-  }
-  return best;
+  return x_lower_;
 }
 
 int WorkFunctionTracker::x_upper() const {
   require_started();
-  int best = 0;
-  for (int x = 1; x <= m_; ++x) {
-    if (chat_u_[static_cast<std::size_t>(x)] <=
-        chat_u_[static_cast<std::size_t>(best)]) {
-      best = x;  // ties move right: keeps the largest minimizer
-    }
-  }
-  return best;
+  return x_upper_;
 }
 
 BoundTrajectory compute_bounds(const rs::core::Problem& p) {
@@ -136,6 +132,19 @@ BoundTrajectory compute_bounds(const rs::core::Problem& p) {
   WorkFunctionTracker tracker(p.max_servers(), p.beta());
   for (int t = 1; t <= p.horizon(); ++t) {
     tracker.advance(p.f(t));
+    bounds.lower.push_back(tracker.x_lower());
+    bounds.upper.push_back(tracker.x_upper());
+  }
+  return bounds;
+}
+
+BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense) {
+  BoundTrajectory bounds;
+  bounds.lower.reserve(static_cast<std::size_t>(dense.horizon()));
+  bounds.upper.reserve(static_cast<std::size_t>(dense.horizon()));
+  WorkFunctionTracker tracker(dense.max_servers(), dense.beta());
+  for (int t = 1; t <= dense.horizon(); ++t) {
+    tracker.advance(dense.row(t));
     bounds.lower.push_back(tracker.x_lower());
     bounds.upper.push_back(tracker.x_upper());
   }

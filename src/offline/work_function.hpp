@@ -8,16 +8,21 @@
 //   x^L_τ = smallest minimizer of Ĉ^L_τ   (lower bound, Lemma 6)
 //   x^U_τ = largest  minimizer of Ĉ^U_τ   (upper bound, Lemma 6)
 //
-// One advance() costs O(m) via prefix/suffix minima.  Both functions are
-// maintained independently even though Lemma 7 proves
+// One advance() costs O(m) via prefix/suffix minima, fused into three
+// array passes (L-relax forward; L-suffix + U-relax backward; U-prefix +
+// cost add + minimizer tracking forward), so the bounds x^L_τ / x^U_τ come
+// out of the advance itself instead of two extra O(m) scans.  Both
+// functions are maintained independently even though Lemma 7 proves
 // Ĉ^L_τ(x) = Ĉ^U_τ(x) + βx — the redundancy is asserted in tests.
 //
 // This tracker powers the discrete LCP algorithm (Section 3), the
 // prediction-window variant, and the Lemma-11 offline construction.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "core/dense_problem.hpp"
 #include "core/problem.hpp"
 
 namespace rs::offline {
@@ -27,11 +32,15 @@ class WorkFunctionTracker {
   /// Tracker for a data center with m servers and power-up cost beta.
   WorkFunctionTracker(int m, double beta);
 
-  /// Feeds f_τ (the next operating-cost function); O(m).
+  /// Feeds f_τ (the next operating-cost function); O(m).  The row is
+  /// evaluated in one eval_row call — no per-state virtual dispatch.
   void advance(const rs::core::CostFunction& f);
 
   /// Feeds f_τ given as explicit values f(0..m).
   void advance(const std::vector<double>& values);
+
+  /// Feeds f_τ given as a dense row (e.g. DenseProblem::row).
+  void advance(std::span<const double> values);
 
   int tau() const noexcept { return tau_; }
   int max_servers() const noexcept { return m_; }
@@ -42,17 +51,19 @@ class WorkFunctionTracker {
   const std::vector<double>& chat_lower_vector() const { return chat_l_; }
   const std::vector<double>& chat_upper_vector() const { return chat_u_; }
 
-  /// The online bounds x^L_τ and x^U_τ (tie-broken per Section 3.1).
+  /// The online bounds x^L_τ and x^U_τ (tie-broken per Section 3.1);
+  /// O(1) — maintained during advance().
   int x_lower() const;
   int x_upper() const;
 
  private:
   void require_started() const;
-  static void relax(std::vector<double>& chat, double beta, bool charge_up);
 
   int m_;
   double beta_;
   int tau_ = 0;
+  int x_lower_ = 0;  // smallest minimizer of chat_l_, updated per advance
+  int x_upper_ = 0;  // largest minimizer of chat_u_
   std::vector<double> chat_l_;
   std::vector<double> chat_u_;
   std::vector<double> scratch_;
@@ -65,5 +76,9 @@ struct BoundTrajectory {
   std::vector<int> upper;  // x^U_1..x^U_T
 };
 BoundTrajectory compute_bounds(const rs::core::Problem& p);
+
+/// Same, consuming pre-materialized rows (shared with other dense-backed
+/// passes over the instance).
+BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense);
 
 }  // namespace rs::offline

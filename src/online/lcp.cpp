@@ -22,4 +22,17 @@ int Lcp::decide(const rs::core::CostPtr& f,
   return current_;
 }
 
+rs::core::Schedule run_lcp_dense(const rs::core::DenseProblem& dense) {
+  rs::offline::WorkFunctionTracker tracker(dense.max_servers(), dense.beta());
+  rs::core::Schedule schedule;
+  schedule.reserve(static_cast<std::size_t>(dense.horizon()));
+  int current = 0;
+  for (int t = 1; t <= dense.horizon(); ++t) {
+    tracker.advance(dense.row(t));
+    current = rs::util::project(current, tracker.x_lower(), tracker.x_upper());
+    schedule.push_back(current);
+  }
+  return schedule;
+}
+
 }  // namespace rs::online

@@ -35,4 +35,12 @@ class Lcp final : public OnlineAlgorithm {
   int last_upper_ = 0;
 };
 
+/// Replays LCP over a dense instance, feeding the tracker one contiguous
+/// row per slot.  With a lazily-materialized DenseProblem, row t is
+/// evaluated exactly when slot t is revealed, so the no-lookahead contract
+/// of the online setting is preserved; with an eager one the replay is a
+/// pure table walk (the fast path for repeated analysis runs).  Produces
+/// the same schedule as run_online(Lcp, p).
+rs::core::Schedule run_lcp_dense(const rs::core::DenseProblem& dense);
+
 }  // namespace rs::online

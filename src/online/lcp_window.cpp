@@ -16,10 +16,11 @@ std::vector<double> completion_costs(
   // β(x−x')⁺ under U-accounting.
   std::vector<double> d(static_cast<std::size_t>(m) + 1, 0.0);
   std::vector<double> g(static_cast<std::size_t>(m) + 1);
+  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
   for (std::size_t j = window.size(); j-- > 0;) {
-    const rs::core::CostFunction& f = *window[j];
+    window[j]->eval_row(m, frow);  // one virtual call per window row
     for (int x = 0; x <= m; ++x) {
-      const double fx = f.at(x);
+      const double fx = frow[static_cast<std::size_t>(x)];
       g[static_cast<std::size_t>(x)] =
           std::isinf(fx) ? kInf : fx + d[static_cast<std::size_t>(x)];
     }

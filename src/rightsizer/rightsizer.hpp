@@ -10,6 +10,7 @@
 #include "analysis/savings.hpp"          // IWYU pragma: export
 #include "analysis/sweep.hpp"            // IWYU pragma: export
 #include "core/cost_function.hpp"        // IWYU pragma: export
+#include "core/dense_problem.hpp"        // IWYU pragma: export
 #include "core/piecewise_linear.hpp"     // IWYU pragma: export
 #include "core/problem.hpp"              // IWYU pragma: export
 #include "core/schedule.hpp"             // IWYU pragma: export

@@ -5,6 +5,16 @@
 
 namespace rs::util {
 
+namespace {
+
+// Set while a thread is executing a pool task.  parallel_for called from a
+// worker must not block on futures served by its own queue (with a small
+// pool that is a deadlock: the waiting worker is the one that would run the
+// queued chunks), so nested calls degrade to inline execution.
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -37,13 +47,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    t_inside_pool_worker = true;
     task();
+    t_inside_pool_worker = false;
   }
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  if (t_inside_pool_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t chunks = std::min(total, std::max<std::size_t>(1, size() * 4));
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
@@ -65,6 +81,38 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       }
     }));
   }
+  for (auto& future : futures) future.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_dynamic(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (t_inside_pool_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto drain = [next, end, &fn, &error_mutex, &first_error]() {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(end - begin, size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (std::size_t c = 0; c < helpers; ++c) futures.push_back(submit(drain));
+  drain();  // the calling thread participates instead of idling
   for (auto& future : futures) future.wait();
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -48,9 +48,18 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [begin, end) across the pool and waits.  The first
-  /// exception (if any) is rethrown in the calling thread.
+  /// exception (if any) is rethrown in the calling thread.  Safe to call
+  /// from inside a pool task: nested calls detect the worker context and run
+  /// inline instead of deadlocking on their own queue.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for but with dynamic scheduling: workers (and the calling
+  /// thread) claim one index at a time from a shared atomic counter, so
+  /// wildly uneven per-index costs — e.g. a sweep axis that scales T — do
+  /// not serialize behind the unluckiest static chunk.
+  void parallel_for_dynamic(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
