@@ -1,0 +1,293 @@
+// E12 — Batch throughput: instances/sec through the SolverEngine.
+//
+// Fleet-style consumers issue thousands of small solves; at T = m = 64 the
+// per-solve row evaluation and scratch allocation dominate the O(T·m)
+// kernels.  This bench measures a batch of (instance, solver-kind) jobs in
+// three configurations:
+//
+//   naive       — solve-in-a-loop on the calling thread, with the thread
+//                 workspace cleared before every solve: the library's
+//                 pre-engine consumer pattern (allocation per solve, rows
+//                 re-evaluated per job, no sharing).
+//   engine/1    — SolverEngine, inline (1 thread), warm arenas, one shared
+//                 DenseProblem per distinct instance.
+//   engine/N    — the same batch across a dedicated N-worker pool.
+//
+// Two batch shapes: `small` (K distinct T=64/m=64 restricted-model
+// instances × R solver jobs each — the Monte-Carlo/competitive ensemble
+// pattern where jobs repeat per instance) and `mixed` (sizes 32..256
+// across generator families, one dp-cost + one LCP job per instance).
+//
+// `--json PATH` dumps the rows for scripts/bench_baseline.sh; the recorded
+// acceptance number is the engine/1-thread speedup over naive (arena reuse
+// + shared materialization).  Multi-thread rows are recorded with their
+// thread count; on a single-core container they measure scheduling
+// overhead, not parallel speedup (hardware_concurrency is recorded so the
+// reader can tell).  Qualitative checks: batch costs bit-identical to the
+// naive loop, warm 1-thread batch allocation-free, and engine/1 at least
+// 1.3x naive on the small batch.
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using rs::core::DenseProblem;
+using rs::core::Problem;
+using rs::engine::BatchResult;
+using rs::engine::SolveJob;
+using rs::engine::SolverEngine;
+using rs::engine::SolverKind;
+
+// A distinct T=64/m=64 restricted-model instance per seed (the
+// bench_common fixture derives its seed from T and m alone, which would
+// collapse a fleet of same-sized instances into one).  The per-server load
+// cost is the M/M/1-style energy + delay curve of the data-center
+// literature (operating cost grows as utilization approaches saturation),
+// i.e. the realistic shape of paper eq. 2 — and, like any real delay
+// model, not free to evaluate, which is exactly why fleet consumers want
+// each row materialized once per instance.
+Problem make_restricted(int T, int m, std::uint64_t seed) {
+  rs::util::Rng rng(seed * 7000003u + static_cast<std::uint64_t>(T) * 131u +
+                    static_cast<std::uint64_t>(m));
+  auto load_cost = std::make_shared<const std::function<double(double)>>(
+      [](double z) { return 1.0 + 0.2 * z * z + 0.5 / (1.1 - z); });
+  std::vector<rs::core::CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const double lambda = rng.uniform(0.0, 0.6 * m);
+    fs.push_back(
+        std::make_shared<rs::core::RestrictedSlotCost>(load_cost, lambda));
+  }
+  return Problem(m, 2.0, std::move(fs));
+}
+
+struct ThroughputRow {
+  std::string name;
+  std::size_t threads = 1;
+  std::size_t jobs = 0;
+  double seconds = 0.0;
+  double instances_per_sec = 0.0;
+  double speedup_vs_naive = 0.0;
+  bool allocation_free = false;
+};
+
+// The pre-engine consumer pattern: one solve per job, straight through the
+// library entry points, workspace cleared first so every solve pays its
+// allocations (the seed behaviour the arenas replaced).
+std::vector<double> naive_loop(const std::vector<SolveJob>& jobs, int reps,
+                               double* seconds) {
+  std::vector<double> costs(jobs.size());
+  double best = rs::util::kInf;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    rs::util::Stopwatch watch;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      rs::util::this_thread_workspace().clear();
+      const Problem& p = *jobs[i].problem;
+      switch (jobs[i].kind) {
+        case SolverKind::kDpCost:
+          costs[i] = rs::offline::DpSolver().solve_cost(p);
+          break;
+        case SolverKind::kLcp: {
+          rs::online::Lcp lcp;
+          const rs::core::Schedule x = rs::online::run_online(lcp, p);
+          costs[i] = rs::core::total_cost(p, x);
+          break;
+        }
+        default:
+          rs::bench::check(false, "naive_loop: unexpected solver kind");
+      }
+    }
+    // Rep 0 warms the page cache / branch predictors and is discarded, the
+    // same protocol as engine_best_of.
+    if (rep > 0) best = std::min(best, watch.seconds());
+  }
+  *seconds = best;
+  return costs;
+}
+
+BatchResult engine_best_of(const SolverEngine& engine,
+                           const std::vector<SolveJob>& jobs, int reps) {
+  BatchResult best;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    BatchResult result = engine.run(jobs);
+    // rep 0 warms the arenas (and any fresh pool workers) and is discarded.
+    if (rep == 1 || (rep > 1 && result.stats.total_seconds <
+                                    best.stats.total_seconds)) {
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+std::vector<SolveJob> make_jobs(const std::vector<Problem>& instances,
+                                int jobs_per_instance) {
+  std::vector<SolveJob> jobs;
+  jobs.reserve(instances.size() * static_cast<std::size_t>(jobs_per_instance));
+  for (const Problem& p : instances) {
+    for (int r = 0; r < jobs_per_instance; ++r) {
+      jobs.push_back(SolveJob{
+          &p, nullptr, r % 2 == 0 ? SolverKind::kDpCost : SolverKind::kLcp});
+    }
+  }
+  return jobs;
+}
+
+void print_row(const ThroughputRow& row) {
+  std::ostringstream line;
+  line << row.name << "  threads=" << row.threads << "  jobs=" << row.jobs
+       << "  " << static_cast<long long>(row.instances_per_sec)
+       << " instances/sec";
+  if (row.speedup_vs_naive > 0.0) {
+    line << "  (" << row.speedup_vs_naive << "x naive)";
+  }
+  if (row.allocation_free) line << "  [allocation-free]";
+  std::cout << line.str() << "\n";
+}
+
+void append_json(std::ostringstream& out, const ThroughputRow& row,
+                 bool first) {
+  if (!first) out << ",";
+  out << "\n    {\"name\": \"" << row.name << "\", \"threads\": " << row.threads
+      << ", \"jobs\": " << row.jobs << ", \"seconds\": " << row.seconds
+      << ", \"instances_per_sec\": " << row.instances_per_sec
+      << ", \"speedup_vs_naive\": " << row.speedup_vs_naive
+      << ", \"allocation_free\": " << (row.allocation_free ? "true" : "false")
+      << "}";
+}
+
+// Measures one batch shape in every configuration and appends rows.  The
+// jobs point into instance vectors owned by the caller's scope.
+void measure_batch(const std::string& name, const std::vector<SolveJob>& jobs,
+                   int reps, bool smoke, std::vector<ThroughputRow>& rows) {
+  double naive_seconds = 0.0;
+  const std::vector<double> naive_costs =
+      naive_loop(jobs, reps, &naive_seconds);
+  ThroughputRow naive_row;
+  naive_row.name = name + "_naive";
+  naive_row.threads = 1;
+  naive_row.jobs = jobs.size();
+  naive_row.seconds = naive_seconds;
+  naive_row.instances_per_sec =
+      static_cast<double>(jobs.size()) / naive_seconds;
+  rows.push_back(naive_row);
+  print_row(naive_row);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    const SolverEngine engine({.threads = threads});
+    const BatchResult batch = engine_best_of(engine, jobs, reps);
+    ThroughputRow row;
+    row.name = name + "_engine";
+    row.threads = threads;
+    row.jobs = jobs.size();
+    row.seconds = batch.stats.total_seconds;
+    row.instances_per_sec = batch.stats.instances_per_second;
+    row.speedup_vs_naive = naive_seconds / batch.stats.total_seconds;
+    row.allocation_free = batch.stats.allocation_free();
+    rows.push_back(row);
+    print_row(row);
+
+    if (threads == 1) {
+      // Correctness: the batch is bit-identical to the naive loop.
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (batch.outcomes[i].cost != naive_costs[i]) {
+          rs::bench::check(false, name + ": engine cost differs from naive "
+                                         "loop at job " +
+                                      std::to_string(i));
+          break;
+        }
+      }
+      // Warm inline batches must not touch the allocator.
+      rs::bench::check(row.allocation_free,
+                       name + ": warm 1-thread batch not allocation-free");
+      // The amortization claim needs full-size batches; smoke runs only
+      // exercise the machinery.
+      if (name == "small_batch" && !smoke) {
+        rs::bench::check(row.speedup_vs_naive >= 1.3,
+                         "small batch: engine/1-thread speedup " +
+                             std::to_string(row.speedup_vs_naive) +
+                             " below 1.3x over the naive loop");
+      }
+    }
+    // The parallel-scaling claim is only falsifiable where the cores
+    // exist; on smaller machines (e.g. 1-core CI containers) the rows are
+    // recorded but not asserted.
+    if (name == "small_batch" && !smoke && threads == 8 &&
+        std::thread::hardware_concurrency() >= 8) {
+      rs::bench::check(row.speedup_vs_naive >= 4.0,
+                       "small batch: engine/8-thread speedup " +
+                           std::to_string(row.speedup_vs_naive) +
+                           " below 4x over the naive loop");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rs::util::CliArgs args(argc, argv);
+  const bool smoke =
+      args.get_bool("smoke", std::getenv("RIGHTSIZER_BENCH_SMOKE") != nullptr);
+  const std::string json_path = args.get("json", "");
+
+  // Small batch: K distinct restricted-model instances (expensive per-point
+  // evaluation through a shared std::function load curve — the paper's
+  // eq. 2 shape), R jobs each.
+  const int K = smoke ? 4 : 16;
+  const int R = smoke ? 2 : 16;    // trials/measurements per instance
+  const int reps = smoke ? 1 : 7;  // best-of; single-core boxes are noisy
+
+  std::vector<Problem> small_instances;
+  small_instances.reserve(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    small_instances.push_back(
+        make_restricted(64, 64, static_cast<std::uint64_t>(k)));
+  }
+  const std::vector<SolveJob> small_jobs = make_jobs(small_instances, R);
+
+  // Mixed batch: varied sizes and families, two jobs per instance — the
+  // sweep-grid shape where per-job costs differ by orders of magnitude.
+  std::vector<Problem> mixed_instances;
+  {
+    const int sizes[][2] = {{32, 32}, {64, 64}, {128, 96}, {256, 48}};
+    std::uint64_t seed = 1;
+    for (const auto& size : sizes) {
+      for (rs::workload::InstanceFamily family :
+           rs::workload::all_instance_families()) {
+        rs::util::Rng rng(seed++);
+        mixed_instances.push_back(rs::workload::random_instance(
+            rng, family, smoke ? size[0] / 4 : size[0],
+            smoke ? size[1] / 4 : size[1], 2.0));
+      }
+    }
+  }
+  const std::vector<SolveJob> mixed_jobs = make_jobs(mixed_instances, 2);
+
+  std::cout << "E12  batch throughput (hardware_concurrency="
+            << std::thread::hardware_concurrency() << ", smoke=" << smoke
+            << ")\n\n";
+
+  std::vector<ThroughputRow> rows;
+  measure_batch("small_batch", small_jobs, reps, smoke, rows);
+  std::cout << "\n";
+  measure_batch("mixed_batch", mixed_jobs, reps, smoke, rows);
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"smoke\": "
+        << (smoke ? "true" : "false") << ",\n  \"throughput\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      append_json(out, rows[i], i == 0);
+    }
+    out << "\n  ]\n}\n";
+    std::ofstream file(json_path);
+    file << out.str();
+    std::cout << "\nwrote " << json_path << " (" << rows.size() << " rows)\n";
+  }
+
+  return rs::bench::finish("E12 batch throughput");
+}

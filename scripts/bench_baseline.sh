@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Perf baseline: runs the thm1 offline / thm2 LCP benchmarks and writes
-# BENCH_results.json (benchmark name -> ns/op with T, m, git sha), the
-# repo's perf trajectory artifact.
+# Perf baseline: runs the thm1 offline / thm2 LCP benchmarks plus the batch
+# throughput bench and writes BENCH_results.json (benchmark name -> ns/op
+# with T, m, threads, git sha; batch rows under "throughput"), the repo's
+# perf trajectory artifact.  scripts/bench_compare.py diffs a fresh run
+# against the committed file and fails on > 1.5x regressions.
 #
 # Usage:
 #   scripts/bench_baseline.sh                 # full run, writes ./BENCH_results.json
@@ -31,12 +33,13 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 [[ -z "$BUILD_DIR" ]] && BUILD_DIR="$ROOT/build-bench"
 [[ -z "$OUT" ]] && OUT="$ROOT/BENCH_results.json"
 
-if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" ]]; then
+if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" \
+      || ! -x "$BUILD_DIR/bench/bench_throughput" ]]; then
   echo "== configuring bench build in $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_thm1_offline bench_thm2_lcp
+    --target bench_thm1_offline bench_thm2_lcp bench_throughput
 fi
 
 TMP="$(mktemp -d)"
@@ -44,7 +47,10 @@ trap 'rm -rf "$TMP"' EXIT
 
 GBENCH_ARGS=(--benchmark_format=json)
 if [[ "$SMOKE" -eq 1 ]]; then
-  GBENCH_ARGS+=(--benchmark_filter='/64/64$' --benchmark_min_time=0.02)
+  # Dense-layer pairs only: BM_GraphSolver (the O(T·m²) reference) is
+  # allocation-bound and times unstably across process contexts, which
+  # would make the bench_compare gate flake.
+  GBENCH_ARGS+=(--benchmark_filter='BM_(Dp|Lcp).*/64/64$' --benchmark_min_time=0.05)
   export RIGHTSIZER_BENCH_SMOKE=1
 else
   GBENCH_ARGS+=(--benchmark_filter='.')
@@ -56,6 +62,13 @@ echo "== running bench_thm1_offline"
 
 echo "== running bench_thm2_lcp"
 "$BUILD_DIR/bench/bench_thm2_lcp" --time-json "$TMP/thm2.json"
+
+echo "== running bench_throughput"
+# NB: util/cli only parses --key=value (space-separated values become
+# positionals), hence the = form.
+THROUGHPUT_ARGS=(--json="$TMP/throughput.json")
+[[ "$SMOKE" -eq 1 ]] && THROUGHPUT_ARGS+=(--smoke)
+"$BUILD_DIR/bench/bench_throughput" "${THROUGHPUT_ARGS[@]}"
 
 GIT_SHA="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
 
@@ -69,6 +82,8 @@ with open(os.path.join(tmp, "thm1.json")) as fh:
     thm1 = json.load(fh)
 with open(os.path.join(tmp, "thm2.json")) as fh:
     thm2 = json.load(fh)
+with open(os.path.join(tmp, "throughput.json")) as fh:
+    throughput = json.load(fh)
 
 unit_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -82,7 +97,9 @@ for entry in thm1.get("benchmarks", []):
     T = int(parts[1]) if len(parts) > 1 and parts[1].isdigit() else None
     m = int(parts[2]) if len(parts) > 2 and parts[2].isdigit() else None
     ns = entry["real_time"] * unit_to_ns.get(entry.get("time_unit", "ns"), 1.0)
-    row = {"name": name, "ns_per_op": ns, "T": T, "m": m}
+    # google-benchmark binaries run single-threaded here; the throughput
+    # section carries the multi-thread records.
+    row = {"name": name, "ns_per_op": ns, "T": T, "m": m, "threads": 1}
     benchmarks.append(row)
     by_name[name] = row
 
@@ -110,13 +127,16 @@ result = {
     "generated_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
         timespec="seconds"),
     "smoke": os.environ["SMOKE"] == "1",
+    "hardware_concurrency": throughput.get("hardware_concurrency"),
     "benchmarks": benchmarks,
     "lcp_timings": thm2,
     "speedups": speedups,
+    "throughput": throughput.get("throughput", []),
 }
 with open(os.environ["OUT"], "w") as fh:
     json.dump(result, fh, indent=2)
     fh.write("\n")
 print(f"wrote {os.environ['OUT']} ({len(benchmarks)} benchmarks, "
-      f"{len(speedups)} speedup pairs)")
+      f"{len(speedups)} speedup pairs, "
+      f"{len(result['throughput'])} throughput rows)")
 PY

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh bench run against the committed baseline.
+
+Compares BENCH_results.json-shaped files produced by scripts/bench_baseline.sh:
+
+  * "benchmarks" entries match by name; a fresh ns_per_op more than
+    --threshold times the baseline's is a regression;
+  * "throughput" entries match by (name, threads, jobs) — smoke runs use
+    smaller batches than a full baseline, so mismatched shapes are skipped
+    rather than mis-compared; a fresh instances_per_sec below baseline /
+    --threshold is a regression.
+
+Exit status: 0 when nothing regressed, 1 on regressions (or when nothing at
+all could be compared, which would make the gate vacuous).
+
+The comparison is in absolute wall time, so it is only meaningful against a
+baseline recorded on the same (quiet) machine — regenerate
+BENCH_results.json via scripts/bench_baseline.sh before enabling the gate
+on a different box.
+
+Wired as an opt-in ctest entry (bench_compare_gate) when the build is
+configured with -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BENCH_JSON=ON; the
+smoke run that feeds it is produced by the bench_baseline_smoke test.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_results.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated results to check")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="maximum tolerated slowdown factor (default 1.5)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    compared = 0
+
+    base_benchmarks = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    for entry in fresh.get("benchmarks", []):
+        ref = base_benchmarks.get(entry["name"])
+        if ref is None or not ref.get("ns_per_op"):
+            continue
+        ratio = entry["ns_per_op"] / ref["ns_per_op"]
+        compared += 1
+        print(f"  {entry['name']}: {entry['ns_per_op']:.0f} ns vs "
+              f"{ref['ns_per_op']:.0f} ns baseline ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(f"{entry['name']}: {ratio:.2f}x slower "
+                            f"(threshold {args.threshold}x)")
+
+    # Throughput batches shrink their instances (not just their job count)
+    # in smoke mode, so rows are only comparable between runs of the same
+    # kind; the ns_per_op entries above are size-keyed by name and compare
+    # fine across modes.
+    comparable_throughput = fresh.get("smoke") == baseline.get("smoke")
+    base_throughput = {
+        (t["name"], t.get("threads"), t.get("jobs")): t
+        for t in baseline.get("throughput", [])
+    } if comparable_throughput else {}
+    for entry in fresh.get("throughput", []):
+        key = (entry["name"], entry.get("threads"), entry.get("jobs"))
+        ref = base_throughput.get(key)
+        if ref is None or not ref.get("instances_per_sec"):
+            continue
+        if not entry.get("instances_per_sec"):
+            failures.append(f"{entry['name']}/t{entry.get('threads')}: "
+                            "no throughput measured")
+            continue
+        ratio = ref["instances_per_sec"] / entry["instances_per_sec"]
+        compared += 1
+        print(f"  {entry['name']}/t{entry.get('threads')}: "
+              f"{entry['instances_per_sec']:.0f}/s vs "
+              f"{ref['instances_per_sec']:.0f}/s baseline ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(
+                f"{entry['name']}/t{entry.get('threads')}: throughput "
+                f"{ratio:.2f}x below baseline (threshold {args.threshold}x)")
+
+    if compared == 0:
+        print("bench_compare: no comparable entries between baseline and "
+              "fresh run — gate is vacuous", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) over "
+              f"{compared} compared entries:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({compared} entries within "
+          f"{args.threshold}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@
 
 namespace rs::analysis {
 
+using rs::core::DenseProblem;
+
 namespace {
 
 double safe_ratio(double algorithm_cost, double optimal_cost) {
@@ -13,6 +15,12 @@ double safe_ratio(double algorithm_cost, double optimal_cost) {
 }
 
 }  // namespace
+
+// The plain-Problem overloads keep the O(m)-memory streaming accounting:
+// they serve one-shot measurements, where materializing a T×(m+1) table to
+// read it once would trade transient memory for nothing.  Ensemble callers
+// (sweeps, adversary search) build one dense table and use the shared
+// overloads below.
 
 RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
                           const rs::core::Problem& p, int window) {
@@ -27,6 +35,20 @@ RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
   return report;
 }
 
+RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p,
+                          const DenseProblem& dense, int window) {
+  RatioReport report;
+  report.algorithm = algorithm.name();
+  const rs::core::Schedule x = rs::online::run_online(algorithm, p, window);
+  report.operating_cost = rs::core::operating_cost(dense, x);
+  report.switching_cost = rs::core::switching_cost_up(dense, x);
+  report.algorithm_cost = report.operating_cost + report.switching_cost;
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(dense);
+  report.ratio = safe_ratio(report.algorithm_cost, report.optimal_cost);
+  return report;
+}
+
 RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
                           const rs::core::Problem& p, int window) {
   RatioReport report;
@@ -37,6 +59,23 @@ RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
   report.switching_cost = rs::core::switching_cost_up(p, x);
   report.algorithm_cost = report.operating_cost + report.switching_cost;
   report.optimal_cost = rs::offline::DpSolver().solve_cost(p);
+  report.ratio = safe_ratio(report.algorithm_cost, report.optimal_cost);
+  return report;
+}
+
+RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p,
+                          const DenseProblem& dense, int window) {
+  RatioReport report;
+  report.algorithm = algorithm.name();
+  const rs::core::FractionalSchedule x =
+      rs::online::run_online(algorithm, p, window);
+  // Fractional states interpolate between integer values (paper eq. 3), so
+  // the operating sum goes through the Problem; OPT shares the table.
+  report.operating_cost = rs::core::operating_cost(p, x);
+  report.switching_cost = rs::core::switching_cost_up(p, x);
+  report.algorithm_cost = report.operating_cost + report.switching_cost;
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(dense);
   report.ratio = safe_ratio(report.algorithm_cost, report.optimal_cost);
   return report;
 }

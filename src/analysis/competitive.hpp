@@ -1,9 +1,15 @@
 // Competitive-ratio measurement harness: replays an online algorithm
 // against an instance and compares with the exact offline optimum.
+//
+// The plain overloads stream with O(m) scratch (right for one-shot
+// measurements); ensemble consumers — sweeps, adversary search — build one
+// immutable DenseProblem per instance and use the dense overloads so
+// repeated measurements on one instance share its rows.
 #pragma once
 
 #include <string>
 
+#include "core/dense_problem.hpp"
 #include "core/problem.hpp"
 #include "online/online_algorithm.hpp"
 
@@ -23,9 +29,22 @@ struct RatioReport {
 RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
                           const rs::core::Problem& p, int window = 0);
 
+/// Same with a caller-shared dense table (must match `p`): the algorithm's
+/// schedule is scored and OPT solved from `dense`, so N measurements on one
+/// instance materialize its rows once.
+RatioReport measure_ratio(rs::online::OnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p,
+                          const rs::core::DenseProblem& dense, int window = 0);
+
 /// Same for a fractional algorithm; OPT is still the integral optimum,
 /// which by Lemma 4 equals the continuous optimum of P̄.
 RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
                           const rs::core::Problem& p, int window = 0);
+
+/// Fractional variant with a shared dense table (used for OPT; fractional
+/// operating costs interpolate through the Problem).
+RatioReport measure_ratio(rs::online::FractionalOnlineAlgorithm& algorithm,
+                          const rs::core::Problem& p,
+                          const rs::core::DenseProblem& dense, int window = 0);
 
 }  // namespace rs::analysis

@@ -6,24 +6,47 @@
 #include "core/schedule.hpp"
 #include "offline/dp_solver.hpp"
 #include "online/randomized_rounding.hpp"
-#include "util/thread_pool.hpp"
 
 namespace rs::analysis {
+
+using rs::core::DenseProblem;
 
 MonteCarloReport monte_carlo(
     const rs::core::Problem& p, int trials, std::uint64_t base_seed,
     const std::function<double(std::uint64_t seed)>& run_trial) {
   if (trials < 1) throw std::invalid_argument("monte_carlo: trials < 1");
   if (!run_trial) throw std::invalid_argument("monte_carlo: null trial");
+  // Rows only: OPT and the trial scorings never query minimizer caches.
+  const DenseProblem dense(p, DenseProblem::Mode::kEager,
+                           DenseProblem::MinimizerCache::kOnDemand);
+  return monte_carlo(dense, trials, base_seed, run_trial);
+}
+
+MonteCarloReport monte_carlo(
+    const DenseProblem& dense, int trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& run_trial,
+    const rs::engine::SolverEngine* engine) {
+  if (trials < 1) throw std::invalid_argument("monte_carlo: trials < 1");
+  if (!run_trial) throw std::invalid_argument("monte_carlo: null trial");
+  if (dense.mode() != DenseProblem::Mode::kEager) {
+    // Lazy tables materialize rows on first touch and are not thread-safe;
+    // trials run concurrently.
+    throw std::invalid_argument("monte_carlo: dense table must be eager");
+  }
 
   MonteCarloReport report;
-  report.optimal_cost = rs::offline::DpSolver().solve_cost(p);
+  report.optimal_cost = rs::offline::DpSolver().solve_cost(dense);
 
   std::vector<double> costs(static_cast<std::size_t>(trials));
-  rs::util::global_pool().parallel_for(
-      0, static_cast<std::size_t>(trials), [&](std::size_t trial) {
+  const rs::engine::SolverEngine default_engine;
+  const rs::engine::SolverEngine& batch_engine =
+      engine != nullptr ? *engine : default_engine;
+  batch_engine.for_each(
+      static_cast<std::size_t>(trials),
+      [&costs, &run_trial, base_seed](std::size_t trial) {
         costs[trial] = run_trial(base_seed + trial);
-      });
+      },
+      &report.batch);
 
   report.cost = rs::util::summarize(costs);
   if (report.optimal_cost > 0.0) {
@@ -39,11 +62,21 @@ MonteCarloReport monte_carlo(
 MonteCarloReport monte_carlo_randomized_rounding(const rs::core::Problem& p,
                                                  int trials,
                                                  std::uint64_t base_seed) {
-  return monte_carlo(p, trials, base_seed, [&p](std::uint64_t seed) {
-    rs::online::RandomizedRounding algorithm(seed);
-    const rs::core::Schedule x = rs::online::run_online(algorithm, p);
-    return rs::core::total_cost(p, x);
-  });
+  // One rows-only dense table for the whole run: OPT reads it, and every
+  // trial scores its schedule against it through the dense total_cost overload
+  // (bit-identical to the per-point path, without T virtual calls and
+  // bounds checks per trial).  The online replay itself still reveals the
+  // cost functions one slot at a time through the Problem, as the online
+  // contract requires.
+  const DenseProblem dense(p, DenseProblem::Mode::kEager,
+                           DenseProblem::MinimizerCache::kOnDemand);
+  return monte_carlo(dense, trials, base_seed,
+                     [&p, &dense](std::uint64_t seed) {
+                       rs::online::RandomizedRounding algorithm(seed);
+                       const rs::core::Schedule x =
+                           rs::online::run_online(algorithm, p);
+                       return rs::core::total_cost(dense, x);
+                     });
 }
 
 }  // namespace rs::analysis

@@ -3,8 +3,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "util/thread_pool.hpp"
-
 namespace rs::analysis {
 
 SweepRunner::SweepRunner(std::vector<SweepPoint> points,
@@ -15,17 +13,20 @@ SweepRunner::SweepRunner(std::vector<SweepPoint> points,
 }
 
 void SweepRunner::run(bool parallel) {
+  // The engine's dynamic scheduling matters here: sweep axes routinely
+  // scale T or m, so per-point costs differ by orders of magnitude and
+  // static chunks would serialize behind the most expensive stretch.
+  const rs::engine::SolverEngine engine(
+      {.threads = parallel ? std::size_t{0} : std::size_t{1}});
+  run(engine);
+}
+
+void SweepRunner::run(const rs::engine::SolverEngine& engine) {
   if (finished_) return;
   rows_.assign(points_.size(), SweepRow{});
-  if (parallel) {
-    // Dynamic scheduling: sweep axes routinely scale T or m, so per-point
-    // costs differ by orders of magnitude and static chunks would serialize
-    // behind the most expensive stretch of the grid.
-    rs::util::global_pool().parallel_for_dynamic(
-        0, points_.size(), [this](std::size_t i) { rows_[i] = evaluate_(i); });
-  } else {
-    for (std::size_t i = 0; i < points_.size(); ++i) rows_[i] = evaluate_(i);
-  }
+  engine.for_each(
+      points_.size(), [this](std::size_t i) { rows_[i] = evaluate_(i); },
+      &stats_);
   finished_ = true;
 }
 
@@ -36,6 +37,11 @@ void SweepRunner::require_finished() const {
 const std::vector<SweepRow>& SweepRunner::rows() const {
   require_finished();
   return rows_;
+}
+
+const rs::engine::BatchStats& SweepRunner::stats() const {
+  require_finished();
+  return stats_;
 }
 
 namespace {
@@ -69,12 +75,18 @@ rs::util::CsvTable SweepRunner::to_csv(int precision) const {
   require_finished();
   rs::util::CsvTable csv;
   csv.header = header_of(points_.front(), rows_.front());
+  csv.rows.reserve(points_.size());
+  // One reusable formatting stream for the whole grid instead of one
+  // ostringstream construction per cell.
+  std::ostringstream os;
+  os.precision(precision);
   for (std::size_t i = 0; i < points_.size(); ++i) {
     rs::util::CsvRow row;
+    row.reserve(points_[i].size() + rows_[i].size());
     for (const auto& [name, value] : points_[i]) row.push_back(value);
     for (const auto& [name, value] : rows_[i]) {
-      std::ostringstream os;
-      os.precision(precision);
+      os.str(std::string());
+      os.clear();
       os << value;
       row.push_back(os.str());
     }

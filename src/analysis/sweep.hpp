@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/solver_engine.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -32,12 +33,21 @@ class SweepRunner {
   SweepRunner(std::vector<SweepPoint> points,
               std::function<SweepRow(std::size_t)> evaluate);
 
-  /// Runs all points (in parallel) and stores the rows.  Idempotent.
+  /// Runs all points (in parallel on the global pool) and stores the rows.
+  /// Idempotent.
   void run(bool parallel = true);
+
+  /// Runs all points through a caller-configured batch engine (thread
+  /// count, dedicated pool); grid throughput lands in stats().
+  void run(const rs::engine::SolverEngine& engine);
 
   bool finished() const noexcept { return finished_; }
   std::size_t size() const noexcept { return points_.size(); }
   const std::vector<SweepRow>& rows() const;
+
+  /// Batch stats of the completed run: points/sec, wall time, thread
+  /// count, workspace-growth delta.
+  const rs::engine::BatchStats& stats() const;
 
   /// Column-aligned text table of parameters + metrics.
   rs::util::TextTable to_table(int precision = 4) const;
@@ -51,6 +61,7 @@ class SweepRunner {
   std::vector<SweepPoint> points_;
   std::function<SweepRow(std::size_t)> evaluate_;
   std::vector<SweepRow> rows_;
+  rs::engine::BatchStats stats_;
   bool finished_ = false;
 };
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/workspace.hpp"
+
 namespace rs::core {
 
 using util::kInf;
@@ -56,14 +58,18 @@ void TableCost::eval_row(int m, std::span<double> out) const {
   const int copied = std::min(n, m + 1);
   std::copy_n(values_.begin(), copied, out.begin());
   if (m + 1 <= n) return;
-  // Same linear extension (and exact expression) as at().
+  // Same linear extension (and exact expression) as at(); the infinite-last
+  // case is hoisted so the extension loop is a pure FMA chain.
   const double last = values_[static_cast<std::size_t>(n - 1)];
+  if (std::isinf(last)) {
+    std::fill(out.begin() + n, out.begin() + (m + 1), last);
+    return;
+  }
   const double slope =
       n >= 2 ? last - values_[static_cast<std::size_t>(n - 2)] : 0.0;
   for (int x = n; x <= m; ++x) {
     out[static_cast<std::size_t>(x)] =
-        std::isinf(last) ? last
-                         : last + slope * static_cast<double>(x - (n - 1));
+        last + slope * static_cast<double>(x - (n - 1));
   }
 }
 
@@ -143,7 +149,7 @@ RestrictedSlotCost::RestrictedSlotCost(
   if (!f_ || !*f_) {
     throw std::invalid_argument("RestrictedSlotCost: null load-cost function");
   }
-  if (lambda < 0.0) {
+  if (!(lambda >= 0.0)) {  // rejects NaN along with negatives
     throw std::invalid_argument("RestrictedSlotCost: negative workload");
   }
 }
@@ -161,17 +167,24 @@ double RestrictedSlotCost::at_real(double x) const {
 
 void RestrictedSlotCost::eval_row(int m, std::span<double> out) const {
   assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
-  // Mirrors at_real() on integers with the shared_ptr resolved once.
+  // Mirrors at_real() on integers with the shared_ptr resolved once.  The
+  // infeasible prefix {x < λ} and the x = 0 special case are resolved up
+  // front (λ is fixed), so the feasible-range loop carries no branches.
   const std::function<double(double)>& fn = *f_;
-  for (int x = 0; x <= m; ++x) {
+  // Compare in double before casting: lambda_ is only validated
+  // non-negative and may exceed INT_MAX, where a bare int cast is UB.
+  const int first_feasible = lambda_ > static_cast<double>(m)
+                                 ? m + 1
+                                 : static_cast<int>(std::ceil(lambda_));
+  std::fill(out.begin(), out.begin() + first_feasible, kInf);
+  int x = first_feasible;
+  if (x == 0) {
+    out[0] = 0.0;  // λ must be 0 here; an empty center is free
+    x = 1;
+  }
+  for (; x <= m; ++x) {
     const double xr = static_cast<double>(x);
-    if (xr < lambda_) {
-      out[static_cast<std::size_t>(x)] = kInf;
-    } else if (xr == 0.0) {
-      out[static_cast<std::size_t>(x)] = 0.0;
-    } else {
-      out[static_cast<std::size_t>(x)] = xr * fn(lambda_ / xr);
-    }
+    out[static_cast<std::size_t>(x)] = xr * fn(lambda_ / xr);
   }
 }
 
@@ -217,11 +230,14 @@ void StrideCost::eval_row(int m, std::span<double> out) const {
   // For small strides (the common Ψ_l refinement steps), materializing the
   // base row keeps the whole decorator chain below on its bulk path and
   // costs only stride·m sequential writes; for large strides the gathered
-  // states are sparse in the base domain and a per-point gather wins.
+  // states are sparse in the base domain and a per-point gather wins.  The
+  // base row is workspace scratch: repeated row fills (one per DP step /
+  // tracker advance) stay allocation-free after warm-up.
   const long long base_m = static_cast<long long>(m) * stride_;
   if (stride_ <= 4 && base_m + 1 <= (1LL << 22)) {
-    std::vector<double> base_row(static_cast<std::size_t>(base_m) + 1);
-    base_->eval_row(static_cast<int>(base_m), base_row);
+    auto base_row = rs::util::this_thread_workspace().borrow<double>(
+        static_cast<std::size_t>(base_m) + 1);
+    base_->eval_row(static_cast<int>(base_m), base_row.span());
     for (int x = 0; x <= m; ++x) {
       out[static_cast<std::size_t>(x)] =
           base_row[static_cast<std::size_t>(x) * static_cast<std::size_t>(stride_)];
@@ -268,12 +284,16 @@ void PaddedCost::eval_row(int m, std::span<double> out) const {
   const int inner = std::min(m, original_m_);
   base_->eval_row(inner, out);
   if (m <= original_m_) return;
+  // Infinite anchors are hoisted so the extension loop is branch-free.
   const double base_value = base_->at(original_m_);
+  if (std::isinf(base_value)) {
+    std::fill(out.begin() + (original_m_ + 1), out.begin() + (m + 1),
+              base_value);
+    return;
+  }
   for (int x = original_m_ + 1; x <= m; ++x) {
     out[static_cast<std::size_t>(x)] =
-        std::isinf(base_value)
-            ? base_value
-            : base_value + extension_slope_ * static_cast<double>(x - original_m_);
+        base_value + extension_slope_ * static_cast<double>(x - original_m_);
   }
 }
 

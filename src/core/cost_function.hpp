@@ -25,7 +25,9 @@ namespace rs::core {
 ///
 /// Implementations must be convex and non-negative on {0,..,m} for every m
 /// they are used with; validate_cost_function() checks this for tests and
-/// API-boundary validation.
+/// API-boundary validation.  Values must lie in [0, +inf] (+inf marks
+/// infeasible states; -inf and NaN are outside the contract) — the solver
+/// kernels rely on extended-real arithmetic over exactly this domain.
 class CostFunction {
  public:
   virtual ~CostFunction() = default;

@@ -30,7 +30,8 @@ std::int32_t row_largest_minimizer(std::span<const double> row) {
 
 }  // namespace
 
-DenseProblem::DenseProblem(const Problem& p, Mode mode)
+DenseProblem::DenseProblem(const Problem& p, Mode mode,
+                           MinimizerCache minimizers)
     : T_(p.horizon()),
       m_(p.max_servers()),
       beta_(p.beta()),
@@ -44,11 +45,13 @@ DenseProblem::DenseProblem(const Problem& p, Mode mode)
   min_large_.assign(static_cast<std::size_t>(T_), -1);
   if (mode_ != Mode::kEager || T_ == 0) return;
 
-  // Minimizer caches are filled here too (the row is cache-hot), so an
-  // eager table is fully immutable afterwards and shareable across threads.
-  const auto build_row = [this](std::size_t i) {
+  // With kPrecompute the minimizer caches are filled here too (the row is
+  // cache-hot), so an eager table is fully immutable afterwards and
+  // shareable across threads; kOnDemand defers them to the first query.
+  const bool precompute = minimizers == MinimizerCache::kPrecompute;
+  const auto build_row = [this, precompute](std::size_t i) {
     materialize_row(static_cast<int>(i) + 1);
-    ensure_minimizers(static_cast<int>(i) + 1);
+    if (precompute) ensure_minimizers(static_cast<int>(i) + 1);
   };
   if (values_.size() >= kParallelThreshold && T_ > 1) {
     rs::util::global_pool().parallel_for(0, static_cast<std::size_t>(T_),
@@ -58,6 +61,8 @@ DenseProblem::DenseProblem(const Problem& p, Mode mode)
       build_row(i);
     }
   }
+  // Every row is materialized; the cost functions are no longer needed.
+  functions_ = std::vector<CostPtr>();
 }
 
 void DenseProblem::materialize_row(int t) const {

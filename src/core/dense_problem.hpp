@@ -37,7 +37,18 @@ class DenseProblem {
  public:
   enum class Mode { kEager, kLazy };
 
-  explicit DenseProblem(const Problem& p, Mode mode = Mode::kEager);
+  /// Minimizer-cache policy for eager tables.  kPrecompute fills the
+  /// per-row minimizer caches at construction (the table stays fully
+  /// immutable, so minimizer queries are thread-safe).  kOnDemand skips
+  /// that work — pure row consumers (the DP kernels, run_lcp_dense, the
+  /// batch engine's shared tables) never query minimizers, and at small
+  /// m the two extra scans per row are a measurable share of a solve.
+  /// On-demand minimizer queries mutate the cache and are NOT thread-safe;
+  /// row access stays safe either way on eager tables.
+  enum class MinimizerCache { kPrecompute, kOnDemand };
+
+  explicit DenseProblem(const Problem& p, Mode mode = Mode::kEager,
+                        MinimizerCache minimizers = MinimizerCache::kPrecompute);
 
   int horizon() const noexcept { return T_; }
   int max_servers() const noexcept { return m_; }
@@ -101,7 +112,9 @@ class DenseProblem {
   double beta_;
   Mode mode_;
   std::size_t stride_;               // m + 1
-  std::vector<CostPtr> functions_;   // retained so lazy fills cannot dangle
+  // Retained so lazy fills cannot dangle; released after an eager fill
+  // (the table is self-contained from then on).
+  std::vector<CostPtr> functions_;
   mutable std::vector<double> values_;        // T x (m+1), row-major
   mutable std::vector<std::uint8_t> ready_;   // per-row materialization flag
   mutable std::vector<std::int32_t> min_small_;

@@ -1,0 +1,185 @@
+#include "engine/solver_engine.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "offline/dp_solver.hpp"
+#include "offline/low_memory_solver.hpp"
+#include "online/lcp.hpp"
+#include "util/stopwatch.hpp"
+#include "util/workspace.hpp"
+
+namespace rs::engine {
+
+using rs::core::DenseProblem;
+using rs::core::Problem;
+
+namespace {
+
+SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense) {
+  SolveOutcome outcome;
+  switch (job.kind) {
+    case SolverKind::kDpCost: {
+      const rs::offline::DpSolver solver;
+      outcome.cost =
+          dense ? solver.solve_cost(*dense) : solver.solve_cost(*job.problem);
+      break;
+    }
+    case SolverKind::kDpSchedule: {
+      const rs::offline::DpSolver solver;
+      rs::offline::OfflineResult result =
+          dense ? solver.solve(*dense) : solver.solve(*job.problem);
+      outcome.cost = result.cost;
+      outcome.schedule = std::move(result.schedule);
+      break;
+    }
+    case SolverKind::kLcp: {
+      if (dense) {
+        outcome.schedule = rs::online::run_lcp_dense(*dense);
+        outcome.cost = rs::core::total_cost(*dense, outcome.schedule);
+      } else {
+        rs::online::Lcp lcp;
+        outcome.schedule = rs::online::run_online(lcp, *job.problem);
+        outcome.cost = rs::core::total_cost(*job.problem, outcome.schedule);
+      }
+      break;
+    }
+    case SolverKind::kLowMemory: {
+      rs::offline::OfflineResult result =
+          rs::offline::LowMemorySolver().solve(*job.problem);
+      outcome.cost = result.cost;
+      outcome.schedule = std::move(result.schedule);
+      break;
+    }
+  }
+  return outcome;
+}
+
+// Brackets one batch: samples the global workspace-growth counter and the
+// wall clock around `body` and fills the derived stats.  Shared by run()
+// and for_each() so typed batches and harness loops are measured
+// identically.
+void with_batch_stats(BatchStats& stats, std::size_t jobs,
+                      std::size_t threads,
+                      const std::function<void()>& body) {
+  stats.jobs = jobs;
+  stats.threads = threads;
+  const std::uint64_t growths_before = rs::util::Workspace::total_growths();
+  const rs::util::Stopwatch watch;
+  body();
+  stats.total_seconds = watch.seconds();
+  stats.workspace_growths =
+      rs::util::Workspace::total_growths() - growths_before;
+  stats.instances_per_second =
+      stats.total_seconds > 0.0
+          ? static_cast<double>(jobs) / stats.total_seconds
+          : 0.0;
+}
+
+}  // namespace
+
+SolverEngine::SolverEngine(Options options) : options_(options) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<rs::util::ThreadPool>(options_.threads);
+  }
+}
+
+std::size_t SolverEngine::threads() const noexcept {
+  if (pool_) return pool_->size();
+  if (options_.threads == 1) return 1;
+  return rs::util::global_pool().size();
+}
+
+void SolverEngine::dispatch(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic scheduling: batch entries routinely mix instance sizes and
+  // solver kinds, so per-job costs vary by orders of magnitude and static
+  // chunks would serialize behind the most expensive stretch.
+  rs::util::ThreadPool& pool = pool_ ? *pool_ : rs::util::global_pool();
+  pool.parallel_for_dynamic(0, n, fn);
+}
+
+BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
+  for (const SolveJob& job : jobs) {
+    if (job.problem == nullptr && job.dense == nullptr) {
+      throw std::invalid_argument("SolverEngine::run: job has no instance");
+    }
+    if (job.kind == SolverKind::kLowMemory && job.problem == nullptr) {
+      throw std::invalid_argument(
+          "SolverEngine::run: kLowMemory streams from a Problem");
+    }
+    if (job.dense && job.dense->mode() != DenseProblem::Mode::kEager &&
+        options_.threads != 1) {
+      // Lazy tables materialize rows unsynchronized on first touch; jobs
+      // run concurrently on every configuration except inline.
+      throw std::invalid_argument(
+          "SolverEngine::run: lazy DenseProblem requires threads = 1");
+    }
+  }
+
+  BatchResult result;
+  result.outcomes.resize(jobs.size());
+  BatchStats& stats = result.stats;
+
+  // The timed window covers the shared materialization too — a batch's
+  // throughput includes the cost of building its tables.
+  with_batch_stats(stats, jobs.size(), threads(), [&]() {
+    // One-shot dense materialization per distinct Problem.  Tables are
+    // eager (immutable after construction), so sharing them across the
+    // batch's worker threads is safe.  Materialization happens up front on
+    // the calling thread; the eager constructor parallelizes internally
+    // over the global pool for large instances.
+    std::vector<std::shared_ptr<const DenseProblem>> dense_of(jobs.size());
+    if (options_.share_dense) {
+      std::unordered_map<const Problem*, std::shared_ptr<const DenseProblem>>
+          cache;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SolveJob& job = jobs[i];
+        if (job.kind == SolverKind::kLowMemory) continue;
+        if (job.dense) {
+          dense_of[i] = job.dense;
+          continue;
+        }
+        auto [it, inserted] = cache.try_emplace(job.problem, nullptr);
+        if (inserted) {
+          // Rows only: the batch kinds never query the minimizer caches,
+          // and skipping them trims two O(m) scans per row off
+          // materialization.
+          it->second = std::make_shared<DenseProblem>(
+              *job.problem, DenseProblem::Mode::kEager,
+              DenseProblem::MinimizerCache::kOnDemand);
+          ++stats.dense_tables_built;
+        }
+        dense_of[i] = it->second;
+      }
+    } else {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].kind != SolverKind::kLowMemory) {
+          dense_of[i] = jobs[i].dense;
+        }
+      }
+    }
+
+    dispatch(jobs.size(), [&jobs, &result, &dense_of](std::size_t i) {
+      result.outcomes[i] = run_one(jobs[i], dense_of[i].get());
+    });
+  });
+  return result;
+}
+
+void SolverEngine::for_each(std::size_t n,
+                            const std::function<void(std::size_t)>& fn,
+                            BatchStats* stats) const {
+  if (!fn) throw std::invalid_argument("SolverEngine::for_each: null fn");
+  BatchStats local;
+  with_batch_stats(local, n, threads(), [&]() { dispatch(n, fn); });
+  if (stats != nullptr) *stats = local;
+}
+
+}  // namespace rs::engine

@@ -1,0 +1,130 @@
+// Batch solver engine: throughput (instances/sec) as a first-class quantity.
+//
+// The fleet-style consumers of this library — Monte-Carlo trials,
+// competitive-ratio sweeps, adversary search — issue thousands of small
+// solves whose wall-clock is dominated by amortizable per-instance
+// overhead, not single-solve asymptotics.  SolverEngine batches them:
+//
+//   * jobs are (instance, solver kind) pairs submitted N at a time;
+//   * each distinct Problem is materialized into one shared eager
+//     DenseProblem (immutable, thread-safe), so K jobs on the same
+//     instance evaluate its cost rows once instead of K times;
+//   * jobs run with dynamic scheduling across a ThreadPool (the global
+//     pool, a dedicated pool, or inline for threads = 1), and every solver
+//     draws its scratch from the per-thread workspace arenas
+//     (util/workspace.hpp), so a warm batch performs zero allocations in
+//     the solve loops;
+//   * every batch reports BatchStats: instances/sec, wall time, thread
+//     count, dense tables built, and the workspace-growth delta (the
+//     allocation-free flag the throughput benchmarks and warm-arena tests
+//     key on).
+//
+// Results are written by job index, so batch outcomes are bit-identical to
+// sequential solo solves and deterministic under any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dense_problem.hpp"
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rs::engine {
+
+/// Which solver a job runs.  All kinds produce a SolveOutcome; cost-only
+/// kinds leave the schedule empty.
+enum class SolverKind {
+  kDpCost,      // DpSolver::solve_cost — O(m) memory, cost only
+  kDpSchedule,  // DpSolver::solve — cost + optimal schedule
+  kLcp,         // LCP replay — schedule + its total cost
+  kLowMemory,   // LowMemorySolver — streams from the Problem by design
+};
+
+/// One batch entry.  `problem` is non-owning and must outlive run(); jobs
+/// may alternatively (or additionally) carry a pre-built dense table.
+/// kLowMemory requires `problem` (its O(m)-memory contract precludes a
+/// table); the other kinds use `dense` when present, else the engine's
+/// shared materialization of `problem`.
+struct SolveJob {
+  const rs::core::Problem* problem = nullptr;
+  std::shared_ptr<const rs::core::DenseProblem> dense;
+  SolverKind kind = SolverKind::kDpCost;
+};
+
+struct SolveOutcome {
+  double cost = 0.0;
+  rs::core::Schedule schedule;  // empty for kDpCost
+};
+
+struct BatchStats {
+  std::size_t jobs = 0;
+  std::size_t threads = 1;
+  std::size_t dense_tables_built = 0;  // distinct instances materialized
+  double total_seconds = 0.0;
+  double instances_per_second = 0.0;
+  // Workspace growth events during the batch, summed over all threads; 0
+  // means the batch ran allocation-free out of warm arenas.  The counter
+  // is process-global, so concurrent workspace activity *outside* this
+  // batch (another engine running in parallel) is attributed to it —
+  // interpret the flag under one batch at a time, which is how the
+  // benchmarks and tests measure it.
+  std::uint64_t workspace_growths = 0;
+  bool allocation_free() const noexcept { return workspace_growths == 0; }
+};
+
+struct BatchResult {
+  std::vector<SolveOutcome> outcomes;  // outcome i belongs to job i
+  BatchStats stats;
+};
+
+class SolverEngine {
+ public:
+  struct Options {
+    /// 0 = share the process-wide pool; 1 = run inline on the calling
+    /// thread (deterministic, no cross-thread handoff); N > 1 = dedicated
+    /// pool with N workers owned by this engine.
+    std::size_t threads = 0;
+    /// Materialize one shared DenseProblem per distinct Problem in a batch.
+    /// Off, jobs stream rows per solve (the naive baseline the throughput
+    /// benchmarks compare against).
+    bool share_dense = true;
+  };
+
+  SolverEngine() : SolverEngine(Options{}) {}
+  explicit SolverEngine(Options options);
+
+  /// Runs every job and returns outcomes by job index plus batch stats.
+  /// Throws std::invalid_argument for malformed jobs (no instance, or
+  /// kLowMemory without a Problem); exceptions thrown by job execution
+  /// propagate after the batch drains.
+  BatchResult run(std::span<const SolveJob> jobs) const;
+  BatchResult run(const std::vector<SolveJob>& jobs) const {
+    return run(std::span<const SolveJob>(jobs));
+  }
+
+  /// Generic batched harness: runs fn(0..n-1) with the engine's scheduling
+  /// and records the same batch stats (jobs = n).  Monte-Carlo trials and
+  /// SweepRunner grids run through here so their throughput is measured
+  /// the same way as typed solver batches.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
+                BatchStats* stats = nullptr) const;
+
+  /// Worker count the batch runs on (1 for inline mode).
+  std::size_t threads() const noexcept;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  void dispatch(std::size_t n,
+                const std::function<void(std::size_t)>& fn) const;
+
+  Options options_;
+  std::unique_ptr<rs::util::ThreadPool> pool_;  // only when threads > 1
+};
+
+}  // namespace rs::engine

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "core/transforms.hpp"
 #include "util/math_util.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::offline {
 
@@ -27,6 +29,8 @@ OfflineResult solve_bounded(const Problem& p,
     result.cost = 0.0;
     return result;
   }
+  std::size_t max_columns = 1;
+  std::size_t total_states = 0;
   for (const std::vector<int>& column : states) {
     if (column.empty()) {
       throw std::invalid_argument("solve_bounded: empty candidate column");
@@ -37,19 +41,37 @@ OfflineResult solve_bounded(const Problem& p,
     if (column.front() < 0 || column.back() > p.max_servers()) {
       throw std::invalid_argument("solve_bounded: candidate out of [0, m]");
     }
+    max_columns = std::max(max_columns, column.size());
+    total_states += column.size();
   }
 
-  // labels[i]: best cost ending in states[t-1][i]; parents for backtracking.
-  std::vector<std::vector<std::int32_t>> parents(static_cast<std::size_t>(T));
-  std::vector<double> labels;
-  std::vector<double> fvals;  // f_t over the candidate column
-  std::vector<int> previous_column = {0};  // x_0 = 0
-  std::vector<double> previous_labels = {0.0};
+  // labels[i]: best cost ending in states[t-1][i].  Parents for backtracking
+  // live in one flat workspace buffer (offsets[t-1] is slot t's base), so
+  // the repeated-solve consumers (binary-search grids, sweeps) stay
+  // allocation-free after warm-up.
+  rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+  auto parents = workspace.borrow<std::int32_t>(total_states);
+  auto offsets = workspace.borrow<std::int64_t>(static_cast<std::size_t>(T) + 1);
+  offsets[0] = 0;
+  for (int t = 1; t <= T; ++t) {
+    offsets[static_cast<std::size_t>(t)] =
+        offsets[static_cast<std::size_t>(t - 1)] +
+        static_cast<std::int64_t>(states[static_cast<std::size_t>(t - 1)].size());
+  }
+  auto labels = workspace.borrow<double>(max_columns);
+  auto previous_labels = workspace.borrow<double>(max_columns);
+  auto fvals = workspace.borrow<double>(max_columns);  // f_t over the column
+
+  static constexpr int kOrigin[] = {0};  // x_0 = 0
+  std::span<const int> previous_column{kOrigin};
+  previous_labels[0] = 0.0;
 
   for (int t = 1; t <= T; ++t) {
     const std::vector<int>& column = states[static_cast<std::size_t>(t - 1)];
-    labels.assign(column.size(), kInf);
-    parents[static_cast<std::size_t>(t - 1)].assign(column.size(), -1);
+    std::fill(labels.begin(), labels.begin() + column.size(), kInf);
+    std::int32_t* parent_row =
+        parents.data() + offsets[static_cast<std::size_t>(t - 1)];
+    std::fill(parent_row, parent_row + column.size(), std::int32_t{-1});
 
     // Row-oriented evaluation: resolve f_t once.  A column covering all of
     // {0,..,m} (the exact-DP configurations) goes through eval_row — one
@@ -57,7 +79,6 @@ OfflineResult solve_bounded(const Problem& p,
     // binary-search grids) gather per candidate, keeping the solver's
     // sublinear evaluation count in m.
     const rs::core::CostFunction& f = p.f(t);
-    fvals.resize(column.size());
     bool dense_column = column.size() == static_cast<std::size_t>(p.max_servers()) + 1;
     if (dense_column) {
       for (std::size_t i = 0; i < column.size(); ++i) {
@@ -68,7 +89,7 @@ OfflineResult solve_bounded(const Problem& p,
       }
     }
     if (dense_column) {
-      f.eval_row(p.max_servers(), fvals);
+      f.eval_row(p.max_servers(), fvals.span());
     } else {
       for (std::size_t i = 0; i < column.size(); ++i) {
         fvals[i] = f.at(column[i]);
@@ -96,15 +117,16 @@ OfflineResult solve_bounded(const Problem& p,
       }
       if (std::isfinite(best)) {
         labels[i] = best + fv;
-        parents[static_cast<std::size_t>(t - 1)][i] = best_parent;
+        parent_row[i] = best_parent;
       }
     }
     previous_column = column;
-    previous_labels = labels;
+    std::swap(labels.vec(), previous_labels.vec());
   }
 
-  const auto best_it =
-      std::min_element(previous_labels.begin(), previous_labels.end());
+  const std::size_t final_size = previous_column.size();
+  const auto best_it = std::min_element(previous_labels.begin(),
+                                        previous_labels.begin() + final_size);
   result.cost = *best_it;
   if (!result.feasible()) return result;
 
@@ -114,7 +136,8 @@ OfflineResult solve_bounded(const Problem& p,
   for (int t = T; t >= 1; --t) {
     result.schedule[static_cast<std::size_t>(t - 1)] =
         states[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(index)];
-    index = parents[static_cast<std::size_t>(t - 1)][static_cast<std::size_t>(index)];
+    index = parents[static_cast<std::size_t>(
+        offsets[static_cast<std::size_t>(t - 1)] + index)];
   }
   return result;
 }

@@ -1,12 +1,11 @@
 #include "offline/dp_solver.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "util/math_util.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::offline {
 
@@ -14,6 +13,7 @@ using rs::core::DenseProblem;
 using rs::core::Problem;
 using rs::core::Schedule;
 using rs::util::kInf;
+using rs::util::Workspace;
 
 namespace {
 
@@ -24,10 +24,16 @@ namespace {
 // Tie-breaking: the prefix candidate (largest x' <= x among prefix argmins)
 // is preferred only when strictly better than the suffix candidate, and
 // argmins keep the smallest x'.
+//
+// Extended-real arithmetic: labels and row values live in [0, +inf], so
+// `transition + f` is +inf exactly when either operand is — the value
+// computation carries no isinf guards.  The argmin bookkeeping keeps its
+// rarely-taken branches (the predictor makes them free; select chains
+// would serialize the loop-carried minima).
 void dp_step(std::span<const double> frow, double beta,
-             const std::vector<double>& previous, std::vector<double>& next,
-             std::vector<double>& suffix_min,
-             std::vector<std::int32_t>& suffix_arg, std::int32_t* parent) {
+             std::span<const double> previous, std::span<double> next,
+             std::span<double> suffix_min, std::span<std::int32_t> suffix_arg,
+             std::int32_t* parent) {
   const int m = static_cast<int>(frow.size()) - 1;
 
   // Suffix minima of W_{t-1}: suffix_min[x] = min_{x' >= x} W_{t-1}(x').
@@ -67,24 +73,23 @@ void dp_step(std::span<const double> frow, double beta,
       transition = stay_candidate;
       chosen = suffix_arg[static_cast<std::size_t>(x)];
     }
-    const double f = frow[static_cast<std::size_t>(x)];
     next[static_cast<std::size_t>(x)] =
-        std::isinf(f) || std::isinf(transition) ? kInf : transition + f;
+        transition + frow[static_cast<std::size_t>(x)];
     if (parent != nullptr) parent[x] = chosen;
   }
 }
 
-std::vector<double> initial_labels(int m) {
-  // W_0 encodes x_0 = 0: transitioning to x costs β·x in the power-up
-  // accounting, folded into the first dp_step via W_0(0) = 0, +inf else.
-  std::vector<double> w(static_cast<std::size_t>(m) + 1, kInf);
+// W_0 encodes x_0 = 0: transitioning to x costs β·x in the power-up
+// accounting, folded into the first dp_step via W_0(0) = 0, +inf else.
+void initial_labels(std::span<double> w) {
+  std::fill(w.begin(), w.end(), kInf);
   w[0] = 0.0;
-  return w;
 }
 
 // The full solver parameterized over a row provider `row_at(t)`; shared by
 // the streaming (eval_row per step, O(m) extra memory) and the table-backed
-// (DenseProblem) entry points.
+// (DenseProblem) entry points.  All scratch comes from the calling thread's
+// workspace, so repeated solves are allocation-free after warm-up.
 template <typename RowAt>
 OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
   OfflineResult result;
@@ -94,17 +99,20 @@ OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
     return result;
   }
 
-  std::vector<std::int32_t> parents(static_cast<std::size_t>(T) *
-                                    (static_cast<std::size_t>(m) + 1));
-  std::vector<double> current = initial_labels(m);
-  std::vector<double> next(static_cast<std::size_t>(m) + 1);
-  std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
-  std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
+  const std::size_t width = static_cast<std::size_t>(m) + 1;
+  Workspace& workspace = rs::util::this_thread_workspace();
+  auto parents =
+      workspace.borrow<std::int32_t>(static_cast<std::size_t>(T) * width);
+  auto current = workspace.borrow<double>(width);
+  auto next = workspace.borrow<double>(width);
+  auto suffix_min = workspace.borrow<double>(width);
+  auto suffix_arg = workspace.borrow<std::int32_t>(width);
+  initial_labels(current.span());
   for (int t = 1; t <= T; ++t) {
-    dp_step(row_at(t), beta, current, next, suffix_min, suffix_arg,
-            parents.data() + static_cast<std::size_t>(t - 1) *
-                                 (static_cast<std::size_t>(m) + 1));
-    std::swap(current, next);
+    dp_step(row_at(t), beta, current.span(), next.span(), suffix_min.span(),
+            suffix_arg.span(),
+            parents.data() + static_cast<std::size_t>(t - 1) * width);
+    std::swap(current.vec(), next.vec());
   }
 
   // Final state: cheapest label (power-down to x_{T+1} = 0 is free).
@@ -121,8 +129,7 @@ OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
   int state = best;
   for (int t = T; t >= 1; --t) {
     result.schedule[static_cast<std::size_t>(t - 1)] = state;
-    state = parents[static_cast<std::size_t>(t - 1) *
-                        (static_cast<std::size_t>(m) + 1) +
+    state = parents[static_cast<std::size_t>(t - 1) * width +
                     static_cast<std::size_t>(state)];
   }
   return result;
@@ -131,11 +138,14 @@ OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
 // Cost-only DP: no argmin bookkeeping, so the transition relax runs
 // in-place in two passes (forward prefix fold, backward suffix fold fused
 // with the f_t addition) — the same extended-real minima as dp_step, hence
-// bit-identical labels, at roughly half the memory traffic.
+// bit-identical labels, at roughly half the memory traffic.  Both passes
+// are straight min/add chains with no data-dependent branches.
 template <typename RowAt>
 double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
   if (T == 0) return 0.0;
-  std::vector<double> labels = initial_labels(m);
+  Workspace& workspace = rs::util::this_thread_workspace();
+  auto labels = workspace.borrow<double>(static_cast<std::size_t>(m) + 1);
+  initial_labels(labels.span());
   double* w = labels.data();
   for (int t = 1; t <= T; ++t) {
     const std::span<const double> frow = row_at(t);
@@ -148,8 +158,7 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
     double suffix = kInf;  // free power-down: min over x' >= x
     for (int x = m; x >= 0; --x) {
       suffix = std::min(suffix, w[x]);
-      const double f = frow[static_cast<std::size_t>(x)];
-      w[x] = std::isinf(f) || std::isinf(suffix) ? kInf : suffix + f;
+      w[x] = suffix + frow[static_cast<std::size_t>(x)];
     }
   }
   return *std::min_element(labels.begin(), labels.end());
@@ -159,11 +168,12 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
 
 OfflineResult DpSolver::solve(const Problem& p) const {
   const int m = p.max_servers();
-  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
+  auto frow = rs::util::this_thread_workspace().borrow<double>(
+      static_cast<std::size_t>(m) + 1);
   return solve_impl(p.horizon(), m, p.beta(),
                     [&p, m, &frow](int t) -> std::span<const double> {
-                      p.f(t).eval_row(m, frow);
-                      return frow;
+                      p.f(t).eval_row(m, frow.span());
+                      return frow.span();
                     });
 }
 
@@ -174,11 +184,12 @@ OfflineResult DpSolver::solve(const DenseProblem& dense) const {
 
 double DpSolver::solve_cost(const Problem& p) const {
   const int m = p.max_servers();
-  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
+  auto frow = rs::util::this_thread_workspace().borrow<double>(
+      static_cast<std::size_t>(m) + 1);
   return solve_cost_impl(p.horizon(), m, p.beta(),
                          [&p, m, &frow](int t) -> std::span<const double> {
-                           p.f(t).eval_row(m, frow);
-                           return frow;
+                           p.f(t).eval_row(m, frow.span());
+                           return frow.span();
                          });
 }
 

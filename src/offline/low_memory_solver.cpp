@@ -1,17 +1,19 @@
 #include "offline/low_memory_solver.hpp"
 
-#include <cmath>
+#include <algorithm>
+#include <optional>
 #include <span>
 #include <stdexcept>
-#include <vector>
 
 #include "util/math_util.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::offline {
 
 using rs::core::Problem;
 using rs::core::Schedule;
 using rs::util::kInf;
+using rs::util::Workspace;
 
 namespace {
 
@@ -20,16 +22,18 @@ namespace {
 // scratch buffer instead of a DenseProblem table, preserving the solver's
 // O(m) memory guarantee.
 std::span<const double> eval_slot(const Problem& p, int t,
-                                  std::vector<double>& scratch) {
+                                  std::span<double> scratch) {
   p.f(t).eval_row(p.max_servers(), scratch);
   return scratch;
 }
 
 // One forward relax step: labels(x) <- min_x' labels(x') + β(x−x')⁺, then
 // += f_t(x).  Identical kernel to the DP solver, kept local for the
-// self-contained O(m) memory guarantee.
+// self-contained O(m) memory guarantee.  Labels are extended reals in
+// [0, +inf], so the suffix fold and the f_t addition fuse into one
+// branchless backward pass (x + inf = inf covers the old isinf guard).
 void forward_step(std::span<const double> frow, double beta,
-                  std::vector<double>& labels) {
+                  std::span<double> labels) {
   const int m = static_cast<int>(frow.size()) - 1;
   double best_shifted = kInf;
   for (int x = 0; x <= m; ++x) {
@@ -43,29 +47,24 @@ void forward_step(std::span<const double> frow, double beta,
   double suffix = kInf;
   for (int x = m; x >= 0; --x) {
     suffix = std::min(suffix, labels[static_cast<std::size_t>(x)]);
-    labels[static_cast<std::size_t>(x)] = suffix;
-  }
-  for (int x = 0; x <= m; ++x) {
-    const double f = frow[static_cast<std::size_t>(x)];
     labels[static_cast<std::size_t>(x)] =
-        std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
+        suffix + frow[static_cast<std::size_t>(x)];
   }
 }
 
 // One backward relax step: given B_t (cost of suffix starting *after* slot
 // t from state x), produce B_{t-1}(x) = min_x' β(x'−x)⁺ + f_t(x') + B_t(x').
+// `d` is caller-owned scratch so the per-step loop is allocation-free.
 void backward_step(std::span<const double> frow, double beta,
-                   std::vector<double>& labels) {
+                   std::span<double> labels, std::span<double> d) {
   const int m = static_cast<int>(frow.size()) - 1;
   for (int x = 0; x <= m; ++x) {
-    const double f = frow[static_cast<std::size_t>(x)];
     labels[static_cast<std::size_t>(x)] =
-        std::isinf(f) ? kInf : labels[static_cast<std::size_t>(x)] + f;
+        labels[static_cast<std::size_t>(x)] + frow[static_cast<std::size_t>(x)];
   }
   // d(x) = min( min_{x'>=x} g(x') + β(x'−x), min_{x'<=x} g(x') ).
   double best_shifted = kInf;
-  std::vector<double>& g = labels;
-  std::vector<double> d(static_cast<std::size_t>(m) + 1);
+  std::span<double> g = labels;
   for (int x = m; x >= 0; --x) {
     best_shifted = std::min(best_shifted,
                             g[static_cast<std::size_t>(x)] +
@@ -76,14 +75,14 @@ void backward_step(std::span<const double> frow, double beta,
   for (int x = 0; x <= m; ++x) {
     prefix = std::min(prefix, g[static_cast<std::size_t>(x)]);
     d[static_cast<std::size_t>(x)] = std::min(d[static_cast<std::size_t>(x)], prefix);
+    labels[static_cast<std::size_t>(x)] = d[static_cast<std::size_t>(x)];
   }
-  labels.swap(d);
 }
 
 struct Recursion {
   const Problem& p;
   Schedule& out;
-  std::vector<double>& frow;  // shared O(m) row scratch
+  std::span<double> frow;  // shared O(m) row scratch
 
   // Serves slots lo..hi given x_{lo-1} = start; if `end` is set, x_hi must
   // equal *end.  Writes the optimal states into out[lo-1..hi-1].
@@ -95,15 +94,15 @@ struct Recursion {
         out[static_cast<std::size_t>(lo - 1)] = *end;
         return;
       }
-      // Single slot: pick argmin of the direct transition.
+      // Single slot: pick argmin of the direct transition (+inf rows never
+      // improve, so the old isinf skip is subsumed by the comparison).
       const std::span<const double> row = eval_slot(p, lo, frow);
       int best = start;
       double best_value = kInf;
       for (int x = 0; x <= m; ++x) {
-        const double f = row[static_cast<std::size_t>(x)];
-        if (std::isinf(f)) continue;
         const double value =
-            p.beta() * static_cast<double>(std::max(0, x - start)) + f;
+            p.beta() * static_cast<double>(std::max(0, x - start)) +
+            row[static_cast<std::size_t>(x)];
         if (value < best_value) {
           best_value = value;
           best = x;
@@ -114,22 +113,29 @@ struct Recursion {
     }
 
     const int mid = lo + (hi - lo) / 2;
+    const std::size_t width = static_cast<std::size_t>(m) + 1;
+    Workspace& workspace = rs::util::this_thread_workspace();
 
     // Forward labels over lo..mid from the pinned start state.
-    std::vector<double> forward(static_cast<std::size_t>(m) + 1, kInf);
+    auto forward = workspace.borrow<double>(width);
+    std::fill(forward.begin(), forward.end(), kInf);
     forward[static_cast<std::size_t>(start)] = 0.0;
     for (int t = lo; t <= mid; ++t) {
-      forward_step(eval_slot(p, t, frow), p.beta(), forward);
+      forward_step(eval_slot(p, t, frow), p.beta(), forward.span());
     }
 
     // Backward labels over mid+1..hi, terminal condition from `end`.
-    std::vector<double> backward(static_cast<std::size_t>(m) + 1, 0.0);
+    auto backward = workspace.borrow<double>(width);
+    auto step_scratch = workspace.borrow<double>(width);
     if (end) {
-      backward.assign(static_cast<std::size_t>(m) + 1, kInf);
+      std::fill(backward.begin(), backward.end(), kInf);
       backward[static_cast<std::size_t>(*end)] = 0.0;
+    } else {
+      std::fill(backward.begin(), backward.end(), 0.0);
     }
     for (int t = hi; t > mid; --t) {
-      backward_step(eval_slot(p, t, frow), p.beta(), backward);
+      backward_step(eval_slot(p, t, frow), p.beta(), backward.span(),
+                    step_scratch.span());
     }
 
     int best_mid = -1;
@@ -146,6 +152,11 @@ struct Recursion {
       throw std::logic_error("LowMemorySolver: infeasible sub-range");
     }
     out[static_cast<std::size_t>(mid - 1)] = best_mid;
+    // Release the label scratch before recursing so both halves reuse the
+    // same pooled buffers instead of deepening the arena by O(log T).
+    forward.reset();
+    backward.reset();
+    step_scratch.reset();
     run(lo, mid, start, best_mid);  // left half, x_mid pinned
     run(mid + 1, hi, best_mid, end);
   }
@@ -162,20 +173,23 @@ OfflineResult LowMemorySolver::solve(const Problem& p) const {
     return result;
   }
   // Feasibility and optimal value via one forward sweep.
-  std::vector<double> frow(static_cast<std::size_t>(p.max_servers()) + 1);
-  std::vector<double> labels(static_cast<std::size_t>(p.max_servers()) + 1,
-                             kInf);
+  const std::size_t width = static_cast<std::size_t>(p.max_servers()) + 1;
+  Workspace& workspace = rs::util::this_thread_workspace();
+  auto frow = workspace.borrow<double>(width);
+  auto labels = workspace.borrow<double>(width);
+  std::fill(labels.begin(), labels.end(), kInf);
   labels[0] = 0.0;
   for (int t = 1; t <= T; ++t) {
-    forward_step(eval_slot(p, t, frow), p.beta(), labels);
+    forward_step(eval_slot(p, t, frow.span()), p.beta(), labels.span());
   }
   double optimum = kInf;
   for (double label : labels) optimum = std::min(optimum, label);
   result.cost = optimum;
+  labels.reset();
   if (!result.feasible()) return result;
 
   result.schedule.assign(static_cast<std::size_t>(T), 0);
-  Recursion recursion{p, result.schedule, frow};
+  Recursion recursion{p, result.schedule, frow.span()};
   recursion.run(1, T, 0, std::nullopt);
   return result;
 }

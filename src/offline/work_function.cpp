@@ -1,5 +1,6 @@
 #include "offline/work_function.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,17 +19,23 @@ WorkFunctionTracker::WorkFunctionTracker(int m, double beta)
   // τ = 0 state encodes x_0 = 0: reaching x already "costs" the pending
   // power-up βx under L-accounting and nothing under U-accounting; those
   // charges materialize on the first advance through the relax step, so the
-  // initial labels are 0 at state 0 and +inf elsewhere.
-  chat_l_.assign(static_cast<std::size_t>(m_) + 1, kInf);
-  chat_u_.assign(static_cast<std::size_t>(m_) + 1, kInf);
+  // initial labels are 0 at state 0 and +inf elsewhere.  The label rows are
+  // borrowed from the thread workspace, so constructing a tracker per solve
+  // (the LCP replay pattern) is allocation-free after warm-up.
+  const std::size_t width = static_cast<std::size_t>(m_) + 1;
+  rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+  chat_l_ = workspace.borrow<double>(width);
+  chat_u_ = workspace.borrow<double>(width);
+  scratch_ = workspace.borrow<double>(width);
+  std::fill(chat_l_.begin(), chat_l_.end(), kInf);
+  std::fill(chat_u_.begin(), chat_u_.end(), kInf);
   chat_l_[0] = 0.0;
   chat_u_[0] = 0.0;
-  scratch_.resize(static_cast<std::size_t>(m_) + 1);
 }
 
 void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
-  f.eval_row(m_, scratch_);
-  advance(std::span<const double>(scratch_));
+  f.eval_row(m_, scratch_.span());
+  advance(std::span<const double>(scratch_.span()));
 }
 
 void WorkFunctionTracker::advance(const std::vector<double>& values) {
@@ -68,6 +75,11 @@ void WorkFunctionTracker::advance(std::span<const double> values) {
   // the f_τ addition for both accountings, and the minimizer bounds of
   // Section 3.1 tracked on the final values (strict < keeps the smallest
   // argmin of Ĉ^L; <= moves x^U right onto the largest argmin of Ĉ^U).
+  // All labels are extended reals in [0, +inf], so the additions need no
+  // infinity guards.  The minimizer updates stay *branches*, not selects:
+  // they fire O(1) times per pass, so the predictor eats them for free,
+  // whereas cmov chains would sit on the loop-carried dependency (a
+  // measured 15-35% LCP slowdown).
   double prefix_u = kInf;
   double best_l = kInf;
   double best_u = kInf;

@@ -24,12 +24,17 @@
 
 #include "core/dense_problem.hpp"
 #include "core/problem.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::offline {
 
 class WorkFunctionTracker {
  public:
   /// Tracker for a data center with m servers and power-up cost beta.
+  /// Label storage is borrowed from the constructing thread's workspace
+  /// arena (util/workspace.hpp); the handles keep the arena state alive,
+  /// so the tracker may safely outlive the thread (its memory then parks
+  /// with that thread's pool until the tracker is destroyed).
   WorkFunctionTracker(int m, double beta);
 
   /// Feeds f_τ (the next operating-cost function); O(m).  The row is
@@ -48,8 +53,8 @@ class WorkFunctionTracker {
   /// Ĉ^L_τ(x) and Ĉ^U_τ(x); require 0 <= x <= m and τ >= 1.
   double chat_lower(int x) const;
   double chat_upper(int x) const;
-  const std::vector<double>& chat_lower_vector() const { return chat_l_; }
-  const std::vector<double>& chat_upper_vector() const { return chat_u_; }
+  const std::vector<double>& chat_lower_vector() const { return chat_l_.vec(); }
+  const std::vector<double>& chat_upper_vector() const { return chat_u_.vec(); }
 
   /// The online bounds x^L_τ and x^U_τ (tie-broken per Section 3.1);
   /// O(1) — maintained during advance().
@@ -64,9 +69,12 @@ class WorkFunctionTracker {
   int tau_ = 0;
   int x_lower_ = 0;  // smallest minimizer of chat_l_, updated per advance
   int x_upper_ = 0;  // largest minimizer of chat_u_
-  std::vector<double> chat_l_;
-  std::vector<double> chat_u_;
-  std::vector<double> scratch_;
+  // Label rows and the eval_row scratch are workspace-borrowed so repeated
+  // tracker construction (one per LCP replay / trial) is allocation-free
+  // after warm-up; the tracker is move-only as a consequence.
+  rs::util::Workspace::Buffer<double> chat_l_;
+  rs::util::Workspace::Buffer<double> chat_u_;
+  rs::util::Workspace::Buffer<double> scratch_;
 };
 
 /// Runs the tracker over the full instance and returns (x^L_τ, x^U_τ) for

@@ -5,8 +5,7 @@
 namespace rs::online {
 
 void Lcp::reset(const OnlineContext& context) {
-  tracker_ = std::make_unique<rs::offline::WorkFunctionTracker>(context.m,
-                                                                context.beta);
+  tracker_.emplace(context.m, context.beta);
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;

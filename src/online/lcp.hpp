@@ -9,7 +9,7 @@
 // discrete problem.
 #pragma once
 
-#include <memory>
+#include <optional>
 
 #include "offline/work_function.hpp"
 #include "online/online_algorithm.hpp"
@@ -29,7 +29,9 @@ class Lcp final : public OnlineAlgorithm {
   int last_upper() const { return last_upper_; }
 
  private:
-  std::unique_ptr<rs::offline::WorkFunctionTracker> tracker_;
+  // In-place tracker (workspace-backed): reset() re-emplaces without a heap
+  // allocation, so replay harnesses can reset per run for free.
+  std::optional<rs::offline::WorkFunctionTracker> tracker_;
   int current_ = 0;
   int last_lower_ = 0;
   int last_upper_ = 0;

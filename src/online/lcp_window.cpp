@@ -1,28 +1,30 @@
 #include "online/lcp_window.hpp"
 
-#include <cmath>
+#include <algorithm>
 
 #include "util/math_util.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::online {
 
 using rs::util::kInf;
 
-std::vector<double> completion_costs(
-    std::span<const rs::core::CostPtr> window, int m, double beta,
-    bool charge_up) {
+void completion_costs(std::span<const rs::core::CostPtr> window, double beta,
+                      bool charge_up, std::span<double> d) {
   // Backward DP: D_j(x) = min_{x'} [ switch(x -> x') + f_j(x') + D_{j+1}(x') ]
   // with D_{end}(x) = 0.  switch(x -> x') = β(x'−x)⁺ under L-accounting and
-  // β(x−x')⁺ under U-accounting.
-  std::vector<double> d(static_cast<std::size_t>(m) + 1, 0.0);
-  std::vector<double> g(static_cast<std::size_t>(m) + 1);
-  std::vector<double> frow(static_cast<std::size_t>(m) + 1);
+  // β(x−x')⁺ under U-accounting.  Labels are extended reals in [0, +inf],
+  // so the f_j addition needs no infinity guard.
+  const int m = static_cast<int>(d.size()) - 1;
+  std::fill(d.begin(), d.end(), 0.0);
+  rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+  auto g = workspace.borrow<double>(d.size());
+  auto frow = workspace.borrow<double>(d.size());
   for (std::size_t j = window.size(); j-- > 0;) {
-    window[j]->eval_row(m, frow);  // one virtual call per window row
+    window[j]->eval_row(m, frow.span());  // one virtual call per window row
     for (int x = 0; x <= m; ++x) {
-      const double fx = frow[static_cast<std::size_t>(x)];
       g[static_cast<std::size_t>(x)] =
-          std::isinf(fx) ? kInf : fx + d[static_cast<std::size_t>(x)];
+          frow[static_cast<std::size_t>(x)] + d[static_cast<std::size_t>(x)];
     }
     if (charge_up) {
       // D(x) = min( min_{x'>=x} g(x') + β(x'−x), min_{x'<=x} g(x') ).
@@ -54,13 +56,19 @@ std::vector<double> completion_costs(
       }
     }
   }
+}
+
+std::vector<double> completion_costs(
+    std::span<const rs::core::CostPtr> window, int m, double beta,
+    bool charge_up) {
+  std::vector<double> d(static_cast<std::size_t>(m) + 1);
+  completion_costs(window, beta, charge_up, d);
   return d;
 }
 
 void WindowedLcp::reset(const OnlineContext& context) {
   context_ = context;
-  tracker_ = std::make_unique<rs::offline::WorkFunctionTracker>(context.m,
-                                                                context.beta);
+  tracker_.emplace(context.m, context.beta);
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;
@@ -71,10 +79,14 @@ int WindowedLcp::decide(const rs::core::CostPtr& f,
   tracker_->advance(*f);
   const int m = context_.m;
 
-  const std::vector<double> d_lower =
-      completion_costs(lookahead, m, context_.beta, /*charge_up=*/true);
-  const std::vector<double> d_upper =
-      completion_costs(lookahead, m, context_.beta, /*charge_up=*/false);
+  const std::size_t width = static_cast<std::size_t>(m) + 1;
+  rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+  auto d_lower = workspace.borrow<double>(width);
+  auto d_upper = workspace.borrow<double>(width);
+  completion_costs(lookahead, context_.beta, /*charge_up=*/true,
+                   d_lower.span());
+  completion_costs(lookahead, context_.beta, /*charge_up=*/false,
+                   d_upper.span());
 
   // Smallest minimizer of Ĉ^L_τ + D^L; largest minimizer of Ĉ^U_τ + D^U.
   int lower = 0;

@@ -17,7 +17,8 @@
 // trace study shows the practical benefit on real-shaped workloads.
 #pragma once
 
-#include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "offline/work_function.hpp"
@@ -37,7 +38,7 @@ class WindowedLcp final : public OnlineAlgorithm {
 
  private:
   OnlineContext context_;
-  std::unique_ptr<rs::offline::WorkFunctionTracker> tracker_;
+  std::optional<rs::offline::WorkFunctionTracker> tracker_;
   int current_ = 0;
   int last_lower_ = 0;
   int last_upper_ = 0;
@@ -49,5 +50,10 @@ class WindowedLcp final : public OnlineAlgorithm {
 std::vector<double> completion_costs(
     std::span<const rs::core::CostPtr> window, int m, double beta,
     bool charge_up);
+
+/// In-place variant writing into `d` (m+1 entries); scratch comes from the
+/// thread workspace, so the per-step window pass is allocation-free.
+void completion_costs(std::span<const rs::core::CostPtr> window, double beta,
+                      bool charge_up, std::span<double> d);
 
 }  // namespace rs::online

@@ -20,6 +20,7 @@
 #include "dcsim/datacenter.hpp"          // IWYU pragma: export
 #include "dcsim/delay_model.hpp"         // IWYU pragma: export
 #include "dcsim/power_model.hpp"         // IWYU pragma: export
+#include "engine/solver_engine.hpp"      // IWYU pragma: export
 #include "graph/dot_export.hpp"          // IWYU pragma: export
 #include "graph/layered_graph.hpp"       // IWYU pragma: export
 #include "graph/schedule_graph.hpp"      // IWYU pragma: export
@@ -52,6 +53,7 @@
 #include "util/stopwatch.hpp"            // IWYU pragma: export
 #include "util/table.hpp"                // IWYU pragma: export
 #include "util/thread_pool.hpp"          // IWYU pragma: export
+#include "util/workspace.hpp"            // IWYU pragma: export
 #include "workload/generators.hpp"       // IWYU pragma: export
 #include "workload/random_instance.hpp"  // IWYU pragma: export
 #include "workload/trace.hpp"            // IWYU pragma: export

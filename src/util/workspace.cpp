@@ -1,0 +1,25 @@
+#include "util/workspace.hpp"
+
+namespace rs::util {
+
+std::atomic<std::uint64_t> Workspace::total_growths_{0};
+
+Workspace::Stats Workspace::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->stats;
+}
+
+void Workspace::clear() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::apply([](auto&... free_list) { (free_list.clear(), ...); },
+             state_->pools);
+  state_->stats.pooled_buffers = 0;
+  state_->stats.pooled_bytes = 0;
+}
+
+Workspace& this_thread_workspace() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace rs::util

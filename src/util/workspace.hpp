@@ -1,0 +1,218 @@
+// Per-thread reusable scratch arenas for the solver hot paths.
+//
+// Every solver in this repository needs the same O(m) / O(T·m) scratch
+// shapes (label rows, suffix minima, parent tables), and the fleet-style
+// consumers (Monte Carlo, sweeps, adversary search, SolverEngine batches)
+// issue thousands of small solves back to back.  Allocating those buffers
+// per solve makes malloc the dominant cost at small T and m; a Workspace
+// keeps them in per-type grow-only free lists so that, after one warm-up
+// solve per shape, repeated solves are allocation-free.
+//
+// Usage: `auto labels = rs::util::this_thread_workspace().borrow<double>(n)`
+// hands out an RAII Buffer of exactly n elements (contents unspecified —
+// callers initialize what they read) that returns its storage to the free
+// list on destruction.  Borrows are best-fit, so mixed-size batches
+// stabilize with one pooled buffer per live shape instead of regrowing one
+// buffer forever.
+//
+// Thread model: each thread owns its workspace (`this_thread_workspace`),
+// so borrows never contend in the common case.  The free lists live behind
+// a shared_ptr'd, mutex-protected state block: a Buffer keeps that state
+// alive, so buffers may legally be released from another thread or even
+// after the owning thread exited (the pooled memory is then freed with the
+// last outstanding handle).  The lock is uncontended and taken O(1) times
+// per solve, not per element.
+//
+// Accounting: every borrow that has to allocate (no pooled buffer of
+// sufficient capacity) counts as a "growth", both per workspace and in a
+// process-wide atomic (`Workspace::total_growths`).  The batch engine
+// samples the global counter around a batch to report its allocation-free
+// flag, and the warm-arena tests assert a zero delta on second batches.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace rs::util {
+
+class Workspace {
+  struct State;
+
+ public:
+  Workspace() : state_(std::make_shared<State>()) {}
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// RAII handle over a borrowed buffer; move-only.  Destruction (or
+  /// reset()) returns the storage to the owning workspace's free list.
+  /// Holds the pool state alive, so it remains valid past the owning
+  /// thread's exit.
+  template <typename T>
+  class Buffer {
+   public:
+    Buffer() = default;
+    Buffer(Buffer&& other) noexcept
+        : state_(std::move(other.state_)),
+          storage_(std::move(other.storage_)) {
+      other.state_.reset();
+    }
+    Buffer& operator=(Buffer&& other) noexcept {
+      if (this != &other) {
+        reset();
+        state_ = std::move(other.state_);
+        other.state_.reset();
+        storage_ = std::move(other.storage_);
+      }
+      return *this;
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { reset(); }
+
+    T* data() noexcept { return storage_.data(); }
+    const T* data() const noexcept { return storage_.data(); }
+    std::size_t size() const noexcept { return storage_.size(); }
+    T& operator[](std::size_t i) noexcept { return storage_[i]; }
+    const T& operator[](std::size_t i) const noexcept { return storage_[i]; }
+    std::span<T> span() noexcept { return storage_; }
+    std::span<const T> span() const noexcept {
+      return {storage_.data(), storage_.size()};
+    }
+    auto begin() noexcept { return storage_.begin(); }
+    auto end() noexcept { return storage_.end(); }
+    auto begin() const noexcept { return storage_.begin(); }
+    auto end() const noexcept { return storage_.end(); }
+
+    /// Underlying vector, for APIs that expose vector references (e.g.
+    /// WorkFunctionTracker::chat_lower_vector).  Do not resize beyond the
+    /// borrowed size — shrink-to-release is handled by the workspace.
+    std::vector<T>& vec() noexcept { return storage_; }
+    const std::vector<T>& vec() const noexcept { return storage_; }
+
+    /// Returns the storage to the workspace now (idempotent).
+    void reset() noexcept {
+      if (state_ != nullptr) {
+        Workspace::release<T>(*state_, std::move(storage_));
+        state_.reset();
+      }
+      storage_ = std::vector<T>();
+    }
+
+   private:
+    friend class Workspace;
+    Buffer(std::shared_ptr<State> state, std::vector<T>&& storage) noexcept
+        : state_(std::move(state)), storage_(std::move(storage)) {}
+
+    std::shared_ptr<State> state_;
+    std::vector<T> storage_;
+  };
+
+  /// Borrows a buffer of exactly `n` elements with unspecified contents.
+  /// Best-fit against the pooled buffers; allocates (a "growth") only when
+  /// no pooled buffer has sufficient capacity.
+  template <typename T>
+  Buffer<T> borrow(std::size_t n) {
+    State& state = *state_;
+    std::vector<T> storage;
+    bool grew = false;
+    {
+      std::lock_guard<std::mutex> lock(state.mutex);
+      std::vector<std::vector<T>>& free_list = pool<T>(state);
+      // Best fit: smallest pooled capacity >= n.  Free lists hold one
+      // buffer per live shape, so the scan is a handful of entries.
+      std::size_t best = free_list.size();
+      for (std::size_t i = 0; i < free_list.size(); ++i) {
+        if (free_list[i].capacity() < n) continue;
+        if (best == free_list.size() ||
+            free_list[i].capacity() < free_list[best].capacity()) {
+          best = i;
+        }
+      }
+      if (best == free_list.size() && !free_list.empty()) {
+        best = 0;  // nothing fits: recycle (and grow) the first buffer
+      }
+      if (best != free_list.size()) {
+        storage = std::move(free_list[best]);
+        free_list[best] = std::move(free_list.back());
+        free_list.pop_back();
+        state.stats.pooled_bytes -= storage.capacity() * sizeof(T);
+        --state.stats.pooled_buffers;
+      }
+      grew = storage.capacity() < n;
+      ++state.stats.borrows;
+      if (grew) ++state.stats.growths;
+    }
+    if (grew) total_growths_.fetch_add(1, std::memory_order_relaxed);
+    storage.resize(n);  // the actual allocation happens outside the lock
+    return Buffer<T>(state_, std::move(storage));
+  }
+
+  struct Stats {
+    std::uint64_t borrows = 0;
+    std::uint64_t growths = 0;  // borrows that had to allocate
+    std::size_t pooled_buffers = 0;
+    std::size_t pooled_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Frees every pooled buffer; subsequent borrows re-allocate.  Used by
+  /// benchmarks to measure cold (allocation-per-solve) behaviour and by
+  /// memory-conscious callers after a burst of large solves.
+  void clear();
+
+  /// Process-wide growth count, summed over every thread's workspace.  A
+  /// zero delta across a region proves it ran allocation-free.
+  static std::uint64_t total_growths() noexcept {
+    return total_growths_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Buffers above this capacity are freed on release instead of pooled, so
+  // one huge solve does not pin its scratch for the life of the thread.
+  static constexpr std::size_t kMaxPooledBytes = std::size_t{1} << 26;
+  // Backstop on free-list length; far above the live-shape count of any
+  // real workload.
+  static constexpr std::size_t kMaxPooledBuffers = 64;
+
+  static std::atomic<std::uint64_t> total_growths_;
+
+  struct State {
+    mutable std::mutex mutex;
+    std::tuple<std::vector<std::vector<double>>,
+               std::vector<std::vector<std::int32_t>>,
+               std::vector<std::vector<std::int64_t>>>
+        pools;
+    Stats stats;
+  };
+
+  template <typename T>
+  static std::vector<std::vector<T>>& pool(State& state) {
+    return std::get<std::vector<std::vector<T>>>(state.pools);
+  }
+
+  template <typename T>
+  static void release(State& state, std::vector<T>&& storage) {
+    const std::size_t bytes = storage.capacity() * sizeof(T);
+    if (bytes == 0 || bytes > kMaxPooledBytes) return;  // drop, don't pool
+    std::lock_guard<std::mutex> lock(state.mutex);
+    std::vector<std::vector<T>>& free_list = pool<T>(state);
+    if (free_list.size() >= kMaxPooledBuffers) return;
+    state.stats.pooled_bytes += bytes;
+    ++state.stats.pooled_buffers;
+    free_list.push_back(std::move(storage));
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+/// The calling thread's workspace.  Solver hot paths borrow from here.
+Workspace& this_thread_workspace();
+
+}  // namespace rs::util

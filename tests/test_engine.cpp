@@ -1,0 +1,332 @@
+// Batch solver engine and workspace arenas.
+//
+// The engine's contract: batch outcomes are bit-identical to sequential
+// solo solves for every solver kind and generator family, deterministic
+// under any thread count, and — after one warm-up batch — allocation-free
+// out of the per-thread workspace arenas.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rightsizer/rightsizer.hpp"
+
+namespace {
+
+using rs::core::DenseProblem;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::engine::BatchResult;
+using rs::engine::SolveJob;
+using rs::engine::SolverEngine;
+using rs::engine::SolverKind;
+
+const SolverKind kAllKinds[] = {SolverKind::kDpCost, SolverKind::kDpSchedule,
+                                SolverKind::kLcp, SolverKind::kLowMemory};
+
+// A small fleet of instances across every generator family.
+std::vector<Problem> fleet_instances() {
+  std::vector<Problem> instances;
+  std::uint64_t seed = 71;
+  for (rs::workload::InstanceFamily family :
+       rs::workload::all_instance_families()) {
+    rs::util::Rng rng(seed++);
+    instances.push_back(
+        rs::workload::random_instance(rng, family, 13, 9, 2.0));
+    rs::util::Rng rng2(seed++);
+    instances.push_back(
+        rs::workload::random_instance(rng2, family, 6, 4, 1.5));
+  }
+  return instances;
+}
+
+std::vector<SolveJob> fleet_jobs(const std::vector<Problem>& instances) {
+  std::vector<SolveJob> jobs;
+  for (const Problem& p : instances) {
+    for (SolverKind kind : kAllKinds) {
+      jobs.push_back(SolveJob{&p, nullptr, kind});
+    }
+  }
+  return jobs;
+}
+
+// The sequential solo reference for one job, through the library's plain
+// entry points (streaming per-instance paths).
+rs::engine::SolveOutcome solo_solve(const Problem& p, SolverKind kind) {
+  rs::engine::SolveOutcome outcome;
+  switch (kind) {
+    case SolverKind::kDpCost:
+      outcome.cost = rs::offline::DpSolver().solve_cost(p);
+      break;
+    case SolverKind::kDpSchedule: {
+      const rs::offline::OfflineResult r = rs::offline::DpSolver().solve(p);
+      outcome.cost = r.cost;
+      outcome.schedule = r.schedule;
+      break;
+    }
+    case SolverKind::kLcp: {
+      rs::online::Lcp lcp;
+      outcome.schedule = rs::online::run_online(lcp, p);
+      outcome.cost = rs::core::total_cost(p, outcome.schedule);
+      break;
+    }
+    case SolverKind::kLowMemory: {
+      const rs::offline::OfflineResult r =
+          rs::offline::LowMemorySolver().solve(p);
+      outcome.cost = r.cost;
+      outcome.schedule = r.schedule;
+      break;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+// --- workspace ---------------------------------------------------------------
+
+TEST(Workspace, ReusesBuffersAfterWarmUp) {
+  rs::util::Workspace workspace;
+  const auto base = workspace.stats();
+  {
+    auto a = workspace.borrow<double>(100);
+    EXPECT_EQ(a.size(), 100u);
+    a[0] = 1.0;
+    a[99] = 2.0;
+  }
+  auto warm = workspace.stats();
+  EXPECT_EQ(warm.borrows - base.borrows, 1u);
+  EXPECT_EQ(warm.growths - base.growths, 1u);
+  EXPECT_EQ(warm.pooled_buffers, 1u);
+  {
+    auto b = workspace.borrow<double>(80);  // fits in the pooled buffer
+    EXPECT_EQ(b.size(), 80u);
+  }
+  auto after = workspace.stats();
+  EXPECT_EQ(after.borrows - warm.borrows, 1u);
+  EXPECT_EQ(after.growths, warm.growths) << "warm borrow must not allocate";
+}
+
+TEST(Workspace, BestFitAcrossMixedShapes) {
+  rs::util::Workspace workspace;
+  {
+    auto small = workspace.borrow<double>(10);
+    auto large = workspace.borrow<double>(1000);
+  }
+  const auto warm = workspace.stats();
+  EXPECT_EQ(warm.pooled_buffers, 2u);
+  {
+    // Both shapes again, in the opposite order: best-fit keeps each shape
+    // on its own pooled buffer, so neither borrow grows.
+    auto large = workspace.borrow<double>(1000);
+    auto small = workspace.borrow<double>(10);
+  }
+  EXPECT_EQ(workspace.stats().growths, warm.growths);
+}
+
+TEST(Workspace, ClearReleasesPooledBuffers) {
+  rs::util::Workspace workspace;
+  { auto a = workspace.borrow<std::int32_t>(64); }
+  EXPECT_GT(workspace.stats().pooled_buffers, 0u);
+  workspace.clear();
+  EXPECT_EQ(workspace.stats().pooled_buffers, 0u);
+  EXPECT_EQ(workspace.stats().pooled_bytes, 0u);
+}
+
+// --- batch equivalence -------------------------------------------------------
+
+TEST(SolverEngine, BatchMatchesSoloSolvesAcrossKindsAndFamilies) {
+  const std::vector<Problem> instances = fleet_instances();
+  const std::vector<SolveJob> jobs = fleet_jobs(instances);
+
+  const SolverEngine engine;  // global pool, shared dense tables
+  const BatchResult batch = engine.run(jobs);
+  ASSERT_EQ(batch.outcomes.size(), jobs.size());
+  EXPECT_EQ(batch.stats.jobs, jobs.size());
+  EXPECT_EQ(batch.stats.dense_tables_built, instances.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const rs::engine::SolveOutcome expected =
+        solo_solve(*jobs[i].problem, jobs[i].kind);
+    EXPECT_EQ(batch.outcomes[i].cost, expected.cost) << "job " << i;
+    EXPECT_EQ(batch.outcomes[i].schedule, expected.schedule) << "job " << i;
+  }
+}
+
+TEST(SolverEngine, DeterministicUnderThreadCountVariation) {
+  const std::vector<Problem> instances = fleet_instances();
+  const std::vector<SolveJob> jobs = fleet_jobs(instances);
+
+  const BatchResult inline_run = SolverEngine({.threads = 1}).run(jobs);
+  for (std::size_t threads : {std::size_t{0}, std::size_t{2}, std::size_t{4}}) {
+    const SolverEngine engine({.threads = threads});
+    const BatchResult parallel_run = engine.run(jobs);
+    ASSERT_EQ(parallel_run.outcomes.size(), inline_run.outcomes.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_EQ(parallel_run.outcomes[i].cost, inline_run.outcomes[i].cost)
+          << "threads=" << threads << " job " << i;
+      EXPECT_EQ(parallel_run.outcomes[i].schedule,
+                inline_run.outcomes[i].schedule)
+          << "threads=" << threads << " job " << i;
+    }
+  }
+}
+
+TEST(SolverEngine, SharedDenseAndNaiveModesAgree) {
+  const std::vector<Problem> instances = fleet_instances();
+  const std::vector<SolveJob> jobs = fleet_jobs(instances);
+  const BatchResult shared = SolverEngine({.threads = 1}).run(jobs);
+  const BatchResult naive =
+      SolverEngine({.threads = 1, .share_dense = false}).run(jobs);
+  EXPECT_EQ(naive.stats.dense_tables_built, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(shared.outcomes[i].cost, naive.outcomes[i].cost) << "job " << i;
+    EXPECT_EQ(shared.outcomes[i].schedule, naive.outcomes[i].schedule)
+        << "job " << i;
+  }
+}
+
+TEST(SolverEngine, AcceptsPreBuiltDenseTables) {
+  rs::util::Rng rng(5);
+  const Problem p = rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kQuadratic, 11, 7, 2.0);
+  const auto dense = std::make_shared<const DenseProblem>(p);
+  const std::vector<SolveJob> jobs = {
+      SolveJob{nullptr, dense, SolverKind::kDpCost},
+      SolveJob{nullptr, dense, SolverKind::kLcp},
+  };
+  const BatchResult batch = SolverEngine({.threads = 1}).run(jobs);
+  EXPECT_EQ(batch.stats.dense_tables_built, 0u);  // caller's table reused
+  EXPECT_EQ(batch.outcomes[0].cost, rs::offline::DpSolver().solve_cost(p));
+  EXPECT_EQ(batch.outcomes[1].schedule, rs::online::run_lcp_dense(*dense));
+}
+
+TEST(SolverEngine, ValidatesJobs) {
+  const SolverEngine engine({.threads = 1});
+  EXPECT_THROW(engine.run({SolveJob{}}), std::invalid_argument);
+  rs::util::Rng rng(6);
+  const Problem p = rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kConvexTable, 4, 3, 1.0);
+  const auto dense = std::make_shared<const DenseProblem>(p);
+  // kLowMemory cannot run from a table alone.
+  EXPECT_THROW(
+      engine.run({SolveJob{nullptr, dense, SolverKind::kLowMemory}}),
+      std::invalid_argument);
+  // Lazy tables materialize unsynchronized; only the inline engine may run
+  // them.
+  const auto lazy =
+      std::make_shared<const DenseProblem>(p, DenseProblem::Mode::kLazy);
+  EXPECT_THROW(SolverEngine({.threads = 2})
+                   .run({SolveJob{nullptr, lazy, SolverKind::kDpCost}}),
+               std::invalid_argument);
+  const rs::engine::BatchResult lazy_inline =
+      engine.run({SolveJob{nullptr, lazy, SolverKind::kDpCost}});
+  EXPECT_EQ(lazy_inline.outcomes[0].cost, rs::offline::DpSolver().solve_cost(p));
+  // Empty batches are legal and report zero throughput.
+  const BatchResult empty = engine.run(std::vector<SolveJob>{});
+  EXPECT_TRUE(empty.outcomes.empty());
+  EXPECT_EQ(empty.stats.jobs, 0u);
+}
+
+TEST(SolverEngine, HandlesEdgeInstances) {
+  const Problem empty(4, 1.0, {});
+  const Problem tiny = rs::core::make_table_problem(0, 1.0, {{2.0}, {3.0}});
+  const std::vector<SolveJob> jobs = {
+      SolveJob{&empty, nullptr, SolverKind::kDpSchedule},
+      SolveJob{&tiny, nullptr, SolverKind::kDpSchedule},
+      SolveJob{&tiny, nullptr, SolverKind::kLcp},
+  };
+  const BatchResult batch = SolverEngine({.threads = 1}).run(jobs);
+  EXPECT_EQ(batch.outcomes[0].cost, 0.0);
+  EXPECT_TRUE(batch.outcomes[0].schedule.empty());
+  EXPECT_EQ(batch.outcomes[1].cost, 5.0);
+  EXPECT_EQ(batch.outcomes[1].schedule, Schedule({0, 0}));
+  EXPECT_EQ(batch.outcomes[2].schedule, Schedule({0, 0}));
+}
+
+// --- warm arenas -------------------------------------------------------------
+
+TEST(SolverEngine, SecondBatchRunsAllocationFree) {
+  const std::vector<Problem> instances = fleet_instances();
+  const std::vector<SolveJob> jobs = fleet_jobs(instances);
+
+  // Inline engine: every solve runs on this thread, so the warm-arena
+  // property is deterministic (no dependence on which pool worker got
+  // which job).
+  const SolverEngine engine({.threads = 1});
+  const BatchResult cold = engine.run(jobs);   // warms the arenas
+  const BatchResult warm = engine.run(jobs);   // must not allocate scratch
+  EXPECT_EQ(warm.stats.workspace_growths, 0u)
+      << "second batch re-grew workspace buffers (cold batch grew "
+      << cold.stats.workspace_growths << ")";
+  EXPECT_TRUE(warm.stats.allocation_free());
+  // And it still produces the same answers.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(warm.outcomes[i].cost, cold.outcomes[i].cost);
+  }
+}
+
+// --- harness integration -----------------------------------------------------
+
+TEST(SolverEngine, ForEachReportsBatchStats) {
+  const SolverEngine engine({.threads = 1});
+  std::vector<int> hits(16, 0);
+  rs::engine::BatchStats stats;
+  engine.for_each(hits.size(), [&hits](std::size_t i) { ++hits[i]; }, &stats);
+  EXPECT_EQ(stats.jobs, hits.size());
+  EXPECT_EQ(stats.threads, 1u);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_THROW(engine.for_each(1, nullptr), std::invalid_argument);
+}
+
+TEST(SweepRunner, EngineRunRecordsStatsAndMatchesDefaultRun) {
+  const auto points = rs::analysis::grid({{"i", {"0", "1", "2", "3"}}});
+  const auto eval = [](std::size_t i) {
+    return rs::analysis::SweepRow{{"twice", 2.0 * static_cast<double>(i)}};
+  };
+  rs::analysis::SweepRunner plain(points, eval);
+  plain.run(false);
+  rs::analysis::SweepRunner engined(points, eval);
+  engined.run(SolverEngine({.threads = 2}));
+  ASSERT_EQ(plain.rows().size(), engined.rows().size());
+  for (std::size_t i = 0; i < plain.rows().size(); ++i) {
+    EXPECT_EQ(plain.rows()[i], engined.rows()[i]);
+  }
+  EXPECT_EQ(engined.stats().jobs, points.size());
+  EXPECT_EQ(engined.stats().threads, 2u);
+  EXPECT_EQ(plain.stats().jobs, points.size());
+}
+
+TEST(MonteCarlo, DenseOverloadMatchesProblemOverloadAndReportsBatch) {
+  rs::util::Rng rng(17);
+  const Problem p = rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kQuadratic, 12, 8, 2.0);
+  const auto trial = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 7) + 1.0;
+  };
+  const auto a = rs::analysis::monte_carlo(p, 32, 9, trial);
+  const DenseProblem dense(p);
+  const auto b = rs::analysis::monte_carlo(dense, 32, 9, trial);
+  EXPECT_EQ(a.optimal_cost, b.optimal_cost);
+  EXPECT_EQ(a.cost.mean, b.cost.mean);
+  EXPECT_EQ(a.batch.jobs, 32u);
+  // Lazy tables cannot be shared across concurrent trials.
+  const DenseProblem lazy(p, DenseProblem::Mode::kLazy);
+  EXPECT_THROW(rs::analysis::monte_carlo(lazy, 4, 1, trial),
+               std::invalid_argument);
+}
+
+TEST(MeasureRatio, SharedDenseOverloadMatches) {
+  rs::util::Rng rng(23);
+  const Problem p = rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kConvexTable, 15, 10, 2.0);
+  rs::online::Lcp lcp_a;
+  const rs::analysis::RatioReport plain = rs::analysis::measure_ratio(lcp_a, p);
+  const DenseProblem dense(p);
+  rs::online::Lcp lcp_b;
+  const rs::analysis::RatioReport shared =
+      rs::analysis::measure_ratio(lcp_b, p, dense);
+  EXPECT_EQ(plain.algorithm_cost, shared.algorithm_cost);
+  EXPECT_EQ(plain.optimal_cost, shared.optimal_cost);
+  EXPECT_EQ(plain.ratio, shared.ratio);
+}
