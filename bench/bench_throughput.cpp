@@ -76,9 +76,24 @@ struct ThroughputRow {
 
 // The pre-engine consumer pattern: one solve per job, straight through the
 // library entry points, workspace cleared first so every solve pays its
-// allocations (the seed behaviour the arenas replaced).
+// allocations (the seed behaviour the arenas replaced).  The entry points
+// follow the same documented backend selection the engine applies (DP jobs
+// on instances admitting a compact convex-PWL form run kConvexAuto; LCP
+// selects per step inside the tracker), so the engine-vs-naive cost check
+// below stays bit-exact.
 std::vector<double> naive_loop(const std::vector<SolveJob>& jobs, int reps,
                                double* seconds) {
+  // The backend decision is hoisted out of the timed region: the engine
+  // decides once per batch, and the pre-engine pattern this arm models
+  // never paid a per-solve capability probe.
+  std::vector<rs::offline::DpSolver::Backend> dp_backend(
+      jobs.size(), rs::offline::DpSolver::Backend::kDense);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].kind == SolverKind::kDpCost &&
+        rs::core::admits_compact_pwl(*jobs[i].problem)) {
+      dp_backend[i] = rs::offline::DpSolver::Backend::kConvexAuto;
+    }
+  }
   std::vector<double> costs(jobs.size());
   double best = rs::util::kInf;
   for (int rep = 0; rep < reps + 1; ++rep) {
@@ -88,7 +103,7 @@ std::vector<double> naive_loop(const std::vector<SolveJob>& jobs, int reps,
       const Problem& p = *jobs[i].problem;
       switch (jobs[i].kind) {
         case SolverKind::kDpCost:
-          costs[i] = rs::offline::DpSolver().solve_cost(p);
+          costs[i] = rs::offline::DpSolver(dp_backend[i]).solve_cost(p);
           break;
         case SolverKind::kLcp: {
           rs::online::Lcp lcp;

@@ -10,6 +10,8 @@
 #   scripts/bench_baseline.sh --smoke         # tiny sizes, fast (ctest entry)
 #   scripts/bench_baseline.sh --build-dir DIR # reuse an existing build tree
 #   scripts/bench_baseline.sh --out FILE      # alternative output path
+#   scripts/bench_baseline.sh --with-native   # also build with RIGHTSIZER_NATIVE=ON
+#                                             # and record native-vs-portable rows
 #
 # The dense-vs-per-point benchmark pairs (see bench/bench_thm1_offline.cpp)
 # are summarized under "speedups"; the acceptance numbers for the dense
@@ -19,11 +21,13 @@ set -euo pipefail
 SMOKE=0
 BUILD_DIR=""
 OUT=""
+WITH_NATIVE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --smoke) SMOKE=1 ;;
     --build-dir) BUILD_DIR="$2"; shift ;;
     --out) OUT="$2"; shift ;;
+    --with-native) WITH_NATIVE=1 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -34,12 +38,12 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 [[ -z "$OUT" ]] && OUT="$ROOT/BENCH_results.json"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" \
-      || ! -x "$BUILD_DIR/bench/bench_throughput" ]]; then
+      || ! -x "$BUILD_DIR/bench/bench_throughput" || ! -x "$BUILD_DIR/bench/bench_scaling" ]]; then
   echo "== configuring bench build in $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_thm1_offline bench_thm2_lcp bench_throughput
+    --target bench_thm1_offline bench_thm2_lcp bench_throughput bench_scaling
 fi
 
 TMP="$(mktemp -d)"
@@ -47,10 +51,10 @@ trap 'rm -rf "$TMP"' EXIT
 
 GBENCH_ARGS=(--benchmark_format=json)
 if [[ "$SMOKE" -eq 1 ]]; then
-  # Dense-layer pairs only: BM_GraphSolver (the O(T·m²) reference) is
-  # allocation-bound and times unstably across process contexts, which
-  # would make the bench_compare gate flake.
-  GBENCH_ARGS+=(--benchmark_filter='BM_(Dp|Lcp).*/64/64$' --benchmark_min_time=0.05)
+  # Dense-layer pairs plus BM_GraphSolver: the graph solver is back in the
+  # gate since its per-solve state moved onto the workspace arenas (it used
+  # to be allocation-bound and timed unstably across process contexts).
+  GBENCH_ARGS+=(--benchmark_filter='BM_(Dp|Lcp|Graph).*/64/64$' --benchmark_min_time=0.05)
   export RIGHTSIZER_BENCH_SMOKE=1
 else
   GBENCH_ARGS+=(--benchmark_filter='.')
@@ -70,6 +74,26 @@ THROUGHPUT_ARGS=(--json="$TMP/throughput.json")
 [[ "$SMOKE" -eq 1 ]] && THROUGHPUT_ARGS+=(--smoke)
 "$BUILD_DIR/bench/bench_throughput" "${THROUGHPUT_ARGS[@]}"
 
+echo "== running bench_scaling (E13)"
+SCALING_ARGS=(--json "$TMP/scaling.json")
+[[ "$SMOKE" -eq 1 ]] && SCALING_ARGS+=(--smoke)
+"$BUILD_DIR/bench/bench_scaling" "${SCALING_ARGS[@]}"
+
+if [[ "$WITH_NATIVE" -eq 1 ]]; then
+  NATIVE_DIR="$ROOT/build-bench-native"
+  if [[ ! -x "$NATIVE_DIR/bench/bench_scaling" ]]; then
+    echo "== configuring native bench build in $NATIVE_DIR"
+    cmake -B "$NATIVE_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+      -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF \
+      -DRIGHTSIZER_NATIVE=ON
+    cmake --build "$NATIVE_DIR" -j "$(nproc)" --target bench_scaling
+  fi
+  echo "== running bench_scaling (native build)"
+  NATIVE_ARGS=(--json "$TMP/scaling_native.json")
+  [[ "$SMOKE" -eq 1 ]] && NATIVE_ARGS+=(--smoke)
+  "$NATIVE_DIR/bench/bench_scaling" "${NATIVE_ARGS[@]}" >/dev/null
+fi
+
 GIT_SHA="$(git -C "$ROOT" rev-parse HEAD 2>/dev/null || echo unknown)"
 
 SMOKE="$SMOKE" GIT_SHA="$GIT_SHA" OUT="$OUT" TMP="$TMP" python3 - <<'PY'
@@ -84,6 +108,13 @@ with open(os.path.join(tmp, "thm2.json")) as fh:
     thm2 = json.load(fh)
 with open(os.path.join(tmp, "throughput.json")) as fh:
     throughput = json.load(fh)
+with open(os.path.join(tmp, "scaling.json")) as fh:
+    scaling = json.load(fh)["scaling"]
+native_scaling = None
+native_path = os.path.join(tmp, "scaling_native.json")
+if os.path.exists(native_path):
+    with open(native_path) as fh:
+        native_scaling = json.load(fh)["scaling"]
 
 unit_to_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
@@ -132,7 +163,29 @@ result = {
     "lcp_timings": thm2,
     "speedups": speedups,
     "throughput": throughput.get("throughput", []),
+    "scaling": scaling,
 }
+if native_scaling is not None:
+    # Native-vs-portable rows: same (family, m) sweep, per-step ns from the
+    # -march=native build next to the portable one.
+    portable_by_key = {(r["family"], r["m"]): r for r in scaling}
+    comparison = []
+    for row in native_scaling:
+        portable = portable_by_key.get((row["family"], row["m"]))
+        if portable is None:
+            continue
+        comparison.append({
+            "family": row["family"],
+            "m": row["m"],
+            "portable_pwl_ns_per_step": portable["pwl_ns_per_step"],
+            "native_pwl_ns_per_step": row["pwl_ns_per_step"],
+            "portable_dense_ns_per_step": portable["dense_ns_per_step"],
+            "native_dense_ns_per_step": row["dense_ns_per_step"],
+            "native_dense_speedup":
+                portable["dense_ns_per_step"] / row["dense_ns_per_step"]
+                if row["dense_ns_per_step"] > 0 else None,
+        })
+    result["native_vs_portable"] = comparison
 with open(os.environ["OUT"], "w") as fh:
     json.dump(result, fh, indent=2)
     fh.write("\n")

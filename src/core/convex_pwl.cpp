@@ -1,0 +1,341 @@
+#include "core/convex_pwl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rs::core {
+
+using rs::util::kInf;
+
+ConvexPwl ConvexPwl::point(int x, double value) {
+  return ConvexPwl(x, x, value);
+}
+
+ConvexPwl ConvexPwl::constant(int lo, int hi, double value) {
+  if (lo > hi) throw std::invalid_argument("ConvexPwl::constant: lo > hi");
+  return ConvexPwl(lo, hi, value);  // slope0_ = 0 covers the whole range
+}
+
+double ConvexPwl::value_at(int x) const {
+  if (infinite_ || x < lo_ || x > hi_) return kInf;
+  double value = v_lo_;
+  double slope = slope0_;
+  int position = lo_;
+  for (const auto& [p, d] : dslope_) {
+    if (p > x) break;
+    value += slope * static_cast<double>(p - position);
+    slope += d;
+    position = p;
+  }
+  value += slope * static_cast<double>(x - position);
+  return value;
+}
+
+ConvexPwl::ArgminInterval ConvexPwl::argmin() const {
+  assert(!infinite_ && "argmin of the infinite function");
+  ArgminInterval result;
+  if (lo_ == hi_) {
+    result.lo = lo_;
+    result.hi = lo_;
+    result.value = v_lo_;
+    return result;
+  }
+  // Walk the slope sequence: the minimum starts where slopes stop being
+  // negative and extends across the (exactly) zero-slope run, matching the
+  // dense tracker's strict-< (smallest) / <= (largest) tie-breaking.
+  double value = v_lo_;
+  double slope = slope0_;
+  int position = lo_;
+  auto it = dslope_.begin();
+  while (slope < 0.0) {
+    const int next = it == dslope_.end() ? hi_ : it->first;
+    value += slope * static_cast<double>(next - position);
+    position = next;
+    if (it == dslope_.end()) {
+      // Strictly decreasing to the right edge: minimum at hi.
+      result.lo = hi_;
+      result.hi = hi_;
+      result.value = value;
+      return result;
+    }
+    slope += it->second;
+    ++it;
+  }
+  result.lo = position;
+  result.value = value;
+  while (slope == 0.0) {
+    const int next = it == dslope_.end() ? hi_ : it->first;
+    position = next;
+    if (it == dslope_.end()) break;
+    slope += it->second;
+    ++it;
+  }
+  result.hi = position;
+  return result;
+}
+
+void ConvexPwl::materialize(int m, std::span<double> out) const {
+  assert(out.size() >= static_cast<std::size_t>(m) + 1);
+  std::fill(out.begin(), out.begin() + (m + 1), kInf);
+  if (infinite_) return;
+  const int from = std::max(lo_, 0);
+  const int to = std::min(hi_, m);
+  if (from > to) return;
+  // One forward accumulation (not value_at per point, which would be
+  // O(m·K)).
+  double value = v_lo_;
+  double slope = slope0_;
+  int position = lo_;
+  auto it = dslope_.begin();
+  auto flush = [&](int until) {  // advance `position` to `until`
+    value += slope * static_cast<double>(until - position);
+    position = until;
+  };
+  // Skip to `from` first (handles lo_ < 0 callers; in-library domains are
+  // already inside [0, m]).
+  while (it != dslope_.end() && it->first <= from) {
+    flush(it->first);
+    slope += it->second;
+    ++it;
+  }
+  flush(from);
+  for (int x = from; x <= to; ++x) {
+    out[static_cast<std::size_t>(x)] = value;
+    if (x == to) break;
+    if (it != dslope_.end() && it->first == x) {  // slope change at x
+      slope += it->second;
+      ++it;
+    }
+    value += slope;
+    position = x + 1;
+  }
+}
+
+std::vector<int> ConvexPwl::kink_positions() const {
+  std::vector<int> positions;
+  if (infinite_) return positions;
+  positions.reserve(dslope_.size() + 2);
+  positions.push_back(lo_);
+  for (const auto& [p, d] : dslope_) positions.push_back(p);
+  if (hi_ != lo_) positions.push_back(hi_);
+  return positions;
+}
+
+double ConvexPwl::last_slope() const {
+  assert(!infinite_ && lo_ < hi_);
+  double slope = slope0_;
+  for (const auto& [p, d] : dslope_) slope += d;
+  return slope;
+}
+
+void ConvexPwl::clip_back(double s_max) {
+  if (infinite_ || lo_ == hi_) return;
+  if (slope0_ > s_max) {
+    // Every slope exceeds the cap: the whole function becomes the s_max
+    // tangent through (lo, v_lo).
+    slope0_ = s_max;
+    dslope_.clear();
+    return;
+  }
+  double slope = slope0_;
+  for (auto it = dslope_.begin(); it != dslope_.end(); ++it) {
+    const double next = slope + it->second;
+    if (next > s_max) {
+      const double kept = s_max - slope;  // >= 0
+      if (kept > 0.0) {
+        it->second = kept;
+        ++it;
+      }
+      dslope_.erase(it, dslope_.end());
+      return;
+    }
+    slope = next;
+  }
+}
+
+void ConvexPwl::clip_front(double s_min) {
+  if (infinite_ || lo_ == hi_) return;
+  if (slope0_ >= s_min) return;
+  // Find the first position xc whose outgoing slope is >= s_min,
+  // accumulating W(xc) on the way; left of xc the function becomes the
+  // s_min tangent through (xc, W(xc)).
+  double value = v_lo_;
+  double slope = slope0_;
+  int position = lo_;
+  auto it = dslope_.begin();
+  while (it != dslope_.end()) {
+    const int p = it->first;
+    value += slope * static_cast<double>(p - position);
+    position = p;
+    slope += it->second;
+    it = dslope_.erase(it);
+    if (slope >= s_min) {
+      const double excess = slope - s_min;
+      if (excess > 0.0) dslope_.emplace(p, excess);
+      v_lo_ = value - s_min * static_cast<double>(p - lo_);
+      slope0_ = s_min;
+      return;
+    }
+  }
+  // Slopes stay below s_min all the way: the tangent passes through
+  // (hi, W(hi)).
+  value += slope * static_cast<double>(hi_ - position);
+  v_lo_ = value - s_min * static_cast<double>(hi_ - lo_);
+  slope0_ = s_min;
+}
+
+void ConvexPwl::extend_left(int new_lo, double slope) {
+  if (infinite_ || new_lo >= lo_) return;
+  if (lo_ == hi_) {
+    slope0_ = slope;
+  } else if (slope0_ - slope > 0.0) {
+    dslope_.emplace(lo_, slope0_ - slope);
+    slope0_ = slope;
+  }
+  v_lo_ -= slope * static_cast<double>(lo_ - new_lo);
+  lo_ = new_lo;
+}
+
+void ConvexPwl::extend_right(int new_hi, double slope) {
+  if (infinite_ || new_hi <= hi_) return;
+  if (lo_ == hi_) {
+    slope0_ = slope;
+  } else {
+    const double step = slope - last_slope();
+    if (step > 0.0) dslope_.emplace(hi_, step);
+  }
+  hi_ = new_hi;
+}
+
+void ConvexPwl::restrict_domain(int new_lo, int new_hi) {
+  assert(!infinite_ && new_lo >= lo_ && new_hi <= hi_ && new_lo <= new_hi);
+  if (new_hi < hi_) {
+    dslope_.erase(dslope_.lower_bound(new_hi), dslope_.end());
+    hi_ = new_hi;
+  }
+  if (new_lo > lo_) {
+    double value = v_lo_;
+    double slope = slope0_;
+    int position = lo_;
+    auto it = dslope_.begin();
+    while (it != dslope_.end() && it->first <= new_lo) {
+      value += slope * static_cast<double>(it->first - position);
+      position = it->first;
+      slope += it->second;
+      it = dslope_.erase(it);
+    }
+    value += slope * static_cast<double>(new_lo - position);
+    v_lo_ = value;
+    slope0_ = slope;
+    lo_ = new_lo;
+  }
+  if (lo_ == hi_) slope0_ = 0.0;
+}
+
+void ConvexPwl::add(const ConvexPwl& g) {
+  if (infinite_) return;
+  if (g.infinite_) {
+    *this = infinite();
+    return;
+  }
+  const int new_lo = std::max(lo_, g.lo_);
+  const int new_hi = std::min(hi_, g.hi_);
+  if (new_lo > new_hi) {
+    *this = infinite();
+    return;
+  }
+  restrict_domain(new_lo, new_hi);
+  // g's value and slope at new_lo, folding any g breakpoints at or left of
+  // new_lo into the base slope.
+  double g_value = g.v_lo_;
+  double g_slope = g.slope0_;
+  int position = g.lo_;
+  auto it = g.dslope_.begin();
+  while (it != g.dslope_.end() && it->first <= new_lo) {
+    g_value += g_slope * static_cast<double>(it->first - position);
+    position = it->first;
+    g_slope += it->second;
+    ++it;
+  }
+  g_value += g_slope * static_cast<double>(new_lo - position);
+  v_lo_ += g_value;
+  if (lo_ == hi_) return;  // point result: slopes are irrelevant
+  slope0_ += g_slope;
+  for (; it != g.dslope_.end() && it->first < new_hi; ++it) {
+    dslope_[it->first] += it->second;
+  }
+}
+
+void ConvexPwl::relax_charge_up(double beta, int lo, int hi) {
+  if (infinite_) return;
+  clip_back(beta);
+  clip_front(0.0);
+  extend_left(lo, 0.0);
+  extend_right(hi, beta);
+}
+
+void ConvexPwl::relax_charge_down(double beta, int lo, int hi) {
+  if (infinite_) return;
+  clip_front(-beta);
+  clip_back(0.0);
+  extend_left(lo, -beta);
+  extend_right(hi, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+
+void ConvexPwlBuilder::start(int lo, double value) {
+  started_ = true;
+  rejected_ = !std::isfinite(value);
+  lo_ = lo;
+  end_ = lo;
+  v_lo_ = value;
+  runs_.clear();
+}
+
+void ConvexPwlBuilder::run(double slope, int x_end) {
+  assert(started_ && x_end > end_);
+  if (rejected_) return;
+  if (!std::isfinite(slope)) {
+    rejected_ = true;
+    return;
+  }
+  if (!runs_.empty()) {
+    const double previous = runs_.back().second;
+    const double scale =
+        std::max({std::fabs(previous), std::fabs(slope), 1.0});
+    if (slope < previous - kConvexPwlMergeEps * scale) {
+      rejected_ = true;  // genuinely non-convex
+      return;
+    }
+    if (slope <= previous) {
+      // Duplicate slope (or a sub-epsilon dip): merge into the previous
+      // run; the perturbation is bounded by the merge epsilon per segment.
+      end_ = x_end;
+      return;
+    }
+  }
+  runs_.emplace_back(end_, slope);
+  end_ = x_end;
+}
+
+std::optional<ConvexPwl> ConvexPwlBuilder::finish(int max_breakpoints) {
+  if (!started_ || rejected_) return std::nullopt;
+  if (static_cast<int>(runs_.size()) > max_breakpoints + 1) {
+    return std::nullopt;
+  }
+  ConvexPwl result = ConvexPwl::point(lo_, v_lo_);
+  result.hi_ = end_;
+  if (!runs_.empty()) {
+    result.slope0_ = runs_.front().second;
+    for (std::size_t i = 1; i < runs_.size(); ++i) {
+      result.dslope_.emplace(runs_[i].first,
+                             runs_[i].second - runs_[i - 1].second);
+    }
+  }
+  return result;
+}
+
+}  // namespace rs::core

@@ -1,0 +1,174 @@
+// Exact convex piecewise-linear functions over integer server counts.
+//
+// The m-independent backend of the work-function tracker (Section 3.1) and
+// the convex offline fast path.  A convex extended-real function on
+// {0,..,m} that is finite exactly on a contiguous range [lo, hi] is stored
+// as the value at lo plus its slope sequence s(x) = W(x+1) − W(x), which is
+// non-decreasing by convexity.  The sequence is kept as a first slope and a
+// sorted map of positive slope *increments* ("breakpoints"), so the three
+// operations the work-function recurrences need cost
+//
+//   * pointwise add of a B-breakpoint function:  O(B log K) map inserts —
+//     adding a *linear* function is O(1) because slope increments are
+//     invariant under a uniform slope shift;
+//   * epigraph min-convolution with the switching kernel β·(x−x′)⁺ (and its
+//     mirror): clipping the slope sequence into [0, β] (resp. [−β, 0]).
+//     Each clip removes breakpoints from one end of the sequence; a
+//     breakpoint is created once and destroyed at most once, so the
+//     clipping work is O(1) amortized per breakpoint ever inserted (a
+//     relax pass additionally walks the live sequence once, O(K), which
+//     the compact-budget backend selection keeps small);
+//   * argmin interval + minimum: a walk over the (few) leading slopes.
+//
+// K — the live breakpoint count — is bounded by the domain width but is in
+// practice a small constant for compact cost families (hinges, affine-abs,
+// restricted linear tariffs): the clip step continuously retires slopes
+// that drift out of [0, β].  Nothing here depends on m except the clamp
+// positions, which is what makes million-server instances tractable
+// (arXiv:1807.05112 derives the algorithms from these projections;
+// arXiv:2108.09489 demonstrates the convex-PWL maintenance strategy).
+//
+// Numerical contract: operations mirror the dense kernels' extended-real
+// arithmetic but accumulate values in a different association order, so
+// chat values agree with the dense backend to within a few ULPs (exactly,
+// when all inputs are integers); see DESIGN.md §8 for the tolerance
+// discussion.  +inf is represented by the domain bounds, never stored as a
+// value; NaN is outside the contract (conversions reject it).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/math_util.hpp"
+
+namespace rs::core {
+
+class ConvexPwl {
+ public:
+  /// +inf everywhere (the empty work function of an infeasible prefix).
+  ConvexPwl() = default;
+
+  static ConvexPwl infinite() { return ConvexPwl(); }
+
+  /// Finite only at x (value `value`); the τ = 0 work function is
+  /// point(0, 0).
+  static ConvexPwl point(int x, double value);
+
+  /// Constant `value` on [lo, hi].
+  static ConvexPwl constant(int lo, int hi, double value);
+
+  /// True iff the function is +inf everywhere.
+  bool is_infinite() const noexcept { return infinite_; }
+
+  /// Finite domain [lo, hi]; require !is_infinite().
+  int lo() const noexcept { return lo_; }
+  int hi() const noexcept { return hi_; }
+
+  /// Number of stored slope increments (excludes the two domain ends).
+  int breakpoints() const noexcept { return static_cast<int>(dslope_.size()); }
+
+  /// Domain ends plus every slope-increment position, ascending; empty for
+  /// the infinite function.  Decorator conversions use these as the kink
+  /// candidates of the transformed function.
+  std::vector<int> kink_positions() const;
+
+  /// W(x) for any integer x: +inf outside [lo, hi], else the accumulated
+  /// value.  O(K).
+  double value_at(int x) const;
+
+  struct ArgminInterval {
+    int lo = 0;      // smallest minimizer (paper's x^L tie-break)
+    int hi = 0;      // largest minimizer (paper's x^U tie-break)
+    double value = rs::util::kInf;
+  };
+  /// Minimizer interval and minimum; require !is_infinite().  O(K).
+  ArgminInterval argmin() const;
+
+  /// Writes W(0..m) into out (out.size() >= m+1), +inf outside the domain.
+  /// Used when a hybrid consumer falls back to the dense backend mid-run.
+  void materialize(int m, std::span<double> out) const;
+
+  /// Pointwise add (domains intersect; the sum of convex functions is
+  /// convex).  Either operand infinite, or disjoint domains, make the
+  /// result infinite — matching inf-absorbing dense label arithmetic.
+  void add(const ConvexPwl& g);
+
+  /// The Ĉ^L relax of eq. (11): W ← min( min_{x′≤x} W(x′) + β(x−x′),
+  /// min_{x′≥x} W(x′) ), then extend the domain to [lo, hi].  Slopes are
+  /// clipped into [0, β]; the left extension is flat at the minimum (free
+  /// power-down), the right extension has slope β (power-up charge).
+  void relax_charge_up(double beta, int lo, int hi);
+
+  /// The Ĉ^U relax of eq. (12): W ← min( min_{x′≥x} W(x′) + β(x′−x),
+  /// min_{x′≤x} W(x′) ), then extend to [lo, hi].  Slopes are clipped into
+  /// [−β, 0]; the left extension has slope −β, the right one is flat.
+  void relax_charge_down(double beta, int lo, int hi);
+
+ private:
+  friend class ConvexPwlBuilder;
+
+  ConvexPwl(int lo, int hi, double v_lo)
+      : infinite_(false), lo_(lo), hi_(hi), v_lo_(v_lo) {}
+
+  // Slope of the last segment [hi-1, hi]; require a non-point domain. O(K).
+  double last_slope() const;
+  // Clip slopes > s_max down to s_max (values right of the cut drop onto
+  // the s_max tangent; the left anchor is unchanged).
+  void clip_back(double s_max);
+  // Clip slopes < s_min up to s_min; re-anchors v_lo_ on the tangent
+  // W(xc) − s_min·(xc − lo) through the first surviving slope.
+  void clip_front(double s_min);
+  void extend_left(int new_lo, double slope);
+  void extend_right(int new_hi, double slope);
+  // Shrink the domain to [new_lo, new_hi] ⊆ [lo_, hi_].
+  void restrict_domain(int new_lo, int new_hi);
+
+  bool infinite_ = true;
+  int lo_ = 0;
+  int hi_ = 0;
+  double v_lo_ = 0.0;    // value at lo_
+  double slope0_ = 0.0;  // slope of [lo_, lo_+1]; 0 when lo_ == hi_
+  // x -> s(x) − s(x−1) for lo_ < x < hi_; entries are > 0.
+  std::map<int, double> dslope_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction helpers for CostFunction::as_convex_pwl implementations
+// ---------------------------------------------------------------------------
+
+/// Assembles a ConvexPwl from left-to-right slope runs; validates convexity
+/// (slope increments >= 0 up to a relative merge epsilon — tiny negative
+/// increments from independently rounded slopes are merged into the
+/// previous run, genuine dips reject the build) and merges duplicate
+/// slopes, so e.g. a table whose segments repeat a slope yields one run.
+class ConvexPwlBuilder {
+ public:
+  /// Starts the domain at lo with W(lo) = value (finite, else the build is
+  /// rejected — infinite states are expressed via the domain bounds).
+  void start(int lo, double value);
+
+  /// Appends a segment of constant `slope` ending at `x_end` (> current
+  /// end).  NaN or infinite slopes reject the build.
+  void run(double slope, int x_end);
+
+  /// The function built so far, or nullopt if a run violated convexity
+  /// beyond the merge epsilon, a NaN was seen, or more than
+  /// `max_breakpoints` slope increments survived merging.
+  std::optional<ConvexPwl> finish(int max_breakpoints);
+
+ private:
+  bool started_ = false;
+  bool rejected_ = false;
+  int lo_ = 0;
+  int end_ = 0;
+  double v_lo_ = 0.0;
+  std::vector<std::pair<int, double>> runs_;  // (start position, slope)
+};
+
+/// Relative tolerance under which a slope decrease across consecutive runs
+/// is treated as rounding noise and merged instead of rejected.
+inline constexpr double kConvexPwlMergeEps = 1e-12;
+
+}  // namespace rs::core

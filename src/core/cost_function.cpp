@@ -30,6 +30,76 @@ void CostFunction::eval_row(int m, std::span<double> out) const {
   }
 }
 
+std::optional<ConvexPwl> CostFunction::as_convex_pwl_impl(int m,
+                                                     int max_breakpoints) const {
+  (void)m;
+  (void)max_breakpoints;
+  return std::nullopt;  // no compact exact form known for this family
+}
+
+std::optional<ConvexPwl> convex_pwl_from_kinks(const CostFunction& f, int m,
+                                               std::vector<long long> kinks,
+                                               int max_breakpoints) {
+  kinks.push_back(0);
+  kinks.push_back(m);
+  for (long long& k : kinks) k = std::clamp(k, 0LL, static_cast<long long>(m));
+  std::sort(kinks.begin(), kinks.end());
+  kinks.erase(std::unique(kinks.begin(), kinks.end()), kinks.end());
+
+  std::vector<double> values(kinks.size());
+  int first = -1;
+  int last = -1;
+  for (std::size_t i = 0; i < kinks.size(); ++i) {
+    const double v = f.at(static_cast<int>(kinks[i]));
+    if (std::isnan(v)) return std::nullopt;
+    values[i] = v;
+    if (std::isfinite(v)) {
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+    }
+  }
+  if (first < 0) {
+    // Every sampled kink is infinite.  A finite island strictly inside a
+    // gap would make the all-infinite form silently wrong, and no probe
+    // budget can rule that out — so decline and let the caller fall back
+    // to the dense backend (which handles all-infinite rows natively).
+    // Families with genuinely all-infinite slots (TableCost) detect that
+    // from their own storage instead of through this helper.
+    return std::nullopt;
+  }
+  for (int i = first; i <= last; ++i) {
+    if (!std::isfinite(values[static_cast<std::size_t>(i)])) {
+      return std::nullopt;  // infinite interior: not a convex domain
+    }
+  }
+  const int lo = static_cast<int>(kinks[static_cast<std::size_t>(first)]);
+  const int hi = static_cast<int>(kinks[static_cast<std::size_t>(last)]);
+  // The kink list must contain the exact domain boundaries.
+  if (lo > 0 && std::isfinite(f.at(lo - 1))) return std::nullopt;
+  if (hi < m && std::isfinite(f.at(hi + 1))) return std::nullopt;
+
+  ConvexPwlBuilder builder;
+  builder.start(lo, values[static_cast<std::size_t>(first)]);
+  for (int i = first + 1; i <= last; ++i) {
+    const long long p = kinks[static_cast<std::size_t>(i - 1)];
+    const long long q = kinks[static_cast<std::size_t>(i)];
+    const double rise = values[static_cast<std::size_t>(i)] -
+                        values[static_cast<std::size_t>(i - 1)];
+    const double slope = rise / static_cast<double>(q - p);
+    if (q - p > 1) {
+      const long long mid = p + (q - p) / 2;
+      const double expected = values[static_cast<std::size_t>(i - 1)] +
+                              slope * static_cast<double>(mid - p);
+      if (!util::approx_equal(f.at(static_cast<int>(mid)), expected, 1e-9,
+                              1e-9)) {
+        return std::nullopt;  // not linear between these kinks
+      }
+    }
+    builder.run(slope, static_cast<int>(q));
+  }
+  return builder.finish(max_breakpoints);
+}
+
 // ---------------------------------------------------------------------------
 
 TableCost::TableCost(std::vector<double> values, std::string label)
@@ -73,6 +143,50 @@ void TableCost::eval_row(int m, std::span<double> out) const {
   }
 }
 
+bool TableCost::is_convex() const {
+  return as_convex_pwl(static_cast<int>(values_.size()) - 1,
+                       kUnboundedBreakpoints)
+      .has_value();
+}
+
+std::optional<ConvexPwl> TableCost::as_convex_pwl_impl(int m,
+                                                  int max_breakpoints) const {
+  const int n = static_cast<int>(values_.size());
+  const int top = std::min(n - 1, m);
+  // Contiguous finite range of the stored prefix; NaN and interior
+  // infinities reject.
+  int lo = -1;
+  int hi = -1;
+  for (int x = 0; x <= top; ++x) {
+    const double v = values_[static_cast<std::size_t>(x)];
+    if (std::isnan(v)) return std::nullopt;
+    if (std::isfinite(v)) {
+      if (lo >= 0 && hi < x - 1) return std::nullopt;  // finite, inf, finite
+      if (lo < 0) lo = x;
+      hi = x;
+    }
+  }
+  if (lo < 0) return ConvexPwl::infinite();
+
+  ConvexPwlBuilder builder;
+  builder.start(lo, values_[static_cast<std::size_t>(lo)]);
+  for (int x = lo; x < hi; ++x) {
+    builder.run(values_[static_cast<std::size_t>(x + 1)] -
+                    values_[static_cast<std::size_t>(x)],
+                x + 1);
+  }
+  if (m > top && hi == n - 1) {
+    // Linear extension beyond the table, same expression as at(): constant
+    // for single-entry tables, else the last stored slope.
+    const double slope =
+        n >= 2 ? values_[static_cast<std::size_t>(n - 1)] -
+                     values_[static_cast<std::size_t>(n - 2)]
+               : 0.0;
+    builder.run(slope, m);
+  }
+  return builder.finish(max_breakpoints);
+}
+
 // ---------------------------------------------------------------------------
 
 AffineAbsCost::AffineAbsCost(double slope, double center, double offset)
@@ -94,6 +208,18 @@ void AffineAbsCost::eval_row(int m, std::span<double> out) const {
     out[static_cast<std::size_t>(x)] =
         slope_ * std::fabs(static_cast<double>(x) - center_) + offset_;
   }
+}
+
+std::optional<ConvexPwl> AffineAbsCost::as_convex_pwl_impl(
+    int m, int max_breakpoints) const {
+  // Linear except around the center: the integer restriction kinks at
+  // floor(center) and ceil(center).  The clamp keeps the double->int cast
+  // defined for centers far outside [0, m] (the function is then linear on
+  // the whole domain anyway).
+  const double center = std::clamp(center_, -2.0, static_cast<double>(m) + 2.0);
+  const long long knee = static_cast<long long>(std::floor(center));
+  return convex_pwl_from_kinks(*this, m, {knee - 1, knee, knee + 1, knee + 2},
+                        max_breakpoints);
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +246,23 @@ void QuadraticCost::eval_row(int m, std::span<double> out) const {
     const double d = static_cast<double>(x) - center_;
     out[static_cast<std::size_t>(x)] = curvature_ * d * d + offset_;
   }
+}
+
+std::optional<ConvexPwl> QuadraticCost::as_convex_pwl_impl(
+    int m, int max_breakpoints) const {
+  if (curvature_ == 0.0) {
+    ConvexPwlBuilder builder;
+    builder.start(0, offset_);
+    if (m > 0) builder.run(0.0, m);
+    return builder.finish(max_breakpoints);
+  }
+  // Every integer is a kink; bail before sampling when the budget cannot
+  // fit them (this is what routes large-m quadratics to the dense backend).
+  if (m > max_breakpoints) return std::nullopt;
+  ConvexPwlBuilder builder;
+  builder.start(0, at(0));
+  for (int x = 0; x < m; ++x) builder.run(at(x + 1) - at(x), x + 1);
+  return builder.finish(max_breakpoints);
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +352,24 @@ void ScaledCost::eval_row(int m, std::span<double> out) const {
   }
 }
 
+std::optional<ConvexPwl> ScaledCost::as_convex_pwl_impl(int m,
+                                                   int max_breakpoints) const {
+  std::optional<ConvexPwl> base = base_->as_convex_pwl(m, max_breakpoints);
+  if (!base) return std::nullopt;
+  if (factor_ == 0.0) {
+    // at() is 0·base(x), which is NaN on infeasible base states; only the
+    // everywhere-finite case has a representable (zero) form.
+    if (base->is_infinite() || base->lo() > 0 || base->hi() < m) {
+      return std::nullopt;
+    }
+    return ConvexPwl::constant(0, m, 0.0);
+  }
+  if (base->is_infinite()) return ConvexPwl::infinite();
+  std::vector<long long> kinks;
+  for (int p : base->kink_positions()) kinks.push_back(p);
+  return convex_pwl_from_kinks(*this, m, std::move(kinks), max_breakpoints);
+}
+
 std::string ScaledCost::name() const { return "scaled(" + base_->name() + ")"; }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +409,28 @@ void StrideCost::eval_row(int m, std::span<double> out) const {
   for (int x = 0; x <= m; ++x) {
     out[static_cast<std::size_t>(x)] = base.at(x * stride_);
   }
+}
+
+std::optional<ConvexPwl> StrideCost::as_convex_pwl_impl(int m,
+                                                   int max_breakpoints) const {
+  const long long base_m = static_cast<long long>(m) * stride_;
+  if (base_m > (1LL << 30)) return std::nullopt;  // conversion domain guard
+  std::optional<ConvexPwl> base =
+      base_->as_convex_pwl(static_cast<int>(base_m), max_breakpoints);
+  if (!base) return std::nullopt;
+  if (base->is_infinite()) return ConvexPwl::infinite();
+  // A base kink at p maps to a kink of x -> base(x·stride) somewhere in
+  // {floor(p/stride) - 1, .., floor(p/stride) + 2}; sample that
+  // neighbourhood (the probes in pwl_from_kinks verify it).
+  std::vector<long long> kinks;
+  kinks.reserve(4 * base->kink_positions().size());
+  for (int p : base->kink_positions()) {
+    const long long q = p / stride_;
+    for (long long offset = -1; offset <= 2; ++offset) {
+      kinks.push_back(q + offset);
+    }
+  }
+  return convex_pwl_from_kinks(*this, m, std::move(kinks), max_breakpoints);
 }
 
 std::string StrideCost::name() const {
@@ -295,6 +478,20 @@ void PaddedCost::eval_row(int m, std::span<double> out) const {
     out[static_cast<std::size_t>(x)] =
         base_value + extension_slope_ * static_cast<double>(x - original_m_);
   }
+}
+
+std::optional<ConvexPwl> PaddedCost::as_convex_pwl_impl(int m,
+                                                   int max_breakpoints) const {
+  const int inner = std::min(m, original_m_);
+  std::optional<ConvexPwl> base = base_->as_convex_pwl(inner, max_breakpoints);
+  if (!base) return std::nullopt;
+  if (base->is_infinite()) return ConvexPwl::infinite();
+  std::vector<long long> kinks;
+  for (int p : base->kink_positions()) kinks.push_back(p);
+  // The extension starts right after original_m with its own slope.
+  kinks.push_back(original_m_);
+  kinks.push_back(static_cast<long long>(original_m_) + 1);
+  return convex_pwl_from_kinks(*this, m, std::move(kinks), max_breakpoints);
 }
 
 std::string PaddedCost::name() const {

@@ -13,13 +13,38 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/convex_pwl.hpp"
 #include "util/math_util.hpp"
 
 namespace rs::core {
+
+/// `max_breakpoints` value meaning "no budget" for as_convex_pwl.
+inline constexpr int kUnboundedBreakpoints = (1 << 30);
+
+/// Cap on the per-slot breakpoint budget under which the solvers'
+/// automatic backend selection considers a cost function "compact" enough
+/// for the convex-PWL backend.  Families whose exact PWL form needs more
+/// breakpoints (dense tables, quadratics at large m) stay on the dense-row
+/// backend, whose per-step cost is O(m) with a much smaller constant.
+inline constexpr int kCompactPwlBudget = 64;
+
+/// The effective auto-selection budget at a given m.  A PWL breakpoint
+/// costs a map node per operation where the dense backend pays one
+/// contiguous double, so the m-independent backend only wins when K << m;
+/// the budget therefore scales with m (up to the cap) instead of letting
+/// e.g. an m-breakpoint table crawl through the map at small m (a measured
+/// ~2x batch-throughput loss before this rule).  Forced-kPwl consumers
+/// bypass the budget entirely.
+inline constexpr int compact_pwl_budget_for(int m) noexcept {
+  const int relative = m / 8;
+  const int capped = relative < kCompactPwlBudget ? relative : kCompactPwlBudget;
+  return capped > 8 ? capped : 8;
+}
 
 /// Abstract convex operating-cost function on server counts.
 ///
@@ -50,8 +75,34 @@ class CostFunction {
   /// tests depend on it.
   virtual void eval_row(int m, std::span<double> out) const;
 
+  /// Capability query: true when the family guarantees convexity on all of
+  /// N_0 by construction (possibly relying on a documented caller contract,
+  /// as RestrictedSlotCost does for its load curve).  False means "not
+  /// structurally guaranteed" — the function may still happen to be convex
+  /// (validate_cost_function checks values).  The convex-PWL backend
+  /// selection keys on as_convex_pwl() instead, which validates exactly.
+  virtual bool is_convex() const { return false; }
+
+  /// Exact convex piecewise-linear form of f on {0,..,m}, or nullopt when
+  /// the family has no such form, the values are not convex, or the form
+  /// needs more than `max_breakpoints` slope increments (the m-independent
+  /// backend only pays off for compact representations).  Implementations
+  /// must agree with at() on every integer up to rounding: bit-identical
+  /// at every breakpoint sample, and within a few ULPs in between (exactly,
+  /// when the family's parameters and values are integers) — see
+  /// DESIGN.md §8.  Non-virtual entry so the default budget applies on
+  /// concrete types too; families override as_convex_pwl_impl.
+  std::optional<ConvexPwl> as_convex_pwl(
+      int m, int max_breakpoints = kUnboundedBreakpoints) const {
+    return as_convex_pwl_impl(m, max_breakpoints);
+  }
+
   /// Human-readable family name for diagnostics.
   virtual std::string name() const { return "cost"; }
+
+ protected:
+  virtual std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                                      int max_breakpoints) const;
 };
 
 using CostPtr = std::shared_ptr<const CostFunction>;
@@ -67,6 +118,15 @@ class TableCost final : public CostFunction {
   explicit TableCost(std::vector<double> values, std::string label = "table");
   double at(int x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  /// Scans the table: true iff the values are convex with a contiguous
+  /// finite range.  Slope comparisons use the builder's relative merge
+  /// epsilon (kConvexPwlMergeEps): dips below ~1e-12 relative count as
+  /// rounding noise, not concavity.  O(table_size).
+  bool is_convex() const override;
+  /// Exact conversion; one breakpoint per slope change in the table, so
+  /// only compact under the budget for tables with few distinct slopes.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override { return label_; }
   int table_size() const noexcept { return static_cast<int>(values_.size()); }
 
@@ -83,6 +143,10 @@ class AffineAbsCost final : public CostFunction {
   double at(int x) const override;
   double at_real(double x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return true; }
+  /// At most two breakpoints (around the center), independent of m.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override { return "affine_abs"; }
   double slope() const noexcept { return slope_; }
   double center() const noexcept { return center_; }
@@ -100,6 +164,12 @@ class QuadraticCost final : public CostFunction {
   double at(int x) const override;
   double at_real(double x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return true; }
+  /// Exact on integers but with one breakpoint per state (the slope grows
+  /// by 2·curvature every step), so it only converts when m fits the
+  /// budget; curvature 0 collapses to a constant.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override { return "quadratic"; }
 
  private:
@@ -116,6 +186,8 @@ class FunctionCost final : public CostFunction {
                         std::string label = "function");
   double at(int x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  // is_convex() stays false and as_convex_pwl() nullopt: the callable is
+  // opaque, so these functions always take the dense-row backend.
   std::string name() const override { return label_; }
 
  private:
@@ -134,6 +206,12 @@ class RestrictedSlotCost final : public CostFunction {
   double at(int x) const override;
   double at_real(double x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  /// Convex by the perspective-function argument (given the documented
+  /// caller contract that f is convex); the load curve is an opaque
+  /// std::function though, so there is no exact PWL form and
+  /// as_convex_pwl() stays nullopt — the restricted model keeps the
+  /// dense-row backend.
+  bool is_convex() const override { return true; }
   std::string name() const override { return "restricted_slot"; }
   double lambda() const noexcept { return lambda_; }
 
@@ -150,6 +228,11 @@ class ScaledCost final : public CostFunction {
   double at(int x) const override;
   double at_real(double x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return base_->is_convex(); }
+  /// Scales the base form in place (factor 0 with an infeasible base state
+  /// declines: at() yields NaN there, which the PWL form cannot express).
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override;
 
  private:
@@ -164,6 +247,11 @@ class StrideCost final : public CostFunction {
   StrideCost(CostPtr base, int stride);
   double at(int x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return base_->is_convex(); }
+  /// Resamples the base form on the stride grid (breakpoint positions
+  /// contract by the stride; the count never grows).
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override;
 
  private:
@@ -180,6 +268,10 @@ class PaddedCost final : public CostFunction {
   PaddedCost(CostPtr base, int original_m);
   double at(int x) const override;
   void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return base_->is_convex(); }
+  /// Base form up to original_m plus one extension segment.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override;
 
  private:
@@ -209,6 +301,18 @@ struct CostFunctionReport {
 /// finite range, +inf allowed only as prefix/suffix), non-negativity, and
 /// the feasible range.
 CostFunctionReport validate_cost_function(const CostFunction& f, int m);
+
+/// Builds the exact convex-PWL form of f on {0,..,m} from a candidate kink
+/// list (positions are clamped into [0, m]; 0 and m are always included):
+/// f must be linear between consecutive candidates, and infinite exactly
+/// outside the finite candidate range.  Both contracts are verified by
+/// probes (a midpoint sample per multi-step segment, one sample past each
+/// domain boundary), so a wrong kink list degrades to nullopt instead of a
+/// silently wrong function.  The workhorse behind the decorator
+/// as_convex_pwl implementations; exposed for custom families and tests.
+std::optional<ConvexPwl> convex_pwl_from_kinks(
+    const CostFunction& f, int m, std::vector<long long> kinks,
+    int max_breakpoints = kUnboundedBreakpoints);
 
 /// Smallest state in {0,..,m} minimizing f (paper's x_t^{min-}).  Linear
 /// scan; correct for arbitrary functions.

@@ -1,9 +1,12 @@
 #include "core/piecewise_linear.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+
+#include "util/workspace.hpp"
 
 namespace rs::core {
 
@@ -40,6 +43,48 @@ double PiecewiseLinearCost::at_real(double x) const {
   const Breakpoint& b = breakpoints_[hi];
   const double slope = (b.value - a.value) / (b.x - a.x);
   return a.value + slope * (x - a.x);
+}
+
+void PiecewiseLinearCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  if (breakpoints_.size() == 1) {
+    std::fill(out.begin(), out.begin() + (m + 1), breakpoints_.front().value);
+    return;
+  }
+  // The segment index of at_real() is monotone in x, so hoist the search
+  // across the row; the per-point expression (anchor + slope·dx with the
+  // same operands) is unchanged, keeping the values bit-identical to at().
+  std::size_t hi = 1;
+  double slope = (breakpoints_[1].value - breakpoints_[0].value) /
+                 (breakpoints_[1].x - breakpoints_[0].x);
+  for (int x = 0; x <= m; ++x) {
+    while (hi + 1 < breakpoints_.size() &&
+           breakpoints_[hi].x < static_cast<double>(x)) {
+      ++hi;
+      slope = (breakpoints_[hi].value - breakpoints_[hi - 1].value) /
+              (breakpoints_[hi].x - breakpoints_[hi - 1].x);
+    }
+    const Breakpoint& a = breakpoints_[hi - 1];
+    out[static_cast<std::size_t>(x)] =
+        a.value + slope * (static_cast<double>(x) - a.x);
+  }
+}
+
+std::optional<ConvexPwl> PiecewiseLinearCost::as_convex_pwl_impl(
+    int m, int max_breakpoints) const {
+  // A (possibly fractional) breakpoint at b.x kinks the integer restriction
+  // at floor(b.x) and ceil(b.x); sample that neighbourhood.
+  std::vector<long long> kinks;
+  kinks.reserve(4 * breakpoints_.size());
+  for (const Breakpoint& b : breakpoints_) {
+    const double clamped =
+        std::clamp(b.x, -2.0, static_cast<double>(m) + 2.0);
+    const long long knee = static_cast<long long>(std::floor(clamped));
+    for (long long offset = -1; offset <= 2; ++offset) {
+      kinks.push_back(knee + offset);
+    }
+  }
+  return convex_pwl_from_kinks(*this, m, std::move(kinks), max_breakpoints);
 }
 
 CostPtr make_hinge(double slope, double knee) {
@@ -81,6 +126,40 @@ double SumCost::at_real(double x) const {
     sum += v;
   }
   return sum;
+}
+
+void SumCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  parts_.front()->eval_row(m, out);
+  if (parts_.size() == 1) return;
+  auto scratch = rs::util::this_thread_workspace().borrow<double>(
+      static_cast<std::size_t>(m) + 1);
+  for (std::size_t i = 1; i < parts_.size(); ++i) {
+    parts_[i]->eval_row(m, scratch.span());
+    for (int x = 0; x <= m; ++x) {
+      out[static_cast<std::size_t>(x)] += scratch[static_cast<std::size_t>(x)];
+    }
+  }
+}
+
+bool SumCost::is_convex() const {
+  return std::all_of(parts_.begin(), parts_.end(),
+                     [](const CostPtr& part) { return part->is_convex(); });
+}
+
+std::optional<ConvexPwl> SumCost::as_convex_pwl_impl(int m,
+                                                int max_breakpoints) const {
+  // Kinks of the sum are the union of the parts' kinks; sampling this->at()
+  // there keeps the kink values bit-identical to the dense path.
+  std::vector<long long> kinks;
+  for (const CostPtr& part : parts_) {
+    const std::optional<ConvexPwl> form =
+        part->as_convex_pwl(m, max_breakpoints);
+    if (!form) return std::nullopt;
+    if (form->is_infinite()) return ConvexPwl::infinite();
+    for (int p : form->kink_positions()) kinks.push_back(p);
+  }
+  return convex_pwl_from_kinks(*this, m, std::move(kinks), max_breakpoints);
 }
 
 }  // namespace rs::core

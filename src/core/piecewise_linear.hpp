@@ -25,6 +25,14 @@ class PiecewiseLinearCost final : public CostFunction {
 
   double at(int x) const override;
   double at_real(double x) const override;
+  /// Segment-hoisted row fill (the per-x segment search of at() is monotone
+  /// in x, so one forward walk suffices); bit-identical to at().
+  void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return true; }  // validated at construction
+  /// Integer restriction of the continuous PWL: at most two integer kinks
+  /// per (possibly fractional) breakpoint, independent of m.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override { return "piecewise_linear"; }
 
   const std::vector<Breakpoint>& breakpoints() const { return breakpoints_; }
@@ -46,6 +54,16 @@ class SumCost final : public CostFunction {
   explicit SumCost(std::vector<CostPtr> parts);
   double at(int x) const override;
   double at_real(double x) const override;
+  /// One eval_row per part, accumulated in part order — same additions as
+  /// at() (its early-out on +inf is absorbed by inf-propagating addition),
+  /// hence bit-identical.
+  void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override;  // all parts structurally convex
+  /// Every part must convert; the sum is then rebuilt by sampling at()
+  /// over the union of the parts' kink positions (keeping kink values
+  /// bit-identical to the dense path), and must fit the budget.
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
   std::string name() const override { return "sum"; }
 
  private:

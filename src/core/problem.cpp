@@ -89,4 +89,16 @@ Problem materialize(const Problem& p) {
   return Problem(p.max_servers(), p.beta(), std::move(fs));
 }
 
+bool admits_compact_pwl(const Problem& p, int max_breakpoints) {
+  const int budget = max_breakpoints > 0
+                         ? max_breakpoints
+                         : compact_pwl_budget_for(p.max_servers());
+  for (int t = 1; t <= p.horizon(); ++t) {
+    if (!p.f(t).as_convex_pwl(p.max_servers(), budget)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace rs::core

@@ -55,4 +55,12 @@ Problem make_table_problem(int m, double beta,
 /// lazily-generated instances before timing-sensitive benchmarks).
 Problem materialize(const Problem& p);
 
+/// True when every slot cost converts to an exact convex-PWL form within
+/// the per-slot breakpoint budget — the instance-level capability check
+/// behind the automatic backend selection (work-function tracker, DP fast
+/// path, SolverEngine).  `max_breakpoints = 0` (the default) uses the
+/// m-relative auto budget `compact_pwl_budget_for(m)`.  O(sum of per-slot
+/// conversion costs), independent of m for compact families.
+bool admits_compact_pwl(const Problem& p, int max_breakpoints = 0);
+
 }  // namespace rs::core

@@ -17,17 +17,25 @@ using rs::core::Problem;
 
 namespace {
 
-SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense) {
+SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
+                     bool pwl_backed) {
+  // pwl_backed: the instance admits a compact convex-PWL form and no table
+  // was materialized for it — DP jobs run the kConvexAuto backend (the
+  // tracker behind run_online(Lcp) makes the same selection on its own).
   SolveOutcome outcome;
   switch (job.kind) {
     case SolverKind::kDpCost: {
-      const rs::offline::DpSolver solver;
+      const rs::offline::DpSolver solver(
+          pwl_backed ? rs::offline::DpSolver::Backend::kConvexAuto
+                     : rs::offline::DpSolver::Backend::kDense);
       outcome.cost =
           dense ? solver.solve_cost(*dense) : solver.solve_cost(*job.problem);
       break;
     }
     case SolverKind::kDpSchedule: {
-      const rs::offline::DpSolver solver;
+      const rs::offline::DpSolver solver(
+          pwl_backed ? rs::offline::DpSolver::Backend::kConvexAuto
+                     : rs::offline::DpSolver::Backend::kDense);
       rs::offline::OfflineResult result =
           dense ? solver.solve(*dense) : solver.solve(*job.problem);
       outcome.cost = result.cost;
@@ -130,11 +138,31 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
   // The timed window covers the shared materialization too — a batch's
   // throughput includes the cost of building its tables.
   with_batch_stats(stats, jobs.size(), threads(), [&]() {
-    // One-shot dense materialization per distinct Problem.  Tables are
-    // eager (immutable after construction), so sharing them across the
-    // batch's worker threads is safe.  Materialization happens up front on
-    // the calling thread; the eager constructor parallelizes internally
-    // over the global pool for large instances.
+    // Backend probe per distinct Problem: instances whose every slot
+    // admits a compact convex-PWL form run on the m-independent backend
+    // and never materialize a table (at m ~ 10⁶ the T×(m+1) table would
+    // not fit in memory, which is the point).
+    std::unordered_map<const Problem*, bool> admits_pwl;
+    std::vector<std::uint8_t> pwl_of(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const SolveJob& job = jobs[i];
+      if (job.dense || job.problem == nullptr ||
+          job.kind == SolverKind::kLowMemory) {
+        continue;  // explicit tables stay dense; kLowMemory streams
+      }
+      auto [it, inserted] = admits_pwl.try_emplace(job.problem, false);
+      if (inserted) it->second = rs::core::admits_compact_pwl(*job.problem);
+      if (it->second) {
+        pwl_of[i] = 1;
+        ++stats.pwl_backed;
+      }
+    }
+
+    // One-shot dense materialization per distinct Problem that still needs
+    // rows.  Tables are eager (immutable after construction), so sharing
+    // them across the batch's worker threads is safe.  Materialization
+    // happens up front on the calling thread; the eager constructor
+    // parallelizes internally over the global pool for large instances.
     std::vector<std::shared_ptr<const DenseProblem>> dense_of(jobs.size());
     if (options_.share_dense) {
       std::unordered_map<const Problem*, std::shared_ptr<const DenseProblem>>
@@ -146,6 +174,7 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
           dense_of[i] = job.dense;
           continue;
         }
+        if (pwl_of[i]) continue;  // served without rows
         auto [it, inserted] = cache.try_emplace(job.problem, nullptr);
         if (inserted) {
           // Rows only: the batch kinds never query the minimizer caches,
@@ -166,8 +195,9 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
       }
     }
 
-    dispatch(jobs.size(), [&jobs, &result, &dense_of](std::size_t i) {
-      result.outcomes[i] = run_one(jobs[i], dense_of[i].get());
+    dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of](std::size_t i) {
+      result.outcomes[i] =
+          run_one(jobs[i], dense_of[i].get(), pwl_of[i] != 0);
     });
   });
   return result;

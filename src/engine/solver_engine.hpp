@@ -65,6 +65,13 @@ struct BatchStats {
   std::size_t jobs = 0;
   std::size_t threads = 1;
   std::size_t dense_tables_built = 0;  // distinct instances materialized
+  // Jobs served by the m-independent convex-PWL backend (the engine probes
+  // each distinct Problem with core::admits_compact_pwl and routes its
+  // kDpCost/kDpSchedule/kLcp jobs there, skipping the dense table for that
+  // instance entirely — the selection that makes million-server batch
+  // entries feasible).  Jobs carrying an explicit pre-built table always
+  // run dense.
+  std::size_t pwl_backed = 0;
   double total_seconds = 0.0;
   double instances_per_second = 0.0;
   // Workspace growth events during the batch, summed over all threads; 0

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <span>
 
+#include "offline/backward_solver.hpp"
+#include "offline/work_function.hpp"
 #include "util/math_util.hpp"
 #include "util/workspace.hpp"
 
@@ -164,9 +166,47 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
   return *std::min_element(labels.begin(), labels.end());
 }
 
+// The convex fast path: the DP labels coincide with the bound work
+// function Ĉ^L (same relax, same f_t addition), so one auto-backend
+// tracker pass yields the optimal cost (min Ĉ^L_T) and the per-step bound
+// corridor, from which the Lemma-11 backward projection reconstructs an
+// optimal schedule without any parent table.  With the PWL backend this is
+// O(T·B log K) time and O(T + K) memory; on the dense fallback it is the
+// usual O(T·m).
+OfflineResult solve_convex_auto(const Problem& p, bool want_schedule) {
+  OfflineResult result;
+  const int T = p.horizon();
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+  WorkFunctionTracker tracker(p.max_servers(), p.beta());
+  BoundTrajectory bounds;
+  if (want_schedule) {
+    bounds.lower.reserve(static_cast<std::size_t>(T));
+    bounds.upper.reserve(static_cast<std::size_t>(T));
+  }
+  for (int t = 1; t <= T; ++t) {
+    tracker.advance(p.f(t));
+    if (want_schedule) {
+      bounds.lower.push_back(tracker.x_lower());
+      bounds.upper.push_back(tracker.x_upper());
+    }
+  }
+  result.cost = tracker.chat_lower(tracker.x_lower());
+  if (want_schedule && result.feasible()) {
+    result.schedule = backward_schedule(bounds);
+  }
+  return result;
+}
+
 }  // namespace
 
 OfflineResult DpSolver::solve(const Problem& p) const {
+  if (backend_ == Backend::kConvexAuto) {
+    return solve_convex_auto(p, /*want_schedule=*/true);
+  }
   const int m = p.max_servers();
   auto frow = rs::util::this_thread_workspace().borrow<double>(
       static_cast<std::size_t>(m) + 1);
@@ -183,6 +223,9 @@ OfflineResult DpSolver::solve(const DenseProblem& dense) const {
 }
 
 double DpSolver::solve_cost(const Problem& p) const {
+  if (backend_ == Backend::kConvexAuto) {
+    return solve_convex_auto(p, /*want_schedule=*/false).cost;
+  }
   const int m = p.max_servers();
   auto frow = rs::util::this_thread_workspace().borrow<double>(
       static_cast<std::size_t>(m) + 1);

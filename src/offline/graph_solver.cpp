@@ -1,22 +1,109 @@
 #include "offline/graph_solver.hpp"
 
-#include "graph/layered_graph.hpp"
-#include "graph/schedule_graph.hpp"
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/math_util.hpp"
+#include "util/workspace.hpp"
 
 namespace rs::offline {
 
+using rs::util::kInf;
+using rs::util::pos;
+
 OfflineResult GraphSolver::solve(const rs::core::Problem& p) const {
   OfflineResult result;
-  if (p.horizon() == 0) {
+  const int T = p.horizon();
+  if (T == 0) {
     result.schedule = {};
     result.cost = 0.0;
     return result;
   }
-  const rs::graph::LayeredGraph graph = rs::graph::build_schedule_graph(p);
-  const rs::graph::LayeredGraph::PathResult path = graph.shortest_path(0, 0);
-  result.cost = path.distance;
-  if (path.reachable()) {
-    result.schedule = rs::graph::path_to_schedule(path);
+  const int m = p.max_servers();
+  const double beta = p.beta();
+  const std::size_t width = static_cast<std::size_t>(m) + 1;
+
+  rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+  auto dist = workspace.borrow<double>(width);
+  auto next = workspace.borrow<double>(width);
+  auto frow = workspace.borrow<double>(width);
+  auto parents =
+      workspace.borrow<std::int32_t>(static_cast<std::size_t>(T) * width);
+
+  const auto fill_row = [&](int t) {
+    p.f(t).eval_row(m, frow.span());
+    for (int x = 0; x <= m; ++x) {
+      if (std::isnan(frow[static_cast<std::size_t>(x)])) {
+        // The explicit builder rejected NaN at add_edge time; keep the
+        // contract.
+        throw std::invalid_argument("GraphSolver: NaN edge weight");
+      }
+    }
+  };
+
+  // Layer 0 -> 1: the single source v_{0,0} pays f_1(j) + β·j (power-up
+  // from x_0 = 0); same expression as the explicit edge weights.
+  fill_row(1);
+  for (int j = 0; j <= m; ++j) {
+    dist[static_cast<std::size_t>(j)] =
+        frow[static_cast<std::size_t>(j)] + beta * static_cast<double>(j);
+    parents[static_cast<std::size_t>(j)] = 0;
+  }
+
+  // Layers t-1 -> t: relax every (j -> j') transition with weight
+  // β(j'−j)⁺ + f_t(j').  Candidates arrive in ascending j for each j',
+  // exactly the insertion order of the explicit per-layer edge lists, so
+  // argmin ties resolve identically (first strict improvement wins).
+  for (int t = 2; t <= T; ++t) {
+    fill_row(t);
+    std::int32_t* parent_row =
+        parents.data() + static_cast<std::size_t>(t - 1) * width;
+    for (int jp = 0; jp <= m; ++jp) {
+      const double fj = frow[static_cast<std::size_t>(jp)];
+      double best = kInf;
+      std::int32_t arg = -1;
+      if (!std::isinf(fj)) {
+        for (int j = 0; j <= m; ++j) {
+          const double from = dist[static_cast<std::size_t>(j)];
+          if (std::isinf(from)) continue;
+          const double weight =
+              beta * static_cast<double>(pos(jp - j)) + fj;
+          const double candidate = from + weight;
+          if (candidate < best) {
+            best = candidate;
+            arg = static_cast<std::int32_t>(j);
+          }
+        }
+      }
+      next[static_cast<std::size_t>(jp)] = best;
+      parent_row[jp] = arg;
+    }
+    std::swap(dist.vec(), next.vec());
+  }
+
+  // Layer T -> T+1: free power-down into v_{T+1,0}; smallest argmin wins
+  // (edges were inserted in ascending j).
+  double best = kInf;
+  int final_state = -1;
+  for (int j = 0; j <= m; ++j) {
+    if (dist[static_cast<std::size_t>(j)] < best) {
+      best = dist[static_cast<std::size_t>(j)];
+      final_state = j;
+    }
+  }
+  result.cost = final_state >= 0 ? best : kInf;
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
+  int state = final_state;
+  for (int t = T; t >= 1; --t) {
+    if (state < 0) {
+      throw std::logic_error("GraphSolver: broken parent chain");
+    }
+    result.schedule[static_cast<std::size_t>(t - 1)] = state;
+    state = parents[static_cast<std::size_t>(t - 1) * width +
+                    static_cast<std::size_t>(state)];
   }
   return result;
 }

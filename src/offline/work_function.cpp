@@ -8,10 +8,11 @@
 
 namespace rs::offline {
 
+using rs::core::ConvexPwl;
 using rs::util::kInf;
 
-WorkFunctionTracker::WorkFunctionTracker(int m, double beta)
-    : m_(m), beta_(beta) {
+WorkFunctionTracker::WorkFunctionTracker(int m, double beta, Backend backend)
+    : m_(m), beta_(beta), backend_(backend) {
   if (m < 0) throw std::invalid_argument("WorkFunctionTracker: m < 0");
   if (!(beta > 0.0)) {
     throw std::invalid_argument("WorkFunctionTracker: beta must be > 0");
@@ -19,23 +20,80 @@ WorkFunctionTracker::WorkFunctionTracker(int m, double beta)
   // τ = 0 state encodes x_0 = 0: reaching x already "costs" the pending
   // power-up βx under L-accounting and nothing under U-accounting; those
   // charges materialize on the first advance through the relax step, so the
-  // initial labels are 0 at state 0 and +inf elsewhere.  The label rows are
-  // borrowed from the thread workspace, so constructing a tracker per solve
-  // (the LCP replay pattern) is allocation-free after warm-up.
+  // initial work functions are 0 at state 0 and +inf elsewhere.  Backend
+  // storage is created lazily: the PWL pair is two empty point functions,
+  // the dense rows are borrowed from the thread workspace only if the
+  // dense backend is ever engaged.
+  pwl_l_ = ConvexPwl::point(0, 0.0);
+  pwl_u_ = ConvexPwl::point(0, 0.0);
+}
+
+void WorkFunctionTracker::init_dense() {
   const std::size_t width = static_cast<std::size_t>(m_) + 1;
   rs::util::Workspace& workspace = rs::util::this_thread_workspace();
   chat_l_ = workspace.borrow<double>(width);
   chat_u_ = workspace.borrow<double>(width);
   scratch_ = workspace.borrow<double>(width);
-  std::fill(chat_l_.begin(), chat_l_.end(), kInf);
-  std::fill(chat_u_.begin(), chat_u_.end(), kInf);
-  chat_l_[0] = 0.0;
-  chat_u_[0] = 0.0;
+  if (tau_ == 0) {
+    std::fill(chat_l_.begin(), chat_l_.end(), kInf);
+    std::fill(chat_u_.begin(), chat_u_.end(), kInf);
+    chat_l_[0] = 0.0;
+    chat_u_[0] = 0.0;
+  } else {
+    // Mid-run fallback: materialize the PWL pair into label rows.  Values
+    // agree with an all-dense run up to FP association order (exactly on
+    // integer instances); see DESIGN.md §8.
+    pwl_l_.materialize(m_, chat_l_.span());
+    pwl_u_.materialize(m_, chat_u_.span());
+  }
+  pwl_l_ = ConvexPwl::infinite();
+  pwl_u_ = ConvexPwl::infinite();
+  mode_ = Mode::kDense;
+}
+
+void WorkFunctionTracker::ensure_dense_backend() {
+  if (mode_ == Mode::kDense) return;
+  if (backend_ == Backend::kPwl) {
+    throw std::logic_error(
+        "WorkFunctionTracker: dense backend requested on a forced-PWL "
+        "tracker");
+  }
+  init_dense();
 }
 
 void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
+  if (mode_ != Mode::kDense) {
+    const int budget = backend_ == Backend::kPwl
+                           ? rs::core::kUnboundedBreakpoints
+                           : rs::core::compact_pwl_budget_for(m_);
+    if (backend_ != Backend::kDense) {
+      if (std::optional<ConvexPwl> form = f.as_convex_pwl(m_, budget)) {
+        advance_pwl(*form);
+        return;
+      }
+      if (backend_ == Backend::kPwl) {
+        throw std::invalid_argument(
+            "WorkFunctionTracker: cost function has no compact convex-PWL "
+            "form (forced-PWL backend)");
+      }
+    }
+    init_dense();
+  }
   f.eval_row(m_, scratch_.span());
-  advance(std::span<const double>(scratch_.span()));
+  advance_dense(std::span<const double>(scratch_.span()));
+}
+
+void WorkFunctionTracker::advance(const rs::core::ConvexPwl& f) {
+  if (mode_ != Mode::kDense) {
+    if (backend_ == Backend::kDense) {
+      init_dense();
+    } else {
+      advance_pwl(f);
+      return;
+    }
+  }
+  f.materialize(m_, scratch_.span());
+  advance_dense(std::span<const double>(scratch_.span()));
 }
 
 void WorkFunctionTracker::advance(const std::vector<double>& values) {
@@ -46,6 +104,39 @@ void WorkFunctionTracker::advance(std::span<const double> values) {
   if (static_cast<int>(values.size()) != m_ + 1) {
     throw std::invalid_argument("WorkFunctionTracker::advance: need m+1 values");
   }
+  if (mode_ != Mode::kDense) {
+    if (backend_ == Backend::kPwl) {
+      throw std::logic_error(
+          "WorkFunctionTracker: raw value rows require the dense backend");
+    }
+    init_dense();
+  }
+  advance_dense(values);
+}
+
+void WorkFunctionTracker::advance_pwl(const ConvexPwl& f) {
+  mode_ = Mode::kPwl;
+  // The PWL mirror of the three dense passes: relax clips the slope
+  // sequence into the accounting band and extends the domain to [0, m]
+  // (flat where the movement is free, ±β where it is charged), then the
+  // f_τ addition merges breakpoint sets and intersects domains.
+  pwl_l_.relax_charge_up(beta_, 0, m_);
+  pwl_l_.add(f);
+  pwl_u_.relax_charge_down(beta_, 0, m_);
+  pwl_u_.add(f);
+  if (pwl_l_.is_infinite()) {
+    // All labels +inf: the dense minimizer scans leave x^L at 0 (strict <
+    // never fires) and walk x^U to m (<= always fires); mirror that.
+    x_lower_ = 0;
+    x_upper_ = m_;
+  } else {
+    x_lower_ = pwl_l_.argmin().lo;
+    x_upper_ = pwl_u_.argmin().hi;
+  }
+  ++tau_;
+}
+
+void WorkFunctionTracker::advance_dense(std::span<const double> values) {
   const int m = m_;
   const double beta = beta_;
   double* cl = chat_l_.data();
@@ -115,16 +206,50 @@ void WorkFunctionTracker::require_started() const {
   }
 }
 
+int WorkFunctionTracker::breakpoint_count() const noexcept {
+  return mode_ == Mode::kPwl ? pwl_l_.breakpoints() : 0;
+}
+
 double WorkFunctionTracker::chat_lower(int x) const {
   require_started();
   if (x < 0 || x > m_) throw std::out_of_range("chat_lower: x out of range");
+  if (mode_ == Mode::kPwl) return pwl_l_.value_at(x);
   return chat_l_[static_cast<std::size_t>(x)];
 }
 
 double WorkFunctionTracker::chat_upper(int x) const {
   require_started();
   if (x < 0 || x > m_) throw std::out_of_range("chat_upper: x out of range");
+  if (mode_ == Mode::kPwl) return pwl_u_.value_at(x);
   return chat_u_[static_cast<std::size_t>(x)];
+}
+
+const std::vector<double>& WorkFunctionTracker::chat_lower_vector() {
+  require_started();
+  ensure_dense_backend();
+  return chat_l_.vec();
+}
+
+const std::vector<double>& WorkFunctionTracker::chat_upper_vector() {
+  require_started();
+  ensure_dense_backend();
+  return chat_u_.vec();
+}
+
+const ConvexPwl& WorkFunctionTracker::chat_lower_pwl() const {
+  require_started();
+  if (mode_ != Mode::kPwl) {
+    throw std::logic_error("chat_lower_pwl: PWL backend is not live");
+  }
+  return pwl_l_;
+}
+
+const ConvexPwl& WorkFunctionTracker::chat_upper_pwl() const {
+  require_started();
+  if (mode_ != Mode::kPwl) {
+    throw std::logic_error("chat_upper_pwl: PWL backend is not live");
+  }
+  return pwl_u_;
 }
 
 int WorkFunctionTracker::x_lower() const {
@@ -137,11 +262,12 @@ int WorkFunctionTracker::x_upper() const {
   return x_upper_;
 }
 
-BoundTrajectory compute_bounds(const rs::core::Problem& p) {
+BoundTrajectory compute_bounds(const rs::core::Problem& p,
+                               WorkFunctionTracker::Backend backend) {
   BoundTrajectory bounds;
   bounds.lower.reserve(static_cast<std::size_t>(p.horizon()));
   bounds.upper.reserve(static_cast<std::size_t>(p.horizon()));
-  WorkFunctionTracker tracker(p.max_servers(), p.beta());
+  WorkFunctionTracker tracker(p.max_servers(), p.beta(), backend);
   for (int t = 1; t <= p.horizon(); ++t) {
     tracker.advance(p.f(t));
     bounds.lower.push_back(tracker.x_lower());
@@ -154,7 +280,8 @@ BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense) {
   BoundTrajectory bounds;
   bounds.lower.reserve(static_cast<std::size_t>(dense.horizon()));
   bounds.upper.reserve(static_cast<std::size_t>(dense.horizon()));
-  WorkFunctionTracker tracker(dense.max_servers(), dense.beta());
+  WorkFunctionTracker tracker(dense.max_servers(), dense.beta(),
+                              WorkFunctionTracker::Backend::kDense);
   for (int t = 1; t <= dense.horizon(); ++t) {
     tracker.advance(dense.row(t));
     bounds.lower.push_back(tracker.x_lower());

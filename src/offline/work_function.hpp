@@ -8,20 +8,41 @@
 //   x^L_τ = smallest minimizer of Ĉ^L_τ   (lower bound, Lemma 6)
 //   x^U_τ = largest  minimizer of Ĉ^U_τ   (upper bound, Lemma 6)
 //
-// One advance() costs O(m) via prefix/suffix minima, fused into three
-// array passes (L-relax forward; L-suffix + U-relax backward; U-prefix +
-// cost add + minimizer tracking forward), so the bounds x^L_τ / x^U_τ come
-// out of the advance itself instead of two extra O(m) scans.  Both
-// functions are maintained independently even though Lemma 7 proves
+// Two interchangeable backends maintain the pair:
+//
+//   * kDense — flat label rows; one advance() costs O(m) via prefix/suffix
+//     minima fused into three array passes (L-relax forward; L-suffix +
+//     U-relax backward; U-prefix + cost add + minimizer tracking forward).
+//   * kPwl — both functions are convex whenever every f_τ is convex, so
+//     they are kept as exact convex piecewise-linear functions
+//     (core/convex_pwl.hpp): the relax steps clip the slope sequences into
+//     [0, β] / [−β, 0] (amortized O(1) per breakpoint) and the f_τ
+//     addition merges its breakpoints, making one advance O(B log K) in
+//     breakpoint counts and fully independent of m — the backend for
+//     m ~ 10⁵..10⁶ instances where even streaming O(m) rows is the
+//     bottleneck (arXiv:1807.05112 §LCP, arXiv:2108.09489).
+//
+// Backend::kAuto (the default) resolves per instance at runtime: advances
+// fed a CostFunction use kPwl while every slot converts compactly
+// (CostFunction::as_convex_pwl within kCompactPwlBudget breakpoints) and
+// switch to kDense permanently — materializing the current Ĉ pair into
+// label rows — on the first slot that does not.  Advances fed raw value
+// rows always use kDense.  Both backends produce identical bounds and
+// chat values up to floating-point association order (bit-identical on
+// integer-valued instances); see DESIGN.md §8.
+//
+// Both functions are maintained independently even though Lemma 7 proves
 // Ĉ^L_τ(x) = Ĉ^U_τ(x) + βx — the redundancy is asserted in tests.
 //
 // This tracker powers the discrete LCP algorithm (Section 3), the
-// prediction-window variant, and the Lemma-11 offline construction.
+// prediction-window variant, the Lemma-11 offline construction, and the
+// DpSolver convex fast path.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/convex_pwl.hpp"
 #include "core/dense_problem.hpp"
 #include "core/problem.hpp"
 #include "util/workspace.hpp"
@@ -30,18 +51,30 @@ namespace rs::offline {
 
 class WorkFunctionTracker {
  public:
-  /// Tracker for a data center with m servers and power-up cost beta.
-  /// Label storage is borrowed from the constructing thread's workspace
-  /// arena (util/workspace.hpp); the handles keep the arena state alive,
-  /// so the tracker may safely outlive the thread (its memory then parks
-  /// with that thread's pool until the tracker is destroyed).
-  WorkFunctionTracker(int m, double beta);
+  enum class Backend {
+    kAuto,   // kPwl while every advanced cost converts compactly, else kDense
+    kDense,  // always the O(m) label rows
+    kPwl,    // force the PWL backend; non-convertible advances throw
+  };
 
-  /// Feeds f_τ (the next operating-cost function); O(m).  The row is
-  /// evaluated in one eval_row call — no per-state virtual dispatch.
+  /// Tracker for a data center with m servers and power-up cost beta.
+  /// Dense label storage is borrowed lazily from the constructing thread's
+  /// workspace arena (util/workspace.hpp) the first time the dense backend
+  /// is engaged, so a PWL-backed tracker never allocates O(m) state; the
+  /// buffer handles keep the arena state alive, so the tracker may safely
+  /// outlive the thread.
+  WorkFunctionTracker(int m, double beta, Backend backend = Backend::kAuto);
+
+  /// Feeds f_τ (the next operating-cost function).  O(B log K) on the PWL
+  /// backend, O(m) (one eval_row, no per-state dispatch) on the dense one.
   void advance(const rs::core::CostFunction& f);
 
-  /// Feeds f_τ given as explicit values f(0..m).
+  /// Feeds f_τ in exact convex-PWL form (skips the conversion; a dense
+  /// tracker materializes the row instead).
+  void advance(const rs::core::ConvexPwl& f);
+
+  /// Feeds f_τ given as explicit values f(0..m); dense backend only (a
+  /// forced-kPwl tracker throws std::logic_error).
   void advance(const std::vector<double>& values);
 
   /// Feeds f_τ given as a dense row (e.g. DenseProblem::row).
@@ -50,11 +83,33 @@ class WorkFunctionTracker {
   int tau() const noexcept { return tau_; }
   int max_servers() const noexcept { return m_; }
 
-  /// Ĉ^L_τ(x) and Ĉ^U_τ(x); require 0 <= x <= m and τ >= 1.
+  /// True while the PWL backend is live (false before the first advance
+  /// and after any fallback to dense).
+  bool using_pwl() const noexcept { return mode_ == Mode::kPwl; }
+
+  /// Live breakpoints of Ĉ^L (0 on the dense backend); diagnostics for the
+  /// K-vs-m scaling story.
+  int breakpoint_count() const noexcept;
+
+  /// Ĉ^L_τ(x) and Ĉ^U_τ(x); require 0 <= x <= m and τ >= 1.  O(K) on the
+  /// PWL backend, O(1) dense.
   double chat_lower(int x) const;
   double chat_upper(int x) const;
-  const std::vector<double>& chat_lower_vector() const { return chat_l_.vec(); }
-  const std::vector<double>& chat_upper_vector() const { return chat_u_.vec(); }
+
+  /// Dense label rows; switches a PWL tracker to the dense backend first
+  /// (the row views must stay valid across later advances).
+  const std::vector<double>& chat_lower_vector();
+  const std::vector<double>& chat_upper_vector();
+
+  /// The live PWL forms; require using_pwl().
+  const rs::core::ConvexPwl& chat_lower_pwl() const;
+  const rs::core::ConvexPwl& chat_upper_pwl() const;
+
+  /// Permanently switches to the dense backend (no-op if already dense),
+  /// materializing the current Ĉ pair.  Mixed consumers (e.g. a windowed
+  /// LCP whose lookahead does not convert) use this to keep every per-x
+  /// query O(1).
+  void ensure_dense_backend();
 
   /// The online bounds x^L_τ and x^U_τ (tie-broken per Section 3.1);
   /// O(1) — maintained during advance().
@@ -62,16 +117,27 @@ class WorkFunctionTracker {
   int x_upper() const;
 
  private:
+  enum class Mode { kUndecided, kPwl, kDense };
+
   void require_started() const;
+  void init_dense();
+  void advance_dense(std::span<const double> values);
+  void advance_pwl(const rs::core::ConvexPwl& f);
 
   int m_;
   double beta_;
+  Backend backend_;
+  Mode mode_ = Mode::kUndecided;
   int tau_ = 0;
-  int x_lower_ = 0;  // smallest minimizer of chat_l_, updated per advance
-  int x_upper_ = 0;  // largest minimizer of chat_u_
-  // Label rows and the eval_row scratch are workspace-borrowed so repeated
-  // tracker construction (one per LCP replay / trial) is allocation-free
-  // after warm-up; the tracker is move-only as a consequence.
+  int x_lower_ = 0;  // smallest minimizer of Ĉ^L, updated per advance
+  int x_upper_ = 0;  // largest minimizer of Ĉ^U
+  // PWL backend state (empty maps until first use).
+  rs::core::ConvexPwl pwl_l_;
+  rs::core::ConvexPwl pwl_u_;
+  // Dense backend state.  Label rows and the eval_row scratch are
+  // workspace-borrowed so repeated tracker construction (one per LCP
+  // replay / trial) is allocation-free after warm-up; the tracker is
+  // move-only as a consequence.
   rs::util::Workspace::Buffer<double> chat_l_;
   rs::util::Workspace::Buffer<double> chat_u_;
   rs::util::Workspace::Buffer<double> scratch_;
@@ -83,10 +149,12 @@ struct BoundTrajectory {
   std::vector<int> lower;  // x^L_1..x^L_T
   std::vector<int> upper;  // x^U_1..x^U_T
 };
-BoundTrajectory compute_bounds(const rs::core::Problem& p);
+BoundTrajectory compute_bounds(
+    const rs::core::Problem& p,
+    WorkFunctionTracker::Backend backend = WorkFunctionTracker::Backend::kAuto);
 
 /// Same, consuming pre-materialized rows (shared with other dense-backed
-/// passes over the instance).
+/// passes over the instance); always the dense backend.
 BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense);
 
 }  // namespace rs::offline

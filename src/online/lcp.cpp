@@ -5,7 +5,7 @@
 namespace rs::online {
 
 void Lcp::reset(const OnlineContext& context) {
-  tracker_.emplace(context.m, context.beta);
+  tracker_.emplace(context.m, context.beta, backend_);
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;

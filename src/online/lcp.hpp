@@ -7,6 +7,12 @@
 // only when forced out of the [x^L, x^U] corridor — it is 3-competitive and,
 // by Theorem 4, optimally so among deterministic online algorithms for the
 // discrete problem.
+//
+// The work-function tracker behind decide() auto-selects its backend: on
+// instances whose slot costs admit compact convex-PWL forms every step is
+// O(B log K) in breakpoint counts — independent of m, the configuration
+// that scales LCP to 10⁵-10⁶ servers (see bench_scaling, E13) — and
+// otherwise it runs the dense O(m) three-pass update.
 #pragma once
 
 #include <optional>
@@ -18,6 +24,14 @@ namespace rs::online {
 
 class Lcp final : public OnlineAlgorithm {
  public:
+  /// `backend` pins the tracker backend; kAuto (default) selects per
+  /// instance as described above.  kDense is the reference path (and the
+  /// baseline the scaling benchmarks compare against); kPwl throws on
+  /// costs without a compact convex-PWL form.
+  explicit Lcp(rs::offline::WorkFunctionTracker::Backend backend =
+                   rs::offline::WorkFunctionTracker::Backend::kAuto)
+      : backend_(backend) {}
+
   std::string name() const override { return "lcp"; }
   void reset(const OnlineContext& context) override;
   int decide(const rs::core::CostPtr& f,
@@ -29,6 +43,7 @@ class Lcp final : public OnlineAlgorithm {
   int last_upper() const { return last_upper_; }
 
  private:
+  rs::offline::WorkFunctionTracker::Backend backend_;
   // In-place tracker (workspace-backed): reset() re-emplaces without a heap
   // allocation, so replay harnesses can reset per run for free.
   std::optional<rs::offline::WorkFunctionTracker> tracker_;

@@ -66,9 +66,29 @@ std::vector<double> completion_costs(
   return d;
 }
 
+rs::core::ConvexPwl completion_costs_pwl(
+    std::span<const rs::core::ConvexPwl> window, int m, double beta,
+    bool charge_up) {
+  // Same recursion as the dense pass (add f_j, then relax), with the relax
+  // realized as a slope clip: under L-accounting (charge_up) future
+  // up-moves cost β, i.e. slopes below −β are raised onto the −β tangent
+  // and the increasing part is flattened — the charge-down clip; the
+  // U-accounting window mirrors it.
+  rs::core::ConvexPwl d = rs::core::ConvexPwl::constant(0, m, 0.0);
+  for (std::size_t j = window.size(); j-- > 0;) {
+    d.add(window[j]);
+    if (charge_up) {
+      d.relax_charge_down(beta, 0, m);
+    } else {
+      d.relax_charge_up(beta, 0, m);
+    }
+  }
+  return d;
+}
+
 void WindowedLcp::reset(const OnlineContext& context) {
   context_ = context;
-  tracker_.emplace(context.m, context.beta);
+  tracker_.emplace(context.m, context.beta, backend_);
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;
@@ -76,8 +96,68 @@ void WindowedLcp::reset(const OnlineContext& context) {
 
 int WindowedLcp::decide(const rs::core::CostPtr& f,
                         std::span<const rs::core::CostPtr> lookahead) {
-  tracker_->advance(*f);
   const int m = context_.m;
+
+  // PWL fast path: usable while the tracker has not fallen back to dense
+  // and the revealed cost plus the whole lookahead convert compactly.  The
+  // per-step cost is then independent of m.
+  if (backend_ != rs::offline::WorkFunctionTracker::Backend::kDense &&
+      (tracker_->tau() == 0 || tracker_->using_pwl())) {
+    const int budget =
+        backend_ == rs::offline::WorkFunctionTracker::Backend::kPwl
+            ? rs::core::kUnboundedBreakpoints
+            : rs::core::compact_pwl_budget_for(m);
+    std::optional<rs::core::ConvexPwl> fp = f->as_convex_pwl(m, budget);
+    if (fp) {
+      std::vector<rs::core::ConvexPwl> window;
+      window.reserve(lookahead.size());
+      bool convertible = true;
+      for (const rs::core::CostPtr& g : lookahead) {
+        std::optional<rs::core::ConvexPwl> gp = g->as_convex_pwl(m, budget);
+        if (!gp) {
+          convertible = false;
+          break;
+        }
+        window.push_back(std::move(*gp));
+      }
+      if (convertible) {
+        tracker_->advance(*fp);
+        const rs::core::ConvexPwl d_lower =
+            completion_costs_pwl(window, m, context_.beta, /*charge_up=*/true);
+        const rs::core::ConvexPwl d_upper =
+            completion_costs_pwl(window, m, context_.beta,
+                                 /*charge_up=*/false);
+        rs::core::ConvexPwl sum_lower = tracker_->chat_lower_pwl();
+        sum_lower.add(d_lower);
+        rs::core::ConvexPwl sum_upper = tracker_->chat_upper_pwl();
+        sum_upper.add(d_upper);
+        int lower = 0;
+        int upper = m;  // all-infinite sums: the dense scan's (0, m)
+        if (!sum_lower.is_infinite()) {
+          lower = sum_lower.argmin().lo;   // smallest minimizer, strict <
+          upper = sum_upper.argmin().hi;   // largest minimizer, <=
+        }
+        last_lower_ = lower;
+        last_upper_ = upper;
+        const int lo = std::min(lower, upper);
+        const int hi = std::max(lower, upper);
+        current_ = rs::util::project(current_, lo, hi);
+        return current_;
+      }
+    }
+    // Not compactly convertible.  A forced-PWL run cannot proceed — name
+    // the cause (matching the Lcp/tracker contract) rather than tripping
+    // the tracker's internal forced-PWL invariant below.
+    if (backend_ == rs::offline::WorkFunctionTracker::Backend::kPwl) {
+      throw std::invalid_argument(
+          "WindowedLcp: revealed cost or lookahead has no convex-PWL form "
+          "(forced-PWL backend)");
+    }
+    // Latch the dense backend so every later per-x query below stays O(1).
+    tracker_->ensure_dense_backend();
+  }
+
+  tracker_->advance(*f);
 
   const std::size_t width = static_cast<std::size_t>(m) + 1;
   rs::util::Workspace& workspace = rs::util::this_thread_workspace();

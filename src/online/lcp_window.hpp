@@ -28,6 +28,17 @@ namespace rs::online {
 
 class WindowedLcp final : public OnlineAlgorithm {
  public:
+  /// `backend` pins the tracker/completion backend; kAuto (default) uses
+  /// the m-independent convex-PWL pass whenever the revealed cost and the
+  /// whole lookahead convert compactly, falling back to the dense O(w·m)
+  /// pass otherwise.  Note the tie caveat of DESIGN.md §8: on instances
+  /// with exact cost plateaus the two backends may break corridor ties
+  /// differently (both remain valid windowed-LCP runs); pin kDense for
+  /// bit-reproducibility against dense references.
+  explicit WindowedLcp(rs::offline::WorkFunctionTracker::Backend backend =
+                           rs::offline::WorkFunctionTracker::Backend::kAuto)
+      : backend_(backend) {}
+
   std::string name() const override { return "lcp_window"; }
   void reset(const OnlineContext& context) override;
   int decide(const rs::core::CostPtr& f,
@@ -38,6 +49,8 @@ class WindowedLcp final : public OnlineAlgorithm {
 
  private:
   OnlineContext context_;
+  rs::offline::WorkFunctionTracker::Backend backend_ =
+      rs::offline::WorkFunctionTracker::Backend::kAuto;
   std::optional<rs::offline::WorkFunctionTracker> tracker_;
   int current_ = 0;
   int last_lower_ = 0;
@@ -55,5 +68,16 @@ std::vector<double> completion_costs(
 /// thread workspace, so the per-step window pass is allocation-free.
 void completion_costs(std::span<const rs::core::CostPtr> window, double beta,
                       bool charge_up, std::span<double> d);
+
+/// Convex-PWL form of the same backward recursion: the window rows are
+/// exact convex PWL functions, each backward step is an add plus a slope
+/// clip into [−β, 0] (L-accounting) or [0, β] (U-accounting), so the whole
+/// window pass is O(w·B log K) — independent of m.  WindowedLcp takes this
+/// path automatically whenever the revealed cost and the entire lookahead
+/// convert compactly (and falls back to the dense pass, permanently, on
+/// the first step where they do not).
+rs::core::ConvexPwl completion_costs_pwl(
+    std::span<const rs::core::ConvexPwl> window, int m, double beta,
+    bool charge_up);
 
 }  // namespace rs::online

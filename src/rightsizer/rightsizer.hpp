@@ -9,6 +9,7 @@
 #include "analysis/monte_carlo.hpp"      // IWYU pragma: export
 #include "analysis/savings.hpp"          // IWYU pragma: export
 #include "analysis/sweep.hpp"            // IWYU pragma: export
+#include "core/convex_pwl.hpp"           // IWYU pragma: export
 #include "core/cost_function.hpp"        // IWYU pragma: export
 #include "core/dense_problem.hpp"        // IWYU pragma: export
 #include "core/piecewise_linear.hpp"     // IWYU pragma: export

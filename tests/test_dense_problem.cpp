@@ -283,8 +283,16 @@ TEST(DenseEquivalence, OnlineAlgorithmsMatchPerPointPath) {
       const DenseProblem lazy(p, DenseProblem::Mode::kLazy);
       EXPECT_EQ(rs::online::run_lcp_dense(lazy), dense_schedule) << label;
 
-      rs::online::WindowedLcp windowed_dense;
-      rs::online::WindowedLcp windowed_per_point;
+      // Pinned to the dense backend on both sides: this suite isolates the
+      // dense-row-vs-per-point evaluation layer.  (Auto would take the
+      // convex-PWL pass for p but not for the FunctionCost-wrapped q, and
+      // on exact-tie instances the windowed corridor may tie-break
+      // differently across backends — see DESIGN.md §8; the cross-backend
+      // equivalence suite lives in test_convex_pwl.cpp.)
+      rs::online::WindowedLcp windowed_dense(
+          rs::offline::WorkFunctionTracker::Backend::kDense);
+      rs::online::WindowedLcp windowed_per_point(
+          rs::offline::WorkFunctionTracker::Backend::kDense);
       EXPECT_EQ(rs::online::run_online(windowed_dense, p, /*window=*/3),
                 rs::online::run_online(windowed_per_point, q, /*window=*/3))
           << label;

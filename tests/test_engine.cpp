@@ -24,7 +24,10 @@ using rs::engine::SolverKind;
 const SolverKind kAllKinds[] = {SolverKind::kDpCost, SolverKind::kDpSchedule,
                                 SolverKind::kLcp, SolverKind::kLowMemory};
 
-// A small fleet of instances across every generator family.
+// A small fleet of instances across every generator family, plus
+// FunctionCost-wrapped copies that have no convex-PWL form: the engine's
+// automatic backend selection must serve both (PWL path without tables /
+// dense path with shared tables) in one batch.
 std::vector<Problem> fleet_instances() {
   std::vector<Problem> instances;
   std::uint64_t seed = 71;
@@ -36,6 +39,17 @@ std::vector<Problem> fleet_instances() {
     rs::util::Rng rng2(seed++);
     instances.push_back(
         rs::workload::random_instance(rng2, family, 6, 4, 1.5));
+  }
+  {
+    rs::util::Rng rng(seed++);
+    const Problem p = rs::workload::random_instance(
+        rng, rs::workload::InstanceFamily::kConvexTable, 9, 6, 2.0);
+    std::vector<rs::core::CostPtr> opaque;
+    for (int t = 1; t <= p.horizon(); ++t) {
+      opaque.push_back(std::make_shared<rs::core::FunctionCost>(
+          [f = p.f_ptr(t)](int x) { return f->at(x); }, "opaque"));
+    }
+    instances.emplace_back(p.max_servers(), p.beta(), std::move(opaque));
   }
   return instances;
 }
@@ -51,15 +65,21 @@ std::vector<SolveJob> fleet_jobs(const std::vector<Problem>& instances) {
 }
 
 // The sequential solo reference for one job, through the library's plain
-// entry points (streaming per-instance paths).
+// entry points (streaming per-instance paths) under the engine's
+// documented backend selection: DP jobs on instances admitting a compact
+// convex-PWL form run Backend::kConvexAuto; LCP replays select the same
+// way on their own inside the work-function tracker.
 rs::engine::SolveOutcome solo_solve(const Problem& p, SolverKind kind) {
+  const rs::offline::DpSolver dp(rs::core::admits_compact_pwl(p)
+                                     ? rs::offline::DpSolver::Backend::kConvexAuto
+                                     : rs::offline::DpSolver::Backend::kDense);
   rs::engine::SolveOutcome outcome;
   switch (kind) {
     case SolverKind::kDpCost:
-      outcome.cost = rs::offline::DpSolver().solve_cost(p);
+      outcome.cost = dp.solve_cost(p);
       break;
     case SolverKind::kDpSchedule: {
-      const rs::offline::OfflineResult r = rs::offline::DpSolver().solve(p);
+      const rs::offline::OfflineResult r = dp.solve(p);
       outcome.cost = r.cost;
       outcome.schedule = r.schedule;
       break;
@@ -143,7 +163,21 @@ TEST(SolverEngine, BatchMatchesSoloSolvesAcrossKindsAndFamilies) {
   const BatchResult batch = engine.run(jobs);
   ASSERT_EQ(batch.outcomes.size(), jobs.size());
   EXPECT_EQ(batch.stats.jobs, jobs.size());
-  EXPECT_EQ(batch.stats.dense_tables_built, instances.size());
+  // Tables are materialized only for instances that do not admit the
+  // convex-PWL backend; PWL-served jobs are counted in pwl_backed.
+  std::size_t expected_tables = 0;
+  std::size_t expected_pwl_jobs = 0;
+  for (const Problem& p : instances) {
+    if (rs::core::admits_compact_pwl(p)) {
+      expected_pwl_jobs += 3;  // kDpCost, kDpSchedule, kLcp
+    } else {
+      ++expected_tables;
+    }
+  }
+  EXPECT_GT(expected_tables, 0u);   // the fleet covers the dense path...
+  EXPECT_GT(expected_pwl_jobs, 0u);  // ...and the PWL path
+  EXPECT_EQ(batch.stats.dense_tables_built, expected_tables);
+  EXPECT_EQ(batch.stats.pwl_backed, expected_pwl_jobs);
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const rs::engine::SolveOutcome expected =
