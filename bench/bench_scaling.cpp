@@ -47,10 +47,26 @@ struct ScalingRow {
   double table_ms = -1.0;  // -1: skipped (memory budget)
   int max_breakpoints = 0;
   double dp_pwl_ms = -1.0;  // DpSolver kConvexAuto cost-only pass
+  // Newly covered solvers (PR 5), measured on a T-256 sub-instance against
+  // the shared PwlProblem cache: the low-memory D&C (dense arm is
+  // O(T·m·log T), skipped at m = 10⁶) and the grid-restricted bounded DP
+  // (dense arm enumerates |grid|² transitions per step).
+  int sub_T = 0;
+  double lowmem_pwl_ms = -1.0;
+  double lowmem_dense_ms = -1.0;  // -1: skipped (memory/time budget)
+  int bdp_grid = 0;               // grid column size
+  double bdp_pwl_ms = -1.0;
+  double bdp_dense_ms = -1.0;
   double pwl_ns_per_step() const { return pwl_ms * 1e6 / T; }
   double dense_ns_per_step() const { return dense_ms * 1e6 / T; }
   double speedup_vs_dense() const {
     return dense_ms > 0.0 ? dense_ms / pwl_ms : 0.0;
+  }
+  double lowmem_speedup() const {
+    return lowmem_dense_ms > 0.0 ? lowmem_dense_ms / lowmem_pwl_ms : 0.0;
+  }
+  double bdp_speedup() const {
+    return bdp_dense_ms > 0.0 ? bdp_dense_ms / bdp_pwl_ms : 0.0;
   }
 };
 
@@ -95,6 +111,28 @@ rs::core::Problem hinge_sla_instance(int T, int m, double beta) {
             rs::core::make_hinge(static_cast<double>(rng.uniform_int(1, 2)),
                                  knee + slack),
         }));
+  }
+  return rs::core::Problem(m, beta, std::move(fs));
+}
+
+// Restricted model with linear per-server tariffs: LinearLoadSlotCost with
+// integer base/rate and a drifting integer workload — the family whose
+// exact zero-breakpoint PWL form puts eq. (2) on the m-independent path
+// (RestrictedSlotCost's opaque load curve cannot).
+rs::core::Problem linear_tariff_instance(int T, int m, double beta) {
+  rs::util::Rng rng(static_cast<std::uint64_t>(m) * 3000017u + 41u);
+  std::vector<rs::core::CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) {
+    const double phase =
+        2.0 * 3.14159265358979323846 * static_cast<double>(t) / 120.0;
+    const double demand =
+        std::floor((0.35 + 0.3 * std::sin(phase)) * m +
+                   rng.uniform(-0.02, 0.02) * static_cast<double>(m));
+    fs.push_back(std::make_shared<rs::core::LinearLoadSlotCost>(
+        static_cast<double>(rng.uniform_int(1, 3)),
+        static_cast<double>(rng.uniform_int(0, 4)),
+        std::max(0.0, demand)));
   }
   return rs::core::Problem(m, beta, std::move(fs));
 }
@@ -168,6 +206,7 @@ int main(int argc, char** argv) {
   const Family families[] = {
       {"affine_abs", &affine_abs_instance},
       {"hinge_sla", &hinge_sla_instance},
+      {"linear_tariff", &linear_tariff_instance},
   };
 
   rs::util::TextTable table({"family", "m", "T", "pwl ns/step",
@@ -224,6 +263,57 @@ int main(int argc, char** argv) {
         row.table_ms = best;
       }
 
+      // Newly covered solvers: low-memory D&C and grid-restricted bounded
+      // DP on one shared PwlProblem (the conversion cache: T conversions
+      // total, every arm below replays from the same forms).
+      row.sub_T = smoke ? 64 : 256;
+      {
+        const rs::core::Problem sub = family.make(row.sub_T, m, beta);
+        const std::optional<rs::core::PwlProblem> cache =
+            rs::core::PwlProblem::try_convert(sub);
+        rs::bench::check(cache.has_value(),
+                         family.name + " converts once into the cache");
+
+        rs::offline::OfflineResult lm_fast;
+        {
+          rs::util::Stopwatch watch;
+          lm_fast = rs::offline::LowMemorySolver().solve(*cache);
+          row.lowmem_pwl_ms = watch.milliseconds();
+        }
+        if (m <= 100000) {  // dense D&C is O(T·m·log T): out of budget at 1e6
+          rs::util::Stopwatch watch;
+          const rs::offline::OfflineResult lm_dense =
+              rs::offline::LowMemorySolver().solve(sub);
+          row.lowmem_dense_ms = watch.milliseconds();
+          rs::bench::check(lm_fast.schedule == lm_dense.schedule,
+                           "PWL and dense low-memory schedules identical on " +
+                               family.name + " m=" + std::to_string(m));
+        }
+
+        // Φ-style grid at ~256-state resolution; the dense arm enumerates
+        // |grid|² transitions per step, the PWL arm clips slopes.
+        const int stride = std::max(1, m / 256);
+        const std::vector<std::vector<int>> states(
+            static_cast<std::size_t>(row.sub_T),
+            rs::core::multiples_of(stride, m));
+        row.bdp_grid = static_cast<int>(states.front().size());
+        rs::offline::OfflineResult bdp_fast;
+        {
+          rs::util::Stopwatch watch;
+          bdp_fast = rs::offline::solve_bounded(sub, states, *cache);
+          row.bdp_pwl_ms = watch.milliseconds();
+        }
+        {
+          rs::util::Stopwatch watch;
+          const rs::offline::OfflineResult bdp_dense =
+              rs::offline::solve_bounded(sub, states);
+          row.bdp_dense_ms = watch.milliseconds();
+          rs::bench::check(bdp_fast.schedule == bdp_dense.schedule,
+                           "PWL and dense bounded-DP schedules identical on " +
+                               family.name + " m=" + std::to_string(m));
+        }
+      }
+
       table.add_row(
           {row.family, std::to_string(row.m), std::to_string(row.T),
            rs::util::TextTable::num(row.pwl_ns_per_step(), 1),
@@ -238,6 +328,28 @@ int main(int argc, char** argv) {
   }
   std::cout << table << "\n";
 
+  rs::util::TextTable solvers_table(
+      {"family", "m", "lowmem pwl ms", "lowmem dense ms", "lowmem speedup",
+       "grid", "bdp pwl ms", "bdp dense ms", "bdp speedup"});
+  for (const ScalingRow& row : rows) {
+    solvers_table.add_row(
+        {row.family, std::to_string(row.m),
+         rs::util::TextTable::num(row.lowmem_pwl_ms, 3),
+         row.lowmem_dense_ms >= 0.0
+             ? rs::util::TextTable::num(row.lowmem_dense_ms, 3)
+             : std::string("skipped"),
+         row.lowmem_dense_ms >= 0.0
+             ? rs::util::TextTable::num(row.lowmem_speedup(), 1) + "x"
+             : std::string("-"),
+         std::to_string(row.bdp_grid),
+         rs::util::TextTable::num(row.bdp_pwl_ms, 3),
+         rs::util::TextTable::num(row.bdp_dense_ms, 3),
+         rs::util::TextTable::num(row.bdp_speedup(), 1) + "x"});
+  }
+  std::cout << "newly covered solvers (T=" << (smoke ? 64 : 256)
+            << " sub-instances, shared PwlProblem cache)\n"
+            << solvers_table << "\n";
+
   if (!smoke) {
     for (const Family& family : families) {
       const ScalingRow* smallest = nullptr;
@@ -250,12 +362,23 @@ int main(int argc, char** argv) {
           rs::bench::check(row.speedup_vs_dense() >= 10.0,
                            "PWL >= 10x faster than dense streaming at m=1e5 "
                            "on " + family.name);
+          rs::bench::check(row.lowmem_speedup() >= 10.0,
+                           "PWL low-memory D&C >= 10x over dense at m=1e5 "
+                           "on " + family.name);
+          rs::bench::check(row.bdp_speedup() >= 10.0,
+                           "PWL grid bounded-DP >= 10x over dense at m=1e5 "
+                           "on " + family.name);
         }
         if (row.m == 1000000) {
           rs::bench::check(row.table_ms < 0.0,
                            "table backend structurally out of reach at m=1e6");
           rs::bench::check(row.pwl_ms >= 0.0,
                            "PWL backend runs at m=1e6 on " + family.name);
+          rs::bench::check(row.lowmem_pwl_ms >= 0.0 &&
+                               row.lowmem_dense_ms < 0.0,
+                           "PWL low-memory D&C runs at m=1e6, where the "
+                           "dense O(T·m·log T) arm is out of budget, on " +
+                               family.name);
         }
       }
       rs::bench::check(
@@ -278,7 +401,15 @@ int main(int argc, char** argv) {
           << ", \"table_ms\": " << row.table_ms
           << ", \"dp_pwl_ms\": " << row.dp_pwl_ms
           << ", \"speedup_vs_dense\": " << row.speedup_vs_dense()
-          << ", \"max_breakpoints\": " << row.max_breakpoints << "}"
+          << ", \"max_breakpoints\": " << row.max_breakpoints
+          << ", \"sub_T\": " << row.sub_T
+          << ", \"lowmem_pwl_ms\": " << row.lowmem_pwl_ms
+          << ", \"lowmem_dense_ms\": " << row.lowmem_dense_ms
+          << ", \"lowmem_speedup\": " << row.lowmem_speedup()
+          << ", \"bdp_grid\": " << row.bdp_grid
+          << ", \"bdp_pwl_ms\": " << row.bdp_pwl_ms
+          << ", \"bdp_dense_ms\": " << row.bdp_dense_ms
+          << ", \"bdp_speedup\": " << row.bdp_speedup() << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";

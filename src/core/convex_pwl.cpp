@@ -33,6 +33,110 @@ double ConvexPwl::value_at(int x) const {
   return value;
 }
 
+void ConvexPwl::eval_at_sorted(std::span<const int> xs,
+                               std::span<double> out) const {
+  assert(out.size() >= xs.size());
+  std::size_t i = 0;
+  if (infinite_) {
+    for (; i < xs.size(); ++i) out[i] = kInf;
+    return;
+  }
+  for (; i < xs.size() && xs[i] < lo_; ++i) out[i] = kInf;
+  // One forward accumulation shared by all in-domain positions.  Values
+  // agree with value_at up to FP association order (exactly on
+  // integer-valued forms) — the same contract the conversions carry.
+  double value = v_lo_;
+  double slope = slope0_;
+  int position = lo_;
+  auto it = dslope_.begin();
+  for (; i < xs.size() && xs[i] <= hi_; ++i) {
+    const int x = xs[i];
+    assert(x >= position && "eval_at_sorted: positions must ascend");
+    while (it != dslope_.end() && it->first <= x) {
+      value += slope * static_cast<double>(it->first - position);
+      position = it->first;
+      slope += it->second;
+      ++it;
+    }
+    value += slope * static_cast<double>(x - position);
+    position = x;
+    out[i] = value;
+  }
+  for (; i < xs.size(); ++i) out[i] = kInf;
+}
+
+ConvexPwl ConvexPwl::resample_stride(int stride) const {
+  assert(stride >= 1);
+  if (infinite_) return infinite();
+  if (stride == 1) return *this;
+  // In-library domains live in [0, m], so plain division is floor/ceil.
+  const int y_lo = (lo_ + stride - 1) / stride;
+  const int y_hi = hi_ / stride;
+  if (y_lo > y_hi) return infinite();
+
+  // Slope sum over the x-range [x0, x1).  Computed as slope·length terms
+  // (never as a difference of accumulated values), so rounding stays
+  // relative to slope magnitudes — the scale the builder's merge epsilon
+  // is calibrated against.  Cells are queried in ascending, disjoint
+  // order, so the walk resumes where the previous cell ended (O(K) across
+  // the whole resample, not per cell) — increments consumed inside a cell
+  // lie strictly left of every later cell.
+  auto it = dslope_.begin();
+  double running_slope = slope0_;
+  const auto cell_delta = [this, &it, &running_slope](int x0, int x1) {
+    while (it != dslope_.end() && it->first <= x0) {
+      running_slope += it->second;
+      ++it;
+    }
+    double delta = 0.0;
+    int position = x0;
+    while (it != dslope_.end() && it->first < x1) {
+      delta += running_slope * static_cast<double>(it->first - position);
+      position = it->first;
+      running_slope += it->second;
+      ++it;
+    }
+    delta += running_slope * static_cast<double>(x1 - position);
+    return delta;
+  };
+
+  ConvexPwlBuilder builder;
+  builder.start(y_lo, value_at(y_lo * stride));
+  if (y_lo < y_hi) {
+    // Grid cells between candidate positions share one slope sum: a
+    // breakpoint at p only perturbs the cell containing it (and shifts the
+    // steady-state slope from the next cell on), so floor(p/stride) and
+    // floor(p/stride)+1 bracket every distinct per-cell delta.
+    std::vector<int> candidates;
+    candidates.reserve(2 * dslope_.size() + 2);
+    candidates.push_back(y_lo);
+    for (const auto& [p, d] : dslope_) {
+      const int q = p / stride;
+      if (q > y_lo && q < y_hi) candidates.push_back(q);
+      if (q + 1 > y_lo && q + 1 < y_hi) candidates.push_back(q + 1);
+    }
+    candidates.push_back(y_hi);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (std::size_t i = 0; i + 1 < candidates.size(); ++i) {
+      const int a = candidates[i];
+      builder.run(cell_delta(a * stride, (a + 1) * stride),
+                  candidates[i + 1]);
+    }
+  }
+  // (1 << 30) mirrors kUnboundedBreakpoints, which lives one layer up in
+  // cost_function.hpp.
+  std::optional<ConvexPwl> result = builder.finish(1 << 30);
+  // Restriction of a convex function to an arithmetic grid is convex; the
+  // builder could only decline on rounding noise beyond the merge epsilon,
+  // which the slope-sum evaluation above keeps orders of magnitude below.
+  if (!result) {
+    throw std::logic_error("ConvexPwl::resample_stride: non-convex resample");
+  }
+  return *result;
+}
+
 ConvexPwl::ArgminInterval ConvexPwl::argmin() const {
   assert(!infinite_ && "argmin of the infinite function");
   ArgminInterval result;
@@ -304,6 +408,11 @@ void ConvexPwlBuilder::run(double slope, int x_end) {
   }
   if (!runs_.empty()) {
     const double previous = runs_.back().second;
+    // Mixed tolerance: relative in the slope magnitudes with an absolute
+    // floor of kConvexPwlMergeEps.  Without the 1.0 operand the tolerance
+    // would degenerate for adjacent slopes straddling zero (prev ~ +1e-13,
+    // next ~ −1e-13), rejecting rounding noise as concavity; see the
+    // kConvexPwlMergeEps comment and the NearZeroSlopePairs tests.
     const double scale =
         std::max({std::fabs(previous), std::fabs(slope), 1.0});
     if (slope < previous - kConvexPwlMergeEps * scale) {

@@ -78,6 +78,22 @@ class ConvexPwl {
   /// value.  O(K).
   double value_at(int x) const;
 
+  /// Batch evaluation at ascending positions: out[i] = W(xs[i]) (+inf
+  /// outside the domain).  One forward walk over the slope sequence,
+  /// O(K + n) total instead of value_at's O(K) per point — the evaluation
+  /// path for bounded_dp's sorted candidate columns.  Requires xs sorted
+  /// ascending and out.size() >= xs.size().
+  void eval_at_sorted(std::span<const int> xs, std::span<double> out) const;
+
+  /// The restriction x -> W(x·stride) as a ConvexPwl over the grid index
+  /// (domain [ceil(lo/stride), floor(hi/stride)]; infinite when no grid
+  /// point lands in [lo, hi]).  Convexity is preserved by restriction to an
+  /// arithmetic progression; grid values are reproduced by exact slope
+  /// accumulation (no divisions), so integer-valued forms resample
+  /// exactly.  Backs the Φ_k grid-column fast path of solve_bounded.
+  /// Requires stride >= 1.
+  ConvexPwl resample_stride(int stride) const;
+
   struct ArgminInterval {
     int lo = 0;      // smallest minimizer (paper's x^L tie-break)
     int hi = 0;      // largest minimizer (paper's x^U tie-break)
@@ -167,8 +183,15 @@ class ConvexPwlBuilder {
   std::vector<std::pair<int, double>> runs_;  // (start position, slope)
 };
 
-/// Relative tolerance under which a slope decrease across consecutive runs
-/// is treated as rounding noise and merged instead of rejected.
+/// Tolerance under which a slope decrease across consecutive runs is
+/// treated as rounding noise and merged instead of rejected.  The applied
+/// tolerance is *mixed*: eps · max(|prev|, |slope|, 1).  The 1.0 floor is
+/// load-bearing — for adjacent slopes straddling zero (e.g. +1e-13
+/// followed by −1e-13, the shape hinge conversions produce at exactly-flat
+/// plateaus) a purely relative tolerance degenerates to ~0 and would
+/// reject genuinely convex inputs; the floor turns it into an absolute
+/// 1e-12 near zero while staying relative for large slopes.  Pinned by the
+/// NearZeroSlopePairs regression tests.
 inline constexpr double kConvexPwlMergeEps = 1e-12;
 
 }  // namespace rs::core

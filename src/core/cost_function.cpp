@@ -333,6 +333,68 @@ void RestrictedSlotCost::eval_row(int m, std::span<double> out) const {
 
 // ---------------------------------------------------------------------------
 
+LinearLoadSlotCost::LinearLoadSlotCost(double base, double rate,
+                                       double lambda)
+    : base_(base), rate_(rate), lambda_(lambda) {
+  if (!(base >= 0.0)) {  // rejects NaN along with negatives
+    throw std::invalid_argument("LinearLoadSlotCost: negative base tariff");
+  }
+  if (!(rate >= 0.0)) {
+    throw std::invalid_argument("LinearLoadSlotCost: negative load rate");
+  }
+  if (!(lambda >= 0.0)) {
+    throw std::invalid_argument("LinearLoadSlotCost: negative workload");
+  }
+}
+
+double LinearLoadSlotCost::at(int x) const {
+  return at_real(static_cast<double>(x));
+}
+
+double LinearLoadSlotCost::at_real(double x) const {
+  if (x < 0.0) throw std::invalid_argument("LinearLoadSlotCost: x < 0");
+  if (x < lambda_) return kInf;  // constraint x_t >= λ_t (paper eq. 2)
+  if (x == 0.0) return 0.0;      // λ must be 0 here; an empty center is free
+  return base_ * x + rate_ * lambda_;
+}
+
+void LinearLoadSlotCost::eval_row(int m, std::span<double> out) const {
+  assert(m >= 0 && out.size() >= static_cast<std::size_t>(m) + 1);
+  // Mirrors at() on integers with the same expression per state; the
+  // infeasible prefix and the x = 0 special case are resolved up front.
+  // Careful double-space comparison before the cast (λ may exceed INT_MAX).
+  const int first_feasible = lambda_ > static_cast<double>(m)
+                                 ? m + 1
+                                 : static_cast<int>(std::ceil(lambda_));
+  std::fill(out.begin(), out.begin() + first_feasible, kInf);
+  int x = first_feasible;
+  if (x == 0) {
+    out[0] = 0.0;
+    x = 1;
+  }
+  const double load_term = rate_ * lambda_;
+  for (; x <= m; ++x) {
+    out[static_cast<std::size_t>(x)] =
+        base_ * static_cast<double>(x) + load_term;
+  }
+}
+
+std::optional<ConvexPwl> LinearLoadSlotCost::as_convex_pwl_impl(
+    int m, int max_breakpoints) const {
+  (void)max_breakpoints;  // zero breakpoints always fit any budget
+  if (lambda_ > static_cast<double>(m)) return ConvexPwl::infinite();
+  const int lo = static_cast<int>(std::ceil(lambda_));
+  ConvexPwlBuilder builder;
+  builder.start(lo, at(lo));
+  // Affine on the whole feasible range: at(lo+1) − at(lo) reproduces the
+  // base slope exactly (the x = 0 special value is at(0) = 0 = base·0 +
+  // rate·0, consistent with the closed form since λ = 0 there).
+  if (lo < m) builder.run(at(lo + 1) - at(lo), m);
+  return builder.finish(max_breakpoints);
+}
+
+// ---------------------------------------------------------------------------
+
 ScaledCost::ScaledCost(CostPtr base, double factor)
     : base_(std::move(base)), factor_(factor) {
   if (!base_) throw std::invalid_argument("ScaledCost: null base");

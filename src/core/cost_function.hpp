@@ -220,6 +220,36 @@ class RestrictedSlotCost final : public CostFunction {
   double lambda_;
 };
 
+/// Restricted-model slot cost (paper eq. 2) with a *linear* per-server
+/// tariff f(z) = base + rate·z: the perspective x·f(λ/x) collapses to
+/// base·x + rate·λ on the feasible range x >= λ (and 0 at x = 0 when
+/// λ = 0), i.e. an affine function with an infeasibility prefix.  Unlike
+/// RestrictedSlotCost's opaque load curve, the closed form admits an exact
+/// convex-PWL representation with zero breakpoints, so the restricted
+/// model with linear tariffs rides the m-independent backend (the variant
+/// Hübotter's implementation study, arXiv:2108.09489, benchmarks).
+/// Requires base >= 0, rate >= 0, lambda >= 0 (NaN rejected).
+class LinearLoadSlotCost final : public CostFunction {
+ public:
+  LinearLoadSlotCost(double base, double rate, double lambda);
+  double at(int x) const override;
+  double at_real(double x) const override;
+  void eval_row(int m, std::span<double> out) const override;
+  bool is_convex() const override { return true; }
+  /// Exact: one affine segment on [⌈λ⌉, m] (all-infinite when λ > m).
+  std::optional<ConvexPwl> as_convex_pwl_impl(int m,
+                                              int max_breakpoints) const override;
+  std::string name() const override { return "linear_load"; }
+  double base() const noexcept { return base_; }
+  double rate() const noexcept { return rate_; }
+  double lambda() const noexcept { return lambda_; }
+
+ private:
+  double base_;    // per-server cost at zero load
+  double rate_;    // per-server cost increase per unit load
+  double lambda_;  // slot workload; states x < λ are infeasible
+};
+
 /// base(x) * factor, factor >= 0.  Used by the Theorem-10 sequence
 /// stretching (each replica charges f_t / (n·w)).
 class ScaledCost final : public CostFunction {

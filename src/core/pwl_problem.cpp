@@ -1,0 +1,52 @@
+#include "core/pwl_problem.hpp"
+
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
+namespace rs::core {
+
+namespace {
+
+// Conversions are cheap (a handful of at() probes per slot for the compact
+// families), so the pool only pays off on long horizons.
+constexpr std::size_t kParallelThreshold = 512;
+
+}  // namespace
+
+std::optional<PwlProblem> PwlProblem::try_convert(const Problem& p,
+                                                  int max_breakpoints) {
+  const int m = p.max_servers();
+  const int budget =
+      max_breakpoints > 0 ? max_breakpoints : compact_pwl_budget_for(m);
+  const std::size_t T = static_cast<std::size_t>(p.horizon());
+  std::vector<ConvexPwl> forms(T);
+
+  const auto convert_slot = [&p, m, budget,
+                             &forms](std::size_t i) -> bool {
+    std::optional<ConvexPwl> form =
+        p.f(static_cast<int>(i) + 1).as_convex_pwl(m, budget);
+    if (!form) return false;
+    forms[i] = std::move(*form);
+    return true;
+  };
+
+  if (T >= kParallelThreshold) {
+    std::atomic<bool> ok{true};
+    rs::util::global_pool().parallel_for(0, T, [&](std::size_t i) {
+      // No early exit across workers: a failed slot just flips the flag
+      // (the wasted sibling conversions are bounded by one chunk).
+      if (ok.load(std::memory_order_relaxed) && !convert_slot(i)) {
+        ok.store(false, std::memory_order_relaxed);
+      }
+    });
+    if (!ok.load()) return std::nullopt;
+  } else {
+    for (std::size_t i = 0; i < T; ++i) {
+      if (!convert_slot(i)) return std::nullopt;
+    }
+  }
+  return PwlProblem(m, p.beta(), budget, std::move(forms));
+}
+
+}  // namespace rs::core

@@ -1,5 +1,6 @@
 #include "engine/solver_engine.hpp"
 
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -14,36 +15,40 @@ namespace rs::engine {
 
 using rs::core::DenseProblem;
 using rs::core::Problem;
+using rs::core::PwlProblem;
 
 namespace {
 
 SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
-                     bool pwl_backed) {
-  // pwl_backed: the instance admits a compact convex-PWL form and no table
-  // was materialized for it — DP jobs run the kConvexAuto backend (the
-  // tracker behind run_online(Lcp) makes the same selection on its own).
+                     const rs::core::PwlProblem* pwl) {
+  // pwl: the batch's shared form cache for this instance (non-null exactly
+  // when it admits a compact convex-PWL form and no table was materialized
+  // for it).  Every kind replays from the cached forms — no job performs a
+  // conversion of its own.
   SolveOutcome outcome;
   switch (job.kind) {
     case SolverKind::kDpCost: {
-      const rs::offline::DpSolver solver(
-          pwl_backed ? rs::offline::DpSolver::Backend::kConvexAuto
-                     : rs::offline::DpSolver::Backend::kDense);
-      outcome.cost =
-          dense ? solver.solve_cost(*dense) : solver.solve_cost(*job.problem);
+      const rs::offline::DpSolver solver;
+      outcome.cost = pwl     ? solver.solve_cost(*pwl)
+                     : dense ? solver.solve_cost(*dense)
+                             : solver.solve_cost(*job.problem);
       break;
     }
     case SolverKind::kDpSchedule: {
-      const rs::offline::DpSolver solver(
-          pwl_backed ? rs::offline::DpSolver::Backend::kConvexAuto
-                     : rs::offline::DpSolver::Backend::kDense);
+      const rs::offline::DpSolver solver;
       rs::offline::OfflineResult result =
-          dense ? solver.solve(*dense) : solver.solve(*job.problem);
+          pwl     ? solver.solve(*pwl)
+          : dense ? solver.solve(*dense)
+                  : solver.solve(*job.problem);
       outcome.cost = result.cost;
       outcome.schedule = std::move(result.schedule);
       break;
     }
     case SolverKind::kLcp: {
-      if (dense) {
+      if (pwl) {
+        outcome.schedule = rs::online::run_lcp_pwl(*pwl);
+        outcome.cost = rs::core::total_cost(*job.problem, outcome.schedule);
+      } else if (dense) {
         outcome.schedule = rs::online::run_lcp_dense(*dense);
         outcome.cost = rs::core::total_cost(*dense, outcome.schedule);
       } else {
@@ -54,8 +59,9 @@ SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
       break;
     }
     case SolverKind::kLowMemory: {
+      const rs::offline::LowMemorySolver solver;
       rs::offline::OfflineResult result =
-          rs::offline::LowMemorySolver().solve(*job.problem);
+          pwl ? solver.solve(*pwl) : solver.solve(*job.problem);
       outcome.cost = result.cost;
       outcome.schedule = std::move(result.schedule);
       break;
@@ -141,19 +147,29 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
     // Backend probe per distinct Problem: instances whose every slot
     // admits a compact convex-PWL form run on the m-independent backend
     // and never materialize a table (at m ~ 10⁶ the T×(m+1) table would
-    // not fit in memory, which is the point).
-    std::unordered_map<const Problem*, bool> admits_pwl;
-    std::vector<std::uint8_t> pwl_of(jobs.size(), 0);
+    // not fit in memory, which is the point).  The probe converts by
+    // building one shared PwlProblem per distinct instance — each slot is
+    // converted exactly once per batch and the forms are what the routed
+    // jobs replay from, not a discarded capability bit.
+    std::unordered_map<const Problem*, std::shared_ptr<const PwlProblem>>
+        pwl_cache;
+    std::vector<std::shared_ptr<const PwlProblem>> pwl_of(jobs.size());
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const SolveJob& job = jobs[i];
-      if (job.dense || job.problem == nullptr ||
-          job.kind == SolverKind::kLowMemory) {
-        continue;  // explicit tables stay dense; kLowMemory streams
+      if (job.dense || job.problem == nullptr) {
+        continue;  // explicit tables stay dense
       }
-      auto [it, inserted] = admits_pwl.try_emplace(job.problem, false);
-      if (inserted) it->second = rs::core::admits_compact_pwl(*job.problem);
+      auto [it, inserted] = pwl_cache.try_emplace(job.problem, nullptr);
+      if (inserted) {
+        if (std::optional<PwlProblem> built =
+                PwlProblem::try_convert(*job.problem)) {
+          it->second =
+              std::make_shared<const PwlProblem>(std::move(*built));
+          stats.pwl_conversions += it->second->conversions();
+        }
+      }
       if (it->second) {
-        pwl_of[i] = 1;
+        pwl_of[i] = it->second;
         ++stats.pwl_backed;
       }
     }
@@ -197,7 +213,7 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
 
     dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of](std::size_t i) {
       result.outcomes[i] =
-          run_one(jobs[i], dense_of[i].get(), pwl_of[i] != 0);
+          run_one(jobs[i], dense_of[i].get(), pwl_of[i].get());
     });
   });
   return result;

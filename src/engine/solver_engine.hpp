@@ -31,6 +31,7 @@
 
 #include "core/dense_problem.hpp"
 #include "core/problem.hpp"
+#include "core/pwl_problem.hpp"
 #include "core/schedule.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,13 +66,18 @@ struct BatchStats {
   std::size_t jobs = 0;
   std::size_t threads = 1;
   std::size_t dense_tables_built = 0;  // distinct instances materialized
-  // Jobs served by the m-independent convex-PWL backend (the engine probes
-  // each distinct Problem with core::admits_compact_pwl and routes its
-  // kDpCost/kDpSchedule/kLcp jobs there, skipping the dense table for that
-  // instance entirely — the selection that makes million-server batch
-  // entries feasible).  Jobs carrying an explicit pre-built table always
-  // run dense.
+  // Jobs served by the m-independent convex-PWL backend.  The engine
+  // probes each distinct Problem by building a shared core::PwlProblem
+  // (the probe IS the cache — its forms are kept, not discarded) and
+  // routes every job kind of an admitting instance there, skipping the
+  // dense table for that instance entirely — the selection that makes
+  // million-server batch entries feasible.  Jobs carrying an explicit
+  // pre-built table always run dense.
   std::size_t pwl_backed = 0;
+  // Slot-to-ConvexPwl conversions performed this batch: exactly one per
+  // slot per admitting distinct instance, however many jobs share it (the
+  // one-conversion-per-slot invariant the regression tests assert).
+  std::size_t pwl_conversions = 0;
   double total_seconds = 0.0;
   double instances_per_second = 0.0;
   // Workspace growth events during the batch, summed over all threads; 0

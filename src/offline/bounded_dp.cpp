@@ -11,26 +11,22 @@
 
 namespace rs::offline {
 
+using rs::core::ConvexPwl;
 using rs::core::Problem;
 using rs::core::Schedule;
 using rs::util::kInf;
 using rs::util::pos;
 
-OfflineResult solve_bounded(const Problem& p,
-                            const std::vector<std::vector<int>>& states,
-                            BoundedDpStats* stats) {
-  const int T = p.horizon();
-  if (static_cast<int>(states.size()) != T) {
+namespace {
+
+void validate_columns(const Problem& p,
+                      const std::vector<std::vector<int>>& states,
+                      std::size_t& max_columns, std::size_t& total_states) {
+  if (static_cast<int>(states.size()) != p.horizon()) {
     throw std::invalid_argument("solve_bounded: need one state set per slot");
   }
-  OfflineResult result;
-  if (T == 0) {
-    result.schedule = {};
-    result.cost = 0.0;
-    return result;
-  }
-  std::size_t max_columns = 1;
-  std::size_t total_states = 0;
+  max_columns = 1;
+  total_states = 0;
   for (const std::vector<int>& column : states) {
     if (column.empty()) {
       throw std::invalid_argument("solve_bounded: empty candidate column");
@@ -44,6 +40,102 @@ OfflineResult solve_bounded(const Problem& p,
     max_columns = std::max(max_columns, column.size());
     total_states += column.size();
   }
+}
+
+// Stride s when every column is the same arithmetic progression
+// {0, s, 2s, ..}, the shape of the full-state and Φ_k grid configurations
+// (Section 2.3); 0 otherwise.  Only these columns admit the convex label
+// fast path — a sparse irregular candidate set is not a convex domain.
+int uniform_grid_stride(const std::vector<std::vector<int>>& states) {
+  if (states.empty()) return 0;
+  const std::vector<int>& first = states.front();
+  if (first.front() != 0) return 0;
+  const int stride = first.size() > 1 ? first[1] : 1;
+  if (stride <= 0) return 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    if (first[i] != static_cast<int>(i) * stride) return 0;
+  }
+  for (const std::vector<int>& column : states) {
+    if (column != first) return 0;
+  }
+  return stride;
+}
+
+// The transition kernel β·(y − y')⁺ as a function of y' on [0, m_y]:
+// slope −β up to y, flat after — what a dense parent scan adds to the
+// previous labels before taking its smallest argmin.
+ConvexPwl up_transition_kernel(double beta, int y, int m_y) {
+  rs::core::ConvexPwlBuilder builder;
+  builder.start(0, beta * static_cast<double>(y));
+  if (y > 0) builder.run(-beta, y);
+  if (y < m_y) builder.run(0.0, m_y);
+  return *builder.finish(rs::core::kUnboundedBreakpoints);
+}
+
+// Convex label fast path for uniform-grid columns: in grid units y = x/s
+// the restricted DP is the plain DP with β_y = β·s and f_y(y) = f(y·s), so
+// the labels W_t are convex PWL whenever the slot costs are — one step
+// costs O(B log K) independent of both m and the column size (the dense
+// kernel below enumerates |column|² transitions).  The per-step labels are
+// retained (O(T·K) memory) so the schedule is reconstructed with the dense
+// path's exact tie-breaking: final state = smallest argmin of W_T, parent
+// of y = smallest argmin of W_{t-1}(y') + β_y(y − y')⁺ — the same "strict
+// improvement, ascending scan" rule the parent pointers record.
+OfflineResult solve_bounded_grid_pwl(const Problem& p,
+                                     const rs::core::PwlProblem& pwl,
+                                     int stride, int m_y) {
+  const int T = p.horizon();
+  const double beta_y = p.beta() * static_cast<double>(stride);
+  std::vector<ConvexPwl> labels;
+  labels.reserve(static_cast<std::size_t>(T));
+  ConvexPwl w = ConvexPwl::point(0, 0.0);  // x_0 = 0
+  for (int t = 1; t <= T; ++t) {
+    w.relax_charge_up(beta_y, 0, m_y);
+    // add() intersects domains, so a form whose feasible range ends below
+    // (or starts above) the grid restricts the labels exactly like the
+    // dense kernel's +inf candidates.
+    w.add(pwl.form(t).resample_stride(stride));
+    labels.push_back(w);
+  }
+
+  OfflineResult result;
+  if (w.is_infinite()) {
+    result.cost = kInf;
+    return result;
+  }
+  const ConvexPwl::ArgminInterval last = w.argmin();
+  result.cost = last.value;
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
+  int y = last.lo;
+  result.schedule[static_cast<std::size_t>(T - 1)] = y * stride;
+  for (int t = T; t >= 2; --t) {
+    ConvexPwl h = labels[static_cast<std::size_t>(t - 2)];
+    h.add(up_transition_kernel(beta_y, y, m_y));
+    if (h.is_infinite()) {
+      throw std::logic_error("solve_bounded: no predecessor for a state on "
+                             "a feasible path");
+    }
+    y = h.argmin().lo;
+    result.schedule[static_cast<std::size_t>(t - 2)] = y * stride;
+  }
+  return result;
+}
+
+// The candidate-column DP shared by the dense and the PWL-cached
+// evaluation paths; `eval_column(t, column, out)` fills f_t over the
+// column.  Callers have already validated the columns (max_columns /
+// total_states come from that pass) and handled T = 0.
+template <typename EvalColumn>
+OfflineResult solve_bounded_impl(const Problem& p,
+                                 const std::vector<std::vector<int>>& states,
+                                 BoundedDpStats* stats,
+                                 std::size_t max_columns,
+                                 std::size_t total_states,
+                                 EvalColumn&& eval_column) {
+  const int T = p.horizon();
+  OfflineResult result;
 
   // labels[i]: best cost ending in states[t-1][i].  Parents for backtracking
   // live in one flat workspace buffer (offsets[t-1] is slot t's base), so
@@ -73,28 +165,7 @@ OfflineResult solve_bounded(const Problem& p,
         parents.data() + offsets[static_cast<std::size_t>(t - 1)];
     std::fill(parent_row, parent_row + column.size(), std::int32_t{-1});
 
-    // Row-oriented evaluation: resolve f_t once.  A column covering all of
-    // {0,..,m} (the exact-DP configurations) goes through eval_row — one
-    // virtual call for the whole row; sparse columns (the O(log m)
-    // binary-search grids) gather per candidate, keeping the solver's
-    // sublinear evaluation count in m.
-    const rs::core::CostFunction& f = p.f(t);
-    bool dense_column = column.size() == static_cast<std::size_t>(p.max_servers()) + 1;
-    if (dense_column) {
-      for (std::size_t i = 0; i < column.size(); ++i) {
-        if (column[i] != static_cast<int>(i)) {
-          dense_column = false;
-          break;
-        }
-      }
-    }
-    if (dense_column) {
-      f.eval_row(p.max_servers(), fvals.span());
-    } else {
-      for (std::size_t i = 0; i < column.size(); ++i) {
-        fvals[i] = f.at(column[i]);
-      }
-    }
+    eval_column(t, column, fvals.span());
     if (stats != nullptr) {
       stats->function_evaluations += static_cast<std::int64_t>(column.size());
     }
@@ -142,6 +213,80 @@ OfflineResult solve_bounded(const Problem& p,
   return result;
 }
 
+OfflineResult empty_horizon_result() {
+  OfflineResult result;
+  result.schedule = {};
+  result.cost = 0.0;
+  return result;
+}
+
+}  // namespace
+
+OfflineResult solve_bounded(const Problem& p,
+                            const std::vector<std::vector<int>>& states,
+                            BoundedDpStats* stats) {
+  std::size_t max_columns = 1;
+  std::size_t total_states = 0;
+  validate_columns(p, states, max_columns, total_states);
+  if (p.horizon() == 0) return empty_horizon_result();
+  const int m = p.max_servers();
+  return solve_bounded_impl(
+      p, states, stats, max_columns, total_states,
+      [&p, m](int t, const std::vector<int>& column, std::span<double> out) {
+        // Row-oriented evaluation: resolve f_t once.  A column covering all
+        // of {0,..,m} (the exact-DP configurations) goes through eval_row —
+        // one virtual call for the whole row; sparse columns (the O(log m)
+        // binary-search grids) gather per candidate, keeping the solver's
+        // sublinear evaluation count in m.
+        const rs::core::CostFunction& f = p.f(t);
+        bool dense_column = column.size() == static_cast<std::size_t>(m) + 1;
+        if (dense_column) {
+          for (std::size_t i = 0; i < column.size(); ++i) {
+            if (column[i] != static_cast<int>(i)) {
+              dense_column = false;
+              break;
+            }
+          }
+        }
+        if (dense_column) {
+          f.eval_row(m, out);
+        } else {
+          for (std::size_t i = 0; i < column.size(); ++i) {
+            out[i] = f.at(column[i]);
+          }
+        }
+      });
+}
+
+OfflineResult solve_bounded(const Problem& p,
+                            const std::vector<std::vector<int>>& states,
+                            const rs::core::PwlProblem& pwl,
+                            BoundedDpStats* stats) {
+  if (pwl.horizon() != p.horizon() || pwl.max_servers() != p.max_servers()) {
+    throw std::invalid_argument(
+        "solve_bounded: PwlProblem does not match the instance");
+  }
+  std::size_t max_columns = 1;
+  std::size_t total_states = 0;
+  validate_columns(p, states, max_columns, total_states);
+  if (p.horizon() == 0) return empty_horizon_result();
+  if (const int stride = uniform_grid_stride(states); stride > 0) {
+    // stats stays untouched on this path: the label recursion enumerates
+    // no per-state evaluations or transitions, which is the point.
+    return solve_bounded_grid_pwl(
+        p, pwl, stride,
+        static_cast<int>(states.front().size()) - 1);
+  }
+  // Irregular columns: the same DP, with column values filled from the
+  // cached forms in one O(K + |column|) walk per slot (no re-conversion,
+  // no virtual per-candidate dispatch).
+  return solve_bounded_impl(
+      p, states, stats, max_columns, total_states,
+      [&pwl](int t, const std::vector<int>& column, std::span<double> out) {
+        pwl.form(t).eval_at_sorted(column, out);
+      });
+}
+
 OfflineResult solve_phi_restricted(const Problem& p, int k) {
   if (k < 0) throw std::invalid_argument("solve_phi_restricted: k < 0");
   const std::vector<int> column =
@@ -149,6 +294,18 @@ OfflineResult solve_phi_restricted(const Problem& p, int k) {
   return solve_bounded(
       p, std::vector<std::vector<int>>(static_cast<std::size_t>(p.horizon()),
                                        column));
+}
+
+OfflineResult solve_phi_restricted(const Problem& p, int k,
+                                   const rs::core::PwlProblem& pwl) {
+  if (k < 0) throw std::invalid_argument("solve_phi_restricted: k < 0");
+  const std::vector<int> column =
+      rs::core::multiples_of(1 << k, p.max_servers());
+  return solve_bounded(
+      p,
+      std::vector<std::vector<int>>(static_cast<std::size_t>(p.horizon()),
+                                    column),
+      pwl);
 }
 
 }  // namespace rs::offline

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/pwl_problem.hpp"
 #include "offline/solver.hpp"
 
 namespace rs::offline {
@@ -25,8 +26,28 @@ OfflineResult solve_bounded(const rs::core::Problem& p,
                             const std::vector<std::vector<int>>& states,
                             BoundedDpStats* stats = nullptr);
 
+/// Convex-PWL-backed variant running on an instance's cached forms (one
+/// conversion per slot for the whole batch, shared with every other PWL
+/// consumer).  Uniform-grid columns — every column equal to {0, s, 2s, ..},
+/// the full-state and Φ_k configurations — run a convex label recursion in
+/// grid units whose per-step cost is independent of m *and* of the column
+/// size, with the dense path's exact tie-breaking (bit-identical schedules
+/// on integer-valued instances; ULP-level label agreement otherwise, the
+/// DESIGN.md §8 contract).  Irregular columns run the ordinary DP with the
+/// column values filled from the forms in one walk per slot.  `stats`
+/// stays untouched on the grid fast path (nothing is enumerated).
+OfflineResult solve_bounded(const rs::core::Problem& p,
+                            const std::vector<std::vector<int>>& states,
+                            const rs::core::PwlProblem& pwl,
+                            BoundedDpStats* stats = nullptr);
+
 /// Optimal schedule of P_k = Φ_k(P): states restricted to multiples of
 /// 2^k (Section 2.3).  k = 0 reproduces the unrestricted optimum.
 OfflineResult solve_phi_restricted(const rs::core::Problem& p, int k);
+
+/// Same, on cached convex-PWL forms — the Φ_k grid is a uniform grid, so
+/// this always takes the m-independent label fast path.
+OfflineResult solve_phi_restricted(const rs::core::Problem& p, int k,
+                                   const rs::core::PwlProblem& pwl);
 
 }  // namespace rs::offline

@@ -173,22 +173,27 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
 // optimal schedule without any parent table.  With the PWL backend this is
 // O(T·B log K) time and O(T + K) memory; on the dense fallback it is the
 // usual O(T·m).
-OfflineResult solve_convex_auto(const Problem& p, bool want_schedule) {
+// Shared by the streaming (per-slot conversion inside the tracker) and the
+// cached-forms (PwlProblem) entry points; `advance_at(tracker, t)` feeds
+// slot t into the tracker.
+template <typename AdvanceAt>
+OfflineResult solve_convex_impl(int T, int m, double beta, bool want_schedule,
+                                WorkFunctionTracker::Backend backend,
+                                AdvanceAt&& advance_at) {
   OfflineResult result;
-  const int T = p.horizon();
   if (T == 0) {
     result.schedule = {};
     result.cost = 0.0;
     return result;
   }
-  WorkFunctionTracker tracker(p.max_servers(), p.beta());
+  WorkFunctionTracker tracker(m, beta, backend);
   BoundTrajectory bounds;
   if (want_schedule) {
     bounds.lower.reserve(static_cast<std::size_t>(T));
     bounds.upper.reserve(static_cast<std::size_t>(T));
   }
   for (int t = 1; t <= T; ++t) {
-    tracker.advance(p.f(t));
+    advance_at(tracker, t);
     if (want_schedule) {
       bounds.lower.push_back(tracker.x_lower());
       bounds.upper.push_back(tracker.x_upper());
@@ -199,6 +204,22 @@ OfflineResult solve_convex_auto(const Problem& p, bool want_schedule) {
     result.schedule = backward_schedule(bounds);
   }
   return result;
+}
+
+OfflineResult solve_convex_auto(const Problem& p, bool want_schedule) {
+  return solve_convex_impl(
+      p.horizon(), p.max_servers(), p.beta(), want_schedule,
+      WorkFunctionTracker::Backend::kAuto,
+      [&p](WorkFunctionTracker& tracker, int t) { tracker.advance(p.f(t)); });
+}
+
+OfflineResult solve_convex_cached(const rs::core::PwlProblem& pwl,
+                                  bool want_schedule) {
+  return solve_convex_impl(pwl.horizon(), pwl.max_servers(), pwl.beta(),
+                           want_schedule, WorkFunctionTracker::Backend::kPwl,
+                           [&pwl](WorkFunctionTracker& tracker, int t) {
+                             tracker.advance(pwl.form(t));
+                           });
 }
 
 }  // namespace
@@ -220,6 +241,14 @@ OfflineResult DpSolver::solve(const Problem& p) const {
 OfflineResult DpSolver::solve(const DenseProblem& dense) const {
   return solve_impl(dense.horizon(), dense.max_servers(), dense.beta(),
                     [&dense](int t) { return dense.row(t); });
+}
+
+OfflineResult DpSolver::solve(const rs::core::PwlProblem& pwl) const {
+  return solve_convex_cached(pwl, /*want_schedule=*/true);
+}
+
+double DpSolver::solve_cost(const rs::core::PwlProblem& pwl) const {
+  return solve_convex_cached(pwl, /*want_schedule=*/false).cost;
 }
 
 double DpSolver::solve_cost(const Problem& p) const {

@@ -26,6 +26,7 @@
 #pragma once
 
 #include "core/dense_problem.hpp"
+#include "core/pwl_problem.hpp"
 #include "offline/solver.hpp"
 
 namespace rs::offline {
@@ -48,11 +49,18 @@ class DpSolver final : public OfflineSolver {
   /// Always the dense backend (the rows already exist).
   OfflineResult solve(const rs::core::DenseProblem& dense) const;
 
+  /// Runs on pre-converted convex-PWL forms; use when several solvers (or
+  /// repeated runs) share one instance and the slots should be converted
+  /// only once (the batch engine's PwlProblem cache).  Always the convex
+  /// fast path (the forms already exist), regardless of `backend`.
+  OfflineResult solve(const rs::core::PwlProblem& pwl) const;
+
   /// O(m)-memory variant that skips parent bookkeeping (O(K)-memory on the
   /// convex fast path); used by the scaling benchmarks where T·m parent
   /// tables would not fit.
   double solve_cost(const rs::core::Problem& p) const override;
   double solve_cost(const rs::core::DenseProblem& dense) const;
+  double solve_cost(const rs::core::PwlProblem& pwl) const;
 
   Backend backend() const noexcept { return backend_; }
 

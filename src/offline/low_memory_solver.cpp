@@ -79,6 +79,63 @@ void backward_step(std::span<const double> frow, double beta,
   }
 }
 
+// PWL mirror of the recursion: identical splits, identical tie-breaks.
+// Forward labels follow the work-function recursion (relax then add);
+// backward labels follow the completion-cost recursion (add then relax
+// with the opposite clip).  Every argmin is taken as ArgminInterval::lo —
+// the smallest minimizer, matching the dense scans' strict-< updates.
+struct PwlRecursion {
+  const rs::core::PwlProblem& pwl;
+  Schedule& out;
+
+  rs::core::ConvexPwl forward_labels(int lo, int hi, int start) const {
+    rs::core::ConvexPwl w = rs::core::ConvexPwl::point(start, 0.0);
+    for (int t = lo; t <= hi; ++t) {
+      w.relax_charge_up(pwl.beta(), 0, pwl.max_servers());
+      w.add(pwl.form(t));
+    }
+    return w;
+  }
+
+  void run(int lo, int hi, int start, std::optional<int> end) const {
+    const int m = pwl.max_servers();
+    if (lo > hi) return;
+    if (lo == hi) {
+      if (end) {
+        out[static_cast<std::size_t>(lo - 1)] = *end;
+        return;
+      }
+      // Single slot: smallest argmin of β(x − start)⁺ + f(x); the dense
+      // scan leaves `start` in place when every state is infinite.
+      const rs::core::ConvexPwl w = forward_labels(lo, lo, start);
+      out[static_cast<std::size_t>(lo - 1)] =
+          w.is_infinite() ? start : w.argmin().lo;
+      return;
+    }
+
+    const int mid = lo + (hi - lo) / 2;
+    const rs::core::ConvexPwl forward = forward_labels(lo, mid, start);
+
+    rs::core::ConvexPwl backward =
+        end ? rs::core::ConvexPwl::point(*end, 0.0)
+            : rs::core::ConvexPwl::constant(0, m, 0.0);
+    for (int t = hi; t > mid; --t) {
+      backward.add(pwl.form(t));
+      backward.relax_charge_down(pwl.beta(), 0, m);
+    }
+
+    rs::core::ConvexPwl sum = forward;
+    sum.add(backward);
+    if (sum.is_infinite()) {
+      throw std::logic_error("LowMemorySolver: infeasible sub-range");
+    }
+    const int best_mid = sum.argmin().lo;
+    out[static_cast<std::size_t>(mid - 1)] = best_mid;
+    run(lo, mid, start, best_mid);  // left half, x_mid pinned
+    run(mid + 1, hi, best_mid, end);
+  }
+};
+
 struct Recursion {
   const Problem& p;
   Schedule& out;
@@ -165,6 +222,14 @@ struct Recursion {
 }  // namespace
 
 OfflineResult LowMemorySolver::solve(const Problem& p) const {
+  if (backend_ == Backend::kConvexAuto) {
+    // One conversion per slot, up front; the D&C revisits each slot
+    // O(log T) times but only ever touches the cached forms.
+    if (std::optional<rs::core::PwlProblem> pwl =
+            rs::core::PwlProblem::try_convert(p)) {
+      return solve(*pwl);
+    }
+  }
   OfflineResult result;
   const int T = p.horizon();
   if (T == 0) {
@@ -190,6 +255,27 @@ OfflineResult LowMemorySolver::solve(const Problem& p) const {
 
   result.schedule.assign(static_cast<std::size_t>(T), 0);
   Recursion recursion{p, result.schedule, frow.span()};
+  recursion.run(1, T, 0, std::nullopt);
+  return result;
+}
+
+OfflineResult LowMemorySolver::solve(const rs::core::PwlProblem& pwl) const {
+  OfflineResult result;
+  const int T = pwl.horizon();
+  if (T == 0) {
+    result.schedule = {};
+    result.cost = 0.0;
+    return result;
+  }
+  // Feasibility and optimal value via one forward sweep over the forms;
+  // the dense sweep's "min over final labels" is the argmin value.
+  PwlRecursion recursion{pwl, result.schedule};
+  const rs::core::ConvexPwl final_labels = recursion.forward_labels(1, T, 0);
+  result.cost =
+      final_labels.is_infinite() ? kInf : final_labels.argmin().value;
+  if (!result.feasible()) return result;
+
+  result.schedule.assign(static_cast<std::size_t>(T), 0);
   recursion.run(1, T, 0, std::nullopt);
   return result;
 }

@@ -290,4 +290,18 @@ BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense) {
   return bounds;
 }
 
+BoundTrajectory compute_bounds(const rs::core::PwlProblem& pwl) {
+  BoundTrajectory bounds;
+  bounds.lower.reserve(static_cast<std::size_t>(pwl.horizon()));
+  bounds.upper.reserve(static_cast<std::size_t>(pwl.horizon()));
+  WorkFunctionTracker tracker(pwl.max_servers(), pwl.beta(),
+                              WorkFunctionTracker::Backend::kPwl);
+  for (int t = 1; t <= pwl.horizon(); ++t) {
+    tracker.advance(pwl.form(t));
+    bounds.lower.push_back(tracker.x_lower());
+    bounds.upper.push_back(tracker.x_upper());
+  }
+  return bounds;
+}
+
 }  // namespace rs::offline

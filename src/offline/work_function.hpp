@@ -45,6 +45,7 @@
 #include "core/convex_pwl.hpp"
 #include "core/dense_problem.hpp"
 #include "core/problem.hpp"
+#include "core/pwl_problem.hpp"
 #include "util/workspace.hpp"
 
 namespace rs::offline {
@@ -156,5 +157,10 @@ BoundTrajectory compute_bounds(
 /// Same, consuming pre-materialized rows (shared with other dense-backed
 /// passes over the instance); always the dense backend.
 BoundTrajectory compute_bounds(const rs::core::DenseProblem& dense);
+
+/// Same, consuming cached convex-PWL forms (shared with the other PWL
+/// consumers of the instance — no per-advance re-conversion); always the
+/// PWL backend.
+BoundTrajectory compute_bounds(const rs::core::PwlProblem& pwl);
 
 }  // namespace rs::offline

@@ -34,4 +34,19 @@ rs::core::Schedule run_lcp_dense(const rs::core::DenseProblem& dense) {
   return schedule;
 }
 
+rs::core::Schedule run_lcp_pwl(const rs::core::PwlProblem& pwl) {
+  rs::offline::WorkFunctionTracker tracker(
+      pwl.max_servers(), pwl.beta(),
+      rs::offline::WorkFunctionTracker::Backend::kPwl);
+  rs::core::Schedule schedule;
+  schedule.reserve(static_cast<std::size_t>(pwl.horizon()));
+  int current = 0;
+  for (int t = 1; t <= pwl.horizon(); ++t) {
+    tracker.advance(pwl.form(t));
+    current = rs::util::project(current, tracker.x_lower(), tracker.x_upper());
+    schedule.push_back(current);
+  }
+  return schedule;
+}
+
 }  // namespace rs::online

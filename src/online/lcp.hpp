@@ -60,4 +60,11 @@ class Lcp final : public OnlineAlgorithm {
 /// the same schedule as run_online(Lcp, p).
 rs::core::Schedule run_lcp_dense(const rs::core::DenseProblem& dense);
 
+/// Replays LCP over cached convex-PWL forms, feeding the tracker one
+/// pre-converted form per slot — the PWL analog of run_lcp_dense, and the
+/// batch engine's routing target: K jobs on one instance replay from one
+/// PwlProblem instead of re-converting every slot per job.  Produces the
+/// same schedule as run_online(Lcp(kPwl), p).
+rs::core::Schedule run_lcp_pwl(const rs::core::PwlProblem& pwl);
+
 }  // namespace rs::online

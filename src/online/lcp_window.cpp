@@ -89,6 +89,7 @@ rs::core::ConvexPwl completion_costs_pwl(
 void WindowedLcp::reset(const OnlineContext& context) {
   context_ = context;
   tracker_.emplace(context.m, context.beta, backend_);
+  form_cache_.clear();
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;
@@ -107,19 +108,44 @@ int WindowedLcp::decide(const rs::core::CostPtr& f,
         backend_ == rs::offline::WorkFunctionTracker::Backend::kPwl
             ? rs::core::kUnboundedBreakpoints
             : rs::core::compact_pwl_budget_for(m);
-    std::optional<rs::core::ConvexPwl> fp = f->as_convex_pwl(m, budget);
+    // Form lookup through the sliding cache: the previous step cached the
+    // forms of [f_prev, lookahead_prev...]; this step's f is the previous
+    // lookahead's head and its lookahead overlaps the previous one shifted
+    // by one, so consuming matching cache entries front to back leaves
+    // exactly the newly revealed window tail to convert.  Non-sliding
+    // callers simply miss and convert — correctness never depends on the
+    // cache.
+    const auto take_form =
+        [this, m, budget](
+            const rs::core::CostPtr& g) -> std::optional<rs::core::ConvexPwl> {
+      while (!form_cache_.empty() && form_cache_.front().first != g) {
+        form_cache_.pop_front();
+      }
+      if (!form_cache_.empty()) {
+        rs::core::ConvexPwl form = std::move(form_cache_.front().second);
+        form_cache_.pop_front();
+        return form;
+      }
+      return g->as_convex_pwl(m, budget);
+    };
+    std::optional<rs::core::ConvexPwl> fp = take_form(f);
     if (fp) {
       std::vector<rs::core::ConvexPwl> window;
       window.reserve(lookahead.size());
+      std::deque<std::pair<rs::core::CostPtr, rs::core::ConvexPwl>> next_cache;
       bool convertible = true;
       for (const rs::core::CostPtr& g : lookahead) {
-        std::optional<rs::core::ConvexPwl> gp = g->as_convex_pwl(m, budget);
+        std::optional<rs::core::ConvexPwl> gp = take_form(g);
         if (!gp) {
           convertible = false;
           break;
         }
+        // The form is needed twice: in this step's window pass and as the
+        // next step's cache entry.  An O(K) copy replaces a re-conversion.
+        next_cache.emplace_back(g, *gp);
         window.push_back(std::move(*gp));
       }
+      form_cache_ = std::move(next_cache);
       if (convertible) {
         tracker_->advance(*fp);
         const rs::core::ConvexPwl d_lower =
@@ -153,7 +179,9 @@ int WindowedLcp::decide(const rs::core::CostPtr& f,
           "WindowedLcp: revealed cost or lookahead has no convex-PWL form "
           "(forced-PWL backend)");
     }
-    // Latch the dense backend so every later per-x query below stays O(1).
+    // Latch the dense backend so every later per-x query below stays O(1);
+    // the PWL path (and with it the form cache) is never revisited.
+    form_cache_.clear();
     tracker_->ensure_dense_backend();
   }
 

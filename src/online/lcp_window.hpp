@@ -17,8 +17,10 @@
 // trace study shows the practical benefit on real-shaped workloads.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "offline/work_function.hpp"
@@ -52,6 +54,14 @@ class WindowedLcp final : public OnlineAlgorithm {
   rs::offline::WorkFunctionTracker::Backend backend_ =
       rs::offline::WorkFunctionTracker::Backend::kAuto;
   std::optional<rs::offline::WorkFunctionTracker> tracker_;
+  // Sliding conversion cache for the PWL fast path: the forms of the
+  // previous step's [revealed, lookahead...] sequence, keyed by cost
+  // identity.  As the window slides by one slot, this step's revealed cost
+  // and all but the last lookahead slot are cache hits, so each slot of a
+  // streaming replay is converted exactly once instead of up to w+1 times
+  // (the regression test counts as_convex_pwl calls).  Entries hold the
+  // CostPtr so a key address can never be recycled while cached.
+  std::deque<std::pair<rs::core::CostPtr, rs::core::ConvexPwl>> form_cache_;
   int current_ = 0;
   int last_lower_ = 0;
   int last_upper_ = 0;

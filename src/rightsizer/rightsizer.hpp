@@ -14,6 +14,7 @@
 #include "core/dense_problem.hpp"        // IWYU pragma: export
 #include "core/piecewise_linear.hpp"     // IWYU pragma: export
 #include "core/problem.hpp"              // IWYU pragma: export
+#include "core/pwl_problem.hpp"          // IWYU pragma: export
 #include "core/schedule.hpp"             // IWYU pragma: export
 #include "core/serialization.hpp"        // IWYU pragma: export
 #include "core/transforms.hpp"           // IWYU pragma: export

@@ -260,6 +260,46 @@ TEST(ConvexPwlBuilder, MergeEpsilonAbsorbsRoundingDips) {
   EXPECT_FALSE(bad.finish(rs::core::kUnboundedBreakpoints).has_value());
 }
 
+TEST(ConvexPwlBuilder, NearZeroSlopePairsUseMixedTolerance) {
+  // Audit regression (the 1e-12 merge epsilon at a zero crossing): a
+  // purely *relative* tolerance degenerates for adjacent slopes straddling
+  // zero — scale ~1e-13 would shrink the tolerance below the dip and
+  // reject rounding noise as concavity.  The builder's tolerance is mixed
+  // (relative with an absolute floor at slope magnitude 1), so sub-epsilon
+  // dips across zero merge...
+  ConvexPwlBuilder across_zero;
+  across_zero.start(0, 1.0);
+  across_zero.run(-2.0, 2);
+  across_zero.run(1e-13, 4);
+  across_zero.run(-1e-13, 6);  // dip of 2e-13 < 1e-12: rounding noise
+  across_zero.run(3.0, 8);
+  const auto merged = across_zero.finish(rs::core::kUnboundedBreakpoints);
+  ASSERT_TRUE(merged.has_value());
+  // ...and the merged plateau keeps the earlier run's slope.
+  EXPECT_NEAR(merged->value_at(6), merged->value_at(2), 1e-11);
+
+  // A genuine near-zero dip (beyond the absolute floor) still rejects.
+  ConvexPwlBuilder genuine;
+  genuine.start(0, 1.0);
+  genuine.run(1e-13, 2);
+  genuine.run(-1e-6, 4);
+  EXPECT_FALSE(genuine.finish(rs::core::kUnboundedBreakpoints).has_value());
+
+  // Large slopes stay on the relative side: a dip far above the absolute
+  // floor but within 1e-12 of the slope magnitude merges.
+  ConvexPwlBuilder large;
+  large.start(0, 0.0);
+  large.run(1e9, 2);
+  large.run(1e9 - 1e-4, 4);  // dip 1e-4 < 1e-12 · 1e9 = 1e-3
+  EXPECT_TRUE(large.finish(rs::core::kUnboundedBreakpoints).has_value());
+  ConvexPwlBuilder large_reject;
+  large_reject.start(0, 0.0);
+  large_reject.run(1e9, 2);
+  large_reject.run(1e9 - 1e-2, 4);  // dip 1e-2 > 1e-3: genuine
+  EXPECT_FALSE(
+      large_reject.finish(rs::core::kUnboundedBreakpoints).has_value());
+}
+
 TEST(ConvexPwlBuilder, RejectsNaNAndEnforcesBudget) {
   ConvexPwlBuilder builder;
   builder.start(0, std::nan(""));
@@ -355,6 +395,18 @@ TEST(ConvexPwlConversion, MatchesAtAcrossFamilies) {
   expect_matches_at(*rs::core::make_hinge(1.25, 7.5), m, 1e-12, "hinge");
   expect_matches_at(*rs::core::make_shortfall_hinge(2.0, 5.0), m, 0.0,
                     "shortfall hinge");
+  expect_matches_at(rs::core::LinearLoadSlotCost(0.8, 1.7, 4.6), m, 1e-12,
+                    "linear load fractional");
+  expect_matches_at(rs::core::LinearLoadSlotCost(2.0, 3.0, 5.0), m, 0.0,
+                    "linear load integral");
+  expect_matches_at(rs::core::LinearLoadSlotCost(1.0, 2.0, 0.0), m, 0.0,
+                    "linear load idle");
+  // Zero breakpoints: the whole feasible range is one affine segment, so
+  // the family always fits the compact budget regardless of m.
+  EXPECT_EQ(rs::core::LinearLoadSlotCost(0.8, 1.7, 4.6)
+                .as_convex_pwl(m, 1)
+                ->breakpoints(),
+            0);
 }
 
 TEST(ConvexPwlConversion, MatchesAtThroughDecoratorChains) {

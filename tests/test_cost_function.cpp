@@ -92,6 +92,66 @@ TEST(RestrictedSlotCost, NegativeWorkloadThrows) {
   EXPECT_THROW(RestrictedSlotCost(f, -1.0), std::invalid_argument);
 }
 
+TEST(LinearLoadSlotCost, ClosedFormMatchesRestrictedPerspective) {
+  // f(z) = base + rate·z, so x·f(λ/x) = base·x + rate·λ on x >= λ — the
+  // LinearLoadSlotCost closed form must agree with RestrictedSlotCost over
+  // the same tariff everywhere (both +inf below λ).
+  const double base = 0.75;
+  const double rate = 1.5;
+  const double lambda = 3.3;
+  auto f = std::make_shared<const std::function<double(double)>>(
+      [base, rate](double z) { return base + rate * z; });
+  const RestrictedSlotCost opaque(f, lambda);
+  const LinearLoadSlotCost linear(base, rate, lambda);
+  for (int x = 0; x <= 12; ++x) {
+    if (std::isinf(opaque.at(x))) {
+      EXPECT_TRUE(std::isinf(linear.at(x))) << "x=" << x;
+    } else {
+      EXPECT_NEAR(linear.at(x), opaque.at(x), 1e-12) << "x=" << x;
+    }
+  }
+  EXPECT_TRUE(linear.is_convex());
+  EXPECT_DOUBLE_EQ(linear.base(), base);
+  EXPECT_DOUBLE_EQ(linear.rate(), rate);
+  EXPECT_DOUBLE_EQ(linear.lambda(), lambda);
+}
+
+TEST(LinearLoadSlotCost, EvalRowBitIdenticalToAt) {
+  const LinearLoadSlotCost slot(0.3, 2.0, 4.7);
+  const int m = 11;
+  std::vector<double> row(static_cast<std::size_t>(m) + 1);
+  slot.eval_row(m, row);
+  for (int x = 0; x <= m; ++x) {
+    EXPECT_EQ(row[static_cast<std::size_t>(x)], slot.at(x)) << "x=" << x;
+  }
+}
+
+TEST(LinearLoadSlotCost, ZeroWorkloadAllowsEmptyCenter) {
+  const LinearLoadSlotCost slot(1.25, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(slot.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(slot.at(4), 5.0);  // base·x, no load term
+  const CostFunctionReport report = validate_cost_function(slot, 9);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(LinearLoadSlotCost, WorkloadBeyondCapacityIsAllInfinite) {
+  const LinearLoadSlotCost slot(1.0, 1.0, 100.5);
+  for (int x = 0; x <= 8; ++x) EXPECT_TRUE(std::isinf(slot.at(x)));
+  const auto form = slot.as_convex_pwl(8);
+  ASSERT_TRUE(form.has_value());
+  EXPECT_TRUE(form->is_infinite());
+}
+
+TEST(LinearLoadSlotCost, RejectsInvalidParameters) {
+  EXPECT_THROW(LinearLoadSlotCost(-1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinearLoadSlotCost(0.0, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LinearLoadSlotCost(0.0, 0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(LinearLoadSlotCost(0.0, 0.0, std::nan("")),
+               std::invalid_argument);
+  EXPECT_THROW(LinearLoadSlotCost(1.0, 1.0, 2.0).at(-1),
+               std::invalid_argument);
+}
+
 TEST(RestrictedSlotCost, PerspectiveIsConvex) {
   // Perspective of several convex f's must validate as convex with an inf
   // prefix at x < λ.

@@ -70,9 +70,10 @@ std::vector<SolveJob> fleet_jobs(const std::vector<Problem>& instances) {
 // convex-PWL form run Backend::kConvexAuto; LCP replays select the same
 // way on their own inside the work-function tracker.
 rs::engine::SolveOutcome solo_solve(const Problem& p, SolverKind kind) {
-  const rs::offline::DpSolver dp(rs::core::admits_compact_pwl(p)
-                                     ? rs::offline::DpSolver::Backend::kConvexAuto
-                                     : rs::offline::DpSolver::Backend::kDense);
+  const bool admits = rs::core::admits_compact_pwl(p);
+  const rs::offline::DpSolver dp(
+      admits ? rs::offline::DpSolver::Backend::kConvexAuto
+             : rs::offline::DpSolver::Backend::kDense);
   rs::engine::SolveOutcome outcome;
   switch (kind) {
     case SolverKind::kDpCost:
@@ -92,7 +93,10 @@ rs::engine::SolveOutcome solo_solve(const Problem& p, SolverKind kind) {
     }
     case SolverKind::kLowMemory: {
       const rs::offline::OfflineResult r =
-          rs::offline::LowMemorySolver().solve(p);
+          rs::offline::LowMemorySolver(
+              admits ? rs::offline::LowMemorySolver::Backend::kConvexAuto
+                     : rs::offline::LowMemorySolver::Backend::kDense)
+              .solve(p);
       outcome.cost = r.cost;
       outcome.schedule = r.schedule;
       break;
@@ -164,12 +168,16 @@ TEST(SolverEngine, BatchMatchesSoloSolvesAcrossKindsAndFamilies) {
   ASSERT_EQ(batch.outcomes.size(), jobs.size());
   EXPECT_EQ(batch.stats.jobs, jobs.size());
   // Tables are materialized only for instances that do not admit the
-  // convex-PWL backend; PWL-served jobs are counted in pwl_backed.
+  // convex-PWL backend; PWL-served jobs are counted in pwl_backed, and
+  // each admitting instance is converted exactly once per batch (one
+  // as_convex_pwl per slot, shared by all four of its jobs).
   std::size_t expected_tables = 0;
   std::size_t expected_pwl_jobs = 0;
+  std::size_t expected_conversions = 0;
   for (const Problem& p : instances) {
     if (rs::core::admits_compact_pwl(p)) {
-      expected_pwl_jobs += 3;  // kDpCost, kDpSchedule, kLcp
+      expected_pwl_jobs += 4;  // every kind, kLowMemory included
+      expected_conversions += static_cast<std::size_t>(p.horizon());
     } else {
       ++expected_tables;
     }
@@ -178,6 +186,7 @@ TEST(SolverEngine, BatchMatchesSoloSolvesAcrossKindsAndFamilies) {
   EXPECT_GT(expected_pwl_jobs, 0u);  // ...and the PWL path
   EXPECT_EQ(batch.stats.dense_tables_built, expected_tables);
   EXPECT_EQ(batch.stats.pwl_backed, expected_pwl_jobs);
+  EXPECT_EQ(batch.stats.pwl_conversions, expected_conversions);
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const rs::engine::SolveOutcome expected =

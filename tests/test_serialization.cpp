@@ -60,6 +60,77 @@ TEST(ProblemCsv, RoundTripPreservesCostsExactly) {
   }
 }
 
+TEST(ProblemCsv, LinearLoadSlotCostRoundTripsWithConvexPwlEquivalence) {
+  // The linear-tariff restricted model materializes to tables on export;
+  // the roundtripped instance must (a) preserve every cost value exactly,
+  // including the infeasibility prefix, (b) stay structurally convex, and
+  // (c) keep an exact convex-PWL form whose values match the original
+  // family's form — i.e. the instance still rides the m-independent
+  // backend after a roundtrip.
+  rs::util::Rng rng(89);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int T = static_cast<int>(rng.uniform_int(1, 10));
+    const int m = static_cast<int>(rng.uniform_int(2, 9));
+    const bool integral = trial % 2 == 0;
+    std::vector<CostPtr> fs;
+    for (int t = 0; t < T; ++t) {
+      const double base =
+          integral ? static_cast<double>(rng.uniform_int(0, 3))
+                   : rng.uniform(0.0, 2.5);
+      const double rate =
+          integral ? static_cast<double>(rng.uniform_int(0, 4))
+                   : rng.uniform(0.0, 3.0);
+      const double lambda =
+          integral ? static_cast<double>(rng.uniform_int(0, m))
+                   : rng.uniform(0.0, static_cast<double>(m));
+      fs.push_back(
+          std::make_shared<LinearLoadSlotCost>(base, rate, lambda));
+    }
+    const Problem p(m, 1.5, std::move(fs));
+    const Problem q = problem_from_csv(problem_to_csv(p));
+    ASSERT_EQ(q.horizon(), T);
+    for (int t = 1; t <= T; ++t) {
+      EXPECT_TRUE(p.f(t).is_convex());
+      EXPECT_TRUE(q.f(t).is_convex()) << "t=" << t << " trial=" << trial;
+      for (int x = 0; x <= m; ++x) {
+        if (std::isinf(p.cost_at(t, x))) {
+          EXPECT_TRUE(std::isinf(q.cost_at(t, x))) << "t=" << t << " x=" << x;
+        } else {
+          EXPECT_DOUBLE_EQ(q.cost_at(t, x), p.cost_at(t, x))
+              << "t=" << t << " x=" << x;
+        }
+      }
+      const auto before = p.f(t).as_convex_pwl(m);
+      const auto after = q.f(t).as_convex_pwl(m);
+      ASSERT_TRUE(before.has_value()) << "t=" << t;
+      ASSERT_TRUE(after.has_value()) << "t=" << t << " trial=" << trial;
+      for (int x = 0; x <= m; ++x) {
+        const double expected = before->value_at(x);
+        if (std::isinf(expected)) {
+          EXPECT_TRUE(std::isinf(after->value_at(x)));
+        } else if (integral) {
+          EXPECT_EQ(after->value_at(x), expected) << "t=" << t << " x=" << x;
+        } else {
+          EXPECT_NEAR(after->value_at(x), expected,
+                      1e-9 * std::max(1.0, std::fabs(expected)))
+              << "t=" << t << " x=" << x;
+        }
+      }
+    }
+    // Optima survive the roundtrip (bit-exactly on integral tariffs).
+    const double before_cost = rs::offline::DpSolver().solve_cost(p);
+    const double after_cost = rs::offline::DpSolver().solve_cost(q);
+    if (std::isinf(before_cost)) {
+      EXPECT_TRUE(std::isinf(after_cost));
+    } else if (integral) {
+      EXPECT_EQ(after_cost, before_cost);
+    } else {
+      EXPECT_NEAR(after_cost, before_cost,
+                  1e-9 * std::max(1.0, before_cost));
+    }
+  }
+}
+
 TEST(ProblemCsv, InfinityRoundTrips) {
   const Problem p = make_table_problem(
       2, 1.5, {{kInf, 1.0, 2.0}, {0.5, kInf, kInf}});
