@@ -38,12 +38,14 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 [[ -z "$OUT" ]] && OUT="$ROOT/BENCH_results.json"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" \
-      || ! -x "$BUILD_DIR/bench/bench_throughput" || ! -x "$BUILD_DIR/bench/bench_scaling" ]]; then
+      || ! -x "$BUILD_DIR/bench/bench_throughput" || ! -x "$BUILD_DIR/bench/bench_scaling" \
+      || ! -x "$BUILD_DIR/bench/bench_scenarios" ]]; then
   echo "== configuring bench build in $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
-    --target bench_thm1_offline bench_thm2_lcp bench_throughput bench_scaling
+    --target bench_thm1_offline bench_thm2_lcp bench_throughput bench_scaling \
+    bench_scenarios
 fi
 
 TMP="$(mktemp -d)"
@@ -73,6 +75,11 @@ echo "== running bench_throughput"
 THROUGHPUT_ARGS=(--json="$TMP/throughput.json")
 [[ "$SMOKE" -eq 1 ]] && THROUGHPUT_ARGS+=(--smoke)
 "$BUILD_DIR/bench/bench_throughput" "${THROUGHPUT_ARGS[@]}"
+
+echo "== running bench_scenarios (E14)"
+SCENARIO_ARGS=(--json="$TMP/scenarios.json")
+[[ "$SMOKE" -eq 1 ]] && SCENARIO_ARGS+=(--smoke)
+"$BUILD_DIR/bench/bench_scenarios" "${SCENARIO_ARGS[@]}"
 
 echo "== running bench_scaling (E13)"
 SCALING_ARGS=(--json "$TMP/scaling.json")
@@ -110,6 +117,8 @@ with open(os.path.join(tmp, "throughput.json")) as fh:
     throughput = json.load(fh)
 with open(os.path.join(tmp, "scaling.json")) as fh:
     scaling = json.load(fh)["scaling"]
+with open(os.path.join(tmp, "scenarios.json")) as fh:
+    scenarios = json.load(fh)
 native_scaling = None
 native_path = os.path.join(tmp, "scaling_native.json")
 if os.path.exists(native_path):
@@ -164,6 +173,8 @@ result = {
     "speedups": speedups,
     "throughput": throughput.get("throughput", []),
     "scaling": scaling,
+    "scenarios": scenarios.get("scenario_cells", []),
+    "rle_speedup": scenarios.get("rle_speedup"),
 }
 if native_scaling is not None:
     # Native-vs-portable rows: same (family, m) sweep, per-step ns from the
@@ -191,5 +202,6 @@ with open(os.environ["OUT"], "w") as fh:
     fh.write("\n")
 print(f"wrote {os.environ['OUT']} ({len(benchmarks)} benchmarks, "
       f"{len(speedups)} speedup pairs, "
-      f"{len(result['throughput'])} throughput rows)")
+      f"{len(result['throughput'])} throughput rows, "
+      f"{len(result['scenarios'])} scenario cells)")
 PY

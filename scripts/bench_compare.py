@@ -8,7 +8,16 @@ Compares BENCH_results.json-shaped files produced by scripts/bench_baseline.sh:
   * "throughput" entries match by (name, threads, jobs) — smoke runs use
     smaller batches than a full baseline, so mismatched shapes are skipped
     rather than mis-compared; a fresh instances_per_sec below baseline /
-    --threshold is a regression.
+    --threshold is a regression;
+  * "scenarios" ratio-dashboard cells match by (scenario, algorithm), again
+    only between runs of the same smoke kind (smoke shrinks the zoo).  The
+    evaluation harness is deterministic in its fixed seed, so these are
+    quality gates, not timing gates: a mean competitive ratio drifting more
+    than 5% above the committed baseline fails regardless of --threshold;
+  * the "rle_speedup" row gates the run-length-encoded replay: the schedule
+    must stay bit-identical to the slot-by-slot replay, and the measured
+    speedup must not fall below baseline / --threshold (nor below the 10x
+    acceptance floor on full runs, which bench_scenarios itself enforces).
 
 Exit status: 0 when nothing regressed, 1 on regressions (or when nothing at
 all could be compared, which would make the gate vacuous).
@@ -89,6 +98,46 @@ def main():
             failures.append(
                 f"{entry['name']}/t{entry.get('threads')}: throughput "
                 f"{ratio:.2f}x below baseline (threshold {args.threshold}x)")
+
+    # Scenario-lab cells: deterministic harness output, gated on quality
+    # drift rather than wall time.  Same-smoke-kind runs only (the smoke
+    # zoo is a different instance distribution).
+    RATIO_DRIFT = 1.05
+    comparable_scenarios = fresh.get("smoke") == baseline.get("smoke")
+    base_scenarios = {
+        (c["scenario"], c["algorithm"]): c
+        for c in baseline.get("scenarios", [])
+    } if comparable_scenarios else {}
+    for entry in fresh.get("scenarios", []):
+        key = (entry["scenario"], entry["algorithm"])
+        ref = base_scenarios.get(key)
+        if ref is None or not ref.get("mean_ratio"):
+            continue
+        ratio = entry["mean_ratio"] / ref["mean_ratio"]
+        compared += 1
+        print(f"  {entry['scenario']}/{entry['algorithm']}: mean ratio "
+              f"{entry['mean_ratio']:.4f} vs {ref['mean_ratio']:.4f} "
+              f"baseline ({ratio:.3f}x)")
+        if ratio > RATIO_DRIFT:
+            failures.append(
+                f"{entry['scenario']}/{entry['algorithm']}: mean competitive "
+                f"ratio {ratio:.3f}x above baseline (drift cap {RATIO_DRIFT}x)")
+
+    base_rle = baseline.get("rle_speedup") if comparable_scenarios else None
+    fresh_rle = fresh.get("rle_speedup")
+    if fresh_rle is not None:
+        if not fresh_rle.get("bit_identical", False):
+            failures.append("rle_speedup: RLE replay schedule no longer "
+                            "bit-identical to slot-by-slot replay")
+        if base_rle and base_rle.get("speedup") and fresh_rle.get("speedup"):
+            ratio = base_rle["speedup"] / fresh_rle["speedup"]
+            compared += 1
+            print(f"  rle_speedup: {fresh_rle['speedup']:.1f}x vs "
+                  f"{base_rle['speedup']:.1f}x baseline ({ratio:.2f}x)")
+            if ratio > args.threshold:
+                failures.append(
+                    f"rle_speedup: {ratio:.2f}x below baseline "
+                    f"(threshold {args.threshold}x)")
 
     if compared == 0:
         print("bench_compare: no comparable entries between baseline and "

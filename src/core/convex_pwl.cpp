@@ -372,6 +372,19 @@ void ConvexPwl::add(const ConvexPwl& g) {
   }
 }
 
+bool ConvexPwl::same_shape(const ConvexPwl& other) const noexcept {
+  if (infinite_ || other.infinite_) return infinite_ == other.infinite_;
+  // Bitwise slope comparison on purpose: the fixpoint argument needs the
+  // *exact* FP state to repeat, not an approximately equal one.
+  return lo_ == other.lo_ && hi_ == other.hi_ && slope0_ == other.slope0_ &&
+         dslope_ == other.dslope_;
+}
+
+void ConvexPwl::shift_value(double delta) noexcept {
+  if (infinite_) return;
+  v_lo_ += delta;
+}
+
 void ConvexPwl::relax_charge_up(double beta, int lo, int hi) {
   if (infinite_) return;
   clip_back(beta);

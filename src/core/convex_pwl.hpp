@@ -122,6 +122,22 @@ class ConvexPwl {
   /// [−β, 0]; the left extension has slope −β, the right one is flat.
   void relax_charge_down(double beta, int lo, int hi);
 
+  /// True iff `other` has the bitwise-identical *shape*: domain, first
+  /// slope, and slope-increment map (two infinite functions compare equal).
+  /// The anchor value v_lo is deliberately excluded — every mutating
+  /// operation above drives its control flow (clip cuts, extension steps,
+  /// breakpoint merges, argmin walks) from the shape alone and only ever
+  /// *reads* values to produce new values, so shape evolution under a
+  /// repeated operation sequence is autonomous: one observed shape fixpoint
+  /// is a permanent fixpoint, with argmin positions pinned exactly.  The
+  /// work-function tracker's repeated-slot fast path keys on this.
+  bool same_shape(const ConvexPwl& other) const noexcept;
+
+  /// Adds `delta` to the function everywhere (v_lo += delta); no-op on the
+  /// infinite function.  Used to fast-forward values across a detected
+  /// shape fixpoint (the per-step value increment is shape-determined).
+  void shift_value(double delta) noexcept;
+
  private:
   friend class ConvexPwlBuilder;
 

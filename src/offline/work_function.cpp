@@ -114,6 +114,144 @@ void WorkFunctionTracker::advance(std::span<const double> values) {
   advance_dense(values);
 }
 
+namespace {
+
+void check_repeat_args(int count, std::span<const int> xl,
+                       std::span<const int> xu) {
+  if (count < 0) {
+    throw std::invalid_argument("advance_repeated: count < 0");
+  }
+  if (xl.size() < static_cast<std::size_t>(count) ||
+      xu.size() < static_cast<std::size_t>(count)) {
+    throw std::invalid_argument("advance_repeated: bound spans too short");
+  }
+}
+
+}  // namespace
+
+void WorkFunctionTracker::advance_repeated(const rs::core::CostFunction& f,
+                                           int count, std::span<int> xl,
+                                           std::span<int> xu) {
+  check_repeat_args(count, xl, xu);
+  if (count == 0) return;
+  if (mode_ != Mode::kDense) {
+    const int budget = backend_ == Backend::kPwl
+                           ? rs::core::kUnboundedBreakpoints
+                           : rs::core::compact_pwl_budget_for(m_);
+    if (backend_ != Backend::kDense) {
+      if (std::optional<ConvexPwl> form = f.as_convex_pwl(m_, budget)) {
+        // One conversion for the whole run — the RLE replay's analog of the
+        // PwlProblem one-conversion-per-slot contract.
+        advance_repeated_pwl(*form, count, xl, xu);
+        return;
+      }
+      if (backend_ == Backend::kPwl) {
+        throw std::invalid_argument(
+            "WorkFunctionTracker: cost function has no compact convex-PWL "
+            "form (forced-PWL backend)");
+      }
+    }
+    init_dense();
+  }
+  f.eval_row(m_, scratch_.span());
+  advance_repeated_dense(std::span<const double>(scratch_.span()), count, xl,
+                         xu);
+}
+
+void WorkFunctionTracker::advance_repeated(const rs::core::ConvexPwl& f,
+                                           int count, std::span<int> xl,
+                                           std::span<int> xu) {
+  check_repeat_args(count, xl, xu);
+  if (count == 0) return;
+  if (mode_ != Mode::kDense) {
+    if (backend_ == Backend::kDense) {
+      init_dense();
+    } else {
+      advance_repeated_pwl(f, count, xl, xu);
+      return;
+    }
+  }
+  f.materialize(m_, scratch_.span());
+  advance_repeated_dense(std::span<const double>(scratch_.span()), count, xl,
+                         xu);
+}
+
+void WorkFunctionTracker::advance_repeated(std::span<const double> values,
+                                           int count, std::span<int> xl,
+                                           std::span<int> xu) {
+  check_repeat_args(count, xl, xu);
+  if (count == 0) return;
+  if (static_cast<int>(values.size()) != m_ + 1) {
+    throw std::invalid_argument(
+        "WorkFunctionTracker::advance_repeated: need m+1 values");
+  }
+  if (mode_ != Mode::kDense) {
+    if (backend_ == Backend::kPwl) {
+      throw std::logic_error(
+          "WorkFunctionTracker: raw value rows require the dense backend");
+    }
+    init_dense();
+  }
+  advance_repeated_dense(values, count, xl, xu);
+}
+
+void WorkFunctionTracker::advance_repeated_pwl(const ConvexPwl& f, int count,
+                                               std::span<int> xl,
+                                               std::span<int> xu) {
+  ConvexPwl prev_l;
+  ConvexPwl prev_u;
+  for (int done = 0; done < count; ++done) {
+    // Snapshot the shapes (O(K) map copies) only while a jump can still pay.
+    const bool may_jump = done + 1 < count;
+    double vl_prev = 0.0;
+    double vu_prev = 0.0;
+    if (may_jump) {
+      prev_l = pwl_l_;
+      prev_u = pwl_u_;
+      vl_prev = pwl_l_.is_infinite() ? 0.0 : pwl_l_.value_at(pwl_l_.lo());
+      vu_prev = pwl_u_.is_infinite() ? 0.0 : pwl_u_.value_at(pwl_u_.lo());
+    }
+    advance_pwl(f);
+    xl[static_cast<std::size_t>(done)] = x_lower_;
+    xu[static_cast<std::size_t>(done)] = x_upper_;
+    if (may_jump && pwl_l_.same_shape(prev_l) && pwl_u_.same_shape(prev_u)) {
+      // Shape fixpoint: every mutating ConvexPwl operation drives its
+      // control flow from the shape alone (see same_shape), so all
+      // remaining advances of this run would reproduce this exact shape —
+      // and hence these exact bounds.  Values grow by a shape-determined
+      // per-step increment; fast-forward them in one shift.
+      const int remaining = count - done - 1;
+      if (!pwl_l_.is_infinite()) {
+        const double step_l = pwl_l_.value_at(pwl_l_.lo()) - vl_prev;
+        pwl_l_.shift_value(static_cast<double>(remaining) * step_l);
+      }
+      if (!pwl_u_.is_infinite()) {
+        const double step_u = pwl_u_.value_at(pwl_u_.lo()) - vu_prev;
+        pwl_u_.shift_value(static_cast<double>(remaining) * step_u);
+      }
+      for (int i = done + 1; i < count; ++i) {
+        xl[static_cast<std::size_t>(i)] = x_lower_;
+        xu[static_cast<std::size_t>(i)] = x_upper_;
+      }
+      tau_ += remaining;
+      return;
+    }
+  }
+}
+
+void WorkFunctionTracker::advance_repeated_dense(std::span<const double> values,
+                                                 int count, std::span<int> xl,
+                                                 std::span<int> xu) {
+  // No dense step can be skipped (the minimizer scans compare accumulated
+  // label values), but the caller evaluated the run's row once — the
+  // eval_row elimination is the dense RLE win.
+  for (int i = 0; i < count; ++i) {
+    advance_dense(values);
+    xl[static_cast<std::size_t>(i)] = x_lower_;
+    xu[static_cast<std::size_t>(i)] = x_upper_;
+  }
+}
+
 void WorkFunctionTracker::advance_pwl(const ConvexPwl& f) {
   mode_ = Mode::kPwl;
   // The PWL mirror of the three dense passes: relax clips the slope

@@ -81,6 +81,44 @@ class WorkFunctionTracker {
   /// Feeds f_τ given as a dense row (e.g. DenseProblem::row).
   void advance(std::span<const double> values);
 
+  /// Feeds the SAME cost function for `count` consecutive slots and writes
+  /// the per-slot bounds x^L / x^U into xl[0..count) / xu[0..count) —
+  /// the run-length-encoded replay primitive (scenario/rle.hpp).
+  ///
+  /// Bounds are bit-identical to `count` individual advance() calls on
+  /// both backends:
+  ///
+  ///   * kPwl — the Ĉ pair's *shape* (domain + slope sequence) evolves
+  ///     autonomously under a repeated relax+add (values never feed the
+  ///     control flow; see ConvexPwl::same_shape), so the first advance
+  ///     whose shapes reproduce the previous step's is a permanent
+  ///     fixpoint: the remaining slots of the run reuse the pinned bounds
+  ///     and fast-forward τ and the chat values in O(1).  In practice the
+  ///     fixpoint lands within a handful of steps (the relax clips the
+  ///     slopes into [0,β]/[−β,0] and f's breakpoints stop moving), making
+  ///     a length-k run cost O(min(k, fixpoint) · B log K) instead of
+  ///     O(k · B log K).  Chat *values* after a jump are fast-forwarded by
+  ///     the shape-determined per-step increment, which matches stepping
+  ///     up to FP association order (exactly on integer-valued runs) —
+  ///     same tolerance class as the dense-vs-PWL contract of DESIGN.md §8.
+  ///   * kDense — no steps can be skipped (the minimizer scans compare
+  ///     accumulated values), but the run's cost row is evaluated ONCE and
+  ///     re-fed per slot, eliminating the per-slot eval_row — the dominant
+  ///     cost for dispatch-heavy families (RestrictedSlotCost decorator
+  ///     chains).
+  ///
+  /// Requires xl.size() >= count and xu.size() >= count; count >= 0.
+  void advance_repeated(const rs::core::CostFunction& f, int count,
+                        std::span<int> xl, std::span<int> xu);
+
+  /// Same, with f in exact convex-PWL form.
+  void advance_repeated(const rs::core::ConvexPwl& f, int count,
+                        std::span<int> xl, std::span<int> xu);
+
+  /// Same, with f as explicit values f(0..m); dense backend only.
+  void advance_repeated(std::span<const double> values, int count,
+                        std::span<int> xl, std::span<int> xu);
+
   int tau() const noexcept { return tau_; }
   int max_servers() const noexcept { return m_; }
 
@@ -124,6 +162,10 @@ class WorkFunctionTracker {
   void init_dense();
   void advance_dense(std::span<const double> values);
   void advance_pwl(const rs::core::ConvexPwl& f);
+  void advance_repeated_pwl(const rs::core::ConvexPwl& f, int count,
+                            std::span<int> xl, std::span<int> xu);
+  void advance_repeated_dense(std::span<const double> values, int count,
+                              std::span<int> xl, std::span<int> xu);
 
   int m_;
   double beta_;

@@ -48,6 +48,9 @@
 #include "online/online_algorithm.hpp"   // IWYU pragma: export
 #include "online/randomized_rounding.hpp"  // IWYU pragma: export
 #include "online/receding_horizon.hpp"   // IWYU pragma: export
+#include "scenario/eval_harness.hpp"     // IWYU pragma: export
+#include "scenario/rle.hpp"              // IWYU pragma: export
+#include "scenario/trace_zoo.hpp"        // IWYU pragma: export
 #include "util/cli.hpp"                  // IWYU pragma: export
 #include "util/csv.hpp"                  // IWYU pragma: export
 #include "util/math_util.hpp"            // IWYU pragma: export

@@ -1,0 +1,129 @@
+#include "scenario/rle.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/math_util.hpp"
+
+namespace rs::scenario {
+
+using rs::core::CostPtr;
+using rs::core::Problem;
+using rs::core::Schedule;
+using rs::offline::WorkFunctionTracker;
+
+RleTrace rle_encode(const rs::workload::Trace& trace) {
+  RleTrace rle;
+  for (double value : trace.lambda) {
+    // Bitwise grouping (==): exactness matters more than merging nearly
+    // equal levels — a lossy merge would change the replayed instance.
+    if (!rle.runs.empty() && rle.runs.back().lambda == value) {
+      ++rle.runs.back().length;
+    } else {
+      rle.runs.push_back(RleRun{value, 1});
+    }
+  }
+  return rle;
+}
+
+rs::workload::Trace rle_decode(const RleTrace& rle) {
+  rs::workload::Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(rle.horizon()));
+  for (const RleRun& run : rle.runs) {
+    for (int i = 0; i < run.length; ++i) trace.lambda.push_back(run.lambda);
+  }
+  return trace;
+}
+
+RleProblem::RleProblem(int m, double beta, std::vector<Run> runs)
+    : m_(m), beta_(beta), horizon_(0), runs_(std::move(runs)) {
+  if (m < 0) throw std::invalid_argument("RleProblem: m < 0");
+  if (!(beta > 0.0)) throw std::invalid_argument("RleProblem: beta must be > 0");
+  for (const Run& run : runs_) {
+    if (!run.cost) throw std::invalid_argument("RleProblem: null cost");
+    if (run.length < 1) {
+      throw std::invalid_argument("RleProblem: run length < 1");
+    }
+    horizon_ += run.length;
+  }
+}
+
+Problem RleProblem::expand() const {
+  std::vector<CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(horizon_));
+  for (const Run& run : runs_) {
+    for (int i = 0; i < run.length; ++i) fs.push_back(run.cost);
+  }
+  return Problem(m_, beta_, std::move(fs));
+}
+
+RleProblem rle_problem_from_trace(
+    const RleTrace& rle, int m, double beta,
+    const std::function<CostPtr(double lambda)>& cost_of) {
+  if (!cost_of) {
+    throw std::invalid_argument("rle_problem_from_trace: null cost factory");
+  }
+  std::vector<RleProblem::Run> runs;
+  runs.reserve(rle.runs.size());
+  for (const RleRun& run : rle.runs) {
+    runs.push_back(RleProblem::Run{cost_of(run.lambda), run.length});
+  }
+  return RleProblem(m, beta, std::move(runs));
+}
+
+RleProblem rle_compress(const Problem& p) {
+  std::vector<RleProblem::Run> runs;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    CostPtr f = p.f_ptr(t);
+    if (!runs.empty() && runs.back().cost.get() == f.get()) {
+      ++runs.back().length;
+    } else {
+      runs.push_back(RleProblem::Run{std::move(f), 1});
+    }
+  }
+  return RleProblem(p.max_servers(), p.beta(), std::move(runs));
+}
+
+Schedule replay_lcp(const RleProblem& rle,
+                    WorkFunctionTracker::Backend backend) {
+  WorkFunctionTracker tracker(rle.max_servers(), rle.beta(), backend);
+  Schedule schedule;
+  schedule.reserve(static_cast<std::size_t>(rle.horizon()));
+  std::vector<int> xl;
+  std::vector<int> xu;
+  int current = 0;
+  for (const RleProblem::Run& run : rle.runs()) {
+    if (static_cast<int>(xl.size()) < run.length) {
+      xl.resize(static_cast<std::size_t>(run.length));
+      xu.resize(static_cast<std::size_t>(run.length));
+    }
+    tracker.advance_repeated(*run.cost, run.length, xl, xu);
+    // Same projection loop as Lcp::decide — after the shape fixpoint the
+    // bounds entries repeat, so this stays a trivial O(length) pass.
+    for (int i = 0; i < run.length; ++i) {
+      current = rs::util::project(current, xl[static_cast<std::size_t>(i)],
+                                  xu[static_cast<std::size_t>(i)]);
+      schedule.push_back(current);
+    }
+  }
+  return schedule;
+}
+
+rs::offline::BoundTrajectory compute_bounds(
+    const RleProblem& rle, WorkFunctionTracker::Backend backend) {
+  rs::offline::BoundTrajectory bounds;
+  bounds.lower.resize(static_cast<std::size_t>(rle.horizon()));
+  bounds.upper.resize(static_cast<std::size_t>(rle.horizon()));
+  WorkFunctionTracker tracker(rle.max_servers(), rle.beta(), backend);
+  std::size_t offset = 0;
+  for (const RleProblem::Run& run : rle.runs()) {
+    tracker.advance_repeated(
+        *run.cost, run.length,
+        std::span<int>(bounds.lower).subspan(offset),
+        std::span<int>(bounds.upper).subspan(offset));
+    offset += static_cast<std::size_t>(run.length);
+  }
+  return bounds;
+}
+
+}  // namespace rs::scenario

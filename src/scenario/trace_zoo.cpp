@@ -1,0 +1,296 @@
+#include "scenario/trace_zoo.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/cost_function.hpp"
+#include "core/piecewise_linear.hpp"
+#include "lowerbound/adversary.hpp"
+#include "online/lcp.hpp"
+#include "util/rng.hpp"
+
+namespace rs::scenario {
+
+namespace {
+
+using rs::core::CostPtr;
+using rs::util::Rng;
+using rs::workload::Trace;
+
+constexpr double kPi = 3.14159265358979323846;
+
+void check_params(const ZooParams& params) {
+  if (params.servers < 1) {
+    throw std::invalid_argument("ZooParams: servers must be >= 1");
+  }
+  if (!(params.beta > 0.0)) {
+    throw std::invalid_argument("ZooParams: beta must be > 0");
+  }
+  if (params.horizon < 1) {
+    throw std::invalid_argument("ZooParams: horizon must be >= 1");
+  }
+  if (params.slots_per_day < 1) {
+    throw std::invalid_argument("ZooParams: slots_per_day must be >= 1");
+  }
+  if (!(params.peak > 0.0)) {
+    throw std::invalid_argument("ZooParams: peak must be > 0");
+  }
+  if (params.quantize_levels < 1) {
+    throw std::invalid_argument("ZooParams: quantize_levels must be >= 1");
+  }
+  if (!(params.energy >= 0.0) || !(params.sla >= 0.0)) {
+    throw std::invalid_argument("ZooParams: energy and sla must be >= 0");
+  }
+  if (!(params.headroom > 0.0)) {
+    throw std::invalid_argument("ZooParams: headroom must be > 0");
+  }
+  if (!(params.tariff_base >= 0.0) || !(params.tariff_rate >= 0.0)) {
+    throw std::invalid_argument("ZooParams: tariff must be >= 0");
+  }
+  if (!(params.pareto_alpha > 1.0)) {
+    throw std::invalid_argument("ZooParams: pareto_alpha must be > 1");
+  }
+  if (!(params.adversary_eps > 0.0)) {
+    throw std::invalid_argument("ZooParams: adversary_eps must be > 0");
+  }
+}
+
+// Raised-cosine day shape in [0, 1], peaking mid-day.
+double day_shape(int slot_of_day, int slots_per_day) {
+  const double frac =
+      static_cast<double>(slot_of_day) / static_cast<double>(slots_per_day);
+  return 0.5 * (1.0 - std::cos(2.0 * kPi * frac));
+}
+
+// Weekday envelope: full weekday demand, a pronounced weekend dip.
+double week_envelope(int day) { return day % 7 >= 5 ? 0.55 : 1.0; }
+
+// f_t(x) = energy·x + sla·(headroom·λ − x)⁺ — the convex-PWL form of the
+// dcsim soft-SLA model (whose FunctionCost slots are opaque to the PWL
+// backend); built from the explicit hinge family so as_convex_pwl is exact.
+CostPtr hinge_sla_cost(const ZooParams& params, double lambda) {
+  std::vector<CostPtr> parts;
+  parts.push_back(std::make_shared<rs::core::PiecewiseLinearCost>(
+      std::vector<rs::core::Breakpoint>{{0.0, 0.0}, {1.0, params.energy}}));
+  parts.push_back(
+      rs::core::make_shortfall_hinge(params.sla, params.headroom * lambda));
+  return std::make_shared<rs::core::SumCost>(std::move(parts));
+}
+
+Trace diurnal_weekly_trace(const ZooParams& params, Rng& rng) {
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  const double valley = 0.25;
+  for (int t = 0; t < params.horizon; ++t) {
+    const int day = t / params.slots_per_day;
+    const double shape = day_shape(t % params.slots_per_day,
+                                   params.slots_per_day);
+    const double level =
+        week_envelope(day) * (valley + (1.0 - valley) * shape);
+    const double noisy = level * (1.0 + rng.normal(0.0, 0.03));
+    trace.lambda.push_back(std::max(0.0, params.peak * noisy));
+  }
+  return trace;
+}
+
+Trace flash_crowd_trace(const ZooParams& params, Rng& rng) {
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  double crowd = 1.0;  // multiplicative surge factor, decays geometrically
+  for (int t = 0; t < params.horizon; ++t) {
+    const double shape = day_shape(t % params.slots_per_day,
+                                   params.slots_per_day);
+    const double baseline = 0.6 * params.peak * (0.3 + 0.7 * shape);
+    if (rng.bernoulli(0.004)) crowd = std::max(crowd, rng.uniform(2.0, 3.5));
+    crowd = 1.0 + (crowd - 1.0) * 0.82;
+    const double noisy = baseline * crowd * (1.0 + rng.normal(0.0, 0.02));
+    trace.lambda.push_back(std::max(0.0, noisy));
+  }
+  return trace;
+}
+
+Trace heavy_tail_trace(const ZooParams& params, Rng& rng) {
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  // Demand must stay strictly inside the fleet so LinearLoadSlotCost keeps
+  // a non-empty feasible range (it is all-infinite when λ > m).
+  const double cap =
+      std::min(params.peak, 0.95 * static_cast<double>(params.servers));
+  const double scale = 0.15 * params.peak;  // Pareto x_m
+  while (trace.horizon() < params.horizon) {
+    // Inverse-CDF Pareto sample: x_m · u^{-1/α}, u ∈ (0, 1].
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double value =
+        std::min(cap, scale * std::pow(u, -1.0 / params.pareto_alpha));
+    // Block-constant holds (telemetry aggregation windows): the natural
+    // source of the constant-λ runs the RLE replay collapses.
+    const int block = static_cast<int>(rng.uniform_int(4, 24));
+    for (int i = 0; i < block && trace.horizon() < params.horizon; ++i) {
+      trace.lambda.push_back(value);
+    }
+  }
+  return trace;
+}
+
+Trace correlated_multi_dc_trace(const ZooParams& params, Rng& rng) {
+  constexpr int kDataCenters = 4;
+  double weights[kDataCenters];
+  double total_weight = 0.0;
+  for (double& w : weights) {
+    w = rng.uniform(0.5, 1.5);
+    total_weight += w;
+  }
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(params.horizon));
+  for (int t = 0; t < params.horizon; ++t) {
+    const int day = t / params.slots_per_day;
+    // One shared demand factor drives every data center (the correlated
+    // component); each adds its own idiosyncratic noise.
+    const double shared =
+        week_envelope(day) *
+        (0.3 + 0.7 * day_shape(t % params.slots_per_day,
+                               params.slots_per_day)) *
+        (1.0 + rng.normal(0.0, 0.02));
+    double aggregate = 0.0;
+    for (double w : weights) {
+      aggregate += (w / total_weight) * shared *
+                   std::max(0.0, 1.0 + rng.normal(0.0, 0.08));
+    }
+    trace.lambda.push_back(std::max(0.0, params.peak * aggregate));
+  }
+  return rs::workload::rescale_peak(trace, params.peak);
+}
+
+Scenario finish_scenario(ScenarioKind kind, const ZooParams& params,
+                         Trace trace,
+                         const std::function<CostPtr(double)>& cost_of) {
+  trace = quantize_trace(trace, params.peak, params.quantize_levels);
+  RleTrace rle_trace = rle_encode(trace);
+  RleProblem rle = rle_problem_from_trace(rle_trace, params.servers,
+                                          params.beta, cost_of);
+  rs::core::Problem problem = rle.expand();
+  return Scenario{to_string(kind), kind, std::move(trace), std::move(rle),
+                  std::move(problem)};
+}
+
+Scenario adversarial_scenario(const ZooParams& params) {
+  // Theorem-4 adversary against LCP itself (m = 1, β = 2 by construction);
+  // deterministic, so the seed plays no role here.
+  rs::online::Lcp lcp;
+  rs::lowerbound::AdversaryOutcome outcome =
+      rs::lowerbound::deterministic_discrete_adversary(
+          lcp, params.adversary_eps, params.horizon);
+  // The ϕ-center sequence is the trace: ϕ(ε, c) evaluates to ε·c at x = 0,
+  // so c = 1 exactly when f_t(0) > 0.
+  Trace trace;
+  trace.lambda.reserve(static_cast<std::size_t>(outcome.problem.horizon()));
+  for (int t = 1; t <= outcome.problem.horizon(); ++t) {
+    trace.lambda.push_back(outcome.problem.f(t).at(0) > 0.0 ? 1.0 : 0.0);
+  }
+  // Rebuild the instance through the RLE factory so each constant-center
+  // run shares one AffineAbsCost — structurally the adversary's instance,
+  // now in the shared-pointer form rle_compress can recover.
+  const double eps = params.adversary_eps;
+  RleProblem rle = rle_problem_from_trace(
+      rle_encode(trace), outcome.problem.max_servers(),
+      outcome.problem.beta(), [eps](double lambda) -> CostPtr {
+        return std::make_shared<rs::core::AffineAbsCost>(eps, lambda);
+      });
+  rs::core::Problem problem = rle.expand();
+  return Scenario{to_string(ScenarioKind::kAdversarial),
+                  ScenarioKind::kAdversarial, std::move(trace),
+                  std::move(rle), std::move(problem)};
+}
+
+}  // namespace
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kDiurnalWeekly:
+      return "diurnal_weekly";
+    case ScenarioKind::kFlashCrowd:
+      return "flash_crowd";
+    case ScenarioKind::kHeavyTail:
+      return "heavy_tail";
+    case ScenarioKind::kCorrelatedMultiDc:
+      return "correlated_multi_dc";
+    case ScenarioKind::kAdversarial:
+      return "adversarial";
+  }
+  throw std::invalid_argument("to_string: unknown ScenarioKind");
+}
+
+std::vector<ScenarioKind> all_scenario_kinds() {
+  return {ScenarioKind::kDiurnalWeekly, ScenarioKind::kFlashCrowd,
+          ScenarioKind::kHeavyTail, ScenarioKind::kCorrelatedMultiDc,
+          ScenarioKind::kAdversarial};
+}
+
+rs::workload::Trace quantize_trace(const rs::workload::Trace& trace,
+                                   double peak, int levels) {
+  if (!(peak > 0.0)) {
+    throw std::invalid_argument("quantize_trace: peak must be > 0");
+  }
+  if (levels < 1) {
+    throw std::invalid_argument("quantize_trace: levels must be >= 1");
+  }
+  const double step = peak / static_cast<double>(levels);
+  Trace out;
+  out.lambda.reserve(trace.lambda.size());
+  for (double value : trace.lambda) {
+    // round-then-rescale: equal grid indices yield bitwise-identical
+    // doubles, which is what rle_encode's == grouping needs.
+    double index = std::round(value / step);
+    index = std::min(index, static_cast<double>(levels));
+    index = std::max(index, 0.0);
+    out.lambda.push_back(index * step);
+  }
+  return out;
+}
+
+Scenario make_scenario(ScenarioKind kind, const ZooParams& params,
+                       std::uint64_t seed) {
+  check_params(params);
+  Rng rng(seed);
+  switch (kind) {
+    case ScenarioKind::kDiurnalWeekly:
+      return finish_scenario(kind, params, diurnal_weekly_trace(params, rng),
+                             [&params](double lambda) {
+                               return hinge_sla_cost(params, lambda);
+                             });
+    case ScenarioKind::kFlashCrowd:
+      return finish_scenario(kind, params, flash_crowd_trace(params, rng),
+                             [&params](double lambda) {
+                               return hinge_sla_cost(params, lambda);
+                             });
+    case ScenarioKind::kHeavyTail:
+      return finish_scenario(
+          kind, params, heavy_tail_trace(params, rng),
+          [&params](double lambda) -> CostPtr {
+            return std::make_shared<rs::core::LinearLoadSlotCost>(
+                params.tariff_base, params.tariff_rate, lambda);
+          });
+    case ScenarioKind::kCorrelatedMultiDc:
+      return finish_scenario(kind, params,
+                             correlated_multi_dc_trace(params, rng),
+                             [&params](double lambda) {
+                               return hinge_sla_cost(params, lambda);
+                             });
+    case ScenarioKind::kAdversarial:
+      return adversarial_scenario(params);
+  }
+  throw std::invalid_argument("make_scenario: unknown ScenarioKind");
+}
+
+std::vector<Scenario> make_zoo(const ZooParams& params, std::uint64_t seed) {
+  std::vector<Scenario> zoo;
+  std::uint64_t state = seed;
+  for (ScenarioKind kind : all_scenario_kinds()) {
+    zoo.push_back(make_scenario(kind, params, rs::util::splitmix64(state)));
+  }
+  return zoo;
+}
+
+}  // namespace rs::scenario

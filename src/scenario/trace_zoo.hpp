@@ -1,0 +1,95 @@
+// Trace zoo: parameterized scenario generators for the evaluation harness.
+//
+// Each scenario couples a synthetic arrival trace (workload/trace.hpp) with
+// the instance it induces under one of the library's cost families, exposed
+// both run-length-encoded (scenario/rle.hpp) and expanded.  λ values are
+// quantized to a coarse grid before the instance is built — real telemetry
+// is quantized the same way, and the resulting constant-λ stretches are
+// what make the RLE replay pay off.
+//
+// The five kinds cover the shapes the right-sizing literature evaluates on:
+//
+//   kDiurnalWeekly     — seven raised-cosine day cycles with a weekend dip
+//                        (the Hotmail-like regime of Lin et al.'s study).
+//   kFlashCrowd        — a diurnal baseline plus rare multiplicative flash
+//                        crowds with geometric decay.
+//   kHeavyTail         — block-constant Pareto (heavy-tailed) arrivals; the
+//                        instance uses the restricted-model linear tariff
+//                        (LinearLoadSlotCost), capped below the fleet size.
+//   kCorrelatedMultiDc — several data centers driven by one shared diurnal
+//                        factor plus idiosyncratic noise, aggregated into a
+//                        single provisioning problem.
+//   kAdversarial       — the Theorem-4 lower-bound adversary played against
+//                        LCP (lowerbound/adversary.hpp); its ϕ-center
+//                        sequence is the trace, and the instance is rebuilt
+//                        through the RLE factory so each constant-center run
+//                        shares one AffineAbsCost.
+//
+// All generators are deterministic functions of (params, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/rle.hpp"
+#include "workload/trace.hpp"
+
+namespace rs::scenario {
+
+enum class ScenarioKind {
+  kDiurnalWeekly,
+  kFlashCrowd,
+  kHeavyTail,
+  kCorrelatedMultiDc,
+  kAdversarial,
+};
+
+const char* to_string(ScenarioKind kind);
+
+/// All five kinds in declaration order (the harness matrix rows).
+std::vector<ScenarioKind> all_scenario_kinds();
+
+struct ZooParams {
+  int servers = 48;           // fleet size m (adversarial scenarios use m = 1)
+  double beta = 6.0;          // power-up cost
+  int horizon = 672;          // slots; 7 days at 96 slots/day by default
+  int slots_per_day = 96;
+  double peak = 40.0;         // peak arrival rate, in server units
+  int quantize_levels = 24;   // λ grid resolution (>= 1); coarser -> longer runs
+  // Hinge-SLA cost family (the convex-PWL form of dcsim's soft model):
+  //   f_t(x) = energy·x + sla·(headroom·λ_t − x)⁺.
+  double energy = 1.0;
+  double sla = 20.0;
+  double headroom = 1.1;
+  // Restricted-model linear tariff for kHeavyTail: f(z) = base + rate·z.
+  double tariff_base = 1.0;
+  double tariff_rate = 0.5;
+  double pareto_alpha = 2.2;  // tail index (> 1 so the mean exists)
+  double adversary_eps = 0.1; // Theorem-4 ε; smaller pushes the ratio to 3
+};
+
+struct Scenario {
+  std::string name;
+  ScenarioKind kind;
+  rs::workload::Trace trace;
+  RleProblem rle;             // the run-grouped instance
+  rs::core::Problem problem;  // rle.expand() — one shared CostPtr per run
+};
+
+/// Builds one scenario.  Deterministic in (kind, params, seed); validates
+/// params (throws std::invalid_argument).
+Scenario make_scenario(ScenarioKind kind, const ZooParams& params,
+                       std::uint64_t seed);
+
+/// One scenario per kind, with per-kind seeds derived from `seed` via
+/// splitmix64 (so kinds stay decorrelated but reproducible).
+std::vector<Scenario> make_zoo(const ZooParams& params, std::uint64_t seed);
+
+/// Snaps every λ to the `levels`-step grid over [0, peak] (bitwise-stable
+/// rounding — equal inputs map to identical doubles, creating the constant
+/// runs rle_encode collapses).  Exposed for the tests.
+rs::workload::Trace quantize_trace(const rs::workload::Trace& trace,
+                                   double peak, int levels);
+
+}  // namespace rs::scenario

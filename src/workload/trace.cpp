@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/csv.hpp"
@@ -48,7 +49,11 @@ double autocorrelation(const Trace& trace, int lag) {
 }
 
 Trace rescale_peak(const Trace& trace, double new_peak) {
-  if (new_peak < 0.0) throw std::invalid_argument("rescale_peak: negative");
+  // !(x >= 0) instead of (x < 0): NaN fails every ordered comparison, so a
+  // plain negativity test would silently accept it and poison the trace.
+  if (!(new_peak >= 0.0)) {
+    throw std::invalid_argument("rescale_peak: new peak must be >= 0");
+  }
   const TraceStats stats = compute_stats(trace);
   Trace out = trace;
   if (stats.peak <= 0.0) return out;
@@ -58,11 +63,21 @@ Trace rescale_peak(const Trace& trace, double new_peak) {
 }
 
 void write_trace_csv(const Trace& trace, const std::string& path) {
+  for (double value : trace.lambda) {
+    if (!std::isfinite(value) || value < 0.0) {
+      throw std::invalid_argument(
+          "write_trace_csv: workload values must be finite and >= 0");
+    }
+  }
   rs::util::CsvTable table;
   table.header = {"lambda"};
   table.rows.reserve(trace.lambda.size());
+  // %.17g (max_digits10 for double) so read_trace_csv recovers every value
+  // bit-exactly; std::to_string's fixed 6 decimals silently truncated.
+  char buffer[40];
   for (double value : trace.lambda) {
-    table.rows.push_back({std::to_string(value)});
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    table.rows.push_back({buffer});
   }
   rs::util::csv_write_file(path, table);
 }
@@ -73,9 +88,23 @@ Trace read_trace_csv(const std::string& path) {
   trace.lambda.reserve(table.rows.size());
   for (const rs::util::CsvRow& row : table.rows) {
     if (row.empty()) continue;
-    const double value = std::stod(row[0]);
-    if (value < 0.0) {
-      throw std::runtime_error("read_trace_csv: negative workload");
+    double value = 0.0;
+    try {
+      std::size_t consumed = 0;
+      value = std::stod(row[0], &consumed);
+      if (consumed != row[0].size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_trace_csv: malformed workload value '" +
+                               row[0] + "'");
+    }
+    // NaN passes `value < 0.0` (every ordered comparison is false) and +inf
+    // passes it too; both are outside the λ_t >= 0 finite contract.
+    if (!std::isfinite(value) || value < 0.0) {
+      throw std::runtime_error(
+          "read_trace_csv: workload values must be finite and >= 0, got '" +
+          row[0] + "'");
     }
     trace.lambda.push_back(value);
   }

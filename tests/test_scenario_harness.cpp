@@ -1,0 +1,128 @@
+// Evaluation-harness tests: the seeding contract (identical seed ⇒
+// identical MonteCarloReport under any engine thread count), the shape of
+// the sample/cell matrix, and the dashboard rendering.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "scenario/eval_harness.hpp"
+
+namespace {
+
+using rs::scenario::CellSummary;
+using rs::scenario::HarnessAlgorithm;
+using rs::scenario::HarnessConfig;
+using rs::scenario::MonteCarloReport;
+using rs::scenario::SampleRow;
+using rs::scenario::ScenarioKind;
+
+HarnessConfig small_config() {
+  HarnessConfig config;
+  config.scenarios = {ScenarioKind::kDiurnalWeekly, ScenarioKind::kHeavyTail,
+                      ScenarioKind::kAdversarial};
+  config.samples_per_scenario = 3;
+  config.base_seed = 99;
+  config.zoo.servers = 16;
+  config.zoo.horizon = 192;
+  config.zoo.slots_per_day = 96;
+  config.zoo.peak = 12.0;
+  config.zoo.quantize_levels = 12;
+  config.zoo.adversary_eps = 0.3;
+  return config;
+}
+
+void expect_identical(const MonteCarloReport& a, const MonteCarloReport& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const SampleRow& ra = a.samples[i];
+    const SampleRow& rb = b.samples[i];
+    EXPECT_EQ(ra.kind, rb.kind) << i;
+    EXPECT_EQ(ra.algorithm, rb.algorithm) << i;
+    EXPECT_EQ(ra.sample, rb.sample) << i;
+    EXPECT_EQ(ra.seed, rb.seed) << i;
+    // Bitwise equality: every sample is computed single-threadedly inside
+    // its job from a pure function of the seed, so thread count must not
+    // perturb a single bit.
+    EXPECT_EQ(ra.algorithm_cost, rb.algorithm_cost) << i;
+    EXPECT_EQ(ra.optimal_cost, rb.optimal_cost) << i;
+    EXPECT_EQ(ra.static_cost, rb.static_cost) << i;
+    EXPECT_EQ(ra.ratio, rb.ratio) << i;
+    EXPECT_EQ(ra.savings_percent, rb.savings_percent) << i;
+  }
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].ratio.mean, b.cells[i].ratio.mean) << i;
+    EXPECT_EQ(a.cells[i].max_ratio, b.cells[i].max_ratio) << i;
+    EXPECT_EQ(a.cells[i].savings_percent.mean,
+              b.cells[i].savings_percent.mean)
+        << i;
+    EXPECT_EQ(a.cells[i].mean_optimal_cost, b.cells[i].mean_optimal_cost)
+        << i;
+  }
+}
+
+TEST(EvalHarness, MatrixShapeAndSanity) {
+  const HarnessConfig config = small_config();
+  const MonteCarloReport report = rs::scenario::run_monte_carlo(config);
+  const std::size_t kinds = config.scenarios.size();
+  const std::size_t algorithms = config.algorithms.size();
+  const std::size_t samples =
+      static_cast<std::size_t>(config.samples_per_scenario);
+  ASSERT_EQ(report.samples.size(), kinds * samples * algorithms);
+  ASSERT_EQ(report.cells.size(), kinds * algorithms);
+  EXPECT_EQ(report.stats.jobs, kinds * samples);
+
+  for (const SampleRow& row : report.samples) {
+    EXPECT_GT(row.optimal_cost, 0.0);
+    // No algorithm beats the exact offline optimum.
+    EXPECT_GE(row.ratio, 1.0 - 1e-9);
+    EXPECT_LE(row.savings_percent, 100.0);
+    // LCP is deterministic and 3-competitive (Theorem 2).
+    if (row.algorithm != HarnessAlgorithm::kRandomizedRounding) {
+      EXPECT_LE(row.ratio, 3.0 + 1e-6);
+    }
+  }
+  for (const CellSummary& cell : report.cells) {
+    EXPECT_EQ(cell.samples, config.samples_per_scenario);
+    EXPECT_GE(cell.max_ratio, cell.ratio.mean - 1e-12);
+  }
+}
+
+TEST(EvalHarness, DeterministicAcrossThreadCounts) {
+  HarnessConfig config = small_config();
+  config.threads = 1;
+  const MonteCarloReport one = rs::scenario::run_monte_carlo(config);
+  config.threads = 2;
+  const MonteCarloReport two = rs::scenario::run_monte_carlo(config);
+  config.threads = 4;
+  const MonteCarloReport four = rs::scenario::run_monte_carlo(config);
+  expect_identical(one, two);
+  expect_identical(one, four);
+}
+
+TEST(EvalHarness, DashboardListsEveryCell) {
+  const HarnessConfig config = small_config();
+  const MonteCarloReport report = rs::scenario::run_monte_carlo(config);
+  const std::string dashboard = rs::scenario::dashboard_markdown(report);
+  EXPECT_NE(dashboard.find("| scenario"), std::string::npos);
+  for (ScenarioKind kind : config.scenarios) {
+    EXPECT_NE(dashboard.find(rs::scenario::to_string(kind)),
+              std::string::npos);
+  }
+  for (HarnessAlgorithm algorithm : config.algorithms) {
+    EXPECT_NE(dashboard.find(rs::scenario::to_string(algorithm)),
+              std::string::npos);
+  }
+}
+
+TEST(EvalHarness, Validation) {
+  HarnessConfig config = small_config();
+  config.algorithms.clear();
+  EXPECT_THROW(rs::scenario::run_monte_carlo(config), std::invalid_argument);
+  config = small_config();
+  config.samples_per_scenario = 0;
+  EXPECT_THROW(rs::scenario::run_monte_carlo(config), std::invalid_argument);
+}
+
+}  // namespace

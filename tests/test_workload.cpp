@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <limits>
 
 #include "util/rng.hpp"
 #include "workload/generators.hpp"
@@ -61,6 +63,66 @@ TEST(TraceCsv, RoundTrip) {
     EXPECT_NEAR(round.lambda[static_cast<std::size_t>(t)],
                 trace.lambda[static_cast<std::size_t>(t)], 1e-9);
   }
+}
+
+TEST(TraceCsv, RoundTripIsBitExact) {
+  // Values with no short decimal representation: %.17g must recover every
+  // bit (std::to_string's fixed 6 decimals used to truncate these).
+  Trace trace{{1.0 / 3.0, 0.1, 1e-9, 123456.789012345678, 0.0, 1e17}};
+  const std::string path = ::testing::TempDir() + "/rs_trace_exact.csv";
+  write_trace_csv(trace, path);
+  const Trace round = read_trace_csv(path);
+  ASSERT_EQ(round.horizon(), trace.horizon());
+  EXPECT_EQ(round.lambda, trace.lambda);  // bitwise
+}
+
+TEST(TraceCsv, EmptyAndSingleSlot) {
+  const std::string path = ::testing::TempDir() + "/rs_trace_edge.csv";
+  write_trace_csv(Trace{}, path);
+  EXPECT_EQ(read_trace_csv(path).horizon(), 0);
+
+  write_trace_csv(Trace{{2.5}}, path);
+  const Trace single = read_trace_csv(path);
+  ASSERT_EQ(single.horizon(), 1);
+  EXPECT_DOUBLE_EQ(single.lambda[0], 2.5);
+}
+
+TEST(TraceCsv, WriteRejectsInvalidValues) {
+  const std::string path = ::testing::TempDir() + "/rs_trace_bad.csv";
+  EXPECT_THROW(write_trace_csv(Trace{{1.0, -0.5}}, path),
+               std::invalid_argument);
+  EXPECT_THROW(write_trace_csv(Trace{{std::nan("")}}, path),
+               std::invalid_argument);
+  EXPECT_THROW(
+      write_trace_csv(Trace{{std::numeric_limits<double>::infinity()}}, path),
+      std::invalid_argument);
+}
+
+TEST(TraceCsv, ReadRejectsInvalidValues) {
+  const std::string path = ::testing::TempDir() + "/rs_trace_malformed.csv";
+  const auto write_raw = [&path](const std::string& body) {
+    std::ofstream out(path);
+    out << "lambda\n" << body;
+  };
+  write_raw("1.0\n-2.0\n");
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  write_raw("nan\n");  // NaN passes `value < 0` checks; must still reject
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  write_raw("inf\n");
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  write_raw("banana\n");
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  write_raw("1.5x\n");  // trailing characters after a valid prefix
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+}
+
+TEST(RescalePeak, RejectsNaNTarget) {
+  Trace trace{{1.0, 2.0}};
+  EXPECT_THROW(rescale_peak(trace, std::nan("")), std::invalid_argument);
+  // Zero target and all-zero traces are fine (documented no-op cases).
+  EXPECT_DOUBLE_EQ(compute_stats(rescale_peak(trace, 0.0)).peak, 0.0);
+  const Trace zeros{{0.0, 0.0}};
+  EXPECT_EQ(rescale_peak(zeros, 5.0).lambda, zeros.lambda);
 }
 
 TEST(Diurnal, ShapeAndDeterminism) {
