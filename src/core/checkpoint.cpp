@@ -1,0 +1,211 @@
+#include "core/checkpoint.hpp"
+
+#include <array>
+#include <bit>
+#include <fstream>
+#include <iterator>
+
+namespace rs::core {
+
+namespace {
+
+// "RSCK" little-endian.
+constexpr std::uint32_t kMagic = 0x4B435352u;
+// magic + version + kind + payload_size + crc32.
+constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 8 + 4;
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint32_t>(in[pos]) |
+         (static_cast<std::uint32_t>(in[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[pos + 3]) << 24);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t pos) {
+  return static_cast<std::uint64_t>(get_u32(in, pos)) |
+         (static_cast<std::uint64_t>(get_u32(in, pos + 4)) << 32);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::u8(std::uint8_t v) { payload_.push_back(v); }
+
+void CheckpointWriter::u32(std::uint32_t v) { put_u32(payload_, v); }
+
+void CheckpointWriter::u64(std::uint64_t v) { put_u64(payload_, v); }
+
+void CheckpointWriter::i32(std::int32_t v) {
+  put_u32(payload_, static_cast<std::uint32_t>(v));
+}
+
+void CheckpointWriter::i64(std::int64_t v) {
+  put_u64(payload_, static_cast<std::uint64_t>(v));
+}
+
+void CheckpointWriter::f64(double v) {
+  put_u64(payload_, std::bit_cast<std::uint64_t>(v));
+}
+
+void CheckpointWriter::bytes(std::span<const std::uint8_t> data) {
+  payload_.insert(payload_.end(), data.begin(), data.end());
+}
+
+std::vector<std::uint8_t> CheckpointWriter::seal(std::uint32_t kind) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload_.size());
+  put_u32(out, kMagic);
+  put_u32(out, kCheckpointVersion);
+  put_u32(out, kind);
+  put_u64(out, static_cast<std::uint64_t>(payload_.size()));
+  put_u32(out, crc32(payload_));
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+CheckpointReader::CheckpointReader(std::span<const std::uint8_t> data,
+                                   std::uint32_t expected_kind) {
+  if (data.size() < kHeaderSize) {
+    throw CheckpointFormatError(
+        "checkpoint: truncated header (" + std::to_string(data.size()) +
+        " of " + std::to_string(kHeaderSize) + " bytes)");
+  }
+  if (get_u32(data, 0) != kMagic) {
+    throw CheckpointFormatError("checkpoint: bad magic");
+  }
+  const std::uint32_t version = get_u32(data, 4);
+  if (version != kCheckpointVersion) {
+    throw CheckpointFormatError("checkpoint: unsupported format version " +
+                                std::to_string(version));
+  }
+  const std::uint32_t kind = get_u32(data, 8);
+  if (kind != expected_kind) {
+    throw CheckpointFormatError(
+        "checkpoint: payload kind " + std::to_string(kind) + ", expected " +
+        std::to_string(expected_kind));
+  }
+  const std::uint64_t size = get_u64(data, 12);
+  if (size != data.size() - kHeaderSize) {
+    throw CheckpointFormatError(
+        "checkpoint: payload size " + std::to_string(size) + " does not "
+        "match " + std::to_string(data.size() - kHeaderSize) +
+        " available bytes");
+  }
+  payload_ = data.subspan(kHeaderSize);
+  if (crc32(payload_) != get_u32(data, 20)) {
+    throw CheckpointCorruptionError("checkpoint: payload checksum mismatch");
+  }
+}
+
+void CheckpointReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw CheckpointFormatError("checkpoint: payload field truncated");
+  }
+}
+
+std::uint8_t CheckpointReader::u8() {
+  require(1);
+  return payload_[pos_++];
+}
+
+std::uint32_t CheckpointReader::u32() {
+  require(4);
+  const std::uint32_t v = get_u32(payload_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  require(8);
+  const std::uint64_t v = get_u64(payload_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int32_t CheckpointReader::i32() {
+  return static_cast<std::int32_t>(u32());
+}
+
+std::int64_t CheckpointReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+
+double CheckpointReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<std::uint8_t> CheckpointReader::bytes(std::size_t n) {
+  require(n);
+  std::vector<std::uint8_t> out(payload_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                payload_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+void CheckpointReader::finish() const {
+  if (remaining() != 0) {
+    throw CheckpointFormatError("checkpoint: " +
+                                std::to_string(remaining()) +
+                                " unconsumed payload bytes");
+  }
+}
+
+std::uint32_t checkpoint_kind(std::span<const std::uint8_t> data) {
+  if (data.size() < kHeaderSize) {
+    throw CheckpointFormatError("checkpoint: truncated header");
+  }
+  if (get_u32(data, 0) != kMagic) {
+    throw CheckpointFormatError("checkpoint: bad magic");
+  }
+  return get_u32(data, 8);
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return bytes;
+}
+
+}  // namespace rs::core

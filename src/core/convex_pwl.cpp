@@ -18,6 +18,35 @@ ConvexPwl ConvexPwl::constant(int lo, int hi, double value) {
   return ConvexPwl(lo, hi, value);  // slope0_ = 0 covers the whole range
 }
 
+ConvexPwl ConvexPwl::from_parts(int lo, int hi, double v_lo, double slope0,
+                                std::map<int, double> dslope) {
+  if (lo > hi) throw std::invalid_argument("ConvexPwl::from_parts: lo > hi");
+  if (!std::isfinite(v_lo)) {
+    throw std::invalid_argument("ConvexPwl::from_parts: non-finite value");
+  }
+  if (!std::isfinite(slope0)) {
+    throw std::invalid_argument("ConvexPwl::from_parts: non-finite slope");
+  }
+  if (lo == hi && (slope0 != 0.0 || !dslope.empty())) {
+    throw std::invalid_argument(
+        "ConvexPwl::from_parts: point domain carries slopes");
+  }
+  for (const auto& [position, increment] : dslope) {
+    if (position <= lo || position >= hi) {
+      throw std::invalid_argument(
+          "ConvexPwl::from_parts: increment position outside (lo, hi)");
+    }
+    if (!(increment > 0.0) || !std::isfinite(increment)) {
+      throw std::invalid_argument(
+          "ConvexPwl::from_parts: increments must be positive and finite");
+    }
+  }
+  ConvexPwl out(lo, hi, v_lo);
+  out.slope0_ = slope0;
+  out.dslope_ = std::move(dslope);
+  return out;
+}
+
 double ConvexPwl::value_at(int x) const {
   if (infinite_ || x < lo_ || x > hi_) return kInf;
   double value = v_lo_;

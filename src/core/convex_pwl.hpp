@@ -138,6 +138,23 @@ class ConvexPwl {
   /// shape fixpoint (the per-step value increment is shape-determined).
   void shift_value(double delta) noexcept;
 
+  /// Serialization accessors (core/checkpoint.hpp): the anchor value W(lo),
+  /// the first slope, and the slope-increment map.  Meaningful only when
+  /// !is_infinite(); the checkpoint encodes the infinite function as a flag.
+  double value_lo() const noexcept { return v_lo_; }
+  double first_slope() const noexcept { return slope0_; }
+  const std::map<int, double>& slope_increments() const noexcept {
+    return dslope_;
+  }
+
+  /// Rebuilds a function from serialized parts, re-validating every
+  /// representation invariant (lo <= hi, finite anchor value and slopes,
+  /// increment positions strictly inside (lo, hi), increments > 0, a point
+  /// domain carries no slopes) so corrupt checkpoint payloads are rejected
+  /// with std::invalid_argument instead of constructing a broken function.
+  static ConvexPwl from_parts(int lo, int hi, double v_lo, double slope0,
+                              std::map<int, double> dslope);
+
  private:
   friend class ConvexPwlBuilder;
 

@@ -12,6 +12,9 @@ namespace rs::core {
 
 namespace {
 
+constexpr const char* kProblemFormatTag = "rightsizer-problem-v1";
+constexpr const char* kScheduleFormatTag = "rightsizer-schedule-v1";
+
 std::string format_value(double v) {
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   std::ostringstream os;
@@ -20,10 +23,58 @@ std::string format_value(double v) {
   return os.str();
 }
 
-double parse_value(const std::string& s) {
+// Strict numeric parsing: the whole field must be consumed — "3x", "1 2",
+// or an empty field is malformed input, not a value.
+double parse_value(const std::string& s, const char* where) {
   if (s == "inf") return rs::util::kInf;
   if (s == "-inf") return -rs::util::kInf;
-  return std::stod(s);
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(where) + ": malformed value '" + s +
+                             "'");
+  }
+}
+
+int parse_int(const std::string& s, const char* where) {
+  try {
+    std::size_t consumed = 0;
+    const int v = std::stoi(s, &consumed);
+    if (consumed != s.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string(where) + ": malformed integer '" + s +
+                             "'");
+  }
+}
+
+// The `format=` token of the comment preamble, if any.  Pre-versioning
+// artifacts carry no tag and are accepted as-is; a present tag must match
+// exactly (an unknown tag means a future format this reader cannot decode).
+void check_format_tag(const std::string& text, const char* expected,
+                      const char* where) {
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line[0] != '#') break;  // the comment preamble is over
+    std::istringstream meta(line.substr(1));
+    std::string token;
+    while (meta >> token) {
+      if (token.rfind("format=", 0) == 0) {
+        const std::string tag = token.substr(7);
+        if (tag != expected) {
+          throw std::runtime_error(std::string(where) +
+                                   ": unsupported format '" + tag +
+                                   "' (expected " + expected + ")");
+        }
+        return;
+      }
+    }
+  }
 }
 
 void write_text(const std::string& path, const std::string& text) {
@@ -44,16 +95,21 @@ std::string read_text(const std::string& path) {
 }  // namespace
 
 std::string schedule_to_csv(const Schedule& x) {
+  std::string out = "# format=";
+  out += kScheduleFormatTag;
+  out += '\n';
   rs::util::CsvTable table;
   table.header = {"t", "x"};
   table.rows.reserve(x.size());
   for (std::size_t t = 0; t < x.size(); ++t) {
     table.rows.push_back({std::to_string(t + 1), std::to_string(x[t])});
   }
-  return rs::util::csv_format(table);
+  out += rs::util::csv_format(table);
+  return out;
 }
 
 Schedule schedule_from_csv(const std::string& text) {
+  check_format_tag(text, kScheduleFormatTag, "schedule_from_csv");
   const rs::util::CsvTable table = rs::util::csv_parse(text, true);
   if (table.header.size() != 2 || table.header[0] != "t") {
     throw std::runtime_error("schedule_from_csv: bad header");
@@ -64,11 +120,16 @@ Schedule schedule_from_csv(const std::string& text) {
     if (row.size() != 2) {
       throw std::runtime_error("schedule_from_csv: bad row arity");
     }
-    const int t = std::stoi(row[0]);
+    const int t = parse_int(row[0], "schedule_from_csv");
     if (t != static_cast<int>(x.size()) + 1) {
       throw std::runtime_error("schedule_from_csv: non-contiguous slots");
     }
-    x.push_back(std::stoi(row[1]));
+    const int state = parse_int(row[1], "schedule_from_csv");
+    if (state < 0) {
+      throw std::runtime_error(
+          "schedule_from_csv: negative server count in row " + row[0]);
+    }
+    x.push_back(state);
   }
   return x;
 }
@@ -83,6 +144,7 @@ Schedule read_schedule_csv(const std::string& path) {
 
 std::string problem_to_csv(const Problem& p) {
   std::ostringstream out;
+  out << "# format=" << kProblemFormatTag << "\n";
   out << "# m=" << p.max_servers() << " beta=" << format_value(p.beta())
       << "\n";
   rs::util::CsvTable table;
@@ -105,7 +167,8 @@ std::string problem_to_csv(const Problem& p) {
 }
 
 Problem problem_from_csv(const std::string& text) {
-  // Parse the metadata comment line first.
+  check_format_tag(text, kProblemFormatTag, "problem_from_csv");
+  // Parse the metadata comment line(s).
   std::istringstream stream(text);
   std::string line;
   int m = -1;
@@ -116,16 +179,21 @@ Problem problem_from_csv(const std::string& text) {
     std::istringstream meta(line.substr(1));
     std::string token;
     while (meta >> token) {
-      if (token.rfind("m=", 0) == 0) m = std::stoi(token.substr(2));
-      if (token.rfind("beta=", 0) == 0) beta = parse_value(token.substr(5));
+      if (token.rfind("m=", 0) == 0) {
+        m = parse_int(token.substr(2), "problem_from_csv");
+      }
+      if (token.rfind("beta=", 0) == 0) {
+        beta = parse_value(token.substr(5), "problem_from_csv");
+      }
     }
   }
-  if (m < 0 || !(beta > 0.0)) {
+  if (m < 0 || !(beta > 0.0) || std::isinf(beta)) {
     throw std::runtime_error("problem_from_csv: missing '# m=.. beta=..'");
   }
 
   const rs::util::CsvTable table = rs::util::csv_parse(text, true);
-  if (static_cast<int>(table.header.size()) != m + 2) {
+  if (static_cast<int>(table.header.size()) != m + 2 ||
+      table.header[0] != "t") {
     throw std::runtime_error("problem_from_csv: header arity != m+2");
   }
   std::vector<std::vector<double>> values;
@@ -134,10 +202,23 @@ Problem problem_from_csv(const std::string& text) {
     if (static_cast<int>(row.size()) != m + 2) {
       throw std::runtime_error("problem_from_csv: row arity != m+2");
     }
+    const int t = parse_int(row[0], "problem_from_csv");
+    if (t != static_cast<int>(values.size()) + 1) {
+      throw std::runtime_error("problem_from_csv: non-contiguous slots");
+    }
     std::vector<double> slot(static_cast<std::size_t>(m) + 1);
     for (int x = 0; x <= m; ++x) {
-      slot[static_cast<std::size_t>(x)] =
-          parse_value(row[static_cast<std::size_t>(x) + 1]);
+      const double v = parse_value(row[static_cast<std::size_t>(x) + 1],
+                                   "problem_from_csv");
+      // Extended-real cost contract [0, +inf]: NaN fails every ordered
+      // comparison (so `v < 0` alone would accept it) and -inf passes a
+      // NaN-only check; test both.
+      if (std::isnan(v) || v < 0.0) {
+        throw std::runtime_error(
+            "problem_from_csv: cost values must be in [0, +inf], got '" +
+            row[static_cast<std::size_t>(x) + 1] + "'");
+      }
+      slot[static_cast<std::size_t>(x)] = v;
     }
     values.push_back(std::move(slot));
   }

@@ -2,10 +2,21 @@
 // instances, so experiment artifacts can be exported, diffed and re-loaded.
 //
 // Formats:
-//   schedule:  header "t,x"; one row per slot.
-//   problem:   comment header "# m=<m> beta=<beta>", then header
-//              "t,f0,f1,..,fm"; one row per slot with f_t(0..m).
-//              +inf serializes as the literal "inf".
+//   schedule:  comment "# format=rightsizer-schedule-v1", then header
+//              "t,x"; one row per slot (t contiguous from 1, x >= 0).
+//   problem:   comments "# format=rightsizer-problem-v1" and
+//              "# m=<m> beta=<beta>", then header "t,f0,f1,..,fm"; one row
+//              per slot with f_t(0..m).  +inf serializes as the literal
+//              "inf"; finite values round-trip bit-exactly (17 significant
+//              digits).
+//
+// Readers are strict (the PR-6 trace-reader contract): every numeric field
+// must parse completely (no trailing garbage), slot indices must be
+// contiguous, schedule states must be non-negative, and cost values must
+// lie in the extended-real contract [0, +inf] — NaN and -inf are rejected,
+// never loaded into an instance.  The `# format=` tag is validated when
+// present and rejected when unknown; artifacts written before versioning
+// (no tag) still load.
 #pragma once
 
 #include <string>

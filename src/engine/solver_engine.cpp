@@ -1,5 +1,7 @@
 #include "engine/solver_engine.hpp"
 
+#include <cmath>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -8,6 +10,7 @@
 #include "offline/dp_solver.hpp"
 #include "offline/low_memory_solver.hpp"
 #include "online/lcp.hpp"
+#include "util/fault_injection.hpp"
 #include "util/stopwatch.hpp"
 #include "util/workspace.hpp"
 
@@ -17,14 +20,35 @@ using rs::core::DenseProblem;
 using rs::core::Problem;
 using rs::core::PwlProblem;
 
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOk:
+      return "ok";
+    case SolveStatus::kInvalidInput:
+      return "invalid-input";
+    case SolveStatus::kBackendFailure:
+      return "backend-failure";
+    case SolveStatus::kException:
+      return "exception";
+  }
+  return "unknown";
+}
+
 namespace {
 
 SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
-                     const rs::core::PwlProblem* pwl) {
+                     const rs::core::PwlProblem* pwl, std::size_t index) {
   // pwl: the batch's shared form cache for this instance (non-null exactly
   // when it admits a compact convex-PWL form and no table was materialized
   // for it).  Every kind replays from the cached forms — no job performs a
   // conversion of its own.
+  if (rs::util::fault_fires(pwl != nullptr ? rs::util::FaultSite::kPwlBackend
+                                           : rs::util::FaultSite::kDenseBackend,
+                            index)) {
+    throw BackendFailureError(pwl != nullptr
+                                  ? "injected fault: PWL backend"
+                                  : "injected fault: dense backend");
+  }
   SolveOutcome outcome;
   switch (job.kind) {
     case SolverKind::kDpCost: {
@@ -68,6 +92,73 @@ SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
     }
   }
   return outcome;
+}
+
+// One classified solve attempt: the outcome on success, nullopt with
+// (status, error) filled on any fault.  A NaN total cost is demoted to
+// kInvalidInput here so poisoned instances that slip through a solver
+// without throwing still fail *their* job instead of polluting the batch.
+std::optional<SolveOutcome> try_solve(const SolveJob& job,
+                                      const DenseProblem* dense,
+                                      const rs::core::PwlProblem* pwl,
+                                      std::size_t index, SolveStatus& status,
+                                      std::string& error) {
+  try {
+    SolveOutcome outcome = run_one(job, dense, pwl, index);
+    if (std::isnan(outcome.cost)) {
+      status = SolveStatus::kInvalidInput;
+      error = "solver produced a NaN total cost";
+      return std::nullopt;
+    }
+    return outcome;
+  } catch (const BackendFailureError& e) {
+    status = SolveStatus::kBackendFailure;
+    error = e.what();
+  } catch (const std::invalid_argument& e) {
+    status = SolveStatus::kInvalidInput;
+    error = e.what();
+  } catch (const std::domain_error& e) {
+    status = SolveStatus::kInvalidInput;
+    error = e.what();
+  } catch (const std::exception& e) {
+    status = SolveStatus::kException;
+    error = e.what();
+  } catch (...) {
+    status = SolveStatus::kException;
+    error = "unknown exception";
+  }
+  return std::nullopt;
+}
+
+// The per-job fault boundary: nothing a job does can escape this function.
+// PWL-routed failures get one dense-streaming retry (no table build in the
+// worker — the solvers stream rows from the original Problem), recorded as
+// a DegradeEvent; a failure on the final attempt becomes a non-kOk outcome
+// with an empty schedule.
+void run_isolated(const SolveJob& job, const DenseProblem* dense,
+                  const rs::core::PwlProblem* pwl, std::size_t index,
+                  SolveOutcome& out, std::mutex& stats_mutex,
+                  BatchStats& stats) {
+  SolveStatus status = SolveStatus::kOk;
+  std::string error;
+  if (std::optional<SolveOutcome> outcome =
+          try_solve(job, dense, pwl, index, status, error)) {
+    out = std::move(*outcome);
+    return;
+  }
+  if (pwl != nullptr && job.problem != nullptr) {
+    const std::string first_error = error;
+    if (std::optional<SolveOutcome> outcome =
+            try_solve(job, nullptr, nullptr, index, status, error)) {
+      out = std::move(*outcome);
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.degrade_events.push_back(DegradeEvent{index, first_error});
+      return;
+    }
+  }
+  out = SolveOutcome{};
+  out.status = status;
+  out.error = std::move(error);
 }
 
 // Brackets one batch: samples the global workspace-growth counter and the
@@ -161,11 +252,19 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
       }
       auto [it, inserted] = pwl_cache.try_emplace(job.problem, nullptr);
       if (inserted) {
-        if (std::optional<PwlProblem> built =
-                PwlProblem::try_convert(*job.problem)) {
-          it->second =
-              std::make_shared<const PwlProblem>(std::move(*built));
-          stats.pwl_conversions += it->second->conversions();
+        // A throwing cost function must fail *its* jobs, not the batch: a
+        // probe fault leaves the instance unrouted, and the per-job
+        // attempts re-hit and classify the error behind the isolation
+        // boundary.
+        try {
+          if (std::optional<PwlProblem> built =
+                  PwlProblem::try_convert(*job.problem)) {
+            it->second =
+                std::make_shared<const PwlProblem>(std::move(*built));
+            stats.pwl_conversions += it->second->conversions();
+          }
+        } catch (...) {
+          it->second = nullptr;
         }
       }
       if (it->second) {
@@ -195,11 +294,17 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
         if (inserted) {
           // Rows only: the batch kinds never query the minimizer caches,
           // and skipping them trims two O(m) scans per row off
-          // materialization.
-          it->second = std::make_shared<DenseProblem>(
-              *job.problem, DenseProblem::Mode::kEager,
-              DenseProblem::MinimizerCache::kOnDemand);
-          ++stats.dense_tables_built;
+          // materialization.  A materialization fault (throwing cost
+          // function) leaves the instance's jobs streaming from the
+          // Problem, where the per-job isolation classifies the error.
+          try {
+            it->second = std::make_shared<DenseProblem>(
+                *job.problem, DenseProblem::Mode::kEager,
+                DenseProblem::MinimizerCache::kOnDemand);
+            ++stats.dense_tables_built;
+          } catch (...) {
+            it->second = nullptr;
+          }
         }
         dense_of[i] = it->second;
       }
@@ -211,10 +316,15 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
       }
     }
 
-    dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of](std::size_t i) {
-      result.outcomes[i] =
-          run_one(jobs[i], dense_of[i].get(), pwl_of[i].get());
+    std::mutex stats_mutex;
+    dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of, &stats_mutex,
+                           &stats](std::size_t i) {
+      run_isolated(jobs[i], dense_of[i].get(), pwl_of[i].get(), i,
+                   result.outcomes[i], stats_mutex, stats);
     });
+    for (const SolveOutcome& outcome : result.outcomes) {
+      if (!outcome.ok()) ++stats.failed_jobs;
+    }
   });
   return result;
 }

@@ -27,6 +27,8 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/dense_problem.hpp"
@@ -57,9 +59,46 @@ struct SolveJob {
   SolverKind kind = SolverKind::kDpCost;
 };
 
+/// Per-job terminal status.  A batch never loses a job to another job's
+/// fault: every submitted job gets exactly one outcome, and anything that
+/// goes wrong *inside* a job is classified here instead of escaping run().
+enum class SolveStatus {
+  kOk = 0,
+  /// The job's own input is unusable: malformed instance, NaN slot costs,
+  /// a solver precondition violated (std::invalid_argument / domain_error),
+  /// or a NaN total cost.  Deterministic — resubmitting cannot succeed.
+  kInvalidInput,
+  /// A solver backend failed (BackendFailureError), e.g. under fault
+  /// injection.  PWL-routed jobs get one dense-streaming retry first.
+  kBackendFailure,
+  /// Any other exception out of job execution (the catch-all that keeps a
+  /// poisoned job from killing the batch); `error` carries what().
+  kException,
+};
+
+const char* to_string(SolveStatus status) noexcept;
+
+/// Thrown by solver backends to signal an environmental (possibly
+/// transient) failure as opposed to bad input; the engine's fault-injection
+/// sites throw it, and it is the one status the dense fallback retries.
+class BackendFailureError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One PWL-routed job that failed and was recovered by the dense-streaming
+/// fallback; `reason` is the original failure message.
+struct DegradeEvent {
+  std::size_t job = 0;
+  std::string reason;
+};
+
 struct SolveOutcome {
   double cost = 0.0;
   rs::core::Schedule schedule;  // empty for kDpCost
+  SolveStatus status = SolveStatus::kOk;
+  std::string error;  // empty iff ok()
+  bool ok() const noexcept { return status == SolveStatus::kOk; }
 };
 
 struct BatchStats {
@@ -87,6 +126,13 @@ struct BatchStats {
   // interpret the flag under one batch at a time, which is how the
   // benchmarks and tests measure it.
   std::uint64_t workspace_growths = 0;
+  // Jobs whose outcome ended with status != kOk (after any retry); the
+  // batch itself still completes and every other outcome is valid.
+  std::size_t failed_jobs = 0;
+  // PWL-routed jobs recovered by the dense-streaming fallback, in job
+  // order.  Empty on every healthy batch (the vector never allocates on
+  // the happy path, preserving the allocation-free steady state).
+  std::vector<DegradeEvent> degrade_events;
   bool allocation_free() const noexcept { return workspace_growths == 0; }
 };
 
@@ -112,9 +158,16 @@ class SolverEngine {
   explicit SolverEngine(Options options);
 
   /// Runs every job and returns outcomes by job index plus batch stats.
-  /// Throws std::invalid_argument for malformed jobs (no instance, or
-  /// kLowMemory without a Problem); exceptions thrown by job execution
-  /// propagate after the batch drains.
+  ///
+  /// Fault isolation: *structural* job errors — no instance, kLowMemory
+  /// without a Problem, a lazy dense table with threads != 1 — are caller
+  /// bugs and throw std::invalid_argument before anything runs.  Faults
+  /// *during* execution (throwing cost functions, NaN costs, backend
+  /// failures) never escape: the affected job's outcome carries a non-kOk
+  /// SolveStatus and the error message, every other job completes
+  /// unaffected, and stats.failed_jobs counts the casualties.  Jobs routed
+  /// to the PWL backend get one dense-streaming retry on failure, recorded
+  /// in stats.degrade_events.
   BatchResult run(std::span<const SolveJob> jobs) const;
   BatchResult run(const std::vector<SolveJob>& jobs) const {
     return run(std::span<const SolveJob>(jobs));

@@ -1,6 +1,7 @@
 #include "offline/dp_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 
@@ -142,6 +143,12 @@ OfflineResult solve_impl(int T, int m, double beta, RowAt&& row_at) {
 // with the f_t addition) — the same extended-real minima as dp_step, hence
 // bit-identical labels, at roughly half the memory traffic.  Both passes
 // are straight min/add chains with no data-dependent branches.
+//
+// std::min discards NaN (it loses every `<` comparison), so a NaN row value
+// would silently launder into +inf one slot later — indistinguishable from
+// legitimate infeasibility.  The branch-free `poison` accumulator keeps this
+// entry point consistent with the parent-tracking DP, whose suffix seed
+// copies labels verbatim and therefore propagates NaN to the final cost.
 template <typename RowAt>
 double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
   if (T == 0) return 0.0;
@@ -149,6 +156,7 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
   auto labels = workspace.borrow<double>(static_cast<std::size_t>(m) + 1);
   initial_labels(labels.span());
   double* w = labels.data();
+  double poison = 0.0;  // NaN iff any row value was NaN
   for (int t = 1; t <= T; ++t) {
     const std::span<const double> frow = row_at(t);
     double best_shifted = kInf;  // min W_{t-1}(x') − βx'
@@ -161,8 +169,10 @@ double solve_cost_impl(int T, int m, double beta, RowAt&& row_at) {
     for (int x = m; x >= 0; --x) {
       suffix = std::min(suffix, w[x]);
       w[x] = suffix + frow[static_cast<std::size_t>(x)];
+      poison += frow[static_cast<std::size_t>(x)];
     }
   }
+  if (std::isnan(poison)) return poison;
   return *std::min_element(labels.begin(), labels.end());
 }
 

@@ -1,6 +1,7 @@
 #include "offline/low_memory_solver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -237,19 +238,25 @@ OfflineResult LowMemorySolver::solve(const Problem& p) const {
     result.cost = 0.0;
     return result;
   }
-  // Feasibility and optimal value via one forward sweep.
+  // Feasibility and optimal value via one forward sweep.  std::min discards
+  // NaN, so a NaN row value would launder into +inf one slot later; the
+  // `poison` accumulator surfaces it as a NaN cost instead (same guard as
+  // DpSolver::solve_cost).
   const std::size_t width = static_cast<std::size_t>(p.max_servers()) + 1;
   Workspace& workspace = rs::util::this_thread_workspace();
   auto frow = workspace.borrow<double>(width);
   auto labels = workspace.borrow<double>(width);
   std::fill(labels.begin(), labels.end(), kInf);
   labels[0] = 0.0;
+  double poison = 0.0;  // NaN iff any row value was NaN
   for (int t = 1; t <= T; ++t) {
-    forward_step(eval_slot(p, t, frow.span()), p.beta(), labels.span());
+    const std::span<const double> row = eval_slot(p, t, frow.span());
+    forward_step(row, p.beta(), labels.span());
+    for (double value : row) poison += value;
   }
   double optimum = kInf;
   for (double label : labels) optimum = std::min(optimum, label);
-  result.cost = optimum;
+  result.cost = std::isnan(poison) ? poison : optimum;
   labels.reset();
   if (!result.feasible()) return result;
 

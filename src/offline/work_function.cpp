@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "core/checkpoint.hpp"
 #include "util/math_util.hpp"
 
 namespace rs::offline {
@@ -336,6 +340,163 @@ void WorkFunctionTracker::advance_dense(std::span<const double> values) {
   x_lower_ = x_lower;
   x_upper_ = x_upper;
   ++tau_;
+}
+
+namespace {
+
+// PWL form wire layout: u8 infinite-flag, then (finite only) i32 lo, i32 hi,
+// f64 v_lo, f64 slope0, u32 increment count, count × (i32 pos, f64 dv).
+void write_pwl(rs::core::CheckpointWriter& w, const ConvexPwl& f) {
+  w.u8(f.is_infinite() ? 1 : 0);
+  if (f.is_infinite()) return;
+  w.i32(f.lo());
+  w.i32(f.hi());
+  w.f64(f.value_lo());
+  w.f64(f.first_slope());
+  const std::map<int, double>& increments = f.slope_increments();
+  w.u32(static_cast<std::uint32_t>(increments.size()));
+  for (const auto& [pos, dv] : increments) {
+    w.i32(pos);
+    w.f64(dv);
+  }
+}
+
+ConvexPwl read_pwl(rs::core::CheckpointReader& r, int m) {
+  const std::uint8_t infinite_flag = r.u8();
+  if (infinite_flag > 1) {
+    throw rs::core::CheckpointFormatError(
+        "tracker checkpoint: invalid PWL infinite flag");
+  }
+  if (infinite_flag == 1) return ConvexPwl::infinite();
+  const std::int32_t lo = r.i32();
+  const std::int32_t hi = r.i32();
+  const double v_lo = r.f64();
+  const double slope0 = r.f64();
+  const std::uint32_t count = r.u32();
+  // Each increment occupies 12 payload bytes; an inflated count must be a
+  // format error before it becomes an allocation.
+  if (count > r.remaining() / 12) {
+    throw rs::core::CheckpointFormatError(
+        "tracker checkpoint: PWL increment count exceeds payload");
+  }
+  if (lo < 0 || hi > m) {
+    throw rs::core::CheckpointFormatError(
+        "tracker checkpoint: PWL domain outside [0, m]");
+  }
+  std::map<int, double> increments;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int32_t pos = r.i32();
+    const double dv = r.f64();
+    if (!increments.emplace(pos, dv).second) {
+      throw rs::core::CheckpointFormatError(
+          "tracker checkpoint: duplicate PWL increment position");
+    }
+  }
+  try {
+    return ConvexPwl::from_parts(lo, hi, v_lo, slope0, std::move(increments));
+  } catch (const std::invalid_argument& e) {
+    throw rs::core::CheckpointFormatError(
+        std::string("tracker checkpoint: invalid PWL form: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WorkFunctionTracker::snapshot() const {
+  rs::core::CheckpointWriter w;
+  w.i32(m_);
+  w.f64(beta_);
+  w.u8(static_cast<std::uint8_t>(backend_));
+  w.u8(static_cast<std::uint8_t>(mode_));
+  w.i64(tau_);
+  w.i32(x_lower_);
+  w.i32(x_upper_);
+  if (mode_ == Mode::kPwl) {
+    write_pwl(w, pwl_l_);
+    write_pwl(w, pwl_u_);
+  } else if (mode_ == Mode::kDense) {
+    for (int x = 0; x <= m_; ++x) w.f64(chat_l_[static_cast<std::size_t>(x)]);
+    for (int x = 0; x <= m_; ++x) w.f64(chat_u_[static_cast<std::size_t>(x)]);
+  }
+  return w.seal(rs::core::kTrackerCheckpointKind);
+}
+
+WorkFunctionTracker WorkFunctionTracker::restore(
+    std::span<const std::uint8_t> bytes) {
+  using rs::core::CheckpointFormatError;
+  rs::core::CheckpointReader r(bytes, rs::core::kTrackerCheckpointKind);
+  const std::int32_t m = r.i32();
+  const double beta = r.f64();
+  const std::uint8_t backend_tag = r.u8();
+  const std::uint8_t mode_tag = r.u8();
+  const std::int64_t tau = r.i64();
+  const std::int32_t x_lower = r.i32();
+  const std::int32_t x_upper = r.i32();
+
+  if (m < 0) throw CheckpointFormatError("tracker checkpoint: m < 0");
+  if (!std::isfinite(beta) || !(beta > 0.0)) {
+    throw CheckpointFormatError("tracker checkpoint: invalid beta");
+  }
+  if (backend_tag > static_cast<std::uint8_t>(Backend::kPwl)) {
+    throw CheckpointFormatError("tracker checkpoint: invalid backend tag");
+  }
+  if (mode_tag > static_cast<std::uint8_t>(Mode::kDense)) {
+    throw CheckpointFormatError("tracker checkpoint: invalid mode tag");
+  }
+  if (tau < 0 || tau > std::numeric_limits<std::int32_t>::max()) {
+    throw CheckpointFormatError("tracker checkpoint: invalid tau");
+  }
+  if (x_lower < 0 || x_lower > m || x_upper < 0 || x_upper > m) {
+    throw CheckpointFormatError("tracker checkpoint: bounds outside [0, m]");
+  }
+  const Backend backend = static_cast<Backend>(backend_tag);
+  const Mode mode = static_cast<Mode>(mode_tag);
+  if (mode == Mode::kPwl && backend == Backend::kDense) {
+    throw CheckpointFormatError(
+        "tracker checkpoint: PWL mode on a forced-dense backend");
+  }
+  if (mode == Mode::kDense && backend == Backend::kPwl) {
+    throw CheckpointFormatError(
+        "tracker checkpoint: dense mode on a forced-PWL backend");
+  }
+  if (mode == Mode::kUndecided && tau != 0) {
+    throw CheckpointFormatError(
+        "tracker checkpoint: advanced tracker with undecided backend");
+  }
+  if (mode == Mode::kPwl && tau == 0) {
+    throw CheckpointFormatError("tracker checkpoint: PWL mode with tau = 0");
+  }
+
+  WorkFunctionTracker t(m, beta, backend);
+  if (mode == Mode::kPwl) {
+    t.pwl_l_ = read_pwl(r, m);
+    t.pwl_u_ = read_pwl(r, m);
+    t.mode_ = Mode::kPwl;
+  } else if (mode == Mode::kDense) {
+    // Borrow the workspace rows (and the eval_row scratch later advances
+    // need) exactly as a live fallback would, then overwrite the labels
+    // with the snapshotted bit patterns.
+    t.init_dense();
+    for (int x = 0; x <= m; ++x) {
+      const double v = r.f64();
+      if (std::isnan(v)) {
+        throw CheckpointFormatError("tracker checkpoint: NaN dense label");
+      }
+      t.chat_l_[static_cast<std::size_t>(x)] = v;
+    }
+    for (int x = 0; x <= m; ++x) {
+      const double v = r.f64();
+      if (std::isnan(v)) {
+        throw CheckpointFormatError("tracker checkpoint: NaN dense label");
+      }
+      t.chat_u_[static_cast<std::size_t>(x)] = v;
+    }
+  }
+  r.finish();
+  t.tau_ = static_cast<int>(tau);
+  t.x_lower_ = x_lower;
+  t.x_upper_ = x_upper;
+  return t;
 }
 
 void WorkFunctionTracker::require_started() const {

@@ -121,6 +121,26 @@ class WorkFunctionTracker {
 
   int tau() const noexcept { return tau_; }
   int max_servers() const noexcept { return m_; }
+  double beta() const noexcept { return beta_; }
+  Backend backend() const noexcept { return backend_; }
+
+  /// Serialized tracker state in the versioned, checksummed checkpoint
+  /// container (core/checkpoint.hpp): (m, beta, backend, mode, τ, bounds)
+  /// plus the live Ĉ pair — the PWL forms bit-exactly, or the dense label
+  /// rows bit-exactly.  A tracker restored from this snapshot continues
+  /// bitwise-identically to the uninterrupted run on either backend (the
+  /// kill-and-resume suite pins schedules, corridor bounds, and costs).
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Reconstructs a tracker from snapshot() bytes.  Rejects malformed,
+  /// truncated, mislabeled, or bit-flipped input with the typed
+  /// core::CheckpointError hierarchy (format / corruption), and re-validates
+  /// every decoded invariant (enum ranges, bound ranges, PWL-form
+  /// invariants, NaN-free labels) so no checkpoint can construct a broken
+  /// tracker.  Callers restoring into a known instance should additionally
+  /// check max_servers()/beta() against it (the session-level restores in
+  /// online/lcp*.hpp do, throwing CheckpointMismatchError).
+  static WorkFunctionTracker restore(std::span<const std::uint8_t> bytes);
 
   /// True while the PWL backend is live (false before the first advance
   /// and after any fallback to dense).

@@ -1,8 +1,20 @@
 #include "online/lcp.hpp"
 
+#include "core/checkpoint.hpp"
 #include "util/math_util.hpp"
 
 namespace rs::online {
+
+namespace {
+
+void check_session_bounds(int value, int m, const char* what) {
+  if (value < 0 || value > m) {
+    throw rs::core::CheckpointFormatError(
+        std::string("session checkpoint: ") + what + " outside [0, m]");
+  }
+}
+
+}  // namespace
 
 void Lcp::reset(const OnlineContext& context) {
   tracker_.emplace(context.m, context.beta, backend_);
@@ -19,6 +31,74 @@ int Lcp::decide(const rs::core::CostPtr& f,
   last_upper_ = tracker_->x_upper();
   current_ = rs::util::project(current_, last_lower_, last_upper_);
   return current_;
+}
+
+std::vector<std::uint8_t> Lcp::snapshot() const {
+  rs::core::CheckpointWriter w;
+  w.u8(static_cast<std::uint8_t>(backend_));
+  w.i32(current_);
+  w.i32(last_lower_);
+  w.i32(last_upper_);
+  w.u8(tracker_.has_value() ? 1 : 0);
+  if (tracker_.has_value()) {
+    const std::vector<std::uint8_t> nested = tracker_->snapshot();
+    w.u64(nested.size());
+    w.bytes(nested);
+  }
+  return w.seal(rs::core::kLcpCheckpointKind);
+}
+
+void Lcp::restore(const OnlineContext& context,
+                  std::span<const std::uint8_t> bytes) {
+  using rs::core::CheckpointFormatError;
+  using rs::core::CheckpointMismatchError;
+  rs::core::CheckpointReader r(bytes, rs::core::kLcpCheckpointKind);
+  const std::uint8_t backend_tag = r.u8();
+  const std::int32_t current = r.i32();
+  const std::int32_t last_lower = r.i32();
+  const std::int32_t last_upper = r.i32();
+  const std::uint8_t has_tracker = r.u8();
+  if (backend_tag >
+      static_cast<std::uint8_t>(
+          rs::offline::WorkFunctionTracker::Backend::kPwl)) {
+    throw CheckpointFormatError("session checkpoint: invalid backend tag");
+  }
+  if (has_tracker > 1) {
+    throw CheckpointFormatError("session checkpoint: invalid tracker flag");
+  }
+  if (static_cast<rs::offline::WorkFunctionTracker::Backend>(backend_tag) !=
+      backend_) {
+    throw CheckpointMismatchError(
+        "session checkpoint: snapshot backend does not match this session");
+  }
+  check_session_bounds(current, context.m, "current state");
+  check_session_bounds(last_lower, context.m, "last lower bound");
+  check_session_bounds(last_upper, context.m, "last upper bound");
+
+  // Fully decode (and validate) the nested tracker before mutating the
+  // session, so a bad checkpoint leaves this object untouched.
+  std::optional<rs::offline::WorkFunctionTracker> tracker;
+  if (has_tracker == 1) {
+    const std::uint64_t nested_size = r.u64();
+    const std::vector<std::uint8_t> nested =
+        r.bytes(static_cast<std::size_t>(nested_size));
+    tracker.emplace(rs::offline::WorkFunctionTracker::restore(nested));
+    if (tracker->max_servers() != context.m ||
+        tracker->beta() != context.beta) {
+      throw CheckpointMismatchError(
+          "session checkpoint: tracker (m, beta) does not match context");
+    }
+  }
+  r.finish();
+
+  if (tracker.has_value()) {
+    tracker_ = std::move(tracker);
+  } else {
+    tracker_.emplace(context.m, context.beta, backend_);
+  }
+  current_ = current;
+  last_lower_ = last_lower;
+  last_upper_ = last_upper;
 }
 
 rs::core::Schedule run_lcp_dense(const rs::core::DenseProblem& dense) {

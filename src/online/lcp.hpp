@@ -15,7 +15,9 @@
 // otherwise it runs the dense O(m) three-pass update.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "offline/work_function.hpp"
 #include "online/online_algorithm.hpp"
@@ -41,6 +43,21 @@ class Lcp final : public OnlineAlgorithm {
   /// structure tests).
   int last_lower() const { return last_lower_; }
   int last_upper() const { return last_upper_; }
+
+  /// Serialized session state (core/checkpoint.hpp container, kind
+  /// kLcpCheckpointKind): the eq. 13 projection state plus the embedded
+  /// work-function tracker snapshot.  A session restored at slot t decides
+  /// the remaining slots bitwise-identically to the uninterrupted run.
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Replaces this session's state from snapshot() bytes, the crash-recovery
+  /// counterpart of reset().  `context` must match the snapshotted session
+  /// — same m, beta, and constructed backend — else
+  /// core::CheckpointMismatchError; malformed or corrupted bytes raise the
+  /// reader's typed errors and leave no partially-restored state observable
+  /// (the session is only mutated after full validation).
+  void restore(const OnlineContext& context,
+               std::span<const std::uint8_t> bytes);
 
  private:
   rs::offline::WorkFunctionTracker::Backend backend_;

@@ -1,7 +1,9 @@
 #include "online/lcp_window.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "util/math_util.hpp"
 #include "util/workspace.hpp"
 
@@ -93,6 +95,89 @@ void WindowedLcp::reset(const OnlineContext& context) {
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;
+}
+
+std::vector<std::uint8_t> WindowedLcp::snapshot() const {
+  rs::core::CheckpointWriter w;
+  w.u8(static_cast<std::uint8_t>(backend_));
+  w.i32(context_.m);
+  w.f64(context_.beta);
+  w.i32(current_);
+  w.i32(last_lower_);
+  w.i32(last_upper_);
+  w.u8(tracker_.has_value() ? 1 : 0);
+  if (tracker_.has_value()) {
+    const std::vector<std::uint8_t> nested = tracker_->snapshot();
+    w.u64(nested.size());
+    w.bytes(nested);
+  }
+  return w.seal(rs::core::kWindowedLcpCheckpointKind);
+}
+
+void WindowedLcp::restore(const OnlineContext& context,
+                          std::span<const std::uint8_t> bytes) {
+  using rs::core::CheckpointFormatError;
+  using rs::core::CheckpointMismatchError;
+  rs::core::CheckpointReader r(bytes, rs::core::kWindowedLcpCheckpointKind);
+  const std::uint8_t backend_tag = r.u8();
+  const std::int32_t m = r.i32();
+  const double beta = r.f64();
+  const std::int32_t current = r.i32();
+  const std::int32_t last_lower = r.i32();
+  const std::int32_t last_upper = r.i32();
+  const std::uint8_t has_tracker = r.u8();
+  if (backend_tag >
+      static_cast<std::uint8_t>(
+          rs::offline::WorkFunctionTracker::Backend::kPwl)) {
+    throw CheckpointFormatError("session checkpoint: invalid backend tag");
+  }
+  if (has_tracker > 1) {
+    throw CheckpointFormatError("session checkpoint: invalid tracker flag");
+  }
+  if (static_cast<rs::offline::WorkFunctionTracker::Backend>(backend_tag) !=
+      backend_) {
+    throw CheckpointMismatchError(
+        "session checkpoint: snapshot backend does not match this session");
+  }
+  if (m != context.m || beta != context.beta) {
+    throw CheckpointMismatchError(
+        "session checkpoint: snapshot (m, beta) does not match context");
+  }
+  const auto check_bounds = [&](std::int32_t value, const char* what) {
+    if (value < 0 || value > m) {
+      throw CheckpointFormatError(std::string("session checkpoint: ") + what +
+                                  " outside [0, m]");
+    }
+  };
+  check_bounds(current, "current state");
+  check_bounds(last_lower, "last lower bound");
+  check_bounds(last_upper, "last upper bound");
+
+  // Fully decode the nested tracker before mutating the session.
+  std::optional<rs::offline::WorkFunctionTracker> tracker;
+  if (has_tracker == 1) {
+    const std::uint64_t nested_size = r.u64();
+    const std::vector<std::uint8_t> nested =
+        r.bytes(static_cast<std::size_t>(nested_size));
+    tracker.emplace(rs::offline::WorkFunctionTracker::restore(nested));
+    if (tracker->max_servers() != context.m ||
+        tracker->beta() != context.beta) {
+      throw CheckpointMismatchError(
+          "session checkpoint: tracker (m, beta) does not match context");
+    }
+  }
+  r.finish();
+
+  context_ = context;
+  if (tracker.has_value()) {
+    tracker_ = std::move(tracker);
+  } else {
+    tracker_.emplace(context.m, context.beta, backend_);
+  }
+  form_cache_.clear();
+  current_ = current;
+  last_lower_ = last_lower;
+  last_upper_ = last_upper;
 }
 
 int WindowedLcp::decide(const rs::core::CostPtr& f,

@@ -17,6 +17,7 @@
 // trace study shows the practical benefit on real-shaped workloads.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <span>
@@ -48,6 +49,23 @@ class WindowedLcp final : public OnlineAlgorithm {
 
   int last_lower() const { return last_lower_; }
   int last_upper() const { return last_upper_; }
+
+  /// Serialized session state (core/checkpoint.hpp container, kind
+  /// kWindowedLcpCheckpointKind): the snapshotted context, projection state,
+  /// and the embedded tracker snapshot.  The sliding form cache is *not*
+  /// serialized — it is a pure conversion memo ("correctness never depends
+  /// on the cache"), so a restored session re-converts its first window and
+  /// then re-warms; decisions are unaffected, including snapshots taken
+  /// mid-window.
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Replaces this session's state from snapshot() bytes; the crash-recovery
+  /// counterpart of reset().  `context` must match the snapshotted session
+  /// (m, beta, constructed backend) else core::CheckpointMismatchError;
+  /// malformed/corrupted bytes raise the reader's typed errors before any
+  /// state is mutated.
+  void restore(const OnlineContext& context,
+               std::span<const std::uint8_t> bytes);
 
  private:
   OnlineContext context_;

@@ -9,6 +9,7 @@
 #include "analysis/monte_carlo.hpp"      // IWYU pragma: export
 #include "analysis/savings.hpp"          // IWYU pragma: export
 #include "analysis/sweep.hpp"            // IWYU pragma: export
+#include "core/checkpoint.hpp"           // IWYU pragma: export
 #include "core/convex_pwl.hpp"           // IWYU pragma: export
 #include "core/cost_function.hpp"        // IWYU pragma: export
 #include "core/dense_problem.hpp"        // IWYU pragma: export
@@ -49,10 +50,12 @@
 #include "online/randomized_rounding.hpp"  // IWYU pragma: export
 #include "online/receding_horizon.hpp"   // IWYU pragma: export
 #include "scenario/eval_harness.hpp"     // IWYU pragma: export
+#include "scenario/fault_plan.hpp"       // IWYU pragma: export
 #include "scenario/rle.hpp"              // IWYU pragma: export
 #include "scenario/trace_zoo.hpp"        // IWYU pragma: export
 #include "util/cli.hpp"                  // IWYU pragma: export
 #include "util/csv.hpp"                  // IWYU pragma: export
+#include "util/fault_injection.hpp"      // IWYU pragma: export
 #include "util/math_util.hpp"            // IWYU pragma: export
 #include "util/rng.hpp"                  // IWYU pragma: export
 #include "util/stopwatch.hpp"            // IWYU pragma: export

@@ -1,0 +1,75 @@
+// Fault plans: seeded fault scenarios for the evaluation harness.
+//
+// The scenario lab (trace_zoo, eval_harness) answers "how well does the
+// solver do"; a FaultPlan answers "what happens when the world misbehaves".
+// A plan is a small deterministic description — seed, firing period, poison
+// kind — from which everything else derives:
+//
+//   * make_injector(plan)        — the util/fault_injection.hpp injector to
+//                                  install around an engine batch (fires
+//                                  backend faults at seeded job indices);
+//   * apply_fault_plan(p, plan)  — a copy of instance `p` whose seeded
+//                                  slots are poisoned (NaN / +inf / throw);
+//   * poisoned_slots(plan, T)    — which slots the plan poisons, so tests
+//                                  can assert exactly the predicted jobs
+//                                  fail and nothing else.
+//
+// Every derived artifact is a pure function of (plan, inputs): the same
+// plan replays the same faults on any machine, thread count, or run —
+// that determinism is what lets the isolation acceptance test demand
+// "exactly the faulted jobs failed, the rest bit-identical to a clean
+// batch".  See DESIGN.md §10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "util/fault_injection.hpp"
+
+namespace rs::scenario {
+
+/// How a poisoned slot cost misbehaves.
+enum class PoisonKind {
+  /// at() returns NaN — outside the cost contract; the solvers reject it
+  /// (SolveStatus::kInvalidInput), never propagate it into a schedule.
+  kNaN,
+  /// at() returns +inf everywhere — *within* the extended-real contract: an
+  /// all-infeasible slot.  The solve legitimately reports +inf cost with
+  /// status kOk; tests use this to pin the fault/infeasibility distinction.
+  kInfeasible,
+  /// at() throws — a crashing dependency; classified kException.
+  kThrow,
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Each instrumented passage fires with probability ~1/period (period 1 =
+  /// always); see util::FaultInjector.
+  std::uint64_t period = 16;
+  PoisonKind poison = PoisonKind::kNaN;
+};
+
+/// The injector realizing this plan's backend-fault stream (sites
+/// kPwlBackend / kDenseBackend keyed by job index).  Install with
+/// util::ScopedFaultInjection around the batch under test.
+rs::util::FaultInjector make_injector(const FaultPlan& plan);
+
+/// The 1-based slots of a horizon-T instance this plan poisons (site
+/// kSlotCost keyed by slot), ascending.  Deterministic in (plan, horizon).
+std::vector<int> poisoned_slots(const FaultPlan& plan, int horizon);
+
+/// Wraps `base` so every evaluation misbehaves per `kind`.  The wrapper is
+/// opaque to the convex-PWL conversion (as_convex_pwl yields nullopt), so
+/// poisoned slots always reach the dense evaluation path where the
+/// contract violation is detected.
+rs::core::CostPtr make_poisoned_cost(rs::core::CostPtr base, PoisonKind kind);
+
+/// A copy of `p` with this plan's seeded slots replaced by poisoned
+/// wrappers; the untouched slots share the original CostPtrs.  With no slot
+/// selected (large period, unlucky seed) the copy is fault-free and solves
+/// bit-identically to `p`.
+rs::core::Problem apply_fault_plan(const rs::core::Problem& p,
+                                   const FaultPlan& plan);
+
+}  // namespace rs::scenario

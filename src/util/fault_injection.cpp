@@ -1,0 +1,68 @@
+#include "util/fault_injection.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rs::util {
+
+namespace {
+
+std::atomic<const FaultInjector*> g_injector{nullptr};
+
+}  // namespace
+
+bool FaultInjector::fires(FaultSite site, std::uint64_t index) const noexcept {
+  // One splitmix64 scramble of the triple; the site stream is offset by a
+  // golden-ratio multiple so (seed, site) pairs decorrelate even for
+  // adjacent seeds.
+  std::uint64_t state =
+      seed_ +
+      (static_cast<std::uint64_t>(site) + 1) * 0x9E3779B97F4A7C15ull + index;
+  return splitmix64(state) % period_ == 0;
+}
+
+const FaultInjector* active_fault_injector() noexcept {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+bool fault_fires(FaultSite site, std::uint64_t index) noexcept {
+  const FaultInjector* injector = active_fault_injector();
+  return injector != nullptr && injector->fires(site, index);
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector injector)
+    : injector_(injector) {
+  const FaultInjector* expected = nullptr;
+  if (!g_injector.compare_exchange_strong(expected, &injector_,
+                                          std::memory_order_acq_rel)) {
+    throw std::logic_error(
+        "ScopedFaultInjection: an injector is already installed");
+  }
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_injector.store(nullptr, std::memory_order_release);
+}
+
+std::vector<std::uint8_t> corrupt_bit(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t bit_index) {
+  std::vector<std::uint8_t> out(bytes.begin(), bytes.end());
+  if (out.empty()) return out;
+  const std::uint64_t bit = bit_index % (out.size() * 8ull);
+  out[static_cast<std::size_t>(bit / 8)] ^=
+      static_cast<std::uint8_t>(1u << (bit % 8));
+  return out;
+}
+
+std::vector<std::uint8_t> truncate_bytes(std::span<const std::uint8_t> bytes,
+                                         std::size_t keep) {
+  if (keep >= bytes.size()) {
+    return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+  }
+  return std::vector<std::uint8_t>(bytes.begin(),
+                                   bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+}  // namespace rs::util

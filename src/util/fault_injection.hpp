@@ -1,0 +1,100 @@
+// Seeded, deterministic fault injection — the test harness side of the
+// crash-safety work (DESIGN.md §10).
+//
+// Robustness claims ("one poisoned job fails alone", "a corrupted
+// checkpoint is rejected, never UB") are only testable if faults can be
+// *made to happen* at precise, reproducible points.  This module provides
+// that trigger: a FaultInjector decides, purely from (seed, site, index),
+// whether the index-th passage through an instrumented site fires.  The
+// decision is a splitmix64 hash — no global counters, no ordering
+// dependence — so a fault plan replays identically across runs, thread
+// interleavings, and platforms, and a CI failure seed reproduces locally
+// with one environment variable (RIGHTSIZER_FAULT_BASE_SEED).
+//
+// Instrumented production code asks `fault_fires(site, index)`, which reads
+// a process-global injector installed by the RAII ScopedFaultInjection
+// guard.  With no injector installed (the default, and the only state
+// production deployments ever see) the check is one relaxed atomic load and
+// a null test — it cannot allocate, lock, or fail, preserving the engine's
+// allocation-free steady state.
+//
+// The byte-corruption helpers back the checkpoint rejection tests: they
+// produce the truncated / bit-flipped inputs that snapshot consumers must
+// reject with typed errors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rs::util {
+
+/// Instrumented failure points.  Sites are stable identifiers: a (seed,
+/// site, index) triple names one potential fault forever, so recorded
+/// failure seeds stay meaningful across code motion.
+enum class FaultSite : std::uint32_t {
+  kPwlBackend = 0,    // PWL solve attempt inside the batch engine
+  kDenseBackend = 1,  // dense solve attempt inside the batch engine
+  kSlotCost = 2,      // per-slot cost evaluation (poisoned to NaN/inf)
+  kCheckpoint = 3,    // checkpoint bytes (corrupted before restore)
+};
+
+/// Deterministic fault trigger: fires(site, index) is a pure function of
+/// (seed, site, index).  Each instrumented passage fires with probability
+/// ~1/period (exactly: when the hash lands on residue 0), so period = 1
+/// fires always and large periods fire sparsely — both ends are used by the
+/// isolation tests.
+class FaultInjector {
+ public:
+  /// period >= 1; period == 0 is clamped to 1 (always fire).
+  explicit FaultInjector(std::uint64_t seed, std::uint64_t period = 1) noexcept
+      : seed_(seed), period_(period == 0 ? 1 : period) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t period() const noexcept { return period_; }
+
+  /// True iff the index-th passage through `site` should fail under this
+  /// (seed, period).  Pure; safe from any thread.
+  bool fires(FaultSite site, std::uint64_t index) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t period_;
+};
+
+/// The process-global injector consulted by instrumented code; nullptr when
+/// no injection is active (the production state).
+const FaultInjector* active_fault_injector() noexcept;
+
+/// One branch on the happy path: false whenever no injector is installed.
+bool fault_fires(FaultSite site, std::uint64_t index) noexcept;
+
+/// RAII installation of a process-global injector.  Guards do not nest
+/// (installing while one is active throws std::logic_error — overlapping
+/// fault plans would make seeds ambiguous); the destructor restores the
+/// no-injection state.  Tests that run batches concurrently install one
+/// guard around the whole batch.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector injector);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector injector_;
+};
+
+/// `bytes` with bit `bit_index` (counting LSB-first from byte 0) flipped;
+/// bit_index is reduced modulo the total bit count, so any seed-derived
+/// index is valid.  Empty input is returned unchanged.
+std::vector<std::uint8_t> corrupt_bit(std::span<const std::uint8_t> bytes,
+                                      std::uint64_t bit_index);
+
+/// The first `keep` bytes of `bytes` (all of them when keep >= size) — the
+/// torn-write / partial-flush shape of checkpoint corruption.
+std::vector<std::uint8_t> truncate_bytes(std::span<const std::uint8_t> bytes,
+                                         std::size_t keep);
+
+}  // namespace rs::util

@@ -1,0 +1,545 @@
+// Crash-safe checkpoint/restore tests: container-level rejection of every
+// malformed input (truncation, bit flips, wrong kind, trailing bytes), and
+// the kill-and-resume property — a session snapshotted at any slot t,
+// destroyed, and restored continues bitwise-identically (schedule, corridor
+// bounds, cost) to the uninterrupted run, on both backends, including
+// WindowedLcp mid-window and trackers snapshotted mid-advance_repeated.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/convex_pwl.hpp"
+#include "core/cost_function.hpp"
+#include "core/problem.hpp"
+#include "core/schedule.hpp"
+#include "offline/work_function.hpp"
+#include "online/lcp.hpp"
+#include "online/lcp_window.hpp"
+#include "scenario/trace_zoo.hpp"
+#include "util/fault_injection.hpp"
+#include "util/math_util.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using rs::core::CheckpointCorruptionError;
+using rs::core::CheckpointError;
+using rs::core::CheckpointFormatError;
+using rs::core::CheckpointMismatchError;
+using rs::core::CheckpointReader;
+using rs::core::CheckpointWriter;
+using rs::core::ConvexPwl;
+using rs::core::Problem;
+using rs::offline::WorkFunctionTracker;
+using rs::online::Lcp;
+using rs::online::OnlineContext;
+using rs::online::WindowedLcp;
+using rs::util::corrupt_bit;
+using rs::util::truncate_bytes;
+using Backend = WorkFunctionTracker::Backend;
+
+// A small convex-PWL-friendly instance (hinge slot costs).
+Problem hinge_problem(int m, double beta, int horizon, std::uint64_t seed) {
+  rs::util::Rng rng(seed);
+  std::vector<rs::core::CostPtr> fs;
+  fs.reserve(static_cast<std::size_t>(horizon));
+  for (int t = 0; t < horizon; ++t) {
+    const double center = rng.uniform(0.0, static_cast<double>(m));
+    fs.push_back(std::make_shared<rs::core::AffineAbsCost>(
+        rng.uniform(0.5, 3.0), center, rng.uniform(0.0, 2.0)));
+  }
+  return Problem(m, beta, std::move(fs));
+}
+
+Problem table_problem(int m, double beta, int horizon, std::uint64_t seed) {
+  rs::util::Rng rng(seed);
+  return rs::workload::random_instance(
+      rng, rs::workload::InstanceFamily::kConvexTable, horizon, m, beta);
+}
+
+// ---------------------------------------------------------------------------
+// Container
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointContainer, WriterReaderRoundTrip) {
+  CheckpointWriter w;
+  w.u8(7);
+  w.u32(123456u);
+  w.u64(0xDEADBEEFCAFEBABEull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.141592653589793);
+  w.f64(rs::util::kInf);
+  w.f64(-0.0);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kTrackerCheckpointKind);
+
+  EXPECT_EQ(rs::core::checkpoint_kind(sealed), rs::core::kTrackerCheckpointKind);
+
+  CheckpointReader r(sealed, rs::core::kTrackerCheckpointKind);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 123456u);
+  EXPECT_EQ(r.u64(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  EXPECT_TRUE(std::isinf(r.f64()));
+  // -0.0 must survive as a bit pattern, not collapse to +0.0.
+  EXPECT_TRUE(std::signbit(r.f64()));
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(CheckpointContainer, RejectsWrongKind) {
+  CheckpointWriter w;
+  w.u32(1);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kTrackerCheckpointKind);
+  EXPECT_THROW(CheckpointReader(sealed, rs::core::kLcpCheckpointKind),
+               CheckpointFormatError);
+}
+
+TEST(CheckpointContainer, RejectsEveryTruncation) {
+  CheckpointWriter w;
+  w.u32(99);
+  w.f64(2.5);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kTrackerCheckpointKind);
+  for (std::size_t keep = 0; keep < sealed.size(); ++keep) {
+    const std::vector<std::uint8_t> cut = truncate_bytes(sealed, keep);
+    EXPECT_THROW(CheckpointReader(cut, rs::core::kTrackerCheckpointKind),
+                 CheckpointError)
+        << "keep=" << keep;
+  }
+}
+
+TEST(CheckpointContainer, RejectsEveryBitFlip) {
+  CheckpointWriter w;
+  w.u32(42);
+  w.f64(1.75);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kTrackerCheckpointKind);
+  for (std::uint64_t bit = 0; bit < sealed.size() * 8; ++bit) {
+    const std::vector<std::uint8_t> bad = corrupt_bit(sealed, bit);
+    EXPECT_THROW(
+        {
+          CheckpointReader r(bad, rs::core::kTrackerCheckpointKind);
+          r.u32();
+          r.f64();
+          r.finish();
+        },
+        CheckpointError)
+        << "bit=" << bit;
+  }
+}
+
+TEST(CheckpointContainer, RejectsTrailingPayloadBytes) {
+  CheckpointWriter w;
+  w.u32(5);
+  w.u8(1);  // one byte the reader below never consumes
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kTrackerCheckpointKind);
+  CheckpointReader r(sealed, rs::core::kTrackerCheckpointKind);
+  EXPECT_EQ(r.u32(), 5u);
+  EXPECT_THROW(r.finish(), CheckpointFormatError);
+}
+
+TEST(CheckpointContainer, FileRoundTrip) {
+  CheckpointWriter w;
+  w.f64(6.25);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kLcpCheckpointKind);
+  const std::string path = ::testing::TempDir() + "/rs_checkpoint.bin";
+  rs::core::write_checkpoint_file(path, sealed);
+  EXPECT_EQ(rs::core::read_checkpoint_file(path), sealed);
+}
+
+// ---------------------------------------------------------------------------
+// ConvexPwl::from_parts
+// ---------------------------------------------------------------------------
+
+TEST(ConvexPwlParts, RoundTripReproducesShapeAndValues) {
+  const rs::core::AffineAbsCost cost(1.5, 3.0, 0.25);
+  const std::optional<ConvexPwl> form = cost.as_convex_pwl(10);
+  ASSERT_TRUE(form.has_value());
+  const ConvexPwl rebuilt = ConvexPwl::from_parts(
+      form->lo(), form->hi(), form->value_lo(), form->first_slope(),
+      form->slope_increments());
+  EXPECT_TRUE(rebuilt.same_shape(*form));
+  for (int x = -1; x <= 11; ++x) {
+    EXPECT_EQ(rebuilt.value_at(x), form->value_at(x)) << "x=" << x;
+  }
+}
+
+TEST(ConvexPwlParts, RejectsBrokenInvariants) {
+  EXPECT_THROW(ConvexPwl::from_parts(3, 2, 0.0, 0.0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, std::nan(""), 0.0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, rs::util::kInf, {}),
+               std::invalid_argument);
+  // Point domain with a slope.
+  EXPECT_THROW(ConvexPwl::from_parts(2, 2, 0.0, 1.0, {}),
+               std::invalid_argument);
+  // Increment at the domain edge / outside.
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, 1.0, {{0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, 1.0, {{4, 1.0}}),
+               std::invalid_argument);
+  // Non-positive / non-finite increments (concavity or rubbish).
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, 1.0, {{2, -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, 1.0, {{2, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ConvexPwl::from_parts(0, 4, 0.0, 1.0, {{2, std::nan("")}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// WorkFunctionTracker
+// ---------------------------------------------------------------------------
+
+// Advances `full` and `split` in lockstep after restoring `split` from a
+// snapshot taken at `split_at`, asserting bitwise-equal bounds and chat
+// values at every remaining slot.
+void expect_tracker_resume_bitwise(const Problem& p, Backend backend,
+                                   int split_at) {
+  WorkFunctionTracker full(p.max_servers(), p.beta(), backend);
+  WorkFunctionTracker warm(p.max_servers(), p.beta(), backend);
+  for (int t = 1; t <= split_at; ++t) {
+    full.advance(p.f(t));
+    warm.advance(p.f(t));
+  }
+  const std::vector<std::uint8_t> bytes = warm.snapshot();
+  // The restored tracker continues; `warm` is abandoned (the "crash").
+  WorkFunctionTracker resumed = WorkFunctionTracker::restore(bytes);
+  EXPECT_EQ(resumed.tau(), split_at);
+  for (int t = split_at + 1; t <= p.horizon(); ++t) {
+    full.advance(p.f(t));
+    resumed.advance(p.f(t));
+    ASSERT_EQ(resumed.x_lower(), full.x_lower()) << "t=" << t;
+    ASSERT_EQ(resumed.x_upper(), full.x_upper()) << "t=" << t;
+    for (int x = 0; x <= p.max_servers(); ++x) {
+      ASSERT_EQ(resumed.chat_lower(x), full.chat_lower(x))
+          << "t=" << t << " x=" << x;
+      ASSERT_EQ(resumed.chat_upper(x), full.chat_upper(x))
+          << "t=" << t << " x=" << x;
+    }
+  }
+}
+
+TEST(TrackerCheckpoint, DenseResumeBitwise) {
+  const Problem p = table_problem(9, 1.75, 40, 11);
+  for (int split : {1, 7, 20, 39}) {
+    expect_tracker_resume_bitwise(p, Backend::kDense, split);
+  }
+}
+
+TEST(TrackerCheckpoint, PwlResumeBitwise) {
+  const Problem p = hinge_problem(12, 2.5, 40, 12);
+  for (int split : {1, 7, 20, 39}) {
+    expect_tracker_resume_bitwise(p, Backend::kPwl, split);
+  }
+}
+
+TEST(TrackerCheckpoint, AutoResumeBitwise) {
+  const Problem p = hinge_problem(12, 2.5, 40, 13);
+  for (int split : {1, 20}) {
+    expect_tracker_resume_bitwise(p, Backend::kAuto, split);
+  }
+}
+
+TEST(TrackerCheckpoint, FreshTrackerSnapshotRestores) {
+  const Problem p = hinge_problem(6, 1.5, 10, 14);
+  WorkFunctionTracker fresh(p.max_servers(), p.beta(), Backend::kAuto);
+  WorkFunctionTracker resumed = WorkFunctionTracker::restore(fresh.snapshot());
+  EXPECT_EQ(resumed.tau(), 0);
+  WorkFunctionTracker reference(p.max_servers(), p.beta(), Backend::kAuto);
+  for (int t = 1; t <= p.horizon(); ++t) {
+    reference.advance(p.f(t));
+    resumed.advance(p.f(t));
+    ASSERT_EQ(resumed.x_lower(), reference.x_lower()) << "t=" << t;
+    ASSERT_EQ(resumed.x_upper(), reference.x_upper()) << "t=" << t;
+  }
+}
+
+// Snapshot taken *inside* a constant run replayed via advance_repeated: the
+// resumed tracker finishes the run and the bounds match the uninterrupted
+// replay bitwise (the PWL shape fixpoint pins bounds exactly; dense skips
+// nothing).  Chat values may differ at ULP level across a resume-split
+// fixpoint jump, so only bounds (and hence schedules) are pinned here.
+void expect_repeated_resume_bounds(Backend backend) {
+  const int m = 10;
+  const double beta = 2.0;
+  const auto cost = std::make_shared<rs::core::AffineAbsCost>(1.0, 6.0, 0.5);
+  const int run = 24;
+
+  WorkFunctionTracker full(m, beta, backend);
+  std::vector<int> xl_full(run), xu_full(run);
+  full.advance_repeated(*cost, run, xl_full, xu_full);
+
+  for (int split : {1, 3, 12, 23}) {
+    WorkFunctionTracker warm(m, beta, backend);
+    std::vector<int> xl(run), xu(run);
+    warm.advance_repeated(*cost, split,
+                          std::span<int>(xl.data(), static_cast<std::size_t>(split)),
+                          std::span<int>(xu.data(), static_cast<std::size_t>(split)));
+    WorkFunctionTracker resumed = WorkFunctionTracker::restore(warm.snapshot());
+    ASSERT_EQ(resumed.tau(), split);
+    const int rest = run - split;
+    resumed.advance_repeated(
+        *cost, rest,
+        std::span<int>(xl.data() + split, static_cast<std::size_t>(rest)),
+        std::span<int>(xu.data() + split, static_cast<std::size_t>(rest)));
+    EXPECT_EQ(resumed.tau(), run);
+    for (int i = 0; i < run; ++i) {
+      ASSERT_EQ(xl[static_cast<std::size_t>(i)],
+                xl_full[static_cast<std::size_t>(i)])
+          << "backend=" << static_cast<int>(backend) << " split=" << split
+          << " i=" << i;
+      ASSERT_EQ(xu[static_cast<std::size_t>(i)],
+                xu_full[static_cast<std::size_t>(i)])
+          << "backend=" << static_cast<int>(backend) << " split=" << split
+          << " i=" << i;
+    }
+  }
+}
+
+TEST(TrackerCheckpoint, MidAdvanceRepeatedResumeDense) {
+  expect_repeated_resume_bounds(Backend::kDense);
+}
+
+TEST(TrackerCheckpoint, MidAdvanceRepeatedResumePwl) {
+  expect_repeated_resume_bounds(Backend::kPwl);
+}
+
+TEST(TrackerCheckpoint, EveryBitFlipRejectedTyped) {
+  const Problem p = hinge_problem(8, 2.0, 12, 15);
+  WorkFunctionTracker pwl(p.max_servers(), p.beta(), Backend::kPwl);
+  WorkFunctionTracker dense(p.max_servers(), p.beta(), Backend::kDense);
+  for (int t = 1; t <= 5; ++t) {
+    pwl.advance(p.f(t));
+    dense.advance(p.f(t));
+  }
+  for (const WorkFunctionTracker* tracker : {&pwl, &dense}) {
+    const std::vector<std::uint8_t> bytes = tracker->snapshot();
+    for (std::uint64_t bit = 0; bit < bytes.size() * 8; ++bit) {
+      const std::vector<std::uint8_t> bad = corrupt_bit(bytes, bit);
+      EXPECT_THROW(WorkFunctionTracker::restore(bad), CheckpointError)
+          << "bit=" << bit;
+    }
+    for (std::size_t keep = 0; keep < bytes.size(); keep += 7) {
+      EXPECT_THROW(WorkFunctionTracker::restore(truncate_bytes(bytes, keep)),
+                   CheckpointError)
+          << "keep=" << keep;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lcp sessions: kill-and-resume across the whole zoo
+// ---------------------------------------------------------------------------
+
+rs::scenario::ZooParams zoo_params() {
+  rs::scenario::ZooParams params;
+  params.servers = 16;
+  params.horizon = 192;
+  params.slots_per_day = 96;
+  params.peak = 11.0;
+  params.quantize_levels = 10;
+  params.adversary_eps = 0.25;
+  return params;
+}
+
+// Replays `p` through an Lcp session, crashing at `split` (snapshot ->
+// destroy -> restore into a brand-new session) and returns the schedule,
+// per-step bounds, and cost.
+struct SessionRun {
+  rs::core::Schedule schedule;
+  std::vector<int> lower;
+  std::vector<int> upper;
+  double cost = 0.0;
+};
+
+SessionRun run_lcp_with_crash(const Problem& p, Backend backend,
+                              int split /* 0 = uninterrupted */) {
+  const OnlineContext context{p.max_servers(), p.beta()};
+  SessionRun run;
+  auto session = std::make_unique<Lcp>(backend);
+  session->reset(context);
+  std::vector<std::uint8_t> bytes;
+  for (int t = 1; t <= p.horizon(); ++t) {
+    if (split != 0 && t == split + 1) {
+      bytes = session->snapshot();
+      session.reset();  // the crash
+      session = std::make_unique<Lcp>(backend);
+      session->restore(context, bytes);
+    }
+    const rs::core::CostPtr f = p.f_ptr(t);
+    run.schedule.push_back(session->decide(f, {}));
+    run.lower.push_back(session->last_lower());
+    run.upper.push_back(session->last_upper());
+  }
+  run.cost = rs::core::total_cost(p, run.schedule);
+  return run;
+}
+
+TEST(LcpCheckpoint, KillAndResumeBitwiseAcrossZooAndBackends) {
+  const std::vector<rs::scenario::Scenario> zoo =
+      rs::scenario::make_zoo(zoo_params(), 2026);
+  for (const rs::scenario::Scenario& scenario : zoo) {
+    SCOPED_TRACE(scenario.name);
+    const Problem& p = scenario.problem;
+    const bool pwl_ok = rs::core::admits_compact_pwl(p);
+    for (Backend backend : {Backend::kDense, Backend::kPwl, Backend::kAuto}) {
+      if (backend == Backend::kPwl && !pwl_ok) continue;
+      SCOPED_TRACE(static_cast<int>(backend));
+      const SessionRun clean = run_lcp_with_crash(p, backend, 0);
+      for (int split : {1, p.horizon() / 3, p.horizon() - 1}) {
+        const SessionRun crashed = run_lcp_with_crash(p, backend, split);
+        ASSERT_EQ(crashed.schedule, clean.schedule) << "split=" << split;
+        ASSERT_EQ(crashed.lower, clean.lower) << "split=" << split;
+        ASSERT_EQ(crashed.upper, clean.upper) << "split=" << split;
+        ASSERT_EQ(crashed.cost, clean.cost) << "split=" << split;
+      }
+    }
+  }
+}
+
+TEST(LcpCheckpoint, RestoreRejectsMismatchedTarget) {
+  const Problem p = hinge_problem(10, 2.0, 20, 16);
+  Lcp session(Backend::kAuto);
+  session.reset(OnlineContext{10, 2.0});
+  for (int t = 1; t <= 10; ++t) session.decide(p.f_ptr(t), {});
+  const std::vector<std::uint8_t> bytes = session.snapshot();
+
+  Lcp target(Backend::kAuto);
+  EXPECT_THROW(target.restore(OnlineContext{11, 2.0}, bytes),
+               CheckpointMismatchError);  // wrong m
+  EXPECT_THROW(target.restore(OnlineContext{10, 2.5}, bytes),
+               CheckpointMismatchError);  // wrong beta
+  Lcp wrong_backend(Backend::kDense);
+  EXPECT_THROW(wrong_backend.restore(OnlineContext{10, 2.0}, bytes),
+               CheckpointMismatchError);  // wrong session backend
+  // A tracker checkpoint is not a session checkpoint.
+  WorkFunctionTracker tracker(10, 2.0, Backend::kDense);
+  EXPECT_THROW(target.restore(OnlineContext{10, 2.0}, tracker.snapshot()),
+               CheckpointFormatError);
+  // After all those rejections the target must still be usable.
+  target.restore(OnlineContext{10, 2.0}, bytes);
+  EXPECT_EQ(target.last_lower(), session.last_lower());
+  EXPECT_EQ(target.last_upper(), session.last_upper());
+}
+
+TEST(LcpCheckpoint, CorruptedSessionBytesRejected) {
+  const Problem p = table_problem(6, 1.5, 12, 17);
+  Lcp session(Backend::kDense);
+  session.reset(OnlineContext{6, 1.5});
+  for (int t = 1; t <= 8; ++t) session.decide(p.f_ptr(t), {});
+  const std::vector<std::uint8_t> bytes = session.snapshot();
+  Lcp target(Backend::kDense);
+  for (std::uint64_t bit = 0; bit < bytes.size() * 8; bit += 5) {
+    EXPECT_THROW(
+        target.restore(OnlineContext{6, 1.5}, corrupt_bit(bytes, bit)),
+        CheckpointError)
+        << "bit=" << bit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WindowedLcp: mid-window resume
+// ---------------------------------------------------------------------------
+
+SessionRun run_windowed_with_crash(const Problem& p, Backend backend,
+                                   int window, int split) {
+  const OnlineContext context{p.max_servers(), p.beta()};
+  // Materialize the cost sequence once so lookahead spans are trivial.
+  std::vector<rs::core::CostPtr> costs;
+  costs.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) costs.push_back(p.f_ptr(t));
+
+  SessionRun run;
+  auto session = std::make_unique<WindowedLcp>(backend);
+  session->reset(context);
+  for (int t = 1; t <= p.horizon(); ++t) {
+    if (split != 0 && t == split + 1) {
+      const std::vector<std::uint8_t> bytes = session->snapshot();
+      session.reset();
+      session = std::make_unique<WindowedLcp>(backend);
+      session->restore(context, bytes);
+    }
+    const std::size_t begin = static_cast<std::size_t>(t);
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(window), costs.size() - begin);
+    run.schedule.push_back(session->decide(
+        costs[begin - 1],
+        std::span<const rs::core::CostPtr>(costs.data() + begin, count)));
+    run.lower.push_back(session->last_lower());
+    run.upper.push_back(session->last_upper());
+  }
+  run.cost = rs::core::total_cost(p, run.schedule);
+  return run;
+}
+
+TEST(WindowedLcpCheckpoint, MidWindowResumeBitwise) {
+  const int window = 5;
+  const Problem hinge = hinge_problem(10, 2.0, 48, 18);
+  const Problem table = table_problem(8, 1.5, 48, 19);
+  struct Case {
+    const Problem* p;
+    Backend backend;
+  };
+  for (const Case& c : {Case{&hinge, Backend::kAuto},
+                        Case{&hinge, Backend::kPwl},
+                        Case{&table, Backend::kDense}}) {
+    SCOPED_TRACE(static_cast<int>(c.backend));
+    const SessionRun clean = run_windowed_with_crash(*c.p, c.backend, window, 0);
+    // Splits chosen so the prediction window straddles the crash point
+    // (every t in [split+1, split+window] was "seen" as lookahead before
+    // the crash and is re-revealed after restore with a cold form cache).
+    for (int split : {1, 20, c.p->horizon() - 2}) {
+      const SessionRun crashed =
+          run_windowed_with_crash(*c.p, c.backend, window, split);
+      ASSERT_EQ(crashed.schedule, clean.schedule) << "split=" << split;
+      ASSERT_EQ(crashed.lower, clean.lower) << "split=" << split;
+      ASSERT_EQ(crashed.upper, clean.upper) << "split=" << split;
+      ASSERT_EQ(crashed.cost, clean.cost) << "split=" << split;
+    }
+  }
+}
+
+TEST(WindowedLcpCheckpoint, RestoreRejectsMismatchedTarget) {
+  const Problem p = hinge_problem(10, 2.0, 20, 20);
+  WindowedLcp session(Backend::kAuto);
+  session.reset(OnlineContext{10, 2.0});
+  std::vector<rs::core::CostPtr> costs;
+  for (int t = 1; t <= p.horizon(); ++t) costs.push_back(p.f_ptr(t));
+  for (int t = 1; t <= 10; ++t) {
+    session.decide(costs[static_cast<std::size_t>(t - 1)],
+                   std::span<const rs::core::CostPtr>(costs.data() + t,
+                                                      std::min(3, 20 - t)));
+  }
+  const std::vector<std::uint8_t> bytes = session.snapshot();
+  WindowedLcp target(Backend::kAuto);
+  EXPECT_THROW(target.restore(OnlineContext{9, 2.0}, bytes),
+               CheckpointMismatchError);
+  EXPECT_THROW(target.restore(OnlineContext{10, 1.0}, bytes),
+               CheckpointMismatchError);
+  WindowedLcp wrong_backend(Backend::kDense);
+  EXPECT_THROW(wrong_backend.restore(OnlineContext{10, 2.0}, bytes),
+               CheckpointMismatchError);
+  Lcp not_windowed(Backend::kAuto);
+  EXPECT_THROW(not_windowed.restore(OnlineContext{10, 2.0}, bytes),
+               CheckpointFormatError);  // kind tag mismatch
+}
+
+}  // namespace

@@ -157,4 +157,87 @@ TEST(ProblemCsv, RejectsCorruptInput) {
                std::runtime_error);  // row arity
 }
 
+// --- format tags and reader strictness (PR-7 hardening) ---------------------
+
+TEST(FormatTag, WritersEmitVersionTags) {
+  EXPECT_NE(schedule_to_csv({1, 2}).find("# format=rightsizer-schedule-v1"),
+            std::string::npos);
+  const Problem p = make_table_problem(1, 1.0, {{0.0, 1.0}});
+  EXPECT_NE(problem_to_csv(p).find("# format=rightsizer-problem-v1"),
+            std::string::npos);
+}
+
+TEST(FormatTag, UnknownTagRejectedLegacyUntaggedAccepted) {
+  // A future/foreign tag is an explicit rejection...
+  EXPECT_THROW(
+      schedule_from_csv("# format=rightsizer-schedule-v999\nt,x\n1,2\n"),
+      std::runtime_error);
+  EXPECT_THROW(problem_from_csv(
+                   "# format=rightsizer-problem-v999\n# m=1 beta=1\n"
+                   "t,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+  // ...a schedule tag on a problem artifact is too...
+  EXPECT_THROW(problem_from_csv(
+                   "# format=rightsizer-schedule-v1\n# m=1 beta=1\n"
+                   "t,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+  // ...but pre-versioning artifacts (no tag at all) still load.
+  EXPECT_EQ(schedule_from_csv("t,x\n1,2\n2,0\n"), (Schedule{2, 0}));
+  const Problem legacy =
+      problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,0.5,1.5\n");
+  EXPECT_DOUBLE_EQ(legacy.cost_at(1, 1), 1.5);
+}
+
+TEST(FormatTag, TaggedRoundTripsParse) {
+  // The writers' own output must of course pass the tag check.
+  const Schedule x = {0, 4, 1};
+  EXPECT_EQ(schedule_from_csv(schedule_to_csv(x)), x);
+  const Problem p = make_table_problem(2, 1.5, {{0.0, 1.0, 3.0}});
+  EXPECT_DOUBLE_EQ(problem_from_csv(problem_to_csv(p)).cost_at(1, 2), 3.0);
+}
+
+TEST(ScheduleCsv, RejectsMalformedAndNegativeValues) {
+  // Trailing garbage in a numeric field is malformed, not a value.
+  EXPECT_THROW(schedule_from_csv("t,x\n1,2x\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_csv("t,x\n1x,2\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_csv("t,x\n1,\n"), std::runtime_error);
+  // A negative server count can never be a schedule state.
+  EXPECT_THROW(schedule_from_csv("t,x\n1,-3\n"), std::runtime_error);
+  // Non-contiguous / duplicated slots.
+  EXPECT_THROW(schedule_from_csv("t,x\n1,1\n1,2\n"), std::runtime_error);
+  EXPECT_THROW(schedule_from_csv("t,x\n1,1\n3,2\n"), std::runtime_error);
+}
+
+TEST(ProblemCsv, RejectsMalformedMetaAndValues) {
+  // Malformed meta integers / beta.
+  EXPECT_THROW(problem_from_csv("# m=1x beta=1\nt,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(problem_from_csv("# m=1 beta=oops\nt,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(problem_from_csv("# m=1 beta=inf\nt,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);  // beta must be finite
+  EXPECT_THROW(problem_from_csv("# m=1 beta=-2\nt,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+  // Malformed cost fields.
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,0.5x,1.5\n"),
+               std::runtime_error);
+  // Costs outside the extended-real contract [0, +inf].
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,nan,1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,-inf,1.5\n"),
+               std::runtime_error);
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,-0.5,1.5\n"),
+               std::runtime_error);
+  // +inf is within the contract (infeasible state, not a fault).
+  const Problem ok = problem_from_csv("# m=1 beta=1\nt,f0,f1\n1,inf,1.5\n");
+  EXPECT_TRUE(std::isinf(ok.cost_at(1, 0)));
+  // Non-contiguous slots.
+  EXPECT_THROW(problem_from_csv(
+                   "# m=1 beta=1\nt,f0,f1\n1,0.5,1.5\n3,0.5,1.5\n"),
+               std::runtime_error);
+  // Wrong header name.
+  EXPECT_THROW(problem_from_csv("# m=1 beta=1\nq,f0,f1\n1,0.5,1.5\n"),
+               std::runtime_error);
+}
+
 }  // namespace
