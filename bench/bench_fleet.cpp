@@ -1,0 +1,256 @@
+// E15 — Fleet serving throughput: tenant-steps/sec through FleetController.
+//
+// The fleet controller multiplexes long-lived LCP sessions over one
+// process; its unit of work is the tenant-step (one slot decided for one
+// tenant, checkpoint cadence included).  This bench drains a mixed-size
+// tenant roster (m from 8 to 64, the small-to-mid range a multi-tenant box
+// actually packs) at 1/2/4 dispatch threads and records tenant-steps/sec
+// per configuration — the serving-layer capacity number next to the
+// engine's instances/sec.
+//
+// A second shape, `fleet_chaos`, drains the same roster with a seeded
+// kFleetTick fault plan live during the ticks (offers are fed clean, so no
+// tenant quarantines), measuring what checkpoint restore-and-replay
+// healing costs end to end.  Qualitative checks: schedules bit-identical
+// across thread counts, no quarantines, and the chaos run bit-identical to
+// the clean run (the drill invariant, here at bench scale).  On a
+// single-core container the multi-thread rows measure
+// scheduling overhead, not parallel speedup (hardware_concurrency is
+// recorded so the reader can tell).
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using rs::fleet::FleetController;
+using rs::fleet::FleetOptions;
+using rs::fleet::TenantConfig;
+
+struct Roster {
+  std::vector<TenantConfig> configs;
+  std::vector<std::vector<double>> traces;  // per tenant, slots_per_tenant λs
+};
+
+Roster make_roster(int tenants, int slots_per_tenant) {
+  // The zoo's hinge-SLA family: f(x) = energy·x + sla·(headroom·λ − x)⁺,
+  // exact convex-PWL, the documented default fleet tenant cost.
+  const rs::scenario::ZooParams params;
+  const int sizes[] = {8, 16, 24, 32, 48, 64};
+  Roster roster;
+  for (int i = 0; i < tenants; ++i) {
+    const int m = sizes[static_cast<std::size_t>(i) % std::size(sizes)];
+    TenantConfig config;
+    config.name = "tenant-" + std::to_string(i);
+    config.m = m;
+    config.beta = 4.0;
+    config.cost_of = [params](double lambda) {
+      return rs::scenario::hinge_sla_cost(params, lambda);
+    };
+    config.queue_capacity = static_cast<std::size_t>(slots_per_tenant);
+    config.checkpoint_every = 32;
+    // Keep every tenant on its natural backend for the whole bench: the
+    // ladder's dense rung is a tested recovery path, not a perf shape.
+    config.degrade_after = 1 << 20;
+    roster.configs.push_back(std::move(config));
+
+    rs::util::Rng rng(9000u + static_cast<std::uint64_t>(i));
+    std::vector<double> trace;
+    trace.reserve(static_cast<std::size_t>(slots_per_tenant));
+    for (int t = 0; t < slots_per_tenant; ++t) {
+      trace.push_back(rng.uniform(0.0, 0.8 * m));
+    }
+    roster.traces.push_back(std::move(trace));
+  }
+  return roster;
+}
+
+struct FleetRow {
+  std::string name;
+  std::size_t threads = 1;
+  int tenants = 0;
+  int slots_per_tenant = 0;
+  std::uint64_t tenant_steps = 0;
+  double seconds = 0.0;
+  double tenant_steps_per_sec = 0.0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t quarantined = 0;
+};
+
+struct DrainResult {
+  std::vector<std::vector<int>> schedules;
+  rs::fleet::FleetStats stats;
+  double seconds = 0.0;
+};
+
+DrainResult drain_once(const Roster& roster, std::size_t threads,
+                       const rs::scenario::FaultPlan* plan) {
+  FleetOptions options;
+  options.threads = threads;
+  FleetController fleet(options);
+  for (const TenantConfig& config : roster.configs) fleet.add_tenant(config);
+  // Offers are fed before any injector goes live: the chaos shape measures
+  // tick-path recovery cost, not the (tested elsewhere) ingest-poisoning
+  // quarantine path, which would zero out the throughput it is measuring.
+  for (std::size_t i = 0; i < roster.configs.size(); ++i) {
+    for (double lambda : roster.traces[i]) fleet.offer(i, lambda);
+  }
+  std::optional<rs::util::ScopedFaultInjection> guard;
+  if (plan != nullptr) guard.emplace(rs::scenario::make_injector(*plan));
+  const rs::util::Stopwatch watch;
+  fleet.run_until_drained();
+  DrainResult result;
+  result.seconds = watch.seconds();
+  result.stats = fleet.stats();
+  for (std::size_t i = 0; i < roster.configs.size(); ++i) {
+    result.schedules.push_back(fleet.tenant(i).schedule());
+  }
+  return result;
+}
+
+DrainResult drain_best_of(const Roster& roster, std::size_t threads,
+                          int reps,
+                          const rs::scenario::FaultPlan* plan = nullptr) {
+  DrainResult best;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    DrainResult result = drain_once(roster, threads, plan);
+    // Rep 0 warms caches / pool workers and is discarded.
+    if (rep == 1 || (rep > 1 && result.seconds < best.seconds)) {
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+void print_row(const FleetRow& row) {
+  std::ostringstream line;
+  line << row.name << "  threads=" << row.threads
+       << "  tenants=" << row.tenants << "x" << row.slots_per_tenant
+       << "  " << static_cast<long long>(row.tenant_steps_per_sec)
+       << " tenant-steps/sec";
+  if (row.recoveries > 0) line << "  recoveries=" << row.recoveries;
+  if (row.quarantined > 0) line << "  quarantined=" << row.quarantined;
+  std::cout << line.str() << "\n";
+}
+
+void append_json(std::ostringstream& out, const FleetRow& row, bool first) {
+  if (!first) out << ",";
+  out << "\n    {\"name\": \"" << row.name
+      << "\", \"threads\": " << row.threads
+      << ", \"tenants\": " << row.tenants
+      << ", \"slots_per_tenant\": " << row.slots_per_tenant
+      << ", \"tenant_steps\": " << row.tenant_steps
+      << ", \"seconds\": " << row.seconds
+      << ", \"tenant_steps_per_sec\": " << row.tenant_steps_per_sec
+      << ", \"recoveries\": " << row.recoveries
+      << ", \"quarantined\": " << row.quarantined << "}";
+}
+
+FleetRow to_row(const std::string& name, const Roster& roster,
+                std::size_t threads, const DrainResult& result) {
+  FleetRow row;
+  row.name = name;
+  row.threads = threads;
+  row.tenants = static_cast<int>(roster.configs.size());
+  row.slots_per_tenant = static_cast<int>(roster.traces[0].size());
+  row.tenant_steps = result.stats.tenant_steps;
+  row.seconds = result.seconds;
+  row.tenant_steps_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(result.stats.tenant_steps) / result.seconds
+          : 0.0;
+  row.recoveries = result.stats.recoveries;
+  row.quarantined = result.stats.quarantined;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rs::util::CliArgs args(argc, argv);
+  const bool smoke =
+      args.get_bool("smoke", std::getenv("RIGHTSIZER_BENCH_SMOKE") != nullptr);
+  const std::string json_path = args.get("json", "");
+
+  const int tenants = smoke ? 6 : 12;
+  const int slots = smoke ? 64 : 512;
+  const int reps = smoke ? 1 : 5;  // best-of; single-core boxes are noisy
+  const Roster roster = make_roster(tenants, slots);
+  const std::uint64_t expected_steps =
+      static_cast<std::uint64_t>(tenants) * static_cast<std::uint64_t>(slots);
+
+  std::cout << "E15  fleet serving throughput (hardware_concurrency="
+            << std::thread::hardware_concurrency() << ", smoke=" << smoke
+            << ")\n\n";
+
+  std::vector<FleetRow> rows;
+  std::vector<std::vector<int>> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}}) {
+    const DrainResult result = drain_best_of(roster, threads, reps);
+    rs::bench::check(result.stats.tenant_steps == expected_steps,
+                     "fleet_mixed/t" + std::to_string(threads) +
+                         ": drained " +
+                         std::to_string(result.stats.tenant_steps) + " of " +
+                         std::to_string(expected_steps) + " tenant-steps");
+    rs::bench::check(result.stats.quarantined == 0,
+                     "fleet_mixed/t" + std::to_string(threads) +
+                         ": clean run quarantined a tenant");
+    if (threads == 1) {
+      reference = result.schedules;
+    } else {
+      // Tick partitioning must never change a decision.
+      rs::bench::check(result.schedules == reference,
+                       "fleet_mixed/t" + std::to_string(threads) +
+                           ": schedules differ from the 1-thread run");
+    }
+    rows.push_back(to_row("fleet_mixed", roster, threads, result));
+    print_row(rows.back());
+  }
+
+  // Chaos shape: the same roster with tick-path faults firing live — the
+  // steady-state cost of checkpoint cadence + restore-and-replay healing.
+  {
+    const rs::scenario::FaultPlan plan{0xF1EE7u, 61,
+                                       rs::scenario::PoisonKind::kNaN};
+    const DrainResult chaos = drain_best_of(roster, 1, reps, &plan);
+    rs::bench::check(chaos.stats.tenant_steps == expected_steps,
+                     "fleet_chaos: drained " +
+                         std::to_string(chaos.stats.tenant_steps) + " of " +
+                         std::to_string(expected_steps) + " tenant-steps");
+    rs::bench::check(chaos.stats.quarantined == 0,
+                     "fleet_chaos: tick-path faults must heal, not "
+                     "quarantine");
+    if (!smoke) {
+      rs::bench::check(chaos.stats.recoveries > 0,
+                       "fleet_chaos: fault plan never fired; the row "
+                       "measures nothing");
+    }
+    // Recovery replay must consult no fault sites: every tenant finishes
+    // bit-identical to the clean run (the drill invariant, measured here
+    // at bench scale rather than unit-tested).
+    rs::bench::check(chaos.schedules == reference,
+                     "fleet_chaos: schedules diverged from the clean run");
+    rows.push_back(to_row("fleet_chaos", roster, 1, chaos));
+    print_row(rows.back());
+  }
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"smoke\": "
+        << (smoke ? "true" : "false") << ",\n  \"fleet\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      append_json(out, rows[i], i == 0);
+    }
+    out << "\n  ]\n}\n";
+    std::ofstream file(json_path);
+    file << out.str();
+    std::cout << "\nwrote " << json_path << " (" << rows.size() << " rows)\n";
+  }
+
+  return rs::bench::finish("E15 fleet serving throughput");
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Perf baseline: runs the thm1 offline / thm2 LCP benchmarks plus the batch
-# throughput bench and writes BENCH_results.json (benchmark name -> ns/op
-# with T, m, threads, git sha; batch rows under "throughput"), the repo's
-# perf trajectory artifact.  scripts/bench_compare.py diffs a fresh run
-# against the committed file and fails on > 1.5x regressions.
+# throughput, scenario, scaling, and fleet-serving benches and writes
+# BENCH_results.json (benchmark name -> ns/op with T, m, threads, git sha;
+# batch rows under "throughput", tenant-steps/sec rows under "fleet"), the
+# repo's perf trajectory artifact.  scripts/bench_compare.py diffs a fresh
+# run against the committed file and fails on > 1.5x regressions.
 #
 # Usage:
 #   scripts/bench_baseline.sh                 # full run, writes ./BENCH_results.json
@@ -39,13 +40,13 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" \
       || ! -x "$BUILD_DIR/bench/bench_throughput" || ! -x "$BUILD_DIR/bench/bench_scaling" \
-      || ! -x "$BUILD_DIR/bench/bench_scenarios" ]]; then
+      || ! -x "$BUILD_DIR/bench/bench_scenarios" || ! -x "$BUILD_DIR/bench/bench_fleet" ]]; then
   echo "== configuring bench build in $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_thm1_offline bench_thm2_lcp bench_throughput bench_scaling \
-    bench_scenarios
+    bench_scenarios bench_fleet
 fi
 
 TMP="$(mktemp -d)"
@@ -80,6 +81,11 @@ echo "== running bench_scenarios (E14)"
 SCENARIO_ARGS=(--json="$TMP/scenarios.json")
 [[ "$SMOKE" -eq 1 ]] && SCENARIO_ARGS+=(--smoke)
 "$BUILD_DIR/bench/bench_scenarios" "${SCENARIO_ARGS[@]}"
+
+echo "== running bench_fleet (E15)"
+FLEET_ARGS=(--json="$TMP/fleet.json")
+[[ "$SMOKE" -eq 1 ]] && FLEET_ARGS+=(--smoke)
+"$BUILD_DIR/bench/bench_fleet" "${FLEET_ARGS[@]}"
 
 echo "== running bench_scaling (E13)"
 SCALING_ARGS=(--json "$TMP/scaling.json")
@@ -119,6 +125,8 @@ with open(os.path.join(tmp, "scaling.json")) as fh:
     scaling = json.load(fh)["scaling"]
 with open(os.path.join(tmp, "scenarios.json")) as fh:
     scenarios = json.load(fh)
+with open(os.path.join(tmp, "fleet.json")) as fh:
+    fleet = json.load(fh)
 native_scaling = None
 native_path = os.path.join(tmp, "scaling_native.json")
 if os.path.exists(native_path):
@@ -175,6 +183,7 @@ result = {
     "scaling": scaling,
     "scenarios": scenarios.get("scenario_cells", []),
     "rle_speedup": scenarios.get("rle_speedup"),
+    "fleet": fleet.get("fleet", []),
 }
 if native_scaling is not None:
     # Native-vs-portable rows: same (family, m) sweep, per-step ns from the
@@ -203,5 +212,6 @@ with open(os.environ["OUT"], "w") as fh:
 print(f"wrote {os.environ['OUT']} ({len(benchmarks)} benchmarks, "
       f"{len(speedups)} speedup pairs, "
       f"{len(result['throughput'])} throughput rows, "
-      f"{len(result['scenarios'])} scenario cells)")
+      f"{len(result['scenarios'])} scenario cells, "
+      f"{len(result['fleet'])} fleet rows)")
 PY

@@ -14,6 +14,10 @@ Compares BENCH_results.json-shaped files produced by scripts/bench_baseline.sh:
     evaluation harness is deterministic in its fixed seed, so these are
     quality gates, not timing gates: a mean competitive ratio drifting more
     than 5% above the committed baseline fails regardless of --threshold;
+  * "fleet" rows (fleet-serving throughput, bench_fleet) match by
+    (name, threads, tenants, slots_per_tenant), same smoke kind only; a
+    fresh tenant_steps_per_sec below baseline / --threshold is a
+    regression;
   * the "rle_speedup" row gates the run-length-encoded replay: the schedule
     must stay bit-identical to the slot-by-slot replay, and the measured
     speedup must not fall below baseline / --threshold (nor below the 10x
@@ -97,6 +101,35 @@ def main():
         if ratio > args.threshold:
             failures.append(
                 f"{entry['name']}/t{entry.get('threads')}: throughput "
+                f"{ratio:.2f}x below baseline (threshold {args.threshold}x)")
+
+    # Fleet-serving rows: tenant-steps/sec through the FleetController, the
+    # multi-tenant analogue of the throughput section.  Smoke runs use a
+    # smaller roster, so rows only compare between runs of the same kind.
+    comparable_fleet = fresh.get("smoke") == baseline.get("smoke")
+    base_fleet = {
+        (f["name"], f.get("threads"), f.get("tenants"),
+         f.get("slots_per_tenant")): f
+        for f in baseline.get("fleet", [])
+    } if comparable_fleet else {}
+    for entry in fresh.get("fleet", []):
+        key = (entry["name"], entry.get("threads"), entry.get("tenants"),
+               entry.get("slots_per_tenant"))
+        ref = base_fleet.get(key)
+        if ref is None or not ref.get("tenant_steps_per_sec"):
+            continue
+        if not entry.get("tenant_steps_per_sec"):
+            failures.append(f"{entry['name']}/t{entry.get('threads')}: "
+                            "no fleet throughput measured")
+            continue
+        ratio = ref["tenant_steps_per_sec"] / entry["tenant_steps_per_sec"]
+        compared += 1
+        print(f"  {entry['name']}/t{entry.get('threads')}: "
+              f"{entry['tenant_steps_per_sec']:.0f} tenant-steps/s vs "
+              f"{ref['tenant_steps_per_sec']:.0f}/s baseline ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failures.append(
+                f"{entry['name']}/t{entry.get('threads')}: fleet throughput "
                 f"{ratio:.2f}x below baseline (threshold {args.threshold}x)")
 
     # Scenario-lab cells: deterministic harness output, gated on quality

@@ -2,8 +2,14 @@
 
 #include <array>
 #include <bit>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace rs::core {
 
@@ -190,13 +196,72 @@ std::uint32_t checkpoint_kind(std::span<const std::uint8_t> data) {
   return get_u32(data, 8);
 }
 
+namespace {
+
+// Flushes a written file's data and metadata to stable storage where the
+// platform offers it; a failed fsync is a real write failure (the data may
+// not survive a crash), so it throws like any other I/O error.
+void sync_to_disk(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw std::runtime_error("cannot reopen for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw std::runtime_error("fsync failed: " + path);
+#else
+  (void)path;
+#endif
+}
+
+// Makes the rename itself durable: fsync the containing directory so the
+// new directory entry survives a crash (best-effort on platforms where
+// directories cannot be opened).
+void sync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
 void write_checkpoint_file(const std::string& path,
                            std::span<const std::uint8_t> bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("write failed: " + path);
+  // Crash-safe save discipline: temp file → fsync → atomic rename.  The
+  // file named `path` is only ever replaced by a complete, durable image;
+  // a crash mid-save leaves the previous checkpoint intact (plus at worst
+  // a stray .tmp the next save overwrites).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + tmp);
+    }
+  }
+  try {
+    sync_to_disk(tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("rename failed: " + tmp + " -> " + path);
+  }
+  sync_parent_dir(path);
 }
 
 std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {

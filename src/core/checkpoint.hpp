@@ -69,6 +69,7 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 inline constexpr std::uint32_t kTrackerCheckpointKind = 0x01;
 inline constexpr std::uint32_t kLcpCheckpointKind = 0x02;
 inline constexpr std::uint32_t kWindowedLcpCheckpointKind = 0x03;
+inline constexpr std::uint32_t kTenantCheckpointKind = 0x04;
 
 /// CRC-32 (IEEE, reflected polynomial 0xEDB88320) of `bytes`.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
@@ -133,6 +134,13 @@ std::uint32_t checkpoint_kind(std::span<const std::uint8_t> data);
 
 /// Binary file helpers; throw std::runtime_error on I/O failure (and the
 /// reader-side CheckpointErrors surface unchanged from the caller's parse).
+///
+/// Writes are crash-safe: the bytes land in a sibling temp file, are
+/// flushed to stable storage (fsync where the platform has it), and only
+/// then replace `path` via an atomic rename — a crash at any point leaves
+/// either the previous complete checkpoint or a stray temp file, never a
+/// truncated file under the checkpoint's name.  Concurrent writers of the
+/// *same* path must serialize externally (CheckpointStore does).
 void write_checkpoint_file(const std::string& path,
                            std::span<const std::uint8_t> bytes);
 std::vector<std::uint8_t> read_checkpoint_file(const std::string& path);

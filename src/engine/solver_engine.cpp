@@ -338,4 +338,26 @@ void SolverEngine::for_each(std::size_t n,
   if (stats != nullptr) *stats = local;
 }
 
+void SolverEngine::for_each_timed(std::size_t n,
+                                  const std::function<void(std::size_t)>& fn,
+                                  std::span<double> seconds,
+                                  BatchStats* stats) const {
+  if (!fn) {
+    throw std::invalid_argument("SolverEngine::for_each_timed: null fn");
+  }
+  if (seconds.size() < n) {
+    throw std::invalid_argument(
+        "SolverEngine::for_each_timed: seconds span smaller than n");
+  }
+  BatchStats local;
+  with_batch_stats(local, n, threads(), [&]() {
+    dispatch(n, [&fn, seconds](std::size_t i) {
+      const rs::util::Stopwatch watch;
+      fn(i);
+      seconds[i] = watch.seconds();
+    });
+  });
+  if (stats != nullptr) *stats = local;
+}
+
 }  // namespace rs::engine

@@ -180,6 +180,16 @@ class SolverEngine {
   void for_each(std::size_t n, const std::function<void(std::size_t)>& fn,
                 BatchStats* stats = nullptr) const;
 
+  /// for_each with per-item wall times: fn(i)'s duration on its executing
+  /// worker lands in seconds[i] (seconds.size() >= n).  The fleet
+  /// controller's tick dispatch runs through here, so per-tenant step
+  /// times and the batch-level stats come from the same measurement
+  /// bracketing as every other engine entry point.
+  void for_each_timed(std::size_t n,
+                      const std::function<void(std::size_t)>& fn,
+                      std::span<double> seconds,
+                      BatchStats* stats = nullptr) const;
+
   /// Worker count the batch runs on (1 for inline mode).
   std::size_t threads() const noexcept;
 

@@ -1,0 +1,556 @@
+#include "fleet/tenant.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "engine/solver_engine.hpp"
+#include "online/online_algorithm.hpp"
+#include "util/fault_injection.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rs::fleet {
+
+namespace {
+
+// Per-tenant event buffer cap: enough for any drill's transition history;
+// past it the oldest events drop (counted, never silently).
+constexpr std::size_t kMaxPendingEvents = 256;
+
+void validate_config(const TenantConfig& config) {
+  if (config.name.empty()) {
+    throw std::invalid_argument("TenantConfig: name must be non-empty");
+  }
+  if (config.m < 1) {
+    throw std::invalid_argument("TenantConfig: m must be >= 1");
+  }
+  if (!std::isfinite(config.beta) || config.beta < 0.0) {
+    throw std::invalid_argument("TenantConfig: beta must be finite and >= 0");
+  }
+  if (config.window < 0) {
+    throw std::invalid_argument("TenantConfig: window must be >= 0");
+  }
+  if (!config.cost_of) {
+    throw std::invalid_argument("TenantConfig: cost_of is required");
+  }
+  if (config.queue_capacity < 1) {
+    throw std::invalid_argument("TenantConfig: queue_capacity must be >= 1");
+  }
+  if (config.checkpoint_every < 1) {
+    throw std::invalid_argument("TenantConfig: checkpoint_every must be >= 1");
+  }
+  if (config.degrade_after < 1) {
+    throw std::invalid_argument("TenantConfig: degrade_after must be >= 1");
+  }
+  if (config.max_recoveries < 0) {
+    throw std::invalid_argument("TenantConfig: max_recoveries must be >= 0");
+  }
+}
+
+}  // namespace
+
+const char* to_string(TenantState state) noexcept {
+  switch (state) {
+    case TenantState::kHealthy:
+      return "healthy";
+    case TenantState::kDegraded:
+      return "degraded";
+    case TenantState::kRecovering:
+      return "recovering";
+    case TenantState::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+const char* to_string(FleetEventKind kind) noexcept {
+  switch (kind) {
+    case FleetEventKind::kCheckpointed:
+      return "checkpointed";
+    case FleetEventKind::kResumed:
+      return "resumed";
+    case FleetEventKind::kRecovered:
+      return "recovered";
+    case FleetEventKind::kDegradedToDense:
+      return "degraded-to-dense";
+    case FleetEventKind::kDeferred:
+      return "deferred";
+    case FleetEventKind::kQuarantined:
+      return "quarantined";
+    case FleetEventKind::kOverflow:
+      return "overflow";
+  }
+  return "unknown";
+}
+
+TenantSession::TenantSession(TenantConfig config, std::size_t ordinal,
+                             rs::core::CheckpointStore* resume_from)
+    : config_(std::move(config)), ordinal_(ordinal) {
+  validate_config(config_);
+  reset_session_locked();
+  if (resume_from == nullptr) return;
+  const std::optional<std::vector<std::uint8_t>> saved =
+      resume_from->latest(store_key());
+  if (!saved.has_value()) return;
+  try {
+    TenantCheckpoint ck = decode_checkpoint(*saved);
+    const rs::online::OnlineContext context{config_.m, config_.beta};
+    if (lcp_ != nullptr) {
+      lcp_->restore(context, ck.session);
+    } else {
+      windowed_->restore(context, ck.session);
+    }
+    stats_.steps = ck.steps;
+    stats_.degraded_to_dense = ck.degraded;
+    state_ = ck.degraded ? TenantState::kDegraded : TenantState::kHealthy;
+    emit_locked(FleetEventKind::kResumed,
+                "restored " + std::to_string(ck.steps) +
+                    " decided slots from the checkpoint store");
+  } catch (const std::exception& e) {
+    // An unreadable save must not brick the tenant: start fresh (the
+    // store's envelope validation makes this path rare — a payload-level
+    // mismatch, e.g. a config change between runs).
+    reset_session_locked();
+    stats_ = TenantStats{};
+    state_ = TenantState::kHealthy;
+    emit_locked(FleetEventKind::kResumed,
+                std::string("stale checkpoint ignored, starting fresh: ") +
+                    e.what());
+  }
+}
+
+bool TenantSession::offer_run(double lambda, int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count <= 0) {
+    throw std::invalid_argument("TenantSession::offer_run: count must be >= 1");
+  }
+  const std::uint64_t slots = static_cast<std::uint64_t>(count);
+  if (state_ == TenantState::kQuarantined || finished_) {
+    stats_.rejected += slots;
+    return false;
+  }
+
+  // In-flight corruption site: one kIngest index per offer (runs included),
+  // consumed while the tenant is live so the firing schedule is a pure
+  // function of the tenant's offer count (scenario::corrupted_offers).
+  if (rs::util::fault_fires(
+          rs::util::FaultSite::kIngest,
+          rs::util::tenant_fault_index(ordinal_, ingests_++))) {
+    lambda = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  // λ hardening: a poisoned sample quarantines with a reason, never crashes
+  // or reaches the session.
+  if (!std::isfinite(lambda) || lambda < 0.0) {
+    stats_.rejected += slots;
+    quarantine_locked("invalid λ sample: " + std::to_string(lambda));
+    return false;
+  }
+
+  // Build and probe the slot cost at the domain ends; NaN or a throwing
+  // evaluation is poison (+inf is legitimate infeasibility and passes).
+  rs::core::CostPtr cost;
+  try {
+    cost = config_.cost_of(lambda);
+  } catch (const std::exception& e) {
+    stats_.rejected += slots;
+    quarantine_locked(std::string("cost factory threw: ") + e.what());
+    return false;
+  }
+  if (cost == nullptr) {
+    stats_.rejected += slots;
+    quarantine_locked("cost factory returned null");
+    return false;
+  }
+  try {
+    const double at_zero = cost->at(0);
+    const double at_m = cost->at(config_.m);
+    if (std::isnan(at_zero) || std::isnan(at_m)) {
+      stats_.rejected += slots;
+      quarantine_locked("slot cost evaluates to NaN");
+      return false;
+    }
+    if (at_zero < 0.0 || at_m < 0.0) {
+      stats_.rejected += slots;
+      quarantine_locked("slot cost is negative");
+      return false;
+    }
+  } catch (const std::exception& e) {
+    stats_.rejected += slots;
+    quarantine_locked(std::string("slot cost evaluation threw: ") + e.what());
+    return false;
+  }
+
+  // Bounded queue with explicit overflow policy.
+  if (queued_slots_ + slots > config_.queue_capacity) {
+    if (config_.overflow == OverflowPolicy::kRejectNewest) {
+      stats_.rejected += slots;
+      emit_locked(FleetEventKind::kOverflow,
+                  "queue full: rejected run of " + std::to_string(count));
+      return false;
+    }
+    std::uint64_t dropped = 0;
+    while (!queue_.empty() &&
+           queued_slots_ + slots > config_.queue_capacity) {
+      dropped += static_cast<std::uint64_t>(queue_.front().count);
+      queued_slots_ -= static_cast<std::size_t>(queue_.front().count);
+      queue_.pop_front();
+    }
+    stats_.overflow_drops += dropped;
+    emit_locked(FleetEventKind::kOverflow,
+                "queue full: dropped " + std::to_string(dropped) +
+                    " oldest slots");
+    if (queued_slots_ + slots > config_.queue_capacity) {
+      // The run alone exceeds capacity.
+      stats_.rejected += slots;
+      return false;
+    }
+  }
+
+  if (config_.window > 0 && count > 1) {
+    // Windowed lookahead is slot-granular: expand the run, sharing the one
+    // CostPtr across its slots.
+    for (int i = 0; i < count; ++i) {
+      queue_.push_back(QueueEntry{lambda, 1, cost});
+    }
+  } else {
+    queue_.push_back(QueueEntry{lambda, count, std::move(cost)});
+  }
+  queued_slots_ += static_cast<std::size_t>(count);
+  stats_.offered += slots;
+  return true;
+}
+
+void TenantSession::finish_stream() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finished_ = true;
+}
+
+bool TenantSession::due() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return due_locked();
+}
+
+bool TenantSession::due_locked() const {
+  if (state_ == TenantState::kQuarantined || queue_.empty()) return false;
+  if (config_.window == 0) return true;
+  return queued_slots_ > static_cast<std::size_t>(config_.window) ||
+         finished_;
+}
+
+bool TenantSession::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() || state_ == TenantState::kQuarantined;
+}
+
+int TenantSession::step(rs::core::CheckpointStore& store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!due_locked()) return 0;
+  const rs::util::Stopwatch watch;
+  int recoveries_this_slot = 0;
+  for (;;) {
+    std::string failure;
+    try {
+      const int advanced = decide_front_locked();
+      commit_front_locked(advanced, store);
+      stats_.last_step_seconds = watch.seconds();
+      return advanced;
+    } catch (const rs::engine::BackendFailureError& e) {
+      failure = e.what();  // transient: run the recovery ladder below
+    } catch (const std::exception& e) {
+      // Deterministic poison (a throwing cost mid-evaluation, a violated
+      // precondition): retrying cannot succeed.
+      quarantine_locked(e.what());
+      return 0;
+    }
+
+    ++fail_streak_;
+    if (recoveries_this_slot >= config_.max_recoveries) {
+      quarantine_locked("backend failure persisted after " +
+                        std::to_string(recoveries_this_slot) +
+                        " recoveries: " + failure);
+      return 0;
+    }
+    ++recoveries_this_slot;
+    try {
+      recover_locked(store, failure);
+      if (fail_streak_ >= config_.degrade_after &&
+          !stats_.degraded_to_dense && lcp_ != nullptr &&
+          lcp_->degrade_to_dense()) {
+        // Dense rung taken: checkpoint immediately so every future
+        // recovery restores a snapshot whose tracker mode matches the mode
+        // the replay-buffer slots were (and will be) decided in.
+        stats_.degraded_to_dense = true;
+        emit_locked(FleetEventKind::kDegradedToDense,
+                    "after " + std::to_string(fail_streak_) +
+                        " consecutive backend failures");
+        checkpoint_locked(store);
+      }
+    } catch (const std::exception& e) {
+      quarantine_locked(std::string("recovery failed: ") + e.what());
+      return 0;
+    }
+  }
+}
+
+int TenantSession::decide_front_locked() {
+  const std::uint64_t index =
+      rs::util::tenant_fault_index(ordinal_, attempts_++);
+  if (rs::util::fault_fires(rs::util::FaultSite::kFleetTick, index)) {
+    throw rs::engine::BackendFailureError("injected fault: fleet tick");
+  }
+  const QueueEntry& entry = queue_.front();
+  std::vector<rs::core::CostPtr> lookahead;
+  if (windowed_ != nullptr) lookahead = lookahead_after_locked(1);
+  return session_decide_locked(entry, lookahead);
+}
+
+int TenantSession::session_decide_locked(
+    const QueueEntry& entry, std::span<const rs::core::CostPtr> lookahead) {
+  const std::size_t need = static_cast<std::size_t>(
+      entry.count > 1 ? entry.count : 1);
+  if (decisions_scratch_.size() < need) {
+    decisions_scratch_.resize(need);
+    lower_scratch_.resize(need);
+    upper_scratch_.resize(need);
+  }
+  if (lcp_ != nullptr) {
+    lcp_->decide_run(*entry.cost, entry.count, decisions_scratch_,
+                     lower_scratch_, upper_scratch_);
+    return entry.count;
+  }
+  decisions_scratch_[0] = windowed_->decide(entry.cost, lookahead);
+  lower_scratch_[0] = windowed_->last_lower();
+  upper_scratch_[0] = windowed_->last_upper();
+  return 1;
+}
+
+void TenantSession::commit_front_locked(int advanced,
+                                        rs::core::CheckpointStore& store) {
+  for (int i = 0; i < advanced; ++i) {
+    const std::size_t j = static_cast<std::size_t>(i);
+    schedule_.push_back(decisions_scratch_[j]);
+    lower_.push_back(lower_scratch_[j]);
+    upper_.push_back(upper_scratch_[j]);
+  }
+  replay_.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  queued_slots_ -= static_cast<std::size_t>(advanced);
+  stats_.steps += static_cast<std::uint64_t>(advanced);
+  slots_since_checkpoint_ += advanced;
+  fail_streak_ = 0;
+  state_ = stats_.degraded_to_dense ? TenantState::kDegraded
+                                    : TenantState::kHealthy;
+  if (slots_since_checkpoint_ >= config_.checkpoint_every) {
+    checkpoint_locked(store);
+  }
+}
+
+void TenantSession::checkpoint_locked(rs::core::CheckpointStore& store) {
+  store.put(store_key(), snapshot_bytes_locked());
+  replay_.clear();
+  slots_since_checkpoint_ = 0;
+  ++stats_.checkpoints;
+  emit_locked(FleetEventKind::kCheckpointed,
+              "at slot " + std::to_string(stats_.steps));
+}
+
+void TenantSession::recover_locked(rs::core::CheckpointStore& store,
+                                   const std::string& reason) {
+  state_ = TenantState::kRecovering;
+  reset_session_locked();
+  const std::optional<std::vector<std::uint8_t>> saved =
+      store.latest(store_key());
+  if (saved.has_value()) {
+    const TenantCheckpoint ck = decode_checkpoint(*saved);
+    const rs::online::OnlineContext context{config_.m, config_.beta};
+    if (lcp_ != nullptr) {
+      lcp_->restore(context, ck.session);
+    } else {
+      windowed_->restore(context, ck.session);
+    }
+  }
+  // Replay the gap between the restored checkpoint and the failure point.
+  // No fault sites are consulted here: recovery itself is deterministic,
+  // and the replayed decisions overwrite their original positions (they
+  // are bit-identical by the checkpoint round-trip contract).
+  std::size_t pos = schedule_.size() -
+                    static_cast<std::size_t>(slots_since_checkpoint_);
+  for (std::size_t i = 0; i < replay_.size(); ++i) {
+    std::vector<rs::core::CostPtr> lookahead;
+    if (windowed_ != nullptr) {
+      const std::size_t w = static_cast<std::size_t>(config_.window);
+      for (std::size_t j = i + 1; j < replay_.size() && lookahead.size() < w;
+           ++j) {
+        lookahead.push_back(replay_[j].cost);
+      }
+      for (std::size_t q = 0; q < queue_.size() && lookahead.size() < w;
+           ++q) {
+        lookahead.push_back(queue_[q].cost);
+      }
+    }
+    const int n = session_decide_locked(replay_[i], lookahead);
+    for (int k = 0; k < n; ++k) {
+      const std::size_t j = static_cast<std::size_t>(k);
+      schedule_[pos + j] = decisions_scratch_[j];
+      lower_[pos + j] = lower_scratch_[j];
+      upper_[pos + j] = upper_scratch_[j];
+    }
+    pos += static_cast<std::size_t>(n);
+  }
+  ++stats_.recoveries;
+  emit_locked(FleetEventKind::kRecovered,
+              "replayed " + std::to_string(slots_since_checkpoint_) +
+                  " slots after: " + reason);
+}
+
+void TenantSession::reset_session_locked() {
+  const rs::online::OnlineContext context{config_.m, config_.beta};
+  if (config_.window > 0) {
+    lcp_.reset();
+    windowed_ = std::make_unique<rs::online::WindowedLcp>(config_.backend);
+    windowed_->reset(context);
+  } else {
+    windowed_.reset();
+    lcp_ = std::make_unique<rs::online::Lcp>(config_.backend);
+    lcp_->reset(context);
+  }
+}
+
+std::vector<rs::core::CostPtr> TenantSession::lookahead_after_locked(
+    std::size_t skip_queue_front) const {
+  std::vector<rs::core::CostPtr> lookahead;
+  const std::size_t w = static_cast<std::size_t>(config_.window);
+  lookahead.reserve(w);
+  for (std::size_t q = skip_queue_front;
+       q < queue_.size() && lookahead.size() < w; ++q) {
+    lookahead.push_back(queue_[q].cost);
+  }
+  return lookahead;
+}
+
+void TenantSession::checkpoint_now(rs::core::CheckpointStore& store) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == TenantState::kQuarantined) return;
+  try {
+    checkpoint_locked(store);
+  } catch (const std::exception& e) {
+    quarantine_locked(std::string("checkpoint failed: ") + e.what());
+  }
+}
+
+std::vector<std::uint8_t> TenantSession::snapshot_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_bytes_locked();
+}
+
+std::vector<std::uint8_t> TenantSession::snapshot_bytes_locked() const {
+  rs::core::CheckpointWriter writer;
+  writer.u64(stats_.steps);
+  writer.u8(stats_.degraded_to_dense ? 1 : 0);
+  const std::vector<std::uint8_t> session =
+      lcp_ != nullptr ? lcp_->snapshot() : windowed_->snapshot();
+  writer.u64(session.size());
+  writer.bytes(session);
+  return writer.seal(rs::core::kTenantCheckpointKind);
+}
+
+TenantCheckpoint TenantSession::decode_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  rs::core::CheckpointReader reader(bytes, rs::core::kTenantCheckpointKind);
+  TenantCheckpoint ck;
+  ck.steps = reader.u64();
+  const std::uint8_t degraded = reader.u8();
+  if (degraded > 1) {
+    throw rs::core::CheckpointFormatError(
+        "tenant checkpoint: invalid degraded flag");
+  }
+  ck.degraded = degraded == 1;
+  const std::uint64_t size = reader.u64();
+  ck.session = reader.bytes(static_cast<std::size_t>(size));
+  reader.finish();
+  return ck;
+}
+
+void TenantSession::note_deferred() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.deferrals;
+  emit_locked(FleetEventKind::kDeferred,
+              "tick budget exhausted; " + std::to_string(queued_slots_) +
+                  " slots queued");
+}
+
+void TenantSession::quarantine_locked(std::string reason) {
+  state_ = TenantState::kQuarantined;
+  stats_.quarantine_reason = reason;
+  emit_locked(FleetEventKind::kQuarantined, std::move(reason));
+  // Free what will never be decided; future offers are rejected outright.
+  queue_.clear();
+  queued_slots_ = 0;
+  replay_.clear();
+}
+
+void TenantSession::emit_locked(FleetEventKind kind, std::string detail) {
+  if (events_.size() >= kMaxPendingEvents) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(
+      FleetEvent{ordinal_, stats_.steps, kind, std::move(detail)});
+}
+
+TenantState TenantSession::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+TenantStats TenantSession::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string TenantSession::store_key() const { return config_.name; }
+
+std::size_t TenantSession::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_slots_;
+}
+
+std::uint64_t TenantSession::steps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.steps;
+}
+
+rs::core::Schedule TenantSession::schedule() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return schedule_;
+}
+
+std::vector<int> TenantSession::lower_bounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lower_;
+}
+
+std::vector<int> TenantSession::upper_bounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return upper_;
+}
+
+std::vector<FleetEvent> TenantSession::drain_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FleetEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::uint64_t TenantSession::take_dropped_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t dropped = dropped_events_;
+  dropped_events_ = 0;
+  return dropped;
+}
+
+}  // namespace rs::fleet

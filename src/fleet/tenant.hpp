@@ -1,0 +1,286 @@
+// One fleet tenant: a long-lived LCP serving session wrapped in a fault
+// domain (DESIGN.md §11).
+//
+// A tenant owns an Lcp (window = 0) or WindowedLcp (window > 0) session, a
+// bounded ingest queue of λ samples, and a replay buffer of everything
+// decided since its last checkpoint.  The contract robustness rests on:
+//
+//   * input hardening — offer() validates the λ sample (NaN / inf /
+//     negative) and probes the built slot cost (NaN / throwing) before
+//     anything reaches the session; a poisoned stream quarantines *this*
+//     tenant with a recorded reason instead of crashing the process;
+//   * checkpoint-backed self-healing — step() snapshots into the
+//     CheckpointStore every `checkpoint_every` slots; on a backend failure
+//     (injected via FaultSite::kFleetTick or real) it restores the latest
+//     good checkpoint, replays the gap from the replay buffer, and retries
+//     — decisions and corridor bounds stay bit-identical to an undisturbed
+//     run (the chaos drill pins this);
+//   * a degradation ladder — after `degrade_after` consecutive failed
+//     attempts a kAuto/kDense session is pinned to the dense streaming
+//     backend (one typed kDegradedToDense event + an immediate checkpoint,
+//     so later recoveries replay in the right mode); recoveries exhausted
+//     on both rungs end in quarantine, never a wedged controller.
+//
+// Every public member takes the tenant mutex, so a checkpoint taken from
+// the controller thread while the session is mid-advance_repeated
+// serializes against the step and captures the pre- or post-state — never
+// a torn one (the concurrency suite hammers exactly this).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_store.hpp"
+#include "core/cost_function.hpp"
+#include "core/schedule.hpp"
+#include "offline/work_function.hpp"
+#include "online/lcp.hpp"
+#include "online/lcp_window.hpp"
+
+namespace rs::fleet {
+
+/// Tenant health, in ladder order.  kRecovering is only observable from
+/// another thread mid-step (or in the event stream): a step either commits
+/// (back to kHealthy / kDegraded) or ends in kQuarantined.
+enum class TenantState {
+  kHealthy,
+  kDegraded,     // pinned to the dense streaming backend
+  kRecovering,   // mid restore-and-replay
+  kQuarantined,  // terminal; reason in stats().quarantine_reason
+};
+
+const char* to_string(TenantState state) noexcept;
+
+/// What a full ingest queue does to the *next* sample.
+enum class OverflowPolicy {
+  kRejectNewest,  // offer() returns false — backpressure to the producer
+  kDropOldest,    // evict the oldest undecided samples to make room
+};
+
+enum class FleetEventKind {
+  kCheckpointed,     // snapshot sealed into the store
+  kResumed,          // session restored from a previous process's disk save
+  kRecovered,        // restore + gap replay after a failure
+  kDegradedToDense,  // PWL → dense streaming rung taken
+  kDeferred,         // slot pushed past a tick deadline (backpressure)
+  kQuarantined,      // terminal isolation; detail holds the reason
+  kOverflow,         // ingest queue overflow (either policy)
+};
+
+const char* to_string(FleetEventKind kind) noexcept;
+
+/// One typed transition in a tenant's life; `slot` is the tenant-local
+/// count of decided slots when the event fired.
+struct FleetEvent {
+  std::size_t tenant = 0;
+  std::uint64_t slot = 0;
+  FleetEventKind kind = FleetEventKind::kCheckpointed;
+  std::string detail;
+};
+
+struct TenantConfig {
+  /// Unique within a controller; doubles as the checkpoint-store key (after
+  /// CheckpointStore::sanitize_key).
+  std::string name;
+  int m = 0;
+  double beta = 1.0;
+  /// 0 = plain Lcp; w > 0 = WindowedLcp deciding each slot with the next w
+  /// queued samples as its prediction window.
+  int window = 0;
+  rs::offline::WorkFunctionTracker::Backend backend =
+      rs::offline::WorkFunctionTracker::Backend::kAuto;
+  /// λ → slot cost; required.  May throw or return nullptr for bad samples
+  /// — both quarantine the tenant with a reason instead of escaping.
+  std::function<rs::core::CostPtr(double)> cost_of;
+  /// Ingest bound, in slots (expanded runs count per slot).
+  std::size_t queue_capacity = 1024;
+  OverflowPolicy overflow = OverflowPolicy::kRejectNewest;
+  /// Slots between automatic snapshots (>= 1); also bounds the replay
+  /// buffer a recovery replays.
+  int checkpoint_every = 16;
+  /// Consecutive failed attempts on one slot before the dense rung (>= 1).
+  int degrade_after = 2;
+  /// Restore-and-replay attempts per slot before the ladder ends (>= 0).
+  int max_recoveries = 12;
+};
+
+struct TenantStats {
+  std::uint64_t offered = 0;         // slots accepted into the queue
+  std::uint64_t rejected = 0;        // slots refused (overflow / quarantine)
+  std::uint64_t overflow_drops = 0;  // slots evicted by kDropOldest
+  std::uint64_t steps = 0;           // slots decided
+  std::uint64_t checkpoints = 0;
+  std::uint64_t recoveries = 0;  // successful restore + replay cycles
+  std::uint64_t deferrals = 0;   // slots pushed past a tick deadline
+  bool degraded_to_dense = false;
+  std::string quarantine_reason;  // empty unless quarantined
+  double last_step_seconds = 0.0;
+};
+
+/// Decoded form of the sealed tenant checkpoint (kTenantCheckpointKind):
+/// the slot count and degradation flag wrap the nested session snapshot.
+struct TenantCheckpoint {
+  std::uint64_t steps = 0;
+  bool degraded = false;
+  std::vector<std::uint8_t> session;
+};
+
+class TenantSession {
+ public:
+  /// Validates the config (throws std::invalid_argument).  When
+  /// `resume_from` is non-null and holds a checkpoint under this tenant's
+  /// key, the session restores from it (event kResumed); an unreadable
+  /// save starts fresh instead of failing construction.
+  TenantSession(TenantConfig config, std::size_t ordinal,
+                rs::core::CheckpointStore* resume_from = nullptr);
+
+  TenantSession(const TenantSession&) = delete;
+  TenantSession& operator=(const TenantSession&) = delete;
+
+  // ---- ingest (safe to call concurrently with step / snapshot) ----
+
+  /// Queues one λ sample; false when rejected (validation, overflow under
+  /// kRejectNewest, quarantine, finished stream).  A poisoned sample —
+  /// NaN/inf/negative λ, possibly via FaultSite::kIngest corruption, or a
+  /// cost that probes to NaN / throws — quarantines the tenant and returns
+  /// false; it never reaches the session.
+  bool offer(double lambda) { return offer_run(lambda, 1); }
+
+  /// Queues a run of `count` slots sharing one λ (RLE ingest).  Window = 0
+  /// tenants keep the run intact and decide it through the closed-form
+  /// advance_repeated path; windowed tenants expand it to slots (their
+  /// lookahead is slot-granular).
+  bool offer_run(double lambda, int count);
+
+  /// Declares end-of-stream: windowed tenants become due for their tail
+  /// slots (with truncated lookahead), and further offers are rejected.
+  void finish_stream();
+
+  // ---- the tick path ----
+
+  /// True when step() would advance: queue non-empty, not quarantined,
+  /// and (windowed) enough lookahead queued or the stream finished.
+  bool due() const;
+
+  /// Queue fully decided (quarantined tenants count as drained — nothing
+  /// further will ever advance).
+  bool drained() const;
+
+  /// Decides the next queued sample (whole run for window = 0), running
+  /// the recovery ladder on failure.  Never throws: every fault is
+  /// classified into state transitions and typed events.  Returns slots
+  /// advanced (0 when not due or the ladder ended in quarantine).
+  int step(rs::core::CheckpointStore& store);
+
+  /// Snapshot into the store now, off-cadence (no-op when quarantined or
+  /// before the first reset).  The controller's checkpoint_all and the
+  /// concurrency suite call this from other threads mid-step.
+  void checkpoint_now(rs::core::CheckpointStore& store);
+
+  /// The sealed tenant checkpoint (kTenantCheckpointKind) of the current
+  /// state, without storing it.
+  std::vector<std::uint8_t> snapshot_bytes() const;
+
+  /// Decodes snapshot_bytes() output (typed CheckpointErrors on bad input).
+  static TenantCheckpoint decode_checkpoint(
+      std::span<const std::uint8_t> bytes);
+
+  /// Records a deadline deferral (controller tick bookkeeping).
+  void note_deferred();
+
+  // ---- observation ----
+
+  TenantState state() const;
+  TenantStats stats() const;
+  std::size_t ordinal() const noexcept { return ordinal_; }
+  const TenantConfig& config() const noexcept { return config_; }
+  std::string store_key() const;
+  std::size_t queue_depth() const;  // undecided slots
+  std::uint64_t steps() const;      // decided slots
+
+  /// Copies of the decided trajectory so far.
+  rs::core::Schedule schedule() const;
+  std::vector<int> lower_bounds() const;
+  std::vector<int> upper_bounds() const;
+
+  /// Drains this tenant's pending typed events (bounded; oldest dropped
+  /// past the cap, counted in the controller's dropped-events tally).
+  std::vector<FleetEvent> drain_events();
+
+  /// Returns and clears the count of events dropped past the buffer cap.
+  std::uint64_t take_dropped_events();
+
+ private:
+  struct QueueEntry {
+    double lambda = 0.0;
+    int count = 0;
+    rs::core::CostPtr cost;
+  };
+
+  // All *_locked members require mutex_ held.
+  bool due_locked() const;
+  void emit_locked(FleetEventKind kind, std::string detail);
+  void quarantine_locked(std::string reason);
+  int decide_front_locked();
+  void commit_front_locked(int advanced, rs::core::CheckpointStore& store);
+  void checkpoint_locked(rs::core::CheckpointStore& store);
+  void recover_locked(rs::core::CheckpointStore& store,
+                      const std::string& reason);
+  void replay_entry_locked(const QueueEntry& entry, std::size_t replay_pos,
+                           std::size_t slot_base);
+  std::vector<rs::core::CostPtr> lookahead_after_locked(
+      std::size_t skip_queue_front) const;
+  std::vector<std::uint8_t> snapshot_bytes_locked() const;
+  void reset_session_locked();
+  int session_decide_locked(const QueueEntry& entry,
+                            std::span<const rs::core::CostPtr> lookahead);
+
+  mutable std::mutex mutex_;
+  TenantConfig config_;
+  std::size_t ordinal_ = 0;
+
+  // Exactly one of the two sessions is live, chosen by config_.window.
+  std::unique_ptr<rs::online::Lcp> lcp_;
+  std::unique_ptr<rs::online::WindowedLcp> windowed_;
+
+  std::deque<QueueEntry> queue_;
+  std::size_t queued_slots_ = 0;
+  bool finished_ = false;
+
+  TenantState state_ = TenantState::kHealthy;
+  TenantStats stats_;
+  std::vector<FleetEvent> events_;
+  std::uint64_t dropped_events_ = 0;
+
+  // Decided trajectory (slot i of the stream → index i).
+  std::vector<int> schedule_;
+  std::vector<int> lower_;
+  std::vector<int> upper_;
+
+  // Entries committed since the last checkpoint, in order — the gap a
+  // recovery replays.  Bounded by the checkpoint cadence.
+  std::deque<QueueEntry> replay_;
+  int slots_since_checkpoint_ = 0;
+
+  // Per-slot decision scratch (reused across steps).
+  std::vector<int> decisions_scratch_;
+  std::vector<int> lower_scratch_;
+  std::vector<int> upper_scratch_;
+
+  // Monotone fault-index counters (see util::tenant_fault_index): one
+  // kFleetTick index per slot *attempt* (fresh or post-recovery retry, so
+  // a retried attempt draws a new fault decision), one kIngest index per
+  // offer call.
+  std::uint64_t attempts_ = 0;
+  std::uint64_t ingests_ = 0;
+  int fail_streak_ = 0;
+};
+
+}  // namespace rs::fleet

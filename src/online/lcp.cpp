@@ -33,6 +33,39 @@ int Lcp::decide(const rs::core::CostPtr& f,
   return current_;
 }
 
+void Lcp::decide_run(const rs::core::CostFunction& f, int count,
+                     std::span<int> decisions, std::span<int> lower,
+                     std::span<int> upper) {
+  if (count < 0) {
+    throw std::invalid_argument("Lcp::decide_run: negative count");
+  }
+  const std::size_t n = static_cast<std::size_t>(count);
+  if (decisions.size() < n || lower.size() < n || upper.size() < n) {
+    throw std::invalid_argument("Lcp::decide_run: output spans too small");
+  }
+  if (!tracker_.has_value()) {
+    throw std::logic_error("Lcp::decide_run: reset() the session first");
+  }
+  if (count == 0) return;
+  tracker_->advance_repeated(f, count, lower, upper);
+  for (int i = 0; i < count; ++i) {
+    current_ = rs::util::project(current_, lower[static_cast<std::size_t>(i)],
+                                 upper[static_cast<std::size_t>(i)]);
+    decisions[static_cast<std::size_t>(i)] = current_;
+  }
+  last_lower_ = lower[n - 1];
+  last_upper_ = upper[n - 1];
+}
+
+bool Lcp::degrade_to_dense() {
+  if (!tracker_.has_value() ||
+      backend_ == rs::offline::WorkFunctionTracker::Backend::kPwl) {
+    return false;
+  }
+  tracker_->ensure_dense_backend();
+  return true;
+}
+
 std::vector<std::uint8_t> Lcp::snapshot() const {
   rs::core::CheckpointWriter w;
   w.u8(static_cast<std::uint8_t>(backend_));

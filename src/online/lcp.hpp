@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "offline/work_function.hpp"
@@ -43,6 +44,25 @@ class Lcp final : public OnlineAlgorithm {
   /// structure tests).
   int last_lower() const { return last_lower_; }
   int last_upper() const { return last_upper_; }
+
+  /// Decides `count` consecutive slots sharing one cost function — the
+  /// streaming-serving primitive behind RLE tenant ingest.  The tracker
+  /// advances once through advance_repeated (closed-form on the PWL
+  /// backend), and the eq. 13 projection runs per slot, so decisions and
+  /// corridor bounds are bit-identical to `count` individual decide(f)
+  /// calls.  decisions/lower/upper receive one entry per slot and must
+  /// each hold at least `count`; requires reset() (or restore()) first.
+  void decide_run(const rs::core::CostFunction& f, int count,
+                  std::span<int> decisions, std::span<int> lower,
+                  std::span<int> upper);
+
+  /// Permanently switches the underlying tracker to the dense streaming
+  /// backend, materializing the current work-function pair — the fleet
+  /// controller's PWL → dense degradation rung.  Returns false when this
+  /// session cannot degrade (constructed with the forced-kPwl backend, or
+  /// not reset yet); subsequent decisions agree with the PWL path up to FP
+  /// association order (bitwise on integer-valued instances, DESIGN.md §8).
+  bool degrade_to_dense();
 
   /// Serialized session state (core/checkpoint.hpp container, kind
   /// kLcpCheckpointKind): the eq. 13 projection state plus the embedded

@@ -83,4 +83,41 @@ rs::core::Problem apply_fault_plan(const rs::core::Problem& p,
   return rs::core::Problem(p.max_servers(), p.beta(), std::move(functions));
 }
 
+bool fleet_fires(const FaultPlan& plan, rs::util::FaultSite site,
+                 std::size_t tenant, std::uint64_t counter) {
+  return make_injector(plan).fires(
+      site, rs::util::tenant_fault_index(tenant, counter));
+}
+
+namespace {
+
+std::vector<std::uint64_t> firing_counters(const FaultPlan& plan,
+                                           rs::util::FaultSite site,
+                                           std::size_t tenant,
+                                           std::uint64_t count) {
+  const rs::util::FaultInjector injector = make_injector(plan);
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (injector.fires(site, rs::util::tenant_fault_index(tenant, i))) {
+      fired.push_back(i);
+    }
+  }
+  return fired;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> corrupted_offers(const FaultPlan& plan,
+                                            std::size_t tenant,
+                                            std::uint64_t offers) {
+  return firing_counters(plan, rs::util::FaultSite::kIngest, tenant, offers);
+}
+
+std::vector<std::uint64_t> killed_attempts(const FaultPlan& plan,
+                                           std::size_t tenant,
+                                           std::uint64_t attempts) {
+  return firing_counters(plan, rs::util::FaultSite::kFleetTick, tenant,
+                         attempts);
+}
+
 }  // namespace rs::scenario

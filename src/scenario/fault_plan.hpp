@@ -72,4 +72,36 @@ rs::core::CostPtr make_poisoned_cost(rs::core::CostPtr base, PoisonKind kind);
 rs::core::Problem apply_fault_plan(const rs::core::Problem& p,
                                    const FaultPlan& plan);
 
+// ---- Fleet-site predictors (the chaos drill's witnesses) ----
+//
+// The fleet controller's fault sites are keyed by util::tenant_fault_index
+// (tenant ordinal × a per-tenant monotone counter), so which tenants get
+// killed or poisoned under a plan is a pure function of (plan, ordinal,
+// counter range) — computable before the drill runs and asserted exactly
+// after it.
+
+/// True iff this plan's injector fires at tenant `tenant`'s `counter`-th
+/// passage through `site`.
+bool fleet_fires(const FaultPlan& plan, rs::util::FaultSite site,
+                 std::size_t tenant, std::uint64_t counter);
+
+/// 0-based offer indices (among tenant `tenant`'s first `offers` offer
+/// calls) whose λ sample this plan corrupts in flight (site kIngest),
+/// ascending.  A tenant fed before any tick quarantines iff this is
+/// non-empty — and at exactly the first returned index, since later offers
+/// of a quarantined tenant consume no fault indices.
+std::vector<std::uint64_t> corrupted_offers(const FaultPlan& plan,
+                                            std::size_t tenant,
+                                            std::uint64_t offers);
+
+/// 0-based fresh-attempt indices (among the first `attempts`, counting no
+/// recovery retries) whose kFleetTick passage fires.  Non-empty iff an
+/// unquarantined tenant with that many queued samples performs at least
+/// one checkpoint recovery: attempts before the first fire consume exactly
+/// one index each, so the first kill is index-exact (later ones may shift
+/// under the retries the first recovery adds).
+std::vector<std::uint64_t> killed_attempts(const FaultPlan& plan,
+                                           std::size_t tenant,
+                                           std::uint64_t attempts);
+
 }  // namespace rs::scenario

@@ -13,6 +13,18 @@
 
 namespace rs::scenario {
 
+// f_t(x) = energy·x + sla·(headroom·λ − x)⁺ — the convex-PWL form of the
+// dcsim soft-SLA model (whose FunctionCost slots are opaque to the PWL
+// backend); built from the explicit hinge family so as_convex_pwl is exact.
+rs::core::CostPtr hinge_sla_cost(const ZooParams& params, double lambda) {
+  std::vector<rs::core::CostPtr> parts;
+  parts.push_back(std::make_shared<rs::core::PiecewiseLinearCost>(
+      std::vector<rs::core::Breakpoint>{{0.0, 0.0}, {1.0, params.energy}}));
+  parts.push_back(
+      rs::core::make_shortfall_hinge(params.sla, params.headroom * lambda));
+  return std::make_shared<rs::core::SumCost>(std::move(parts));
+}
+
 namespace {
 
 using rs::core::CostPtr;
@@ -66,18 +78,6 @@ double day_shape(int slot_of_day, int slots_per_day) {
 
 // Weekday envelope: full weekday demand, a pronounced weekend dip.
 double week_envelope(int day) { return day % 7 >= 5 ? 0.55 : 1.0; }
-
-// f_t(x) = energy·x + sla·(headroom·λ − x)⁺ — the convex-PWL form of the
-// dcsim soft-SLA model (whose FunctionCost slots are opaque to the PWL
-// backend); built from the explicit hinge family so as_convex_pwl is exact.
-CostPtr hinge_sla_cost(const ZooParams& params, double lambda) {
-  std::vector<CostPtr> parts;
-  parts.push_back(std::make_shared<rs::core::PiecewiseLinearCost>(
-      std::vector<rs::core::Breakpoint>{{0.0, 0.0}, {1.0, params.energy}}));
-  parts.push_back(
-      rs::core::make_shortfall_hinge(params.sla, params.headroom * lambda));
-  return std::make_shared<rs::core::SumCost>(std::move(parts));
-}
 
 Trace diurnal_weekly_trace(const ZooParams& params, Rng& rng) {
   Trace trace;

@@ -92,4 +92,11 @@ std::vector<Scenario> make_zoo(const ZooParams& params, std::uint64_t seed);
 rs::workload::Trace quantize_trace(const rs::workload::Trace& trace,
                                    double peak, int levels);
 
+/// f(x) = energy·x + sla·(headroom·λ − x)⁺ — the hinge-SLA slot cost the
+/// zoo instances are built from (exact convex-PWL, so the m-independent
+/// backend applies).  Exported as the default cost family for fleet
+/// tenants: TenantConfig::cost_of = [p](double l) {
+///   return hinge_sla_cost(p, l); }.
+rs::core::CostPtr hinge_sla_cost(const ZooParams& params, double lambda);
+
 }  // namespace rs::scenario

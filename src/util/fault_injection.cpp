@@ -1,7 +1,10 @@
 #include "util/fault_injection.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -63,6 +66,21 @@ std::vector<std::uint8_t> truncate_bytes(std::span<const std::uint8_t> bytes,
   }
   return std::vector<std::uint8_t>(bytes.begin(),
                                    bytes.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+std::uint64_t env_fault_base_seed(std::uint64_t fallback) {
+  const char* raw = std::getenv("RIGHTSIZER_FAULT_BASE_SEED");
+  if (raw == nullptr) return fallback;
+  const std::string value(raw);
+  std::uint64_t seed = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, seed, 10);
+  if (ec != std::errc{} || ptr != last || value.empty()) {
+    throw std::runtime_error(
+        "RIGHTSIZER_FAULT_BASE_SEED: not a decimal uint64: \"" + value + "\"");
+  }
+  return seed;
 }
 
 }  // namespace rs::util

@@ -37,7 +37,21 @@ enum class FaultSite : std::uint32_t {
   kDenseBackend = 1,  // dense solve attempt inside the batch engine
   kSlotCost = 2,      // per-slot cost evaluation (poisoned to NaN/inf)
   kCheckpoint = 3,    // checkpoint bytes (corrupted before restore)
+  kFleetTick = 4,     // a tenant's slot attempt inside the fleet tick
+  kIngest = 5,        // a λ sample on its way into a tenant queue
 };
+
+/// Index-space splitter for the per-tenant fleet sites (kFleetTick /
+/// kIngest): tenant `tenant` owns the contiguous index block starting at
+/// tenant·2^24, so the per-tenant monotone counters (slot attempts, ingest
+/// offers) never collide across tenants and one tenant's recovery retries
+/// cannot shift a neighbour's fault schedule.  2^24 counter values per
+/// tenant is far beyond any drill horizon; counters wrap within the block
+/// rather than bleed into the next tenant's.
+constexpr std::uint64_t tenant_fault_index(std::size_t tenant,
+                                           std::uint64_t counter) noexcept {
+  return (static_cast<std::uint64_t>(tenant) << 24) | (counter & 0xFFFFFFull);
+}
 
 /// Deterministic fault trigger: fires(site, index) is a pure function of
 /// (seed, site, index).  Each instrumented passage fires with probability
@@ -96,5 +110,15 @@ std::vector<std::uint8_t> corrupt_bit(std::span<const std::uint8_t> bytes,
 /// torn-write / partial-flush shape of checkpoint corruption.
 std::vector<std::uint8_t> truncate_bytes(std::span<const std::uint8_t> bytes,
                                          std::size_t keep);
+
+/// Base seed for the seeded fault / corruption sweeps, from the
+/// RIGHTSIZER_FAULT_BASE_SEED environment variable.  Unset returns
+/// `fallback`; set requires the *entire* value to parse as one decimal
+/// std::uint64_t (std::from_chars over the full string — no sign, no
+/// whitespace, no trailing junk), else std::runtime_error naming the
+/// variable and the offending value.  A malformed CI seed must fail the run
+/// loudly, never silently re-sweep the fallback seed — the same strictness
+/// contract the scenario lab's CSV I/O enforces.
+std::uint64_t env_fault_base_seed(std::uint64_t fallback);
 
 }  // namespace rs::util

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "core/checkpoint_store.hpp"
 #include "core/convex_pwl.hpp"
 #include "core/cost_function.hpp"
 #include "core/problem.hpp"
@@ -161,6 +164,136 @@ TEST(CheckpointContainer, FileRoundTrip) {
   const std::string path = ::testing::TempDir() + "/rs_checkpoint.bin";
   rs::core::write_checkpoint_file(path, sealed);
   EXPECT_EQ(rs::core::read_checkpoint_file(path), sealed);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe file writes (temp -> fsync -> atomic rename)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointFile, AtomicWriteLeavesNoTempAndOverwriteStaysValid) {
+  CheckpointWriter w1;
+  w1.u32(1);
+  const std::vector<std::uint8_t> first =
+      w1.seal(rs::core::kTrackerCheckpointKind);
+  CheckpointWriter w2;
+  w2.u32(2);
+  w2.f64(9.5);
+  const std::vector<std::uint8_t> second =
+      w2.seal(rs::core::kTrackerCheckpointKind);
+
+  const std::string path = ::testing::TempDir() + "/rs_atomic.ckpt";
+  rs::core::write_checkpoint_file(path, first);
+  // The staging file must be gone once the write returns.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(rs::core::read_checkpoint_file(path), first);
+
+  // Overwriting replaces the content in one step; the old envelope never
+  // coexists with a half-written new one under the same name.
+  rs::core::write_checkpoint_file(path, second);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_EQ(rs::core::read_checkpoint_file(path), second);
+}
+
+TEST(CheckpointFile, TruncationAtEveryByteRejected) {
+  // Simulates a crash mid-write under the *non*-atomic discipline: a file
+  // holding any strict prefix of the envelope must be rejected by the
+  // reader with a typed error — this is what the rename-into-place write
+  // guarantees can only ever happen to the .tmp staging file.
+  CheckpointWriter w;
+  w.u32(77);
+  w.f64(0.5);
+  const std::vector<std::uint8_t> sealed =
+      w.seal(rs::core::kLcpCheckpointKind);
+  const std::string path = ::testing::TempDir() + "/rs_truncated.ckpt";
+  for (std::size_t keep = 0; keep < sealed.size(); ++keep) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(sealed.data()),
+                static_cast<std::streamsize>(keep));
+    }
+    const std::vector<std::uint8_t> bytes = rs::core::read_checkpoint_file(path);
+    ASSERT_EQ(bytes.size(), keep);
+    EXPECT_THROW(CheckpointReader(bytes, rs::core::kLcpCheckpointKind),
+                 CheckpointError)
+        << "keep=" << keep;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> sealed_payload(std::uint32_t kind, std::uint32_t v) {
+  CheckpointWriter w;
+  w.u32(v);
+  return w.seal(kind);
+}
+
+TEST(CheckpointStore, MemoryRoundTripAndReplace) {
+  rs::core::CheckpointStore store;
+  EXPECT_FALSE(store.persistent());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.latest("a").has_value());
+
+  const auto first = sealed_payload(rs::core::kTenantCheckpointKind, 1);
+  const auto second = sealed_payload(rs::core::kTenantCheckpointKind, 2);
+  store.put("a", first);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_EQ(store.latest("a"), first);
+  store.put("a", second);  // replaces, never appends
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.latest("a"), second);
+  EXPECT_EQ(store.path_of("a"), "");  // memory-only
+}
+
+TEST(CheckpointStore, RejectsGarbageAndEmptyKeyAtPut) {
+  rs::core::CheckpointStore store;
+  EXPECT_THROW(store.put("k", {0xDE, 0xAD, 0xBE, 0xEF}),
+               CheckpointFormatError);
+  EXPECT_THROW(store.put("k", {}), CheckpointFormatError);
+  EXPECT_THROW(store.put("", sealed_payload(rs::core::kLcpCheckpointKind, 1)),
+               std::invalid_argument);
+  EXPECT_EQ(store.size(), 0u);  // nothing recorded by the failed puts
+}
+
+TEST(CheckpointStore, DiskMirrorSurvivesProcessRestart) {
+  const std::string dir = ::testing::TempDir() + "/rs_store_restart";
+  std::filesystem::remove_all(dir);
+  const auto bytes = sealed_payload(rs::core::kTenantCheckpointKind, 42);
+  {
+    rs::core::CheckpointStore store(dir);
+    EXPECT_TRUE(store.persistent());
+    store.put("tenant-0", bytes);
+    EXPECT_TRUE(std::filesystem::exists(store.path_of("tenant-0")));
+  }
+  // A fresh store over the same directory — the "restarted process" — must
+  // serve the previous save from disk.
+  rs::core::CheckpointStore resumed(dir);
+  EXPECT_FALSE(resumed.contains("tenant-0"));  // not in memory yet
+  EXPECT_EQ(resumed.latest("tenant-0"), bytes);
+  EXPECT_TRUE(resumed.contains("tenant-0"));  // cached on the way through
+}
+
+TEST(CheckpointStore, CorruptDiskFileYieldsNullopt) {
+  const std::string dir = ::testing::TempDir() + "/rs_store_corrupt";
+  std::filesystem::remove_all(dir);
+  rs::core::CheckpointStore writer(dir);
+  writer.put("t", sealed_payload(rs::core::kLcpCheckpointKind, 7));
+  {
+    std::ofstream out(writer.path_of("t"), std::ios::binary | std::ios::trunc);
+    out << "not a checkpoint";
+  }
+  rs::core::CheckpointStore resumed(dir);
+  EXPECT_FALSE(resumed.latest("t").has_value());  // latest *good* or nothing
+}
+
+TEST(CheckpointStore, SanitizeKeyKeepsSafeBytesOnly) {
+  EXPECT_EQ(rs::core::CheckpointStore::sanitize_key("tenant-3.v1_X"),
+            "tenant-3.v1_X");
+  EXPECT_EQ(rs::core::CheckpointStore::sanitize_key("a/b c:d"), "a_b_c_d");
+  const std::string dir = ::testing::TempDir() + "/rs_store_keys";
+  rs::core::CheckpointStore store(dir);
+  EXPECT_EQ(store.path_of("a/b"), dir + "/a_b.ckpt");
 }
 
 // ---------------------------------------------------------------------------

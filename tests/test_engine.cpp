@@ -322,6 +322,27 @@ TEST(SolverEngine, ForEachReportsBatchStats) {
   EXPECT_THROW(engine.for_each(1, nullptr), std::invalid_argument);
 }
 
+TEST(SolverEngine, ForEachTimedFillsPerItemSeconds) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    const SolverEngine engine({.threads = threads});
+    std::vector<int> hits(12, 0);
+    std::vector<double> seconds(12, -1.0);
+    rs::engine::BatchStats stats;
+    engine.for_each_timed(
+        hits.size(), [&hits](std::size_t i) { ++hits[i]; }, seconds, &stats);
+    EXPECT_EQ(stats.jobs, hits.size());
+    for (int h : hits) EXPECT_EQ(h, 1);
+    for (double s : seconds) EXPECT_GE(s, 0.0);  // every slot written
+  }
+  const SolverEngine engine({.threads = 1});
+  std::vector<double> seconds(2, 0.0);
+  EXPECT_THROW(engine.for_each_timed(2, nullptr, seconds),
+               std::invalid_argument);
+  EXPECT_THROW(
+      engine.for_each_timed(4, [](std::size_t) {}, seconds),
+      std::invalid_argument);  // seconds span shorter than n
+}
+
 TEST(SweepRunner, EngineRunRecordsStatsAndMatchesDefaultRun) {
   const auto points = rs::analysis::grid({{"i", {"0", "1", "2", "3"}}});
   const auto eval = [](std::size_t i) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,14 +48,10 @@ using rs::util::FaultSite;
 using rs::util::ScopedFaultInjection;
 
 // Base seed for the randomized sweeps: CI rotates it via the environment,
-// local runs use the fixed smoke seed.
+// local runs use the fixed smoke seed.  Strict parsing — a malformed CI
+// value aborts the suite instead of silently re-sweeping the smoke seed.
 std::uint64_t base_seed() {
-  if (const char* env = std::getenv("RIGHTSIZER_FAULT_BASE_SEED")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0') return parsed;
-  }
-  return 0xC0FFEEull;
+  return rs::util::env_fault_base_seed(0xC0FFEEull);
 }
 
 // Integer-valued hinge instance: admits compact convex-PWL forms AND its
@@ -86,6 +83,65 @@ void expect_outcome_bitwise(const SolveOutcome& got, const SolveOutcome& want,
   EXPECT_EQ(got.cost, want.cost) << "job " << job;  // bitwise (EQ, not NEAR)
   EXPECT_EQ(got.schedule, want.schedule) << "job " << job;
   EXPECT_EQ(got.error, want.error) << "job " << job;
+}
+
+// ---------------------------------------------------------------------------
+// env_fault_base_seed — strict full-string parsing of the CI rotation knob
+// ---------------------------------------------------------------------------
+
+// RAII guard: sets RIGHTSIZER_FAULT_BASE_SEED for one test and restores the
+// prior value afterwards, so the sweeps below keep seeing the CI seed.
+class ScopedSeedEnv {
+ public:
+  explicit ScopedSeedEnv(const char* value) {
+    if (const char* prev = std::getenv(kVar)) {
+      saved_ = prev;
+      had_ = true;
+    }
+    if (value == nullptr) {
+      ::unsetenv(kVar);
+    } else {
+      ::setenv(kVar, value, 1);
+    }
+  }
+  ~ScopedSeedEnv() {
+    if (had_) {
+      ::setenv(kVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+  ScopedSeedEnv(const ScopedSeedEnv&) = delete;
+  ScopedSeedEnv& operator=(const ScopedSeedEnv&) = delete;
+
+ private:
+  static constexpr const char* kVar = "RIGHTSIZER_FAULT_BASE_SEED";
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(EnvFaultBaseSeed, UnsetUsesFallback) {
+  const ScopedSeedEnv env(nullptr);
+  EXPECT_EQ(rs::util::env_fault_base_seed(0xC0FFEEull), 0xC0FFEEull);
+}
+
+TEST(EnvFaultBaseSeed, ParsesDecimalUint64) {
+  const ScopedSeedEnv env("12345");
+  EXPECT_EQ(rs::util::env_fault_base_seed(7), 12345ull);
+}
+
+TEST(EnvFaultBaseSeed, ParsesMaxUint64) {
+  const ScopedSeedEnv env("18446744073709551615");
+  EXPECT_EQ(rs::util::env_fault_base_seed(7), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(EnvFaultBaseSeed, RejectsGarbage) {
+  for (const char* bad : {"12abc", "abc", "", " 5", "5 ", "-3", "+4", "0x10",
+                          "18446744073709551616" /* 2^64: overflow */}) {
+    const ScopedSeedEnv env(bad);
+    EXPECT_THROW(rs::util::env_fault_base_seed(7), std::runtime_error)
+        << "value \"" << bad << "\" should be rejected";
+  }
 }
 
 // ---------------------------------------------------------------------------
