@@ -40,13 +40,14 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_thm1_offline" || ! -x "$BUILD_DIR/bench/bench_thm2_lcp" \
       || ! -x "$BUILD_DIR/bench/bench_throughput" || ! -x "$BUILD_DIR/bench/bench_scaling" \
-      || ! -x "$BUILD_DIR/bench/bench_scenarios" || ! -x "$BUILD_DIR/bench/bench_fleet" ]]; then
+      || ! -x "$BUILD_DIR/bench/bench_scenarios" || ! -x "$BUILD_DIR/bench/bench_fleet" \
+      || ! -x "$BUILD_DIR/bench/bench_delta" ]]; then
   echo "== configuring bench build in $BUILD_DIR"
   cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
     -DRIGHTSIZER_BUILD_BENCH=ON -DRIGHTSIZER_BUILD_TESTS=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" \
     --target bench_thm1_offline bench_thm2_lcp bench_throughput bench_scaling \
-    bench_scenarios bench_fleet
+    bench_scenarios bench_fleet bench_delta
 fi
 
 TMP="$(mktemp -d)"
@@ -86,6 +87,11 @@ echo "== running bench_fleet (E15)"
 FLEET_ARGS=(--json="$TMP/fleet.json")
 [[ "$SMOKE" -eq 1 ]] && FLEET_ARGS+=(--smoke)
 "$BUILD_DIR/bench/bench_fleet" "${FLEET_ARGS[@]}"
+
+echo "== running bench_delta (E16)"
+DELTA_ARGS=(--json="$TMP/delta.json")
+[[ "$SMOKE" -eq 1 ]] && DELTA_ARGS+=(--smoke)
+"$BUILD_DIR/bench/bench_delta" "${DELTA_ARGS[@]}"
 
 echo "== running bench_scaling (E13)"
 SCALING_ARGS=(--json "$TMP/scaling.json")
@@ -127,6 +133,8 @@ with open(os.path.join(tmp, "scenarios.json")) as fh:
     scenarios = json.load(fh)
 with open(os.path.join(tmp, "fleet.json")) as fh:
     fleet = json.load(fh)
+with open(os.path.join(tmp, "delta.json")) as fh:
+    delta = json.load(fh)
 native_scaling = None
 native_path = os.path.join(tmp, "scaling_native.json")
 if os.path.exists(native_path):
@@ -184,6 +192,7 @@ result = {
     "scenarios": scenarios.get("scenario_cells", []),
     "rle_speedup": scenarios.get("rle_speedup"),
     "fleet": fleet.get("fleet", []),
+    "delta": delta.get("delta"),
 }
 if native_scaling is not None:
     # Native-vs-portable rows: same (family, m) sweep, per-step ns from the

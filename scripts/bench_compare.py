@@ -21,7 +21,12 @@ Compares BENCH_results.json-shaped files produced by scripts/bench_baseline.sh:
   * the "rle_speedup" row gates the run-length-encoded replay: the schedule
     must stay bit-identical to the slot-by-slot replay, and the measured
     speedup must not fall below baseline / --threshold (nor below the 10x
-    acceptance floor on full runs, which bench_scenarios itself enforces).
+    acceptance floor on full runs, which bench_scenarios itself enforces);
+  * the "delta" row (bench_delta, E16) gates incremental re-solve the same
+    way: repairs must stay bit-identical to from-scratch solves of the
+    edited instance, and the repair-vs-replay speedup must not fall below
+    baseline / --threshold (nor below its own 10x floor on full runs,
+    enforced by bench_delta itself).
 
 Exit status: 0 when nothing regressed, 1 on regressions (or when nothing at
 all could be compared, which would make the gate vacuous).
@@ -170,6 +175,27 @@ def main():
             if ratio > args.threshold:
                 failures.append(
                     f"rle_speedup: {ratio:.2f}x below baseline "
+                    f"(threshold {args.threshold}x)")
+
+    # Incremental re-solve: bit-identity is unconditional; the speedup
+    # compares between runs of the same smoke kind (smoke shrinks the
+    # horizon, which changes the repair-vs-replay ratio).
+    comparable_delta = fresh.get("smoke") == baseline.get("smoke")
+    base_delta = baseline.get("delta") if comparable_delta else None
+    fresh_delta = fresh.get("delta")
+    if fresh_delta is not None:
+        if not fresh_delta.get("bit_identical", False):
+            failures.append("delta: repaired solve no longer bit-identical "
+                            "to the from-scratch solve")
+        if base_delta and base_delta.get("speedup") and \
+                fresh_delta.get("speedup"):
+            ratio = base_delta["speedup"] / fresh_delta["speedup"]
+            compared += 1
+            print(f"  delta_speedup: {fresh_delta['speedup']:.1f}x vs "
+                  f"{base_delta['speedup']:.1f}x baseline ({ratio:.2f}x)")
+            if ratio > args.threshold:
+                failures.append(
+                    f"delta: repair speedup {ratio:.2f}x below baseline "
                     f"(threshold {args.threshold}x)")
 
     if compared == 0:

@@ -1,8 +1,10 @@
 #include "core/convex_pwl.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace rs::core {
@@ -412,6 +414,13 @@ bool ConvexPwl::same_shape(const ConvexPwl& other) const noexcept {
 void ConvexPwl::shift_value(double delta) noexcept {
   if (infinite_) return;
   v_lo_ += delta;
+}
+
+bool ConvexPwl::bitwise_equal(const ConvexPwl& other) const noexcept {
+  if (!same_shape(other)) return false;
+  if (infinite_) return true;
+  return std::bit_cast<std::uint64_t>(v_lo_) ==
+         std::bit_cast<std::uint64_t>(other.v_lo_);
 }
 
 void ConvexPwl::relax_charge_up(double beta, int lo, int hi) {

@@ -138,6 +138,14 @@ class ConvexPwl {
   /// shape fixpoint (the per-step value increment is shape-determined).
   void shift_value(double delta) noexcept;
 
+  /// same_shape plus a bit-pattern comparison of the anchor value (so 0.0
+  /// and −0.0 compare unequal).  Two functions that compare bitwise_equal
+  /// are interchangeable as replay states: every operation reads the same
+  /// bits and therefore produces the same bits — the reconvergence test of
+  /// the work-function rewind buffer (offline/work_function.hpp) keys on
+  /// this.
+  bool bitwise_equal(const ConvexPwl& other) const noexcept;
+
   /// Serialization accessors (core/checkpoint.hpp): the anchor value W(lo),
   /// the first slope, and the slope-increment map.  Meaningful only when
   /// !is_infinite(); the checkpoint encodes the infinite function as a flag.

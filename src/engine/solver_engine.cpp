@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "offline/delta_session.hpp"
 #include "offline/dp_solver.hpp"
 #include "offline/low_memory_solver.hpp"
 #include "online/lcp.hpp"
@@ -36,8 +37,19 @@ const char* to_string(SolveStatus status) noexcept {
 
 namespace {
 
+// One shared delta session per distinct instance with kDeltaResolve jobs.
+// The session is stateful (probes repair forward and back), so probes on
+// the same instance serialize on the slot mutex; the base solve happens
+// lazily inside the first probe, behind the same job fault boundary.
+struct DeltaSlot {
+  std::mutex mutex;
+  std::optional<rs::offline::DpDeltaSession> session;
+};
+
 SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
-                     const rs::core::PwlProblem* pwl, std::size_t index) {
+                     const rs::core::PwlProblem* pwl, DeltaSlot* delta,
+                     std::size_t index, std::mutex& stats_mutex,
+                     BatchStats& stats) {
   // pwl: the batch's shared form cache for this instance (non-null exactly
   // when it admits a compact convex-PWL form and no table was materialized
   // for it).  Every kind replays from the cached forms — no job performs a
@@ -90,6 +102,23 @@ SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
       outcome.schedule = std::move(result.schedule);
       break;
     }
+    case SolverKind::kDeltaResolve: {
+      const std::lock_guard<std::mutex> lock(delta->mutex);
+      if (!delta->session.has_value()) {
+        delta->session.emplace(*job.problem);  // one base solve per instance
+      }
+      rs::offline::DpDeltaSession::DeltaStats ds;
+      rs::offline::OfflineResult result =
+          delta->session->probe_delta(job.edit_slot, job.edit_cost, &ds);
+      outcome.cost = result.cost;
+      outcome.schedule = std::move(result.schedule);
+      {
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex);
+        stats.slots_repaired += static_cast<std::size_t>(ds.slots_repaired);
+        if (ds.early_exit) ++stats.early_exits;
+      }
+      break;
+    }
   }
   return outcome;
 }
@@ -101,10 +130,13 @@ SolveOutcome run_one(const SolveJob& job, const DenseProblem* dense,
 std::optional<SolveOutcome> try_solve(const SolveJob& job,
                                       const DenseProblem* dense,
                                       const rs::core::PwlProblem* pwl,
-                                      std::size_t index, SolveStatus& status,
-                                      std::string& error) {
+                                      DeltaSlot* delta, std::size_t index,
+                                      SolveStatus& status, std::string& error,
+                                      std::mutex& stats_mutex,
+                                      BatchStats& stats) {
   try {
-    SolveOutcome outcome = run_one(job, dense, pwl, index);
+    SolveOutcome outcome =
+        run_one(job, dense, pwl, delta, index, stats_mutex, stats);
     if (std::isnan(outcome.cost)) {
       status = SolveStatus::kInvalidInput;
       error = "solver produced a NaN total cost";
@@ -136,20 +168,21 @@ std::optional<SolveOutcome> try_solve(const SolveJob& job,
 // a DegradeEvent; a failure on the final attempt becomes a non-kOk outcome
 // with an empty schedule.
 void run_isolated(const SolveJob& job, const DenseProblem* dense,
-                  const rs::core::PwlProblem* pwl, std::size_t index,
-                  SolveOutcome& out, std::mutex& stats_mutex,
-                  BatchStats& stats) {
+                  const rs::core::PwlProblem* pwl, DeltaSlot* delta,
+                  std::size_t index, SolveOutcome& out,
+                  std::mutex& stats_mutex, BatchStats& stats) {
   SolveStatus status = SolveStatus::kOk;
   std::string error;
-  if (std::optional<SolveOutcome> outcome =
-          try_solve(job, dense, pwl, index, status, error)) {
+  if (std::optional<SolveOutcome> outcome = try_solve(
+          job, dense, pwl, delta, index, status, error, stats_mutex, stats)) {
     out = std::move(*outcome);
     return;
   }
   if (pwl != nullptr && job.problem != nullptr) {
     const std::string first_error = error;
     if (std::optional<SolveOutcome> outcome =
-            try_solve(job, nullptr, nullptr, index, status, error)) {
+            try_solve(job, nullptr, nullptr, nullptr, index, status, error,
+                      stats_mutex, stats)) {
       out = std::move(*outcome);
       const std::lock_guard<std::mutex> lock(stats_mutex);
       stats.degrade_events.push_back(DegradeEvent{index, first_error});
@@ -226,6 +259,20 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
       throw std::invalid_argument(
           "SolverEngine::run: lazy DenseProblem requires threads = 1");
     }
+    if (job.kind == SolverKind::kDeltaResolve) {
+      if (job.problem == nullptr) {
+        throw std::invalid_argument(
+            "SolverEngine::run: kDeltaResolve requires a Problem");
+      }
+      if (job.edit_cost == nullptr) {
+        throw std::invalid_argument(
+            "SolverEngine::run: kDeltaResolve requires an edit_cost");
+      }
+      if (job.edit_slot < 1 || job.edit_slot > job.problem->horizon()) {
+        throw std::invalid_argument(
+            "SolverEngine::run: kDeltaResolve edit_slot outside [1, T]");
+      }
+    }
   }
 
   BatchResult result;
@@ -245,9 +292,23 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
     std::unordered_map<const Problem*, std::shared_ptr<const PwlProblem>>
         pwl_cache;
     std::vector<std::shared_ptr<const PwlProblem>> pwl_of(jobs.size());
+    // Delta probes share one lazily base-solved session per distinct
+    // instance; they never touch the PWL probe or the dense tables (the
+    // session's tracker IS the instance's materialization).
+    std::unordered_map<const Problem*, std::unique_ptr<DeltaSlot>>
+        delta_cache;
+    std::vector<DeltaSlot*> delta_of(jobs.size(), nullptr);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].kind != SolverKind::kDeltaResolve) continue;
+      std::unique_ptr<DeltaSlot>& slot = delta_cache[jobs[i].problem];
+      if (slot == nullptr) slot = std::make_unique<DeltaSlot>();
+      delta_of[i] = slot.get();
+    }
+
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const SolveJob& job = jobs[i];
-      if (job.dense || job.problem == nullptr) {
+      if (job.dense || job.problem == nullptr ||
+          job.kind == SolverKind::kDeltaResolve) {
         continue;  // explicit tables stay dense
       }
       auto [it, inserted] = pwl_cache.try_emplace(job.problem, nullptr);
@@ -284,7 +345,10 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
           cache;
       for (std::size_t i = 0; i < jobs.size(); ++i) {
         const SolveJob& job = jobs[i];
-        if (job.kind == SolverKind::kLowMemory) continue;
+        if (job.kind == SolverKind::kLowMemory ||
+            job.kind == SolverKind::kDeltaResolve) {
+          continue;
+        }
         if (job.dense) {
           dense_of[i] = job.dense;
           continue;
@@ -317,10 +381,10 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
     }
 
     std::mutex stats_mutex;
-    dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of, &stats_mutex,
-                           &stats](std::size_t i) {
-      run_isolated(jobs[i], dense_of[i].get(), pwl_of[i].get(), i,
-                   result.outcomes[i], stats_mutex, stats);
+    dispatch(jobs.size(), [&jobs, &result, &dense_of, &pwl_of, &delta_of,
+                           &stats_mutex, &stats](std::size_t i) {
+      run_isolated(jobs[i], dense_of[i].get(), pwl_of[i].get(), delta_of[i],
+                   i, result.outcomes[i], stats_mutex, stats);
     });
     for (const SolveOutcome& outcome : result.outcomes) {
       if (!outcome.ok()) ++stats.failed_jobs;

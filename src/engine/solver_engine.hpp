@@ -42,10 +42,11 @@ namespace rs::engine {
 /// Which solver a job runs.  All kinds produce a SolveOutcome; cost-only
 /// kinds leave the schedule empty.
 enum class SolverKind {
-  kDpCost,      // DpSolver::solve_cost — O(m) memory, cost only
-  kDpSchedule,  // DpSolver::solve — cost + optimal schedule
-  kLcp,         // LCP replay — schedule + its total cost
-  kLowMemory,   // LowMemorySolver — streams from the Problem by design
+  kDpCost,        // DpSolver::solve_cost — O(m) memory, cost only
+  kDpSchedule,    // DpSolver::solve — cost + optimal schedule
+  kLcp,           // LCP replay — schedule + its total cost
+  kLowMemory,     // LowMemorySolver — streams from the Problem by design
+  kDeltaResolve,  // what-if probe on a shared DpDeltaSession (see SolveJob)
 };
 
 /// One batch entry.  `problem` is non-owning and must outlive run(); jobs
@@ -53,10 +54,23 @@ enum class SolverKind {
 /// kLowMemory requires `problem` (its O(m)-memory contract precludes a
 /// table); the other kinds use `dense` when present, else the engine's
 /// shared materialization of `problem`.
+///
+/// kDeltaResolve answers "what if slot `edit_slot` of `problem` cost
+/// `edit_cost` instead?": the batch lazily base-solves each distinct
+/// instance into ONE shared offline::DpDeltaSession (the analog of the
+/// shared dense table), and every probe repairs forward from its edited
+/// slot — with the bitwise reconvergence early-exit — instead of
+/// re-solving the horizon.  Outcomes are bit-identical to a from-scratch
+/// solve of the edited instance and independent of probe order (each probe
+/// restores the session bitwise).  Requires `problem`, a non-null
+/// `edit_cost`, and `edit_slot` in [1, horizon]; repair work lands in
+/// BatchStats::slots_repaired / early_exits.
 struct SolveJob {
   const rs::core::Problem* problem = nullptr;
   std::shared_ptr<const rs::core::DenseProblem> dense;
   SolverKind kind = SolverKind::kDpCost;
+  int edit_slot = 0;             // kDeltaResolve: 1-based edited slot
+  rs::core::CostPtr edit_cost;   // kDeltaResolve: replacement slot cost
 };
 
 /// Per-job terminal status.  A batch never loses a job to another job's
@@ -117,6 +131,12 @@ struct BatchStats {
   // slot per admitting distinct instance, however many jobs share it (the
   // one-conversion-per-slot invariant the regression tests assert).
   std::size_t pwl_conversions = 0;
+  // kDeltaResolve accounting: tracker advances re-executed by the batch's
+  // repairs (excludes each instance's one-time base solve), and how many
+  // probes hit the bitwise reconvergence early-exit.  The repair-vs-replay
+  // win of a batch is roughly jobs·T versus slots_repaired.
+  std::size_t slots_repaired = 0;
+  std::size_t early_exits = 0;
   double total_seconds = 0.0;
   double instances_per_second = 0.0;
   // Workspace growth events during the batch, summed over all threads; 0

@@ -1,5 +1,6 @@
 #include "fleet/fleet_controller.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <utility>
@@ -35,6 +36,7 @@ std::size_t FleetController::add_tenant(TenantConfig config) {
     }
   }
   const std::size_t ordinal = tenants_.size();
+  if (config.form_cache == nullptr) config.form_cache = &form_cache_;
   tenants_.push_back(std::make_unique<TenantSession>(
       std::move(config), ordinal, store_.persistent() ? &store_ : nullptr));
   return ordinal;
@@ -73,6 +75,15 @@ TickReport FleetController::tick() {
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     if (tenants_[i]->due()) due.push_back(i);
   }
+  // Interactive tenants start (and therefore finish) ahead of batch ones,
+  // so a tick deadline defers batch work first; stable within a class, so
+  // registration order still breaks ties.  Decisions are unaffected —
+  // priority only reorders who runs when.
+  std::stable_sort(due.begin(), due.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return static_cast<int>(tenants_[a]->config().priority) <
+                            static_cast<int>(tenants_[b]->config().priority);
+                   });
   TickReport report;
   report.due = due.size();
   const rs::util::Stopwatch watch;

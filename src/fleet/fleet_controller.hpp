@@ -33,6 +33,7 @@
 
 #include "core/checkpoint_store.hpp"
 #include "engine/solver_engine.hpp"
+#include "fleet/form_cache.hpp"
 #include "fleet/tenant.hpp"
 
 namespace rs::fleet {
@@ -124,12 +125,17 @@ class FleetController {
   rs::core::CheckpointStore& store() noexcept { return store_; }
   const FleetOptions& options() const noexcept { return options_; }
 
+  /// The fleet-wide slot-cost conversion cache add_tenant injects into
+  /// every tenant (unless the config brings its own).
+  const SlotFormCache& form_cache() const noexcept { return form_cache_; }
+
  private:
   void drain_tenant_events_locked() const;
 
   FleetOptions options_;
   rs::core::CheckpointStore store_;
   rs::engine::SolverEngine engine_;
+  SlotFormCache form_cache_;
   // unique_ptr: TenantSession owns a mutex and is immovable; the vector
   // only ever grows (ordinals are stable for the controller's lifetime).
   std::vector<std::unique_ptr<TenantSession>> tenants_;

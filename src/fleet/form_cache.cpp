@@ -1,0 +1,58 @@
+#include "fleet/form_cache.hpp"
+
+#include <optional>
+#include <stdexcept>
+
+namespace rs::fleet {
+
+SlotFormCache::SlotFormCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ < 1) {
+    throw std::invalid_argument("SlotFormCache: capacity must be >= 1");
+  }
+}
+
+std::shared_ptr<const rs::core::ConvexPwl> SlotFormCache::form_for(
+    const rs::core::CostPtr& cost, int m) {
+  if (cost == nullptr || m < 1) return nullptr;
+  const std::pair<const rs::core::CostFunction*, int> key{cost.get(), m};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    return it->second.form;
+  }
+  if (entries_.size() >= capacity_) return nullptr;
+  // Convert under the kAuto budget — the same rule a kAuto tracker applies
+  // when fed the CostFunction directly, so a cached (non-null) form is
+  // exactly the form the tracker would have derived itself.
+  ++conversions_;
+  std::shared_ptr<const rs::core::ConvexPwl> form;
+  try {
+    if (std::optional<rs::core::ConvexPwl> exact = cost->as_convex_pwl(
+            m, rs::core::compact_pwl_budget_for(m))) {
+      form = std::make_shared<const rs::core::ConvexPwl>(std::move(*exact));
+    }
+  } catch (const std::exception&) {
+    // A throwing conversion caches as "no compact form"; the tenant's own
+    // cost probing decides whether the cost itself is poison.
+  }
+  entries_.emplace(key, Entry{cost, form});
+  return form;
+}
+
+std::uint64_t SlotFormCache::conversions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return conversions_;
+}
+
+std::uint64_t SlotFormCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t SlotFormCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace rs::fleet

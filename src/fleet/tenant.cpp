@@ -8,8 +8,10 @@
 
 #include "core/checkpoint.hpp"
 #include "engine/solver_engine.hpp"
+#include "fleet/form_cache.hpp"
 #include "online/online_algorithm.hpp"
 #include "util/fault_injection.hpp"
+#include "util/math_util.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rs::fleet {
@@ -47,6 +49,13 @@ void validate_config(const TenantConfig& config) {
   }
   if (config.max_recoveries < 0) {
     throw std::invalid_argument("TenantConfig: max_recoveries must be >= 0");
+  }
+  if (config.what_if_slots < 0) {
+    throw std::invalid_argument("TenantConfig: what_if_slots must be >= 0");
+  }
+  if (config.what_if_slots > 0 && config.window > 0) {
+    throw std::invalid_argument(
+        "TenantConfig: what_if probes require window == 0");
   }
 }
 
@@ -106,6 +115,8 @@ TenantSession::TenantSession(TenantConfig config, std::size_t ordinal,
     stats_.steps = ck.steps;
     stats_.degraded_to_dense = ck.degraded;
     state_ = ck.degraded ? TenantState::kDegraded : TenantState::kHealthy;
+    resume_steps_ = ck.steps;
+    resume_state_ = lcp_ != nullptr ? lcp_->current_state() : 0;
     emit_locked(FleetEventKind::kResumed,
                 "restored " + std::to_string(ck.steps) +
                     " decided slots from the checkpoint store");
@@ -214,10 +225,21 @@ bool TenantSession::offer_run(double lambda, int count) {
     // Windowed lookahead is slot-granular: expand the run, sharing the one
     // CostPtr across its slots.
     for (int i = 0; i < count; ++i) {
-      queue_.push_back(QueueEntry{lambda, 1, cost});
+      queue_.push_back(QueueEntry{lambda, 1, cost, nullptr});
     }
   } else {
-    queue_.push_back(QueueEntry{lambda, count, std::move(cost)});
+    // Fetch (or convert once, fleet-wide) the shared convex-PWL form.
+    // Only non-kDense plain-LCP tenants consume forms — the dense path
+    // materializes rows differently, and bit-identity with the
+    // CostFunction overload holds only on the PWL path.
+    std::shared_ptr<const rs::core::ConvexPwl> form;
+    if (config_.form_cache != nullptr && config_.window == 0 &&
+        config_.backend !=
+            rs::offline::WorkFunctionTracker::Backend::kDense) {
+      form = config_.form_cache->form_for(cost, config_.m);
+    }
+    queue_.push_back(
+        QueueEntry{lambda, count, std::move(cost), std::move(form)});
   }
   queued_slots_ += static_cast<std::size_t>(count);
   stats_.offered += slots;
@@ -318,8 +340,23 @@ int TenantSession::session_decide_locked(
     upper_scratch_.resize(need);
   }
   if (lcp_ != nullptr) {
-    lcp_->decide_run(*entry.cost, entry.count, decisions_scratch_,
-                     lower_scratch_, upper_scratch_);
+    // Consume the shared cached form only while the tracker is on (or can
+    // still choose) the PWL path: there decide_run(ConvexPwl) is
+    // bit-identical to the CostFunction overload (the tracker would derive
+    // the identical form).  After a dense fallback the CostFunction path
+    // evaluates rows directly, so forms are bypassed.  The gate re-evaluates
+    // identically during recovery replay — the restored tracker is in the
+    // mode the slot was originally decided in.
+    const rs::offline::WorkFunctionTracker* tracker = lcp_->tracker();
+    const bool pwl_path =
+        tracker != nullptr && (tracker->using_pwl() || tracker->tau() == 0);
+    if (entry.form != nullptr && pwl_path) {
+      lcp_->decide_run(*entry.form, entry.count, decisions_scratch_,
+                       lower_scratch_, upper_scratch_);
+    } else {
+      lcp_->decide_run(*entry.cost, entry.count, decisions_scratch_,
+                       lower_scratch_, upper_scratch_);
+    }
     return entry.count;
   }
   decisions_scratch_[0] = windowed_->decide(entry.cost, lookahead);
@@ -416,6 +453,7 @@ void TenantSession::reset_session_locked() {
   } else {
     windowed_.reset();
     lcp_ = std::make_unique<rs::online::Lcp>(config_.backend);
+    if (config_.what_if_slots > 0) lcp_->enable_what_if(config_.what_if_slots);
     lcp_->reset(context);
   }
 }
@@ -481,6 +519,67 @@ void TenantSession::note_deferred() {
   emit_locked(FleetEventKind::kDeferred,
               "tick budget exhausted; " + std::to_string(queued_slots_) +
                   " slots queued");
+}
+
+std::optional<WhatIfResult> TenantSession::what_if(int slot,
+                                                   double lambda) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lcp_ == nullptr || config_.what_if_slots <= 0) return std::nullopt;
+  if (state_ == TenantState::kQuarantined) return std::nullopt;
+  if (!std::isfinite(lambda) || lambda < 0.0) return std::nullopt;
+  const rs::offline::WorkFunctionTracker* live = lcp_->tracker();
+  if (live == nullptr || !live->rewind_covers(slot)) return std::nullopt;
+  try {
+    const rs::core::CostPtr cost = config_.cost_of(lambda);
+    if (cost == nullptr) return std::nullopt;
+
+    // Repair a clone; the live tracker (and with it the session's next
+    // checkpoint) stays bitwise untouched.
+    rs::offline::WorkFunctionTracker probe = live->clone();
+    const rs::offline::WorkFunctionTracker::Repair repair =
+        probe.repair_from(slot, *cost);
+
+    WhatIfResult out;
+    out.slots_repaired = repair.slots_replayed;
+    out.early_exit = repair.early_exit;
+    out.x_lower = probe.x_lower();
+    out.x_upper = probe.x_upper();
+    out.chat_min = probe.chat_lower(probe.x_lower());
+
+    // Re-run the eq. 13 projection from the decision preceding the edit:
+    // repaired corridor for the replayed slots, the stored (bitwise
+    // unchanged past the reconvergence boundary) corridor beyond.
+    int x = 0;
+    if (slot > 1) {
+      const std::uint64_t prev = static_cast<std::uint64_t>(slot) - 1;
+      x = prev == resume_steps_
+              ? resume_state_
+              : schedule_[static_cast<std::size_t>(prev - resume_steps_) - 1];
+    }
+    for (std::uint64_t t = static_cast<std::uint64_t>(slot);
+         t <= stats_.steps; ++t) {
+      const std::size_t k = static_cast<std::size_t>(
+          t - static_cast<std::uint64_t>(slot));
+      int lo;
+      int hi;
+      if (k < repair.lower.size()) {
+        lo = repair.lower[k];
+        hi = repair.upper[k];
+      } else {
+        const std::size_t j = static_cast<std::size_t>(t - resume_steps_) - 1;
+        lo = lower_[j];
+        hi = upper_[j];
+      }
+      x = rs::util::project(x, lo, hi);
+    }
+    out.projected_state = x;
+    return out;
+  } catch (const std::exception&) {
+    // Probes never quarantine or throw: a throwing cost factory, a
+    // non-convertible edit on a PWL-mode clone (backend-trajectory flip),
+    // or any other failure simply yields "no answer".
+    return std::nullopt;
+  }
 }
 
 void TenantSession::quarantine_locked(std::string reason) {

@@ -85,6 +85,32 @@ struct FleetEvent {
   std::string detail;
 };
 
+/// Scheduling class within a controller tick: every due kInteractive
+/// tenant starts before any kBatch tenant, so under a tick deadline the
+/// deferrals land on batch work first.  Within a class, registration
+/// (ordinal) order is preserved.  Priority changes *when* a slot is
+/// decided, never *what* — per-tenant decisions depend only on the
+/// tenant's own stream.
+enum class Priority {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+class SlotFormCache;
+
+/// Answer to a TenantSession::what_if probe: the final-slot corridor and
+/// eq. 13 state the session *would* show had the probed slot carried the
+/// probed λ, plus repair statistics.  Computed on a rewind-buffer clone —
+/// the live session is bitwise untouched.
+struct WhatIfResult {
+  int slots_repaired = 0;   // tracker advances re-executed by the probe
+  bool early_exit = false;  // labels reconverged before the newest slot
+  int x_lower = 0;          // corridor at the newest slot under the edit
+  int x_upper = 0;
+  int projected_state = 0;  // x^LCP at the newest slot under the edit
+  double chat_min = 0.0;    // min Ĉ^L over the edited decided prefix
+};
+
 struct TenantConfig {
   /// Unique within a controller; doubles as the checkpoint-store key (after
   /// CheckpointStore::sanitize_key).
@@ -109,6 +135,18 @@ struct TenantConfig {
   int degrade_after = 2;
   /// Restore-and-replay attempts per slot before the ladder ends (>= 0).
   int max_recoveries = 12;
+  /// Tick scheduling class (see Priority).
+  Priority priority = Priority::kBatch;
+  /// > 0: keep a rewind buffer of the last `what_if_slots` decided samples
+  /// on the session tracker and serve what_if() probes from it.  Requires
+  /// window == 0 (probes ride the plain-LCP tracker).  The buffer is
+  /// process-local — never checkpointed — and restarts at every restore.
+  int what_if_slots = 0;
+  /// Shared conversion cache (fleet/form_cache.hpp); FleetController
+  /// injects its fleet-wide cache here on add_tenant when unset.  Used by
+  /// window == 0, non-kDense tenants to convert each distinct slot cost
+  /// once fleet-wide; nullptr disables sharing (standalone sessions).
+  SlotFormCache* form_cache = nullptr;
 };
 
 struct TenantStats {
@@ -195,6 +233,19 @@ class TenantSession {
   /// Records a deadline deferral (controller tick bookkeeping).
   void note_deferred();
 
+  /// Interactive what-if probe: "had decided slot `slot` (1-based) carried
+  /// λ = `lambda` instead, where would the session be now?"  Served from a
+  /// clone of the session tracker's rewind buffer (config.what_if_slots),
+  /// repaired forward from the edit with the bitwise reconvergence
+  /// early-exit, then re-projected through eq. 13 — the live session, its
+  /// schedule, and its checkpoint bytes are untouched (the isolation suite
+  /// pins snapshot_bytes() before/after).  Returns nullopt when probes are
+  /// disabled (what_if_slots == 0 or window > 0), the tenant is
+  /// quarantined, `slot` is outside the rewind window, λ or its cost is
+  /// invalid, or the edit would flip the tracker's backend trajectory —
+  /// probes never throw and never quarantine.
+  std::optional<WhatIfResult> what_if(int slot, double lambda) const;
+
   // ---- observation ----
 
   TenantState state() const;
@@ -222,6 +273,11 @@ class TenantSession {
     double lambda = 0.0;
     int count = 0;
     rs::core::CostPtr cost;
+    // Cached convex-PWL form from the shared fleet cache (nullptr when the
+    // cache is absent/full or the cost has no compact form).  Replay
+    // entries carry the same pointer, so a recovery consumes the identical
+    // input and stays bit-identical.
+    std::shared_ptr<const rs::core::ConvexPwl> form;
   };
 
   // All *_locked members require mutex_ held.
@@ -281,6 +337,13 @@ class TenantSession {
   std::uint64_t attempts_ = 0;
   std::uint64_t ingests_ = 0;
   int fail_streak_ = 0;
+
+  // Cross-process resume anchor: schedule_/lower_/upper_ index slot
+  // (resume_steps_ + i + 1) at position i, and resume_state_ is the eq. 13
+  // state at slot resume_steps_ (what_if projection needs the decision
+  // preceding the probed slot).  Both stay 0 for fresh sessions.
+  std::uint64_t resume_steps_ = 0;
+  int resume_state_ = 0;
 };
 
 }  // namespace rs::fleet

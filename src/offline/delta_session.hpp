@@ -1,0 +1,99 @@
+// Incremental re-solve sessions: delta propagation instead of replay.
+//
+// A DpDeltaSession keeps a solved instance *live*: the work-function
+// tracker that produced the solution stays resident with its rewind buffer
+// (offline/work_function.hpp) covering the whole horizon, so editing one
+// slot costs a forward repair from the edit point — with a bitwise
+// reconvergence early-exit — instead of an O(T) replay.  The repaired
+// result (cost, corridor bounds, Lemma-11 schedule) is bit-identical to
+// tearing the session down and re-solving the edited instance from scratch
+// on the same backend; edits that would flip the kAuto backend trajectory
+// (a convertible slot becoming non-convertible or vice versa) are handled
+// by an automatic full re-solve, preserving the same contract.
+//
+// probe_delta answers what-if questions non-destructively: it repairs
+// forward, copies the result, then repairs *back* with the original cost.
+// The inverse repair early-exits at the same reconvergence boundary (the
+// stored post-states there are the original run's), so the session returns
+// to its pre-probe state bitwise and nothing needs to be snapshotted.
+//
+// This is the incremental-propagator idiom of constraint solvers applied
+// to the paper's work-function recursion; SolverEngine's kDeltaResolve job
+// kind and the fleet's what_if probes are the serving-layer consumers.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.hpp"
+#include "offline/solver.hpp"
+#include "offline/work_function.hpp"
+
+namespace rs::offline {
+
+class DpDeltaSession {
+ public:
+  /// Which label representation carries the session; maps onto
+  /// WorkFunctionTracker::Backend (kAuto = PWL while every slot converts
+  /// compactly, dense after the first that does not).
+  enum class Backend { kDense, kPwl, kAuto };
+
+  /// Per-edit repair statistics.
+  struct DeltaStats {
+    int slots_repaired = 0;  // slots re-advanced by the repair
+    bool early_exit = false;  // labels reconverged before the horizon end
+    bool full_replay = false;  // backend trajectory changed: full re-solve
+  };
+
+  /// Solves `p` from scratch and keeps the session live.  Requires a
+  /// non-empty horizon.  The slot costs are retained (shared_ptr copies);
+  /// the Problem itself is not referenced after construction.
+  explicit DpDeltaSession(const rs::core::Problem& p,
+                          Backend backend = Backend::kAuto);
+
+  int horizon() const noexcept { return static_cast<int>(costs_.size()); }
+  int max_servers() const noexcept { return m_; }
+  double beta() const noexcept { return beta_; }
+  Backend backend() const noexcept { return backend_; }
+
+  /// Cost of the current (possibly edited) instance; O(1).
+  double cost() const noexcept { return cost_; }
+
+  /// Bound corridor of the current instance.
+  const BoundTrajectory& bounds() const noexcept { return bounds_; }
+
+  /// Full result; the Lemma-11 schedule is materialized lazily (one O(T)
+  /// backward clamp after a batch of edits, not one per edit).
+  const OfflineResult& result();
+
+  /// Replaces f_slot (1-based) with `cost` and repairs the labels forward
+  /// from the edit.  Bit-identical to re-solving the edited instance from
+  /// scratch on this backend.  Throws std::invalid_argument on a null cost
+  /// or slot outside [1, T]; a failed repair falls back to the full
+  /// re-solve internally (reported via stats->full_replay).
+  void resolve_delta(int slot, rs::core::CostPtr cost,
+                     DeltaStats* stats = nullptr);
+
+  /// What-if probe: the result of resolve_delta(slot, cost) without
+  /// changing the session — the edit is applied, the result copied, and
+  /// the original cost repaired back in (restoring the session bitwise).
+  /// `stats` reports the forward repair.
+  OfflineResult probe_delta(int slot, rs::core::CostPtr cost,
+                            DeltaStats* stats = nullptr);
+
+ private:
+  WorkFunctionTracker::Backend tracker_backend() const noexcept;
+  void rebuild();  // full from-scratch solve of costs_; strong guarantee
+
+  int m_;
+  double beta_;
+  Backend backend_;
+  std::vector<rs::core::CostPtr> costs_;  // costs_[t-1] = current f_t
+  BoundTrajectory bounds_;  // declared before tracker_: the base solve
+                            // fills it while constructing the tracker
+  WorkFunctionTracker tracker_;
+  double cost_ = rs::util::kInf;
+  OfflineResult result_;
+  bool schedule_dirty_ = true;
+};
+
+}  // namespace rs::offline

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -63,6 +65,10 @@ void WorkFunctionTracker::ensure_dense_backend() {
         "tracker");
   }
   init_dense();
+  // An external mode switch is not an advance and cannot be replayed, so
+  // the history before it is no longer reconstructible: restart the rewind
+  // window from the freshly materialized state.
+  if (rewind_enabled_ && !rewind_replaying_) rewind_reset_base();
 }
 
 void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
@@ -73,6 +79,9 @@ void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
     if (backend_ != Backend::kDense) {
       if (std::optional<ConvexPwl> form = f.as_convex_pwl(m_, budget)) {
         advance_pwl(*form);
+        if (rewind_enabled_ && !rewind_replaying_) {
+          rewind_record(StoredInput{false, std::move(*form), {}}, 1);
+        }
         return;
       }
       if (backend_ == Backend::kPwl) {
@@ -85,6 +94,12 @@ void WorkFunctionTracker::advance(const rs::core::CostFunction& f) {
   }
   f.eval_row(m_, scratch_.span());
   advance_dense(std::span<const double>(scratch_.span()));
+  if (rewind_enabled_ && !rewind_replaying_) {
+    rewind_record(
+        StoredInput{true, {},
+                    std::vector<double>(scratch_.begin(), scratch_.end())},
+        1);
+  }
 }
 
 void WorkFunctionTracker::advance(const rs::core::ConvexPwl& f) {
@@ -93,11 +108,23 @@ void WorkFunctionTracker::advance(const rs::core::ConvexPwl& f) {
       init_dense();
     } else {
       advance_pwl(f);
+      if (rewind_enabled_ && !rewind_replaying_) {
+        rewind_record(StoredInput{false, f, {}}, 1);
+      }
       return;
     }
   }
   f.materialize(m_, scratch_.span());
   advance_dense(std::span<const double>(scratch_.span()));
+  if (rewind_enabled_ && !rewind_replaying_) {
+    // Record the materialized row, not the form: the recorded kind mirrors
+    // the executed backend path, which is what makes the edit-kind check in
+    // repair_impl equivalent to backend-trajectory preservation.
+    rewind_record(
+        StoredInput{true, {},
+                    std::vector<double>(scratch_.begin(), scratch_.end())},
+        1);
+  }
 }
 
 void WorkFunctionTracker::advance(const std::vector<double>& values) {
@@ -116,6 +143,11 @@ void WorkFunctionTracker::advance(std::span<const double> values) {
     init_dense();
   }
   advance_dense(values);
+  if (rewind_enabled_ && !rewind_replaying_) {
+    rewind_record(
+        StoredInput{true, {}, std::vector<double>(values.begin(), values.end())},
+        1);
+  }
 }
 
 namespace {
@@ -147,6 +179,9 @@ void WorkFunctionTracker::advance_repeated(const rs::core::CostFunction& f,
         // One conversion for the whole run — the RLE replay's analog of the
         // PwlProblem one-conversion-per-slot contract.
         advance_repeated_pwl(*form, count, xl, xu);
+        if (rewind_enabled_ && !rewind_replaying_) {
+          rewind_record(StoredInput{false, std::move(*form), {}}, count);
+        }
         return;
       }
       if (backend_ == Backend::kPwl) {
@@ -160,6 +195,12 @@ void WorkFunctionTracker::advance_repeated(const rs::core::CostFunction& f,
   f.eval_row(m_, scratch_.span());
   advance_repeated_dense(std::span<const double>(scratch_.span()), count, xl,
                          xu);
+  if (rewind_enabled_ && !rewind_replaying_) {
+    rewind_record(
+        StoredInput{true, {},
+                    std::vector<double>(scratch_.begin(), scratch_.end())},
+        count);
+  }
 }
 
 void WorkFunctionTracker::advance_repeated(const rs::core::ConvexPwl& f,
@@ -172,12 +213,21 @@ void WorkFunctionTracker::advance_repeated(const rs::core::ConvexPwl& f,
       init_dense();
     } else {
       advance_repeated_pwl(f, count, xl, xu);
+      if (rewind_enabled_ && !rewind_replaying_) {
+        rewind_record(StoredInput{false, f, {}}, count);
+      }
       return;
     }
   }
   f.materialize(m_, scratch_.span());
   advance_repeated_dense(std::span<const double>(scratch_.span()), count, xl,
                          xu);
+  if (rewind_enabled_ && !rewind_replaying_) {
+    rewind_record(
+        StoredInput{true, {},
+                    std::vector<double>(scratch_.begin(), scratch_.end())},
+        count);
+  }
 }
 
 void WorkFunctionTracker::advance_repeated(std::span<const double> values,
@@ -197,6 +247,11 @@ void WorkFunctionTracker::advance_repeated(std::span<const double> values,
     init_dense();
   }
   advance_repeated_dense(values, count, xl, xu);
+  if (rewind_enabled_ && !rewind_replaying_) {
+    rewind_record(
+        StoredInput{true, {}, std::vector<double>(values.begin(), values.end())},
+        count);
+  }
 }
 
 void WorkFunctionTracker::advance_repeated_pwl(const ConvexPwl& f, int count,
@@ -559,6 +614,320 @@ int WorkFunctionTracker::x_lower() const {
 int WorkFunctionTracker::x_upper() const {
   require_started();
   return x_upper_;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental repair (rewind buffer) — DESIGN.md §12
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bit-pattern row comparison (stricter than ==: distinguishes ±0.0).  The
+// labels are NaN-free by the advance contract, so memcmp equality implies
+// value equality and vice versa up to signed zeros.
+bool rows_bitwise_equal(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+WorkFunctionTracker::TrackerState WorkFunctionTracker::capture_state() const {
+  TrackerState s;
+  s.mode = mode_;
+  s.tau = tau_;
+  s.x_lower = x_lower_;
+  s.x_upper = x_upper_;
+  if (mode_ == Mode::kDense) {
+    s.chat_l.assign(chat_l_.begin(), chat_l_.end());
+    s.chat_u.assign(chat_u_.begin(), chat_u_.end());
+  } else {
+    s.pwl_l = pwl_l_;
+    s.pwl_u = pwl_u_;
+  }
+  return s;
+}
+
+void WorkFunctionTracker::restore_state(const TrackerState& s) {
+  mode_ = s.mode;
+  tau_ = s.tau;
+  x_lower_ = s.x_lower;
+  x_upper_ = s.x_upper;
+  if (s.mode == Mode::kDense) {
+    const std::size_t width = static_cast<std::size_t>(m_) + 1;
+    rs::util::Workspace& workspace = rs::util::this_thread_workspace();
+    if (chat_l_.size() != width) chat_l_ = workspace.borrow<double>(width);
+    if (chat_u_.size() != width) chat_u_ = workspace.borrow<double>(width);
+    if (scratch_.size() != width) scratch_ = workspace.borrow<double>(width);
+    std::copy(s.chat_l.begin(), s.chat_l.end(), chat_l_.begin());
+    std::copy(s.chat_u.begin(), s.chat_u.end(), chat_u_.begin());
+    pwl_l_ = ConvexPwl::infinite();
+    pwl_u_ = ConvexPwl::infinite();
+  } else {
+    pwl_l_ = s.pwl_l;
+    pwl_u_ = s.pwl_u;
+  }
+}
+
+bool WorkFunctionTracker::states_equal(const TrackerState& a,
+                                       const TrackerState& b) {
+  if (a.mode != b.mode || a.tau != b.tau || a.x_lower != b.x_lower ||
+      a.x_upper != b.x_upper) {
+    return false;
+  }
+  if (a.mode == Mode::kDense) {
+    return rows_bitwise_equal(a.chat_l, b.chat_l) &&
+           rows_bitwise_equal(a.chat_u, b.chat_u);
+  }
+  return a.pwl_l.bitwise_equal(b.pwl_l) && a.pwl_u.bitwise_equal(b.pwl_u);
+}
+
+void WorkFunctionTracker::enable_rewind(int capacity) {
+  if (capacity < 1) {
+    throw std::invalid_argument(
+        "WorkFunctionTracker::enable_rewind: capacity must be >= 1");
+  }
+  rewind_enabled_ = true;
+  rewind_capacity_ = static_cast<std::size_t>(capacity);
+  rewind_reset_base();
+}
+
+void WorkFunctionTracker::disable_rewind() {
+  rewind_enabled_ = false;
+  rewind_capacity_ = 0;
+  rewind_entries_.clear();
+  rewind_base_ = TrackerState{};
+  rewind_base_tau_ = tau_;
+}
+
+void WorkFunctionTracker::rewind_reset_base() {
+  rewind_entries_.clear();
+  rewind_base_ = capture_state();
+  rewind_base_tau_ = tau_;
+}
+
+void WorkFunctionTracker::rewind_record(StoredInput input, int count) {
+  RewindEntry entry;
+  entry.start = tau_ - count + 1;
+  entry.count = count;
+  entry.input = std::move(input);
+  entry.post = capture_state();
+  rewind_entries_.push_back(std::move(entry));
+  while (rewind_entries_.size() > rewind_capacity_) {
+    RewindEntry& front = rewind_entries_.front();
+    rewind_base_tau_ = front.start + front.count - 1;
+    rewind_base_ = std::move(front.post);
+    rewind_entries_.pop_front();
+  }
+}
+
+WorkFunctionTracker::StoredInput WorkFunctionTracker::rewind_input(
+    int slot) const {
+  if (!rewind_covers(slot)) {
+    throw std::out_of_range(
+        "WorkFunctionTracker::rewind_input: slot outside the rewind window");
+  }
+  auto it = std::upper_bound(
+      rewind_entries_.begin(), rewind_entries_.end(), slot,
+      [](int s, const RewindEntry& e) { return s < e.start; });
+  return std::prev(it)->input;
+}
+
+void WorkFunctionTracker::replay_input(const StoredInput& input, int count,
+                                       std::vector<int>* lo,
+                                       std::vector<int>* up) {
+  if (count <= 0) return;
+  std::vector<int> xl(static_cast<std::size_t>(count));
+  std::vector<int> xu(static_cast<std::size_t>(count));
+  if (input.is_row) {
+    advance_repeated(std::span<const double>(input.row), count, xl, xu);
+  } else {
+    advance_repeated(input.form, count, xl, xu);
+  }
+  if (lo != nullptr) lo->insert(lo->end(), xl.begin(), xl.end());
+  if (up != nullptr) up->insert(up->end(), xu.begin(), xu.end());
+}
+
+WorkFunctionTracker::Repair WorkFunctionTracker::repair_impl(
+    int slot, const std::function<StoredInput()>& resolve_edit) {
+  if (!rewind_enabled_) {
+    throw std::logic_error(
+        "WorkFunctionTracker::repair_from: rewind buffer not enabled");
+  }
+  if (!rewind_covers(slot)) {
+    throw std::out_of_range(
+        "WorkFunctionTracker::repair_from: slot outside the rewind window");
+  }
+  auto it = std::upper_bound(
+      rewind_entries_.begin(), rewind_entries_.end(), slot,
+      [](int s, const RewindEntry& e) { return s < e.start; });
+  const std::size_t e = static_cast<std::size_t>(
+      std::distance(rewind_entries_.begin(), std::prev(it)));
+  const RewindEntry& edited_entry = rewind_entries_[e];
+  const int prefix = slot - edited_entry.start;
+  const int suffix = edited_entry.count - prefix - 1;
+
+  TrackerState final_backup = capture_state();
+  Repair result;
+  result.first_slot = slot;
+
+  std::vector<RewindEntry> rebuilt;  // replaces entries [e, stop)
+  std::size_t stop = e;
+  bool reconverged = false;
+  const bool was_replaying = rewind_replaying_;
+  rewind_replaying_ = true;
+  try {
+    restore_state(e == 0 ? rewind_base_ : rewind_entries_[e - 1].post);
+    // The containing run replays in up to three portions: the unchanged
+    // prefix, the edited slot, the unchanged run suffix.  Splitting an RLE
+    // run defines the reference semantics advance_repeated(f, prefix) ·
+    // advance(f') · advance_repeated(f, suffix) — a legitimate from-scratch
+    // sequence (bounds bit-identical to slot-by-slot on both backends).
+    if (prefix > 0) {
+      replay_input(edited_entry.input, prefix, nullptr, nullptr);
+      result.slots_replayed += prefix;
+      rebuilt.push_back(
+          {edited_entry.start, prefix, edited_entry.input, capture_state()});
+    }
+    StoredInput edited = resolve_edit();
+    if (edited.is_row != edited_entry.input.is_row) {
+      // The edit would flip the backend trajectory at this slot (a PWL-mode
+      // slot edited to a non-convertible cost, or the dense-fallback slot
+      // edited to a convertible one).  The stored suffix was recorded under
+      // the other mode, so a bit-faithful repair is impossible — callers
+      // re-solve from scratch instead.
+      throw std::invalid_argument(
+          "WorkFunctionTracker::repair_from: edit changes the backend "
+          "trajectory; re-solve from scratch");
+    }
+    replay_input(edited, 1, &result.lower, &result.upper);
+    result.slots_replayed += 1;
+    rebuilt.push_back({slot, 1, std::move(edited), capture_state()});
+    if (suffix > 0) {
+      replay_input(edited_entry.input, suffix, &result.lower, &result.upper);
+      result.slots_replayed += suffix;
+      rebuilt.push_back(
+          {slot + 1, suffix, edited_entry.input, capture_state()});
+    }
+    stop = e + 1;
+    reconverged = states_equal(rebuilt.back().post, edited_entry.post);
+    // Re-relax through the stored suffix until the recomputed state equals
+    // a stored post-state bitwise: replay from identical bits is
+    // deterministic, so the rest of the suffix — including the final
+    // labels — is then already correct and need not be touched.
+    while (!reconverged && stop < rewind_entries_.size()) {
+      const RewindEntry& next = rewind_entries_[stop];
+      replay_input(next.input, next.count, &result.lower, &result.upper);
+      result.slots_replayed += next.count;
+      rebuilt.push_back({next.start, next.count, next.input, capture_state()});
+      reconverged = states_equal(rebuilt.back().post, next.post);
+      ++stop;
+    }
+  } catch (...) {
+    rewind_replaying_ = was_replaying;
+    restore_state(final_backup);
+    throw;
+  }
+  rewind_replaying_ = was_replaying;
+
+  if (reconverged) {
+    // Everything from the reconvergence boundary on — including the final
+    // labels and bounds — is bitwise what it already was.
+    restore_state(final_backup);
+    result.early_exit = stop < rewind_entries_.size();
+  }
+  auto first = rewind_entries_.begin() + static_cast<std::ptrdiff_t>(e);
+  auto last = rewind_entries_.begin() + static_cast<std::ptrdiff_t>(stop);
+  auto pos = rewind_entries_.erase(first, last);
+  rewind_entries_.insert(pos, std::make_move_iterator(rebuilt.begin()),
+                         std::make_move_iterator(rebuilt.end()));
+  while (rewind_entries_.size() > rewind_capacity_) {
+    RewindEntry& front = rewind_entries_.front();
+    rewind_base_tau_ = front.start + front.count - 1;
+    rewind_base_ = std::move(front.post);
+    rewind_entries_.pop_front();
+  }
+  return result;
+}
+
+WorkFunctionTracker::Repair WorkFunctionTracker::repair_from(
+    int slot, const rs::core::CostFunction& f) {
+  return repair_impl(slot, [&]() -> StoredInput {
+    // Resolve exactly as advance() would, given the mode reached by the
+    // replayed prefix — which is the mode a from-scratch run of the edited
+    // instance has at this slot.
+    if (mode_ != Mode::kDense && backend_ != Backend::kDense) {
+      const int budget = backend_ == Backend::kPwl
+                             ? rs::core::kUnboundedBreakpoints
+                             : rs::core::compact_pwl_budget_for(m_);
+      if (std::optional<ConvexPwl> form = f.as_convex_pwl(m_, budget)) {
+        return StoredInput{false, std::move(*form), {}};
+      }
+      if (backend_ == Backend::kPwl) {
+        throw std::invalid_argument(
+            "WorkFunctionTracker::repair_from: cost function has no convex-"
+            "PWL form (forced-PWL backend)");
+      }
+    }
+    StoredInput input;
+    input.is_row = true;
+    input.row.resize(static_cast<std::size_t>(m_) + 1);
+    f.eval_row(m_, input.row);
+    return input;
+  });
+}
+
+WorkFunctionTracker::Repair WorkFunctionTracker::repair_from(
+    int slot, const rs::core::ConvexPwl& f) {
+  return repair_impl(slot, [&]() -> StoredInput {
+    if (mode_ != Mode::kDense && backend_ != Backend::kDense) {
+      return StoredInput{false, f, {}};
+    }
+    StoredInput input;
+    input.is_row = true;
+    input.row.resize(static_cast<std::size_t>(m_) + 1);
+    f.materialize(m_, input.row);
+    return input;
+  });
+}
+
+WorkFunctionTracker::Repair WorkFunctionTracker::repair_from(
+    int slot, std::span<const double> values) {
+  if (static_cast<int>(values.size()) != m_ + 1) {
+    throw std::invalid_argument(
+        "WorkFunctionTracker::repair_from: need m+1 values");
+  }
+  if (backend_ == Backend::kPwl) {
+    throw std::logic_error(
+        "WorkFunctionTracker::repair_from: raw value rows require the dense "
+        "backend");
+  }
+  return repair_impl(slot, [&]() -> StoredInput {
+    return StoredInput{true, {},
+                       std::vector<double>(values.begin(), values.end())};
+  });
+}
+
+WorkFunctionTracker::Repair WorkFunctionTracker::repair_from(
+    int slot, const StoredInput& input) {
+  if (input.is_row && static_cast<int>(input.row.size()) != m_ + 1) {
+    throw std::invalid_argument(
+        "WorkFunctionTracker::repair_from: stored row needs m+1 values");
+  }
+  return repair_impl(slot, [&]() -> StoredInput { return input; });
+}
+
+WorkFunctionTracker WorkFunctionTracker::clone() const {
+  WorkFunctionTracker t(m_, beta_, backend_);
+  t.restore_state(capture_state());
+  t.rewind_enabled_ = rewind_enabled_;
+  t.rewind_capacity_ = rewind_capacity_;
+  t.rewind_base_tau_ = rewind_base_tau_;
+  t.rewind_base_ = rewind_base_;
+  t.rewind_entries_ = rewind_entries_;
+  return t;
 }
 
 BoundTrajectory compute_bounds(const rs::core::Problem& p,

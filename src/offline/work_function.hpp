@@ -39,6 +39,8 @@
 // DpSolver convex fast path.
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -175,6 +177,82 @@ class WorkFunctionTracker {
   int x_lower() const;
   int x_upper() const;
 
+  // -------------------------------------------------------------------------
+  // Incremental repair (rewind buffer + repair_from) — DESIGN.md §12.
+  //
+  // When enabled, every advance records (a) the cost it consumed, in the
+  // *resolved* replayable kind — the exact convex-PWL form on the PWL path,
+  // the evaluated value row on the dense path — and (b) the post-advance
+  // tracker state.  RLE runs (advance_repeated) record ONE entry for the
+  // whole run, so the buffer costs O(K) per run on the PWL path, not O(k·K).
+  // repair_from(t, f') then re-relaxes forward from the edited slot and
+  // early-exits as soon as the recomputed state compares bitwise equal to a
+  // stored post-state: replay is deterministic, so from that boundary on the
+  // entire stored suffix — including the final labels — is already correct.
+  //
+  // The repaired tracker is bit-identical to a tracker fed the recorded
+  // input sequence from scratch with the edit substituted.  Edits that
+  // would change the backend *trajectory* (a PWL-mode slot edited to a
+  // non-convertible cost, or the fallback-triggering slot edited to a
+  // convertible one) throw std::invalid_argument before mutating anything —
+  // callers fall back to a full re-solve, which handles the mode flip
+  // naturally (offline/delta_session.hpp does exactly this).
+  //
+  // Rewind state is deliberately excluded from snapshot()/restore() — the
+  // checkpoint wire format is unchanged; re-enable after a restore.
+  // -------------------------------------------------------------------------
+
+  /// A recorded advance input in replayable form.
+  struct StoredInput {
+    bool is_row = false;
+    rs::core::ConvexPwl form;  // valid when !is_row
+    std::vector<double> row;   // valid when is_row
+  };
+
+  /// Outcome of a repair: the repaired per-slot bounds starting at the
+  /// edited slot, whether replay stopped at a reconvergence boundary before
+  /// the end of the recorded history, and how many slots were re-advanced
+  /// (including the unchanged prefix of a split RLE run).
+  struct Repair {
+    bool early_exit = false;
+    int first_slot = 0;       // == the edited slot
+    int slots_replayed = 0;   // advances re-executed during the repair
+    std::vector<int> lower;   // repaired x^L for slots first_slot, ...
+    std::vector<int> upper;   // repaired x^U, same indexing
+  };
+
+  /// Starts recording with room for `capacity` entries (one per advance /
+  /// advance_repeated call; capacity >= 1).  The rewind base is the current
+  /// state; prior history is not reconstructible.  Appending past capacity
+  /// evicts the oldest entry (the base moves forward).
+  void enable_rewind(int capacity);
+  void disable_rewind();
+  bool rewind_enabled() const noexcept { return rewind_enabled_; }
+
+  /// First slot a repair can target (rewind_base_tau + 1); tau() + 1 when
+  /// nothing is recorded.
+  int rewind_begin() const noexcept { return rewind_base_tau_ + 1; }
+  bool rewind_covers(int slot) const noexcept {
+    return rewind_enabled_ && slot >= rewind_begin() && slot <= tau_;
+  }
+
+  /// Copy of the recorded (resolved) input consumed at `slot`; throws
+  /// std::out_of_range outside the covered window.
+  StoredInput rewind_input(int slot) const;
+
+  /// Replaces the cost consumed at `slot` and repairs the labels forward.
+  /// Requires rewind_covers(slot).  Strong exception guarantee: on throw
+  /// the tracker (and its rewind history) is bitwise unchanged.
+  Repair repair_from(int slot, const rs::core::CostFunction& f);
+  Repair repair_from(int slot, const rs::core::ConvexPwl& f);
+  Repair repair_from(int slot, std::span<const double> values);
+  Repair repair_from(int slot, const StoredInput& input);
+
+  /// Deep copy, including the rewind history; dense labels are borrowed
+  /// from the *calling* thread's workspace.  Fleet what-if probes repair a
+  /// clone so the live session stays bitwise untouched.
+  WorkFunctionTracker clone() const;
+
  private:
   enum class Mode { kUndecided, kPwl, kDense };
 
@@ -186,6 +264,38 @@ class WorkFunctionTracker {
                             std::span<int> xl, std::span<int> xu);
   void advance_repeated_dense(std::span<const double> values, int count,
                               std::span<int> xl, std::span<int> xu);
+
+  // Full tracker state at a run boundary — what a rewind entry stores and
+  // what reconvergence compares.  Dense labels are value copies (the live
+  // rows are workspace buffers).
+  struct TrackerState {
+    Mode mode = Mode::kUndecided;
+    int tau = 0;
+    int x_lower = 0;
+    int x_upper = 0;
+    rs::core::ConvexPwl pwl_l;
+    rs::core::ConvexPwl pwl_u;
+    std::vector<double> chat_l;  // mode == kDense only
+    std::vector<double> chat_u;
+  };
+  struct RewindEntry {
+    int start = 0;  // first slot of the run (1-based)
+    int count = 0;  // run length (>= 1)
+    StoredInput input;
+    TrackerState post;  // state after the run
+  };
+
+  TrackerState capture_state() const;
+  void restore_state(const TrackerState& s);
+  static bool states_equal(const TrackerState& a, const TrackerState& b);
+  void rewind_record(StoredInput input, int count);
+  void rewind_reset_base();
+  // Replays a recorded input through the normal typed advance paths without
+  // re-recording; appends the per-slot bounds when collectors are given.
+  void replay_input(const StoredInput& input, int count, std::vector<int>* lo,
+                    std::vector<int>* up);
+  Repair repair_impl(int slot,
+                     const std::function<StoredInput()>& resolve_edit);
 
   int m_;
   double beta_;
@@ -204,6 +314,13 @@ class WorkFunctionTracker {
   rs::util::Workspace::Buffer<double> chat_l_;
   rs::util::Workspace::Buffer<double> chat_u_;
   rs::util::Workspace::Buffer<double> scratch_;
+  // Rewind buffer (excluded from snapshot()/restore(); see above).
+  bool rewind_enabled_ = false;
+  bool rewind_replaying_ = false;  // suppress recording during repairs
+  std::size_t rewind_capacity_ = 0;
+  int rewind_base_tau_ = 0;
+  TrackerState rewind_base_;
+  std::deque<RewindEntry> rewind_entries_;
 };
 
 /// Runs the tracker over the full instance and returns (x^L_τ, x^U_τ) for

@@ -18,9 +18,23 @@ void check_session_bounds(int value, int m, const char* what) {
 
 void Lcp::reset(const OnlineContext& context) {
   tracker_.emplace(context.m, context.beta, backend_);
+  if (what_if_capacity_ > 0) tracker_->enable_rewind(what_if_capacity_);
   current_ = 0;
   last_lower_ = 0;
   last_upper_ = 0;
+}
+
+void Lcp::enable_what_if(int capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("Lcp::enable_what_if: negative capacity");
+  }
+  what_if_capacity_ = capacity;
+  if (!tracker_.has_value()) return;
+  if (capacity > 0) {
+    tracker_->enable_rewind(capacity);
+  } else {
+    tracker_->disable_rewind();
+  }
 }
 
 int Lcp::decide(const rs::core::CostPtr& f,
@@ -33,9 +47,9 @@ int Lcp::decide(const rs::core::CostPtr& f,
   return current_;
 }
 
-void Lcp::decide_run(const rs::core::CostFunction& f, int count,
-                     std::span<int> decisions, std::span<int> lower,
-                     std::span<int> upper) {
+void Lcp::check_run_args(int count, std::span<const int> decisions,
+                         std::span<const int> lower,
+                         std::span<const int> upper) const {
   if (count < 0) {
     throw std::invalid_argument("Lcp::decide_run: negative count");
   }
@@ -46,15 +60,35 @@ void Lcp::decide_run(const rs::core::CostFunction& f, int count,
   if (!tracker_.has_value()) {
     throw std::logic_error("Lcp::decide_run: reset() the session first");
   }
-  if (count == 0) return;
-  tracker_->advance_repeated(f, count, lower, upper);
+}
+
+void Lcp::project_run(int count, std::span<int> decisions,
+                      std::span<int> lower, std::span<int> upper) {
   for (int i = 0; i < count; ++i) {
     current_ = rs::util::project(current_, lower[static_cast<std::size_t>(i)],
                                  upper[static_cast<std::size_t>(i)]);
     decisions[static_cast<std::size_t>(i)] = current_;
   }
-  last_lower_ = lower[n - 1];
-  last_upper_ = upper[n - 1];
+  last_lower_ = lower[static_cast<std::size_t>(count) - 1];
+  last_upper_ = upper[static_cast<std::size_t>(count) - 1];
+}
+
+void Lcp::decide_run(const rs::core::CostFunction& f, int count,
+                     std::span<int> decisions, std::span<int> lower,
+                     std::span<int> upper) {
+  check_run_args(count, decisions, lower, upper);
+  if (count == 0) return;
+  tracker_->advance_repeated(f, count, lower, upper);
+  project_run(count, decisions, lower, upper);
+}
+
+void Lcp::decide_run(const rs::core::ConvexPwl& f, int count,
+                     std::span<int> decisions, std::span<int> lower,
+                     std::span<int> upper) {
+  check_run_args(count, decisions, lower, upper);
+  if (count == 0) return;
+  tracker_->advance_repeated(f, count, lower, upper);
+  project_run(count, decisions, lower, upper);
 }
 
 bool Lcp::degrade_to_dense() {
@@ -129,6 +163,9 @@ void Lcp::restore(const OnlineContext& context,
   } else {
     tracker_.emplace(context.m, context.beta, backend_);
   }
+  // Rewind state is never checkpointed (the wire format is unchanged);
+  // restart the what-if window at the restored state.
+  if (what_if_capacity_ > 0) tracker_->enable_rewind(what_if_capacity_);
   current_ = current;
   last_lower_ = last_lower;
   last_upper_ = last_upper;

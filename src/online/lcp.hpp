@@ -56,6 +56,31 @@ class Lcp final : public OnlineAlgorithm {
                   std::span<int> decisions, std::span<int> lower,
                   std::span<int> upper);
 
+  /// Same, with f already in exact convex-PWL form — the entry point for
+  /// the fleet's shared cross-tenant conversion cache (fleet/form_cache.hpp):
+  /// tenants sharing a slot cost convert it once and every session consumes
+  /// the cached form.  Decisions are bit-identical to the CostFunction
+  /// overload (the tracker consumes the identical form either way).
+  void decide_run(const rs::core::ConvexPwl& f, int count,
+                  std::span<int> decisions, std::span<int> lower,
+                  std::span<int> upper);
+
+  /// Keeps a rewind buffer of the last `capacity` decide/decide_run inputs
+  /// on the underlying tracker (offline/work_function.hpp §rewind), the
+  /// state behind TenantSession::what_if probes.  Survives reset()/
+  /// restore() (re-enabled on the fresh tracker; rewind state itself is
+  /// never checkpointed).  Pass 0 to disable.
+  void enable_what_if(int capacity);
+
+  /// The live tracker (nullptr before the first reset()/restore()) — read
+  /// only; what-if consumers clone() it rather than mutate it.
+  const rs::offline::WorkFunctionTracker* tracker() const noexcept {
+    return tracker_.has_value() ? &*tracker_ : nullptr;
+  }
+
+  /// The eq. 13 projection state x^LCP of the most recent slot.
+  int current_state() const noexcept { return current_; }
+
   /// Permanently switches the underlying tracker to the dense streaming
   /// backend, materializing the current work-function pair — the fleet
   /// controller's PWL → dense degradation rung.  Returns false when this
@@ -80,6 +105,12 @@ class Lcp final : public OnlineAlgorithm {
                std::span<const std::uint8_t> bytes);
 
  private:
+  void check_run_args(int count, std::span<const int> decisions,
+                      std::span<const int> lower,
+                      std::span<const int> upper) const;
+  void project_run(int count, std::span<int> decisions, std::span<int> lower,
+                   std::span<int> upper);
+
   rs::offline::WorkFunctionTracker::Backend backend_;
   // In-place tracker (workspace-backed): reset() re-emplaces without a heap
   // allocation, so replay harnesses can reset per run for free.
@@ -87,6 +118,7 @@ class Lcp final : public OnlineAlgorithm {
   int current_ = 0;
   int last_lower_ = 0;
   int last_upper_ = 0;
+  int what_if_capacity_ = 0;  // > 0: keep a rewind buffer on the tracker
 };
 
 /// Replays LCP over a dense instance, feeding the tracker one contiguous

@@ -2,20 +2,26 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/math_util.hpp"
 
 namespace rs::online {
 
 using rs::util::kInf;
-using rs::util::pos;
 
-std::vector<int> plan_fixed_horizon(
-    int start_state, const rs::core::CostPtr& f,
-    std::span<const rs::core::CostPtr> lookahead, int m, double beta) {
-  const std::size_t horizon = 1 + lookahead.size();
-  // Forward DP over the window with parent pointers; O(horizon · m) via the
-  // usual prefix/suffix split of min_{x'} [ W(x') + β(x−x')⁺ ].
+namespace {
+
+// The fixed-horizon DP over pre-materialized value rows — the shared core
+// of plan_fixed_horizon (which evaluates its rows on the spot) and
+// WarmHorizonPlanner (which slides a row cache across steps), so both
+// produce bitwise-identical plans.  Forward DP with parent pointers;
+// O(horizon · m) via the usual prefix/suffix split of
+// min_{x'} [ W(x') + β(x−x')⁺ ].
+std::vector<int> plan_over_rows(
+    int start_state, const std::vector<const std::vector<double>*>& rows,
+    int m, double beta) {
+  const std::size_t horizon = rows.size();
   std::vector<double> labels(static_cast<std::size_t>(m) + 1, kInf);
   labels[static_cast<std::size_t>(start_state)] = 0.0;
   std::vector<std::vector<std::int32_t>> parents(
@@ -23,7 +29,7 @@ std::vector<int> plan_fixed_horizon(
   std::vector<double> next(static_cast<std::size_t>(m) + 1);
 
   for (std::size_t j = 0; j < horizon; ++j) {
-    const rs::core::CostFunction& cost = j == 0 ? *f : *lookahead[j - 1];
+    const std::vector<double>& cost = *rows[j];
     // Suffix minima (free power-down).
     std::vector<double> suffix_min(static_cast<std::size_t>(m) + 1);
     std::vector<std::int32_t> suffix_arg(static_cast<std::size_t>(m) + 1);
@@ -62,7 +68,7 @@ std::vector<int> plan_fixed_horizon(
         transition = stay;
         parent = suffix_arg[static_cast<std::size_t>(x)];
       }
-      const double fx = cost.at(x);
+      const double fx = cost[static_cast<std::size_t>(x)];
       next[static_cast<std::size_t>(x)] =
           std::isinf(fx) || std::isinf(transition) ? kInf : transition + fx;
       parents[j][static_cast<std::size_t>(x)] = parent;
@@ -88,16 +94,96 @@ std::vector<int> plan_fixed_horizon(
   return plan;
 }
 
+std::vector<double> evaluate_row(const rs::core::CostFunction& cost, int m) {
+  std::vector<double> row(static_cast<std::size_t>(m) + 1);
+  for (int x = 0; x <= m; ++x) {
+    row[static_cast<std::size_t>(x)] = cost.at(x);
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<int> plan_fixed_horizon(
+    int start_state, const rs::core::CostPtr& f,
+    std::span<const rs::core::CostPtr> lookahead, int m, double beta) {
+  const std::size_t horizon = 1 + lookahead.size();
+  std::vector<std::vector<double>> storage;
+  storage.reserve(horizon);
+  std::vector<const std::vector<double>*> rows;
+  rows.reserve(horizon);
+  for (std::size_t j = 0; j < horizon; ++j) {
+    storage.push_back(evaluate_row(j == 0 ? *f : *lookahead[j - 1], m));
+    rows.push_back(&storage.back());
+  }
+  return plan_over_rows(start_state, rows, m, beta);
+}
+
+void WarmHorizonPlanner::reset(const OnlineContext& context) {
+  context_ = context;
+  rows_.clear();
+  scratch_rows_.clear();
+  signature_.clear();
+  prev_start_ = -1;
+  plan_.clear();
+}
+
+const std::vector<int>& WarmHorizonPlanner::plan(
+    int start_state, const rs::core::CostPtr& f,
+    std::span<const rs::core::CostPtr> lookahead) {
+  const std::size_t horizon = 1 + lookahead.size();
+
+  // Slide the row cache: carry over the slots still visible, evaluate the
+  // (typically one) slot that just entered the window, and drop the rest.
+  scratch_rows_.clear();
+  std::vector<const rs::core::CostFunction*> signature;
+  signature.reserve(horizon);
+  std::vector<const std::vector<double>*> rows;
+  rows.reserve(horizon);
+  for (std::size_t j = 0; j < horizon; ++j) {
+    const rs::core::CostFunction* cost =
+        j == 0 ? f.get() : lookahead[j - 1].get();
+    signature.push_back(cost);
+    auto [it, inserted] = scratch_rows_.try_emplace(cost, nullptr);
+    if (inserted) {
+      if (const auto hit = rows_.find(cost); hit != rows_.end()) {
+        it->second = hit->second;
+        ++stats_.row_reuses;
+      } else {
+        it->second = std::make_shared<const std::vector<double>>(
+            evaluate_row(*cost, context_.m));
+        ++stats_.row_evaluations;
+      }
+    } else {
+      ++stats_.row_reuses;  // repeated slot within the window
+    }
+    rows.push_back(it->second.get());
+  }
+  rows_.swap(scratch_rows_);
+
+  // Unchanged overlapping horizon: the previous solve IS this solve.
+  if (prev_start_ == start_state && signature == signature_) {
+    ++stats_.reused_plans;
+    return plan_;
+  }
+
+  plan_ = plan_over_rows(start_state, rows, context_.m, context_.beta);
+  signature_ = std::move(signature);
+  prev_start_ = start_state;
+  ++stats_.plans;
+  stats_.planned_slots += static_cast<std::uint64_t>(horizon);
+  return plan_;
+}
+
 void RecedingHorizon::reset(const OnlineContext& context) {
   context_ = context;
+  planner_.reset(context);
   current_ = 0;
 }
 
 int RecedingHorizon::decide(const rs::core::CostPtr& f,
                             std::span<const rs::core::CostPtr> lookahead) {
-  const std::vector<int> plan =
-      plan_fixed_horizon(current_, f, lookahead, context_.m, context_.beta);
-  current_ = plan.front();
+  current_ = planner_.plan(current_, f, lookahead).front();
   return current_;
 }
 

@@ -1,0 +1,699 @@
+// Incremental re-solve property suite (DESIGN.md §12): delta sessions are
+// bit-identical to from-scratch solves on every backend and generator
+// family, probes restore state bitwise, the rewind buffer interacts
+// correctly with eviction and checkpoints, fleet what-if probes leave the
+// live session untouched, and the serving-layer plumbing (priorities,
+// shared form cache, engine kDeltaResolve, warm receding horizons) holds
+// its contracts.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint_store.hpp"
+#include "core/cost_function.hpp"
+#include "engine/solver_engine.hpp"
+#include "fleet/fleet_controller.hpp"
+#include "fleet/form_cache.hpp"
+#include "fleet/tenant.hpp"
+#include "offline/delta_session.hpp"
+#include "offline/work_function.hpp"
+#include "online/receding_horizon.hpp"
+#include "util/rng.hpp"
+#include "workload/random_instance.hpp"
+
+namespace {
+
+using rs::core::CostPtr;
+using rs::core::Problem;
+using rs::fleet::SlotFormCache;
+using rs::offline::DpDeltaSession;
+using rs::offline::OfflineResult;
+using rs::offline::WorkFunctionTracker;
+using rs::workload::InstanceFamily;
+using Backend = DpDeltaSession::Backend;
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> backends = {Backend::kDense, Backend::kPwl,
+                                                Backend::kAuto};
+  return backends;
+}
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kDense:
+      return "dense";
+    case Backend::kPwl:
+      return "pwl";
+    case Backend::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::vector<CostPtr> slot_costs(const Problem& p) {
+  std::vector<CostPtr> costs;
+  costs.reserve(static_cast<std::size_t>(p.horizon()));
+  for (int t = 1; t <= p.horizon(); ++t) costs.push_back(p.f_ptr(t));
+  return costs;
+}
+
+// Bitwise comparison of a live session against a from-scratch solve of the
+// same (edited) instance on the same backend.
+void expect_matches_fresh(DpDeltaSession& session,
+                          const std::vector<CostPtr>& costs,
+                          const std::string& label) {
+  Problem edited(session.max_servers(), session.beta(), costs);
+  DpDeltaSession fresh(edited, session.backend());
+  EXPECT_EQ(session.cost(), fresh.cost()) << label;
+  EXPECT_EQ(session.bounds().lower, fresh.bounds().lower) << label;
+  EXPECT_EQ(session.bounds().upper, fresh.bounds().upper) << label;
+  EXPECT_EQ(session.result().schedule, fresh.result().schedule) << label;
+}
+
+// ---------------------------------------------------------------------------
+// DpDeltaSession: bit-identity across families × backends
+// ---------------------------------------------------------------------------
+
+TEST(DeltaSession, SingleSlotEditsMatchFromScratchEverywhere) {
+  const int T = 36;
+  const int m = 16;
+  const double beta = 1.7;
+  for (InstanceFamily family : rs::workload::all_instance_families()) {
+    for (Backend backend : all_backends()) {
+      const std::string label =
+          rs::workload::family_name(family) + "/" + backend_name(backend);
+      rs::util::Rng rng(0xD31AD31Aull ^ static_cast<std::uint64_t>(family) * 31u ^
+                        static_cast<std::uint64_t>(backend));
+      const Problem base = rs::workload::random_instance(rng, family, T, m, beta);
+      const Problem donor =
+          rs::workload::random_instance(rng, family, T, m, beta);
+      std::vector<CostPtr> costs = slot_costs(base);
+      DpDeltaSession session(base, backend);
+      for (int edit = 0; edit < 6; ++edit) {
+        const int slot = rng.uniform_int(1, T);
+        CostPtr replacement = donor.f_ptr(rng.uniform_int(1, T));
+        costs[static_cast<std::size_t>(slot - 1)] = replacement;
+        DpDeltaSession::DeltaStats stats;
+        session.resolve_delta(slot, replacement, &stats);
+        EXPECT_GE(stats.slots_repaired, 0) << label;
+        expect_matches_fresh(session, costs,
+                             label + " edit " + std::to_string(edit));
+      }
+    }
+  }
+}
+
+TEST(DeltaSession, MultiSlotEditBatchesMatchFromScratch) {
+  const int T = 48;
+  const int m = 12;
+  const double beta = 2.0;
+  rs::util::Rng rng(0xBA7C4ull);
+  const Problem base =
+      rs::workload::random_instance(rng, InstanceFamily::kQuadratic, T, m, beta);
+  const Problem donor =
+      rs::workload::random_instance(rng, InstanceFamily::kAffineAbs, T, m, beta);
+  std::vector<CostPtr> costs = slot_costs(base);
+  DpDeltaSession session(base, Backend::kAuto);
+  for (int round = 0; round < 4; ++round) {
+    // A batch of edits, compared only once at the end: the schedule is
+    // materialized lazily so intermediate edits stay O(repair).
+    for (int k = 0; k < 3; ++k) {
+      const int slot = rng.uniform_int(1, T);
+      CostPtr replacement = donor.f_ptr(rng.uniform_int(1, T));
+      costs[static_cast<std::size_t>(slot - 1)] = replacement;
+      session.resolve_delta(slot, replacement);
+    }
+    expect_matches_fresh(session, costs, "round " + std::to_string(round));
+  }
+}
+
+TEST(DeltaSession, ProbeAnswersEditAndRestoresSessionBitwise) {
+  const int T = 40;
+  const int m = 10;
+  const double beta = 1.5;
+  rs::util::Rng rng(0x9E37ull);
+  const Problem base = rs::workload::random_instance(
+      rng, InstanceFamily::kFlatRegions, T, m, beta);
+  const Problem donor =
+      rs::workload::random_instance(rng, InstanceFamily::kQuadratic, T, m, beta);
+  const std::vector<CostPtr> costs = slot_costs(base);
+
+  DpDeltaSession session(base, Backend::kAuto);
+  const double cost_before = session.cost();
+  const std::vector<int> lower_before = session.bounds().lower;
+  const std::vector<int> upper_before = session.bounds().upper;
+  const rs::core::Schedule schedule_before = session.result().schedule;
+
+  for (int probe = 0; probe < 8; ++probe) {
+    const int slot = rng.uniform_int(1, T);
+    CostPtr replacement = donor.f_ptr(rng.uniform_int(1, T));
+
+    std::vector<CostPtr> edited = costs;
+    edited[static_cast<std::size_t>(slot - 1)] = replacement;
+    DpDeltaSession fresh(Problem(m, beta, edited), Backend::kAuto);
+
+    DpDeltaSession::DeltaStats stats;
+    OfflineResult answer = session.probe_delta(slot, replacement, &stats);
+    EXPECT_EQ(answer.cost, fresh.cost()) << "probe " << probe;
+    EXPECT_EQ(answer.schedule, fresh.result().schedule) << "probe " << probe;
+
+    // The live session is restored bitwise after every probe.
+    EXPECT_EQ(session.cost(), cost_before) << "probe " << probe;
+    EXPECT_EQ(session.bounds().lower, lower_before) << "probe " << probe;
+    EXPECT_EQ(session.bounds().upper, upper_before) << "probe " << probe;
+    EXPECT_EQ(session.result().schedule, schedule_before) << "probe " << probe;
+  }
+}
+
+TEST(DeltaSession, BackendTrajectoryFlipFallsBackToFullReplay) {
+  const int T = 20;
+  const int m = 64;  // compact-PWL budget is m/8 = 8 breakpoints
+  const double beta = 2.0;
+  rs::util::Rng rng(0xF11Full);
+  const Problem base =
+      rs::workload::random_instance(rng, InstanceFamily::kAffineAbs, T, m, beta);
+  std::vector<CostPtr> costs = slot_costs(base);
+
+  DpDeltaSession session(base, Backend::kAuto);
+
+  // A dense random convex table almost surely exceeds the compact budget,
+  // flipping the kAuto trajectory from PWL to dense at the edited slot.
+  CostPtr heavy = rs::workload::random_instance(
+                      rng, InstanceFamily::kConvexTable, 1, m, beta)
+                      .f_ptr(1);
+  const int slot = T / 2;
+  costs[static_cast<std::size_t>(slot - 1)] = heavy;
+  DpDeltaSession::DeltaStats stats;
+  session.resolve_delta(slot, heavy, &stats);
+  EXPECT_TRUE(stats.full_replay);
+  expect_matches_fresh(session, costs, "pwl->dense flip");
+
+  // ... and editing the offending slot back restores the PWL trajectory,
+  // again via full replay, again bit-identical.
+  CostPtr light = base.f_ptr(slot);
+  costs[static_cast<std::size_t>(slot - 1)] = light;
+  session.resolve_delta(slot, light, &stats);
+  EXPECT_TRUE(stats.full_replay);
+  expect_matches_fresh(session, costs, "dense->pwl flip");
+}
+
+TEST(DeltaSession, ValidatesEdits) {
+  rs::util::Rng rng(0x77ull);
+  const Problem base =
+      rs::workload::random_instance(rng, InstanceFamily::kQuadratic, 8, 6, 1.5);
+  DpDeltaSession session(base);
+  EXPECT_THROW(session.resolve_delta(0, base.f_ptr(1)), std::invalid_argument);
+  EXPECT_THROW(session.resolve_delta(9, base.f_ptr(1)), std::invalid_argument);
+  EXPECT_THROW(session.resolve_delta(3, nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// WorkFunctionTracker: rewind eviction and checkpoint interaction
+// ---------------------------------------------------------------------------
+
+TEST(RewindBuffer, EvictionMovesTheRepairWindowForward) {
+  rs::util::Rng rng(0xE71Cull);
+  const int m = 8;
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kAffineAbs, 20, m, 2.0);
+
+  WorkFunctionTracker tracker(m, 2.0);
+  tracker.enable_rewind(8);
+  for (int t = 1; t <= 20; ++t) tracker.advance(*p.f_ptr(t));
+
+  // Capacity 8 with 20 advances: slots 1..12 were evicted.
+  EXPECT_EQ(tracker.rewind_begin(), 13);
+  EXPECT_FALSE(tracker.rewind_covers(12));
+  EXPECT_TRUE(tracker.rewind_covers(13));
+  EXPECT_TRUE(tracker.rewind_covers(20));
+  EXPECT_FALSE(tracker.rewind_covers(21));
+  EXPECT_THROW(tracker.repair_from(12, *p.f_ptr(12)), std::out_of_range);
+
+  // Repairing a covered slot with its own recorded cost reconverges
+  // immediately: the tracker is bitwise unchanged.
+  const int xl = tracker.x_lower();
+  const int xu = tracker.x_upper();
+  const auto repair = tracker.repair_from(15, *p.f_ptr(15));
+  EXPECT_TRUE(repair.early_exit);
+  EXPECT_EQ(tracker.x_lower(), xl);
+  EXPECT_EQ(tracker.x_upper(), xu);
+}
+
+TEST(RewindBuffer, CheckpointRestoreThenRepairMatchesUninterrupted) {
+  rs::util::Rng rng(0xC4E0ull);
+  const int m = 10;
+  const Problem p = rs::workload::random_instance(
+      rng, InstanceFamily::kQuadratic, 24, m, 1.8);
+  const CostPtr edit = rs::workload::random_instance(
+                           rng, InstanceFamily::kQuadratic, 1, m, 1.8)
+                           .f_ptr(1);
+
+  // Uninterrupted run with a full-horizon rewind buffer.
+  WorkFunctionTracker full(m, 1.8);
+  full.enable_rewind(24);
+  for (int t = 1; t <= 12; ++t) full.advance(*p.f_ptr(t));
+
+  // Kill-and-resume at slot 12: rewind state is deliberately not part of
+  // the checkpoint wire format, so the restored tracker re-enables it and
+  // its window starts at the resume point.
+  WorkFunctionTracker resumed = WorkFunctionTracker::restore(full.snapshot());
+  EXPECT_FALSE(resumed.rewind_enabled());
+  resumed.enable_rewind(24);
+  EXPECT_EQ(resumed.rewind_begin(), 13);
+
+  for (int t = 13; t <= 24; ++t) {
+    full.advance(*p.f_ptr(t));
+    resumed.advance(*p.f_ptr(t));
+  }
+
+  // A repair inside the common window produces identical results on both.
+  const auto repair_full = full.repair_from(18, *edit);
+  const auto repair_resumed = resumed.repair_from(18, *edit);
+  EXPECT_EQ(repair_full.lower, repair_resumed.lower);
+  EXPECT_EQ(repair_full.upper, repair_resumed.upper);
+  EXPECT_EQ(repair_full.early_exit, repair_resumed.early_exit);
+  EXPECT_EQ(full.x_lower(), resumed.x_lower());
+  EXPECT_EQ(full.x_upper(), resumed.x_upper());
+  for (int x = 0; x <= m; ++x) {
+    EXPECT_EQ(full.chat_lower(x), resumed.chat_lower(x)) << "x=" << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: what-if probes, priorities, shared form cache
+// ---------------------------------------------------------------------------
+
+// Integer-valued slot costs (slope ∈ {1,2}, center = λ), shared with
+// test_fleet.cpp: exact in double on both backends.
+std::function<CostPtr(double)> integer_cost() {
+  return [](double lambda) -> CostPtr {
+    const double slope =
+        1.0 + static_cast<double>(static_cast<long long>(lambda) % 2);
+    return std::make_shared<rs::core::AffineAbsCost>(slope, lambda, 0.0);
+  };
+}
+
+std::vector<double> integer_trace(int m, int horizon, std::uint64_t seed) {
+  rs::util::Rng rng(seed);
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(horizon));
+  for (int t = 0; t < horizon; ++t) {
+    trace.push_back(static_cast<double>(rng.uniform_int(0, m)));
+  }
+  return trace;
+}
+
+rs::fleet::TenantConfig probe_config(std::string name, int m) {
+  rs::fleet::TenantConfig config;
+  config.name = std::move(name);
+  config.m = m;
+  config.beta = 2.0;
+  config.cost_of = integer_cost();
+  config.what_if_slots = 64;
+  return config;
+}
+
+void feed(rs::fleet::TenantSession& session, rs::core::CheckpointStore& store,
+          std::span<const double> trace) {
+  for (double lambda : trace) ASSERT_TRUE(session.offer(lambda));
+  while (session.due()) ASSERT_GT(session.step(store), 0);
+}
+
+TEST(FleetWhatIf, MatchesEditedReplayAndLeavesLiveSessionUntouched) {
+  const int m = 8;
+  std::vector<double> trace = integer_trace(m, 24, 0xAB5Eull);
+  rs::core::CheckpointStore store;
+  rs::fleet::TenantSession live(probe_config("live", m), 0);
+  feed(live, store, trace);
+
+  const std::vector<std::uint8_t> bytes_before = live.snapshot_bytes();
+  const rs::core::Schedule schedule_before = live.schedule();
+
+  rs::util::Rng rng(0x5EEDull);
+  for (int probe = 0; probe < 6; ++probe) {
+    const int slot = rng.uniform_int(1, 24);
+    const double lambda = static_cast<double>(rng.uniform_int(0, m));
+    const auto result = live.what_if(slot, lambda);
+    ASSERT_TRUE(result.has_value()) << "slot " << slot;
+
+    // Reference: a session that really decided the edited trace.
+    std::vector<double> edited = trace;
+    edited[static_cast<std::size_t>(slot - 1)] = lambda;
+    rs::core::CheckpointStore scratch;
+    rs::fleet::TenantSession reference(
+        probe_config("ref" + std::to_string(probe), m), 1);
+    feed(reference, scratch, edited);
+
+    EXPECT_EQ(result->projected_state, reference.schedule().back());
+    EXPECT_EQ(result->x_lower, reference.lower_bounds().back());
+    EXPECT_EQ(result->x_upper, reference.upper_bounds().back());
+
+    // The live session — including its checkpoint bytes — is untouched.
+    EXPECT_EQ(live.snapshot_bytes(), bytes_before);
+    EXPECT_EQ(live.schedule(), schedule_before);
+  }
+
+  // Probes never throw: bad inputs simply return nullopt.
+  EXPECT_FALSE(live.what_if(0, 1.0).has_value());
+  EXPECT_FALSE(live.what_if(25, 1.0).has_value());
+  EXPECT_FALSE(live.what_if(3, -1.0).has_value());
+  EXPECT_FALSE(live.what_if(3, std::nan("")).has_value());
+  EXPECT_EQ(live.snapshot_bytes(), bytes_before);
+}
+
+TEST(FleetWhatIf, WindowSlidesWithEvictionAndDisabledConfigsDecline) {
+  const int m = 6;
+  rs::fleet::TenantConfig config = probe_config("slide", m);
+  config.what_if_slots = 8;
+  rs::core::CheckpointStore store;
+  rs::fleet::TenantSession session(std::move(config), 0);
+  feed(session, store, integer_trace(m, 30, 0x1D01ull));
+
+  // Capacity 8 after 30 slots: only the trailing window answers.
+  EXPECT_FALSE(session.what_if(22, 1.0).has_value());
+  EXPECT_TRUE(session.what_if(23, 1.0).has_value());
+  EXPECT_TRUE(session.what_if(30, 1.0).has_value());
+
+  // what_if_slots == 0 declines probes outright.
+  rs::fleet::TenantConfig off = probe_config("off", m);
+  off.what_if_slots = 0;
+  rs::fleet::TenantSession plain(std::move(off), 1);
+  feed(plain, store, integer_trace(m, 5, 0x1D11ull));
+  EXPECT_FALSE(plain.what_if(3, 1.0).has_value());
+
+  // ... and probes with a window require window == 0 at validation time.
+  rs::fleet::TenantConfig bad = probe_config("bad", m);
+  bad.window = 2;
+  EXPECT_THROW(rs::fleet::TenantSession(std::move(bad), 2),
+               std::invalid_argument);
+}
+
+TEST(FleetWhatIf, AnswersAfterProcessRestartResume) {
+  const int m = 8;
+  const std::vector<double> trace = integer_trace(m, 30, 0xFACEull);
+  const std::span<const double> first(trace.data(), 20);
+  const std::span<const double> rest(trace.data() + 20, 10);
+
+  rs::core::CheckpointStore store;
+  {
+    rs::fleet::TenantSession before(probe_config("restartable", m), 0);
+    feed(before, store, first);
+    before.checkpoint_now(store);
+  }
+  rs::fleet::TenantSession resumed(probe_config("restartable", m), 0, &store);
+  EXPECT_EQ(resumed.steps(), 20u);
+  feed(resumed, store, rest);
+
+  rs::util::Rng rng(0xBEEull);
+  for (int probe = 0; probe < 4; ++probe) {
+    const int slot = rng.uniform_int(21, 30);  // inside the post-resume window
+    const double lambda = static_cast<double>(rng.uniform_int(0, m));
+    const auto result = resumed.what_if(slot, lambda);
+    ASSERT_TRUE(result.has_value()) << "slot " << slot;
+
+    std::vector<double> edited = trace;
+    edited[static_cast<std::size_t>(slot - 1)] = lambda;
+    rs::core::CheckpointStore scratch;
+    rs::fleet::TenantSession reference(
+        probe_config("restart-ref" + std::to_string(probe), m), 1);
+    feed(reference, scratch, edited);
+    EXPECT_EQ(result->projected_state, reference.schedule().back());
+    EXPECT_EQ(result->x_lower, reference.lower_bounds().back());
+    EXPECT_EQ(result->x_upper, reference.upper_bounds().back());
+  }
+}
+
+TEST(FleetPriority, InteractiveTenantsStartBeforeBatch) {
+  rs::fleet::FleetOptions options;
+  options.threads = 1;
+  options.tick_budget_seconds = 1e-12;  // expires immediately: only the
+                                        // first-started tenant advances
+  rs::fleet::FleetController fleet(options);
+
+  rs::fleet::TenantConfig batch = probe_config("batch", 6);
+  batch.what_if_slots = 0;
+  batch.priority = rs::fleet::Priority::kBatch;
+  rs::fleet::TenantConfig interactive = probe_config("interactive", 6);
+  interactive.what_if_slots = 0;
+  interactive.priority = rs::fleet::Priority::kInteractive;
+
+  // Registration order is batch-first: priority, not ordinal, must decide.
+  const std::size_t b = fleet.add_tenant(std::move(batch));
+  const std::size_t i = fleet.add_tenant(std::move(interactive));
+  ASSERT_TRUE(fleet.offer(b, 2.0));
+  ASSERT_TRUE(fleet.offer(i, 3.0));
+
+  const auto report = fleet.tick();
+  EXPECT_EQ(report.due, 2u);
+  EXPECT_EQ(report.deferred, 1u);
+  EXPECT_EQ(fleet.tenant(i).steps(), 1u);
+  EXPECT_EQ(fleet.tenant(b).steps(), 0u);
+  EXPECT_EQ(fleet.tenant(b).stats().deferrals, 1u);
+  fleet.run_until_drained();
+  EXPECT_EQ(fleet.tenant(b).steps(), 1u);
+}
+
+// Forwarding wrapper counting as_convex_pwl calls (the conversion-count
+// idiom of test_pwl_problem.cpp).
+class CountingCost final : public rs::core::CostFunction {
+ public:
+  CountingCost(CostPtr base, std::shared_ptr<std::atomic<int>> conversions)
+      : base_(std::move(base)), conversions_(std::move(conversions)) {}
+  double at(int x) const override { return base_->at(x); }
+  void eval_row(int m, std::span<double> out) const override {
+    base_->eval_row(m, out);
+  }
+  bool is_convex() const override { return base_->is_convex(); }
+  std::string name() const override {
+    return "counting(" + base_->name() + ")";
+  }
+
+ protected:
+  std::optional<rs::core::ConvexPwl> as_convex_pwl_impl(
+      int m, int max_breakpoints) const override {
+    conversions_->fetch_add(1, std::memory_order_relaxed);
+    return base_->as_convex_pwl(m, max_breakpoints);
+  }
+
+ private:
+  CostPtr base_;
+  std::shared_ptr<std::atomic<int>> conversions_;
+};
+
+TEST(FleetFormCache, DistinctCostsConvertOnceAcrossTenants) {
+  auto conversions = std::make_shared<std::atomic<int>>(0);
+  // λ → cost memo shared by both tenants, so identical samples yield the
+  // SAME CostPtr — the identity the cache keys on.
+  auto memo = std::make_shared<std::map<double, CostPtr>>();
+  auto cost_of = [conversions, memo](double lambda) -> CostPtr {
+    auto [it, inserted] = memo->try_emplace(lambda, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<CountingCost>(
+          std::make_shared<rs::core::AffineAbsCost>(1.0, lambda, 0.0),
+          conversions);
+    }
+    return it->second;
+  };
+
+  rs::fleet::FleetOptions options;
+  options.threads = 1;
+  rs::fleet::FleetController fleet(options);
+  for (int k = 0; k < 2; ++k) {
+    rs::fleet::TenantConfig config;
+    config.name = "cache" + std::to_string(k);
+    config.m = 6;
+    config.beta = 2.0;
+    config.cost_of = cost_of;
+    fleet.add_tenant(std::move(config));
+  }
+
+  const std::vector<double> trace = integer_trace(6, 40, 0xCAC4Eull);
+  for (double lambda : trace) {
+    ASSERT_TRUE(fleet.offer(0, lambda));
+    ASSERT_TRUE(fleet.offer(1, lambda));
+  }
+  fleet.run_until_drained();
+  ASSERT_EQ(fleet.tenant(0).steps(), 40u);
+  ASSERT_EQ(fleet.tenant(1).steps(), 40u);
+
+  const std::size_t distinct = memo->size();
+  // 80 decided slots, `distinct` distinct costs: the fleet-wide cache
+  // converted each exactly once and served every other use from the map.
+  EXPECT_EQ(fleet.form_cache().conversions(), distinct);
+  EXPECT_EQ(conversions->load(), static_cast<int>(distinct));
+  EXPECT_GE(fleet.form_cache().hits(), 80u - distinct);
+
+  // Both tenants saw the same costs, so they decided identically.
+  EXPECT_EQ(fleet.tenant(0).schedule(), fleet.tenant(1).schedule());
+  EXPECT_EQ(fleet.tenant(0).lower_bounds(), fleet.tenant(1).lower_bounds());
+  EXPECT_EQ(fleet.tenant(0).upper_bounds(), fleet.tenant(1).upper_bounds());
+}
+
+TEST(FleetFormCache, CachedFormsDoNotChangeDecisions) {
+  // Same trace through a cached tenant and a cache-free tenant (identical
+  // costs): decisions, bounds, and checkpoint bytes must be bitwise equal.
+  const std::vector<double> trace = integer_trace(8, 32, 0xFADEull);
+  rs::core::CheckpointStore store;
+
+  SlotFormCache cache;
+  rs::fleet::TenantConfig cached = probe_config("cached", 8);
+  cached.form_cache = &cache;
+  rs::fleet::TenantSession with_cache(std::move(cached), 0);
+  feed(with_cache, store, trace);
+  EXPECT_GE(cache.conversions() + cache.hits(), 1u);
+
+  rs::fleet::TenantConfig plain = probe_config("cached", 8);  // same key
+  rs::fleet::TenantSession without_cache(std::move(plain), 0);
+  feed(without_cache, store, trace);
+
+  EXPECT_EQ(with_cache.schedule(), without_cache.schedule());
+  EXPECT_EQ(with_cache.lower_bounds(), without_cache.lower_bounds());
+  EXPECT_EQ(with_cache.upper_bounds(), without_cache.upper_bounds());
+  EXPECT_EQ(with_cache.snapshot_bytes(), without_cache.snapshot_bytes());
+}
+
+TEST(FormCache, PinsNegativeResultsAndBoundsItsSize) {
+  EXPECT_THROW(SlotFormCache(0), std::invalid_argument);
+
+  SlotFormCache cache(2);
+  EXPECT_EQ(cache.form_for(nullptr, 4), nullptr);
+
+  const CostPtr a = std::make_shared<rs::core::AffineAbsCost>(1.0, 2.0, 0.0);
+  const CostPtr b = std::make_shared<rs::core::AffineAbsCost>(2.0, 1.0, 0.0);
+  const CostPtr c = std::make_shared<rs::core::AffineAbsCost>(1.0, 1.0, 0.0);
+  ASSERT_NE(cache.form_for(a, 8), nullptr);
+  EXPECT_EQ(cache.conversions(), 1u);
+  ASSERT_NE(cache.form_for(a, 8), nullptr);
+  EXPECT_EQ(cache.conversions(), 1u);  // second use is a hit
+  EXPECT_EQ(cache.hits(), 1u);
+
+  ASSERT_NE(cache.form_for(b, 8), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  // Full: new keys degrade to per-use conversion (nullptr), size is capped.
+  EXPECT_EQ(cache.form_for(c, 8), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: kDeltaResolve jobs
+// ---------------------------------------------------------------------------
+
+TEST(EngineDelta, ProbesMatchFromScratchAndAreOrderIndependent) {
+  const int T = 30;
+  const int m = 12;
+  const double beta = 1.6;
+  rs::util::Rng rng(0xE61ull);
+  const Problem base =
+      rs::workload::random_instance(rng, InstanceFamily::kQuadratic, T, m, beta);
+  const Problem donor =
+      rs::workload::random_instance(rng, InstanceFamily::kAffineAbs, T, m, beta);
+
+  std::vector<rs::engine::SolveJob> jobs;
+  for (int k = 0; k < 8; ++k) {
+    rs::engine::SolveJob job;
+    job.problem = &base;
+    job.kind = rs::engine::SolverKind::kDeltaResolve;
+    job.edit_slot = rng.uniform_int(1, T);
+    job.edit_cost = donor.f_ptr(rng.uniform_int(1, T));
+    jobs.push_back(std::move(job));
+  }
+
+  rs::engine::SolverEngine inline_engine(rs::engine::SolverEngine::Options{
+      .threads = 1, .share_dense = true});
+  const auto inline_result = inline_engine.run(jobs);
+  ASSERT_EQ(inline_result.outcomes.size(), jobs.size());
+  EXPECT_GT(inline_result.stats.slots_repaired, 0u);
+
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    ASSERT_TRUE(inline_result.outcomes[k].ok()) << inline_result.outcomes[k].error;
+    std::vector<CostPtr> edited = slot_costs(base);
+    edited[static_cast<std::size_t>(jobs[k].edit_slot - 1)] = jobs[k].edit_cost;
+    DpDeltaSession fresh(Problem(m, beta, edited));
+    EXPECT_EQ(inline_result.outcomes[k].cost, fresh.cost()) << "job " << k;
+    EXPECT_EQ(inline_result.outcomes[k].schedule, fresh.result().schedule)
+        << "job " << k;
+  }
+
+  // Threaded batches share one session per instance under a mutex; probes
+  // restore it bitwise, so outcomes are independent of probe order.
+  rs::engine::SolverEngine threaded(rs::engine::SolverEngine::Options{
+      .threads = 4, .share_dense = true});
+  const auto threaded_result = threaded.run(jobs);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    EXPECT_EQ(threaded_result.outcomes[k].cost, inline_result.outcomes[k].cost);
+    EXPECT_EQ(threaded_result.outcomes[k].schedule,
+              inline_result.outcomes[k].schedule);
+  }
+
+  // Structural validation happens before anything runs.
+  rs::engine::SolveJob bad;
+  bad.problem = &base;
+  bad.kind = rs::engine::SolverKind::kDeltaResolve;
+  bad.edit_slot = 0;
+  bad.edit_cost = donor.f_ptr(1);
+  EXPECT_THROW(inline_engine.run(std::vector<rs::engine::SolveJob>{bad}),
+               std::invalid_argument);
+  bad.edit_slot = 3;
+  bad.edit_cost = nullptr;
+  EXPECT_THROW(inline_engine.run(std::vector<rs::engine::SolveJob>{bad}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Online: warm receding horizons
+// ---------------------------------------------------------------------------
+
+TEST(WarmHorizon, MatchesColdPlansAndReusesAcrossRleRuns) {
+  const int m = 10;
+  const double beta = 2.0;
+  const int window = 4;
+  rs::util::Rng rng(0x4E0ull);
+
+  // RLE trace: runs of one repeated CostPtr, run length > window + 1 so
+  // interior steps present identical (start, window) pairs.
+  std::vector<CostPtr> slots;
+  while (slots.size() < 60) {
+    const CostPtr cost = std::make_shared<rs::core::AffineAbsCost>(
+        static_cast<double>(rng.uniform_int(1, 3)),
+        static_cast<double>(rng.uniform_int(0, m)), 0.0);
+    const int run = rng.uniform_int(6, 10);
+    for (int k = 0; k < run && slots.size() < 60; ++k) slots.push_back(cost);
+  }
+  const int T = static_cast<int>(slots.size());
+
+  const rs::online::OnlineContext context{.m = m, .beta = beta};
+  rs::online::RecedingHorizon warm;
+  warm.reset(context);
+
+  int cold_state = 0;
+  for (int t = 0; t < T; ++t) {
+    const int lookahead = std::min(window, T - 1 - t);
+    const std::span<const CostPtr> future(
+        slots.data() + t + 1, static_cast<std::size_t>(lookahead));
+    const int warm_state = warm.decide(slots[static_cast<std::size_t>(t)], future);
+    cold_state = rs::online::plan_fixed_horizon(
+                     cold_state, slots[static_cast<std::size_t>(t)], future, m,
+                     beta)
+                     .front();
+    ASSERT_EQ(warm_state, cold_state) << "slot " << t;
+  }
+
+  const rs::online::WarmHorizonStats& stats = warm.warm_stats();
+  EXPECT_EQ(stats.plans + stats.reused_plans, static_cast<std::uint64_t>(T));
+  EXPECT_GT(stats.reused_plans, 0u);  // interior of every long run
+  EXPECT_GT(stats.row_reuses, stats.row_evaluations);
+  // Each distinct cost is evaluated at most once per contiguous presence
+  // in the window — far fewer evaluations than window slots swept.
+  EXPECT_LT(stats.row_evaluations, stats.planned_slots);
+}
+
+}  // namespace
