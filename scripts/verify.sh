@@ -9,6 +9,13 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 jobs="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)"
 
+# Project lint first: it needs no build and catches the cheap stuff
+# (NaN-laundering min/max folds, raw float equality, unclassified
+# catch-alls, missing eval_row overrides) before the compile starts.
+# Self-test runs first so a broken rule fails loudly, not vacuously.
+python3 "${repo_root}/scripts/lint_rightsizer.py" --self-test
+python3 "${repo_root}/scripts/lint_rightsizer.py" --root "${repo_root}"
+
 cmake -B "${build_dir}" -S "${repo_root}"
 cmake --build "${build_dir}" -j "${jobs}"
 cd "${build_dir}"

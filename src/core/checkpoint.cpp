@@ -6,6 +6,8 @@
 #include <fstream>
 #include <iterator>
 
+#include "util/audit.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -98,7 +100,20 @@ std::vector<std::uint8_t> CheckpointWriter::seal(std::uint32_t kind) const {
   put_u64(out, static_cast<std::uint64_t>(payload_.size()));
   put_u32(out, crc32(payload_));
   out.insert(out.end(), payload_.begin(), payload_.end());
+  RS_AUDIT(audit_envelope(out, kind, "CheckpointWriter::seal"));
   return out;
+}
+
+void audit_envelope(std::span<const std::uint8_t> bytes, std::uint32_t kind,
+                    const char* site) {
+  try {
+    // The constructor validates magic, version, kind, payload size, and
+    // CRC-32 — the full envelope contract a future restore depends on.
+    const CheckpointReader reader(bytes, kind);
+    (void)reader;
+  } catch (const CheckpointError& e) {
+    rs::util::audit::fail("checkpoint-envelope-roundtrip", site, e.what());
+  }
 }
 
 CheckpointReader::CheckpointReader(std::span<const std::uint8_t> data,
@@ -253,7 +268,7 @@ void write_checkpoint_file(const std::string& path,
   }
   try {
     sync_to_disk(tmp);
-  } catch (...) {
+  } catch (...) {  // rs-lint: catch-all-ok (cleanup + rethrow)
     std::remove(tmp.c_str());
     throw;
   }

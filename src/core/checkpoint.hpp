@@ -132,6 +132,16 @@ class CheckpointReader {
 /// header is absent.
 std::uint32_t checkpoint_kind(std::span<const std::uint8_t> data);
 
+/// Envelope self-check (util/audit.hpp; DESIGN.md §13): re-parses a sealed
+/// checkpoint through the validating reader — magic, version, kind, size,
+/// CRC-32 — so every snapshot is proven restorable the moment it is
+/// produced, not when a recovery first needs it.  Raises
+/// rs::util::audit::AuditError("checkpoint-envelope-roundtrip", site)
+/// wrapping the reader's typed complaint.  Always compiled; the RS_AUDIT
+/// hook in CheckpointWriter::seal engages only under RIGHTSIZER_AUDIT.
+void audit_envelope(std::span<const std::uint8_t> bytes, std::uint32_t kind,
+                    const char* site);
+
 /// Binary file helpers; throw std::runtime_error on I/O failure (and the
 /// reader-side CheckpointErrors surface unchanged from the caller's parse).
 ///

@@ -6,10 +6,39 @@
 #include <cmath>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+
+#include "util/audit.hpp"
 
 namespace rs::core {
 
 using rs::util::kInf;
+
+void audit_convex_pwl(const ConvexPwl& f, const char* site) {
+  namespace audit = rs::util::audit;
+  if (f.is_infinite()) return;  // the empty function has no representation
+  audit::require(f.lo() <= f.hi(), "pwl-domain-ordered", site);
+  audit::require(std::isfinite(f.value_lo()), "pwl-anchor-finite", site);
+  audit::require(std::isfinite(f.first_slope()), "pwl-slope-finite", site);
+  if (f.lo() == f.hi()) {
+    // rs-lint: float-eq-ok (representation contract: a point domain stores
+    // exactly 0.0, assigned, never computed)
+    audit::require(f.first_slope() == 0.0 && f.slope_increments().empty(),
+                   "pwl-point-domain-flat", site);
+    return;
+  }
+  for (const auto& [position, increment] : f.slope_increments()) {
+    audit::require_with(
+        position > f.lo() && position < f.hi(), "pwl-breakpoint-in-domain",
+        site, [&] { return "position " + std::to_string(position); });
+    audit::require_with(
+        increment > 0.0 && std::isfinite(increment), "pwl-increment-positive",
+        site, [&] {
+          return "position " + std::to_string(position) + " increment " +
+                 std::to_string(increment);
+        });
+  }
+}
 
 ConvexPwl ConvexPwl::point(int x, double value) {
   return ConvexPwl(x, x, value);
@@ -29,6 +58,8 @@ ConvexPwl ConvexPwl::from_parts(int lo, int hi, double v_lo, double slope0,
   if (!std::isfinite(slope0)) {
     throw std::invalid_argument("ConvexPwl::from_parts: non-finite slope");
   }
+  // rs-lint: float-eq-ok (representation contract: a point domain stores
+  // exactly 0.0)
   if (lo == hi && (slope0 != 0.0 || !dslope.empty())) {
     throw std::invalid_argument(
         "ConvexPwl::from_parts: point domain carries slopes");
@@ -46,6 +77,7 @@ ConvexPwl ConvexPwl::from_parts(int lo, int hi, double v_lo, double slope0,
   ConvexPwl out(lo, hi, v_lo);
   out.slope0_ = slope0;
   out.dslope_ = std::move(dslope);
+  RS_AUDIT(audit_convex_pwl(out, "ConvexPwl::from_parts"));
   return out;
 }
 
@@ -200,6 +232,8 @@ ConvexPwl::ArgminInterval ConvexPwl::argmin() const {
   }
   result.lo = position;
   result.value = value;
+  // rs-lint: float-eq-ok (a flat plateau is an exactly-zero slope run by
+  // the builder's merge contract)
   while (slope == 0.0) {
     const int next = it == dslope_.end() ? hi_ : it->first;
     position = next;
@@ -401,6 +435,7 @@ void ConvexPwl::add(const ConvexPwl& g) {
   for (; it != g.dslope_.end() && it->first < new_hi; ++it) {
     dslope_[it->first] += it->second;
   }
+  RS_AUDIT(audit_convex_pwl(*this, "ConvexPwl::add"));
 }
 
 bool ConvexPwl::same_shape(const ConvexPwl& other) const noexcept {
@@ -429,6 +464,7 @@ void ConvexPwl::relax_charge_up(double beta, int lo, int hi) {
   clip_front(0.0);
   extend_left(lo, 0.0);
   extend_right(hi, beta);
+  RS_AUDIT(audit_convex_pwl(*this, "ConvexPwl::relax_charge_up"));
 }
 
 void ConvexPwl::relax_charge_down(double beta, int lo, int hi) {
@@ -437,6 +473,7 @@ void ConvexPwl::relax_charge_down(double beta, int lo, int hi) {
   clip_back(0.0);
   extend_left(lo, -beta);
   extend_right(hi, 0.0);
+  RS_AUDIT(audit_convex_pwl(*this, "ConvexPwl::relax_charge_down"));
 }
 
 // ---------------------------------------------------------------------------
@@ -495,6 +532,7 @@ std::optional<ConvexPwl> ConvexPwlBuilder::finish(int max_breakpoints) {
                              runs_[i].second - runs_[i - 1].second);
     }
   }
+  RS_AUDIT(audit_convex_pwl(result, "ConvexPwlBuilder::finish"));
   return result;
 }
 

@@ -165,6 +165,7 @@ class ConvexPwl {
 
  private:
   friend class ConvexPwlBuilder;
+  friend struct ConvexPwlTestAccess;
 
   ConvexPwl(int lo, int hi, double v_lo)
       : infinite_(false), lo_(lo), hi_(hi), v_lo_(v_lo) {}
@@ -189,6 +190,29 @@ class ConvexPwl {
   double slope0_ = 0.0;  // slope of [lo_, lo_+1]; 0 when lo_ == hi_
   // x -> s(x) − s(x−1) for lo_ < x < hi_; entries are > 0.
   std::map<int, double> dslope_;
+};
+
+/// Deep representation-invariant audit (util/audit.hpp; DESIGN.md §13):
+/// domain ordered (lo <= hi), anchor value and slopes finite, slope
+/// increments strictly positive and strictly inside (lo, hi), a point
+/// domain carrying no slopes.  Raises rs::util::audit::AuditError naming
+/// the violated invariant and `site`.  Always compiled (the auditor's
+/// negative tests call it directly); the RS_AUDIT hooks after every
+/// mutating operation engage only under RIGHTSIZER_AUDIT.
+void audit_convex_pwl(const ConvexPwl& f, const char* site);
+
+/// Test-only corruption hooks for the auditor's negative tests
+/// (tests/test_audit.cpp): direct references to the private representation
+/// so a test can break exactly one invariant and assert the audit names
+/// it.  Never use outside tests — every member bypasses validation.
+struct ConvexPwlTestAccess {
+  static int& lo(ConvexPwl& f) noexcept { return f.lo_; }
+  static int& hi(ConvexPwl& f) noexcept { return f.hi_; }
+  static double& v_lo(ConvexPwl& f) noexcept { return f.v_lo_; }
+  static double& slope0(ConvexPwl& f) noexcept { return f.slope0_; }
+  static std::map<int, double>& dslope(ConvexPwl& f) noexcept {
+    return f.dslope_;
+  }
 };
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ double CostFunction::at_real(double x) const {
   const double floor_x = std::floor(x);
   const int lo = static_cast<int>(floor_x);
   const double theta = x - floor_x;
+  // rs-lint: float-eq-ok (x - floor(x) is exactly 0 iff x is integral)
   if (theta == 0.0) return at(lo);
   const double f_lo = at(lo);
   const double f_hi = at(lo + 1);
@@ -250,6 +251,8 @@ void QuadraticCost::eval_row(int m, std::span<double> out) const {
 
 std::optional<ConvexPwl> QuadraticCost::as_convex_pwl_impl(
     int m, int max_breakpoints) const {
+  // rs-lint: float-eq-ok (exact degenerate-quadratic sentinel, never
+  // computed)
   if (curvature_ == 0.0) {
     ConvexPwlBuilder builder;
     builder.start(0, offset_);
@@ -304,6 +307,7 @@ double RestrictedSlotCost::at(int x) const {
 double RestrictedSlotCost::at_real(double x) const {
   if (x < 0.0) throw std::invalid_argument("RestrictedSlotCost: x < 0");
   if (x < lambda_) return kInf;  // constraint x_t >= λ_t (paper eq. 2)
+  // rs-lint: float-eq-ok (exact empty-center sentinel)
   if (x == 0.0) return 0.0;      // λ must be 0 here; an empty center is free
   return x * (*f_)(lambda_ / x);
 }
@@ -354,6 +358,7 @@ double LinearLoadSlotCost::at(int x) const {
 double LinearLoadSlotCost::at_real(double x) const {
   if (x < 0.0) throw std::invalid_argument("LinearLoadSlotCost: x < 0");
   if (x < lambda_) return kInf;  // constraint x_t >= λ_t (paper eq. 2)
+  // rs-lint: float-eq-ok (exact empty-center sentinel)
   if (x == 0.0) return 0.0;      // λ must be 0 here; an empty center is free
   return base_ * x + rate_ * lambda_;
 }
@@ -418,6 +423,7 @@ std::optional<ConvexPwl> ScaledCost::as_convex_pwl_impl(int m,
                                                    int max_breakpoints) const {
   std::optional<ConvexPwl> base = base_->as_convex_pwl(m, max_breakpoints);
   if (!base) return std::nullopt;
+  // rs-lint: float-eq-ok (exact zero-scale sentinel, never computed)
   if (factor_ == 0.0) {
     // at() is 0·base(x), which is NaN on infeasible base states; only the
     // everywhere-finite case has a representable (zero) form.
@@ -673,6 +679,7 @@ double interpolate(const CostFunction& f, double x) {
   const double floor_x = std::floor(x);
   const int lo = static_cast<int>(floor_x);
   const double theta = x - floor_x;
+  // rs-lint: float-eq-ok (x - floor(x) is exactly 0 iff x is integral)
   if (theta == 0.0) return f.at(lo);
   const double f_lo = f.at(lo);
   const double f_hi = f.at(lo + 1);

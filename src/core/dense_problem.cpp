@@ -1,5 +1,10 @@
 #include "core/dense_problem.hpp"
 
+#include <cmath>
+#include <string>
+
+#include "util/audit.hpp"
+#include "util/math_util.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rs::core {
@@ -63,6 +68,44 @@ DenseProblem::DenseProblem(const Problem& p, Mode mode,
   }
   // Every row is materialized; the cost functions are no longer needed.
   functions_ = std::vector<CostPtr>();
+  RS_AUDIT(audit_rows("DenseProblem::DenseProblem"));
+}
+
+void DenseProblem::audit_rows(const char* site) const {
+  namespace audit = rs::util::audit;
+  const std::size_t rows = static_cast<std::size_t>(T_);
+  audit::require(stride_ == static_cast<std::size_t>(m_) + 1 &&
+                     values_.size() == rows * stride_ &&
+                     ready_.size() == rows && min_small_.size() == rows &&
+                     min_large_.size() == rows,
+                 "dense-table-shape", site);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (ready_[i] == 0) {
+      // An unmaterialized lazy row carries no invariants yet, but its
+      // minimizer caches cannot have been computed either.
+      audit::require(min_small_[i] < 0 && min_large_[i] < 0,
+                     "dense-minimizer-before-row", site);
+      continue;
+    }
+    const std::span<const double> row{values_.data() + i * stride_, stride_};
+    bool poisoned = false;
+    for (const double v : row) {
+      // NaN is deliberately allowed: poisoned instances travel the dense
+      // path so the solvers' poison accumulators can classify them.
+      audit::require(v != -rs::util::kInf && !(v < 0.0),
+                     "dense-row-nonnegative", site);
+      poisoned = poisoned || v != v;  // rs-lint: float-eq-ok (NaN probe)
+    }
+    // A poisoned row has no well-defined argmin (NaN poisons every
+    // comparison), so the cache cross-check only applies to clean rows.
+    if (!poisoned && min_small_[i] >= 0) {
+      audit::require_with(
+          min_small_[i] == row_smallest_minimizer(row) &&
+              min_large_[i] == row_largest_minimizer(row),
+          "dense-minimizer-cache", site,
+          [&] { return "row " + std::to_string(i + 1); });
+    }
+  }
 }
 
 void DenseProblem::materialize_row(int t) const {

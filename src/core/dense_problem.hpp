@@ -96,7 +96,19 @@ class DenseProblem {
     return ready_[static_cast<std::size_t>(t - 1)] != 0;
   }
 
+  /// Deep row-invariant audit (util/audit.hpp; DESIGN.md §13): table shape
+  /// consistent (T×(m+1) values, per-row flags and caches sized T), no
+  /// materialized row containing -inf (extended-real costs live in
+  /// [0, +inf]; NaN is legal here — poisoned instances are *detected* on
+  /// the dense path, not rejected by it), and every computed minimizer
+  /// cache equal to a tie-break-exact re-scan of its row.  Raises
+  /// rs::util::audit::AuditError naming the violated invariant.  Always
+  /// compiled; the RS_AUDIT hook after eager construction engages only
+  /// under RIGHTSIZER_AUDIT.
+  void audit_rows(const char* site) const;
+
  private:
+  friend struct DenseProblemTestAccess;
   void touch(int t) const {
     assert(t >= 1 && t <= T_);
     if (mode_ == Mode::kLazy && !ready_[static_cast<std::size_t>(t - 1)]) {
@@ -119,6 +131,17 @@ class DenseProblem {
   mutable std::vector<std::uint8_t> ready_;   // per-row materialization flag
   mutable std::vector<std::int32_t> min_small_;
   mutable std::vector<std::int32_t> min_large_;
+};
+
+/// Test-only corruption hooks for the auditor's negative tests
+/// (tests/test_audit.cpp).  Never use outside tests.
+struct DenseProblemTestAccess {
+  static std::vector<double>& values(DenseProblem& d) noexcept {
+    return d.values_;
+  }
+  static std::vector<std::int32_t>& min_small(DenseProblem& d) noexcept {
+    return d.min_small_;
+  }
 };
 
 }  // namespace rs::core

@@ -11,6 +11,7 @@
 #include "offline/dp_solver.hpp"
 #include "offline/low_memory_solver.hpp"
 #include "online/lcp.hpp"
+#include "util/audit.hpp"
 #include "util/fault_injection.hpp"
 #include "util/stopwatch.hpp"
 #include "util/workspace.hpp"
@@ -142,6 +143,24 @@ std::optional<SolveOutcome> try_solve(const SolveJob& job,
       error = "solver produced a NaN total cost";
       return std::nullopt;
     }
+    // A kOk outcome contract audit (DESIGN.md §13): schedule-producing
+    // kinds return one state per slot, every state inside [0, m], and
+    // extended-real costs never go negative or -inf.
+    RS_AUDIT({
+      namespace audit = rs::util::audit;
+      audit::require(!(outcome.cost < 0.0),
+                     "engine-outcome-cost-nonnegative", "try_solve");
+      if (!outcome.schedule.empty() && job.problem != nullptr) {
+        audit::require(outcome.schedule.size() ==
+                           static_cast<std::size_t>(job.problem->horizon()),
+                       "engine-outcome-schedule-shape", "try_solve");
+        const int m = job.problem->max_servers();
+        for (const int x : outcome.schedule) {
+          audit::require(0 <= x && x <= m,
+                         "engine-outcome-schedule-in-range", "try_solve");
+        }
+      }
+    });
     return outcome;
   } catch (const BackendFailureError& e) {
     status = SolveStatus::kBackendFailure;
@@ -155,7 +174,7 @@ std::optional<SolveOutcome> try_solve(const SolveJob& job,
   } catch (const std::exception& e) {
     status = SolveStatus::kException;
     error = e.what();
-  } catch (...) {
+  } catch (...) {  // rs-lint: catch-all-ok (classified to kException)
     status = SolveStatus::kException;
     error = "unknown exception";
   }
@@ -324,7 +343,8 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
                 std::make_shared<const PwlProblem>(std::move(*built));
             stats.pwl_conversions += it->second->conversions();
           }
-        } catch (...) {
+        } catch (...) {  // rs-lint: catch-all-ok (cache probe: a failed
+                         // conversion is a miss; jobs classify their own)
           it->second = nullptr;
         }
       }
@@ -366,7 +386,8 @@ BatchResult SolverEngine::run(std::span<const SolveJob> jobs) const {
                 *job.problem, DenseProblem::Mode::kEager,
                 DenseProblem::MinimizerCache::kOnDemand);
             ++stats.dense_tables_built;
-          } catch (...) {
+          } catch (...) {  // rs-lint: catch-all-ok (shared-table build: a
+                           // failure falls back to per-job isolation)
             it->second = nullptr;
           }
         }

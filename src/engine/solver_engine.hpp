@@ -67,10 +67,10 @@ enum class SolverKind {
 /// BatchStats::slots_repaired / early_exits.
 struct SolveJob {
   const rs::core::Problem* problem = nullptr;
-  std::shared_ptr<const rs::core::DenseProblem> dense;
+  std::shared_ptr<const rs::core::DenseProblem> dense = nullptr;
   SolverKind kind = SolverKind::kDpCost;
-  int edit_slot = 0;             // kDeltaResolve: 1-based edited slot
-  rs::core::CostPtr edit_cost;   // kDeltaResolve: replacement slot cost
+  int edit_slot = 0;                       // kDeltaResolve: 1-based edited slot
+  rs::core::CostPtr edit_cost = nullptr;   // kDeltaResolve: replacement cost
 };
 
 /// Per-job terminal status.  A batch never loses a job to another job's

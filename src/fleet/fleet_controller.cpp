@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/audit.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rs::fleet {
@@ -124,6 +125,12 @@ TickReport FleetController::tick() {
     }
   }
   report.seconds = watch.seconds();
+  // Post-tick consistency sweep: every tenant the tick touched is back in
+  // a coherent resting state (no tenant is left mid-recovery, every
+  // quarantine carries its reason, trajectories in-corridor).
+  RS_AUDIT(for (const std::size_t i : due) {
+    tenants_[i]->audit_invariants("FleetController::tick");
+  });
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++ticks_;

@@ -10,6 +10,7 @@
 #include "engine/solver_engine.hpp"
 #include "fleet/form_cache.hpp"
 #include "online/online_algorithm.hpp"
+#include "util/audit.hpp"
 #include "util/fault_injection.hpp"
 #include "util/math_util.hpp"
 #include "util/stopwatch.hpp"
@@ -75,6 +76,22 @@ const char* to_string(TenantState state) noexcept {
   return "unknown";
 }
 
+bool tenant_transition_legal(TenantState from, TenantState to) noexcept {
+  if (from == to) return true;  // re-asserting a state is always a no-op
+  if (from == TenantState::kQuarantined) return false;  // terminal
+  if (from == TenantState::kDegraded && to == TenantState::kHealthy) {
+    return false;  // the dense pin is permanent
+  }
+  return true;
+}
+
+void audit_tenant_transition(TenantState from, TenantState to,
+                             const char* site) {
+  rs::util::audit::require_with(
+      tenant_transition_legal(from, to), "tenant-transition-legal", site,
+      [&] { return std::string(to_string(from)) + " -> " + to_string(to); });
+}
+
 const char* to_string(FleetEventKind kind) noexcept {
   switch (kind) {
     case FleetEventKind::kCheckpointed:
@@ -114,7 +131,9 @@ TenantSession::TenantSession(TenantConfig config, std::size_t ordinal,
     }
     stats_.steps = ck.steps;
     stats_.degraded_to_dense = ck.degraded;
-    state_ = ck.degraded ? TenantState::kDegraded : TenantState::kHealthy;
+    set_state_locked(ck.degraded ? TenantState::kDegraded
+                                 : TenantState::kHealthy,
+                     "TenantSession::TenantSession/resume");
     resume_steps_ = ck.steps;
     resume_state_ = lcp_ != nullptr ? lcp_->current_state() : 0;
     emit_locked(FleetEventKind::kResumed,
@@ -126,6 +145,9 @@ TenantSession::TenantSession(TenantConfig config, std::size_t ordinal,
     // mismatch, e.g. a config change between runs).
     reset_session_locked();
     stats_ = TenantStats{};
+    // Direct assignment, not set_state_locked: a failed resume rebirths
+    // the session from scratch (possibly out of a half-restored kDegraded),
+    // which is not a ladder move the transition audit should model.
     state_ = TenantState::kHealthy;
     emit_locked(FleetEventKind::kResumed,
                 std::string("stale checkpoint ignored, starting fresh: ") +
@@ -379,11 +401,13 @@ void TenantSession::commit_front_locked(int advanced,
   stats_.steps += static_cast<std::uint64_t>(advanced);
   slots_since_checkpoint_ += advanced;
   fail_streak_ = 0;
-  state_ = stats_.degraded_to_dense ? TenantState::kDegraded
-                                    : TenantState::kHealthy;
+  set_state_locked(stats_.degraded_to_dense ? TenantState::kDegraded
+                                            : TenantState::kHealthy,
+                   "TenantSession::commit_front_locked");
   if (slots_since_checkpoint_ >= config_.checkpoint_every) {
     checkpoint_locked(store);
   }
+  RS_AUDIT(audit_invariants_locked("TenantSession::commit_front_locked"));
 }
 
 void TenantSession::checkpoint_locked(rs::core::CheckpointStore& store) {
@@ -397,7 +421,7 @@ void TenantSession::checkpoint_locked(rs::core::CheckpointStore& store) {
 
 void TenantSession::recover_locked(rs::core::CheckpointStore& store,
                                    const std::string& reason) {
-  state_ = TenantState::kRecovering;
+  set_state_locked(TenantState::kRecovering, "TenantSession::recover_locked");
   reset_session_locked();
   const std::optional<std::vector<std::uint8_t>> saved =
       store.latest(store_key());
@@ -583,13 +607,62 @@ std::optional<WhatIfResult> TenantSession::what_if(int slot,
 }
 
 void TenantSession::quarantine_locked(std::string reason) {
-  state_ = TenantState::kQuarantined;
+  set_state_locked(TenantState::kQuarantined,
+                   "TenantSession::quarantine_locked");
   stats_.quarantine_reason = reason;
   emit_locked(FleetEventKind::kQuarantined, std::move(reason));
   // Free what will never be decided; future offers are rejected outright.
   queue_.clear();
   queued_slots_ = 0;
   replay_.clear();
+  RS_AUDIT(audit_invariants_locked("TenantSession::quarantine_locked"));
+}
+
+void TenantSession::set_state_locked(TenantState next,
+                                     [[maybe_unused]] const char* site) {
+  RS_AUDIT(audit_tenant_transition(state_, next, site));
+  state_ = next;
+}
+
+void TenantSession::audit_invariants(const char* site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  audit_invariants_locked(site);
+}
+
+void TenantSession::audit_invariants_locked(const char* site) const {
+  namespace audit = rs::util::audit;
+  const bool quarantined = state_ == TenantState::kQuarantined;
+  audit::require(quarantined == !stats_.quarantine_reason.empty(),
+                 "tenant-quarantine-reason", site,
+                 "quarantine state and recorded reason disagree");
+  if (quarantined) {
+    audit::require(queue_.empty() && queued_slots_ == 0 && replay_.empty(),
+                   "tenant-quarantine-drained", site,
+                   "a terminal tenant must hold no queued or replayable work");
+  }
+  audit::require(
+      state_ != TenantState::kDegraded || stats_.degraded_to_dense,
+      "tenant-degraded-flag", site,
+      "kDegraded without the sticky degraded_to_dense flag");
+  audit::require(
+      schedule_.size() == lower_.size() && schedule_.size() == upper_.size(),
+      "tenant-trajectory-shape", site);
+  audit::require(stats_.steps ==
+                     resume_steps_ +
+                         static_cast<std::uint64_t>(schedule_.size()),
+                 "tenant-steps-accounting", site);
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    audit::require_with(
+        0 <= lower_[i] && lower_[i] <= schedule_[i] &&
+            schedule_[i] <= upper_[i] && upper_[i] <= config_.m,
+        "tenant-decision-in-corridor", site, [&] {
+          return "slot " + std::to_string(resume_steps_ + i + 1) +
+                 ": x = " + std::to_string(schedule_[i]) + " outside [" +
+                 std::to_string(lower_[i]) + ", " +
+                 std::to_string(upper_[i]) + "] in [0, " +
+                 std::to_string(config_.m) + "]";
+        });
+  }
 }
 
 void TenantSession::emit_locked(FleetEventKind kind, std::string detail) {

@@ -58,6 +58,18 @@ enum class TenantState {
 
 const char* to_string(TenantState state) noexcept;
 
+/// Ladder legality (DESIGN.md §11/§13): a state may re-assert itself;
+/// kQuarantined is terminal; and kDegraded never steps back to kHealthy
+/// (the dense pin is permanent — recoveries from a degraded session land
+/// back on kDegraded).  Everything else moves freely along the ladder.
+bool tenant_transition_legal(TenantState from, TenantState to) noexcept;
+
+/// Raises rs::util::audit::AuditError("tenant-transition-legal", site)
+/// naming both states when the move is illegal.  Always compiled; the
+/// RS_AUDIT hooks inside TenantSession engage only under RIGHTSIZER_AUDIT.
+void audit_tenant_transition(TenantState from, TenantState to,
+                             const char* site);
+
 /// What a full ingest queue does to the *next* sample.
 enum class OverflowPolicy {
   kRejectNewest,  // offer() returns false — backpressure to the producer
@@ -268,7 +280,18 @@ class TenantSession {
   /// Returns and clears the count of events dropped past the buffer cap.
   std::uint64_t take_dropped_events();
 
+  /// Deep session-consistency audit (util/audit.hpp; DESIGN.md §13):
+  /// quarantine state and reason agree (and a quarantined tenant holds no
+  /// queued or replayable work), the kDegraded state implies the sticky
+  /// degraded_to_dense flag, the decided trajectory arrays stay equal
+  /// length, stats().steps equals resume anchor + decided slots, and every
+  /// decision sits inside its recorded corridor within [0, m].  Takes the
+  /// tenant mutex; raises rs::util::audit::AuditError naming the violated
+  /// invariant.
+  void audit_invariants(const char* site) const;
+
  private:
+  friend struct TenantSessionTestAccess;
   struct QueueEntry {
     double lambda = 0.0;
     int count = 0;
@@ -281,6 +304,11 @@ class TenantSession {
   };
 
   // All *_locked members require mutex_ held.
+  // Every ladder move funnels through here so the transition-legality
+  // audit sees them all (the constructor's stale-checkpoint fallback is
+  // the one deliberate exception: a session rebirth, not a ladder move).
+  void set_state_locked(TenantState next, const char* site);
+  void audit_invariants_locked(const char* site) const;
   bool due_locked() const;
   void emit_locked(FleetEventKind kind, std::string detail);
   void quarantine_locked(std::string reason);
@@ -344,6 +372,29 @@ class TenantSession {
   // preceding the probed slot).  Both stay 0 for fresh sessions.
   std::uint64_t resume_steps_ = 0;
   int resume_state_ = 0;
+};
+
+/// Test-only corruption hooks for the auditor's negative tests
+/// (tests/test_audit.cpp).  Callers must not race these against live
+/// session threads; never use outside tests.
+struct TenantSessionTestAccess {
+  static TenantState& state(TenantSession& t) noexcept { return t.state_; }
+  static TenantStats& stats(TenantSession& t) noexcept { return t.stats_; }
+  static std::vector<int>& schedule(TenantSession& t) noexcept {
+    return t.schedule_;
+  }
+  static std::vector<int>& lower(TenantSession& t) noexcept {
+    return t.lower_;
+  }
+  static std::vector<int>& upper(TenantSession& t) noexcept {
+    return t.upper_;
+  }
+  static void set_state_audited(TenantSession& t, TenantState next,
+                                const char* site) {
+    std::lock_guard<std::mutex> lock(t.mutex_);
+    audit_tenant_transition(t.state_, next, site);
+    t.state_ = next;
+  }
 };
 
 }  // namespace rs::fleet

@@ -28,6 +28,7 @@ HeteroResult solve_hetero_dp(const HeteroProblem& p) {
   auto switch_cost = [&](const HeteroState& from, const HeteroState& to) {
     double cost = 0.0;
     for (int i = 0; i < d; ++i) {
+      // rs-lint: minmax-ok (int server-count delta, not a label fold)
       cost += config.beta[static_cast<std::size_t>(i)] *
               static_cast<double>(std::max(
                   0, to[static_cast<std::size_t>(i)] -
@@ -143,6 +144,7 @@ HeteroProblem two_type_problem(const TwoTypeModel& model,
   auto type_cost = [](const rs::core::RestrictedModel& m_i, int x,
                       double lambda) -> double {
     if (lambda < 0.0) return kInf;
+    // rs-lint: float-eq-ok (exact zero-workload sentinel)
     if (lambda == 0.0) return x == 0 ? 0.0 : x * m_i.per_server_cost(0.0);
     if (x == 0) return kInf;
     return x * m_i.per_server_cost(lambda / x);

@@ -125,7 +125,7 @@ void DpDeltaSession::resolve_delta(int slot, rs::core::CostPtr cost,
     // the session still matches its tracker.
     try {
       rebuild();
-    } catch (...) {
+    } catch (...) {  // rs-lint: catch-all-ok (undo the mirror + rethrow)
       costs_[static_cast<std::size_t>(slot - 1)] = std::move(previous);
       throw;
     }

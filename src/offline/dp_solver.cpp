@@ -1,3 +1,6 @@
+// rs-lint: minmax-audited — the DP label folds are approved branch-free
+// kernels: a poisoned NaN row is surfaced by the `poison` accumulators
+// below, never laundered into +inf by std::min (DESIGN.md §13).
 #include "offline/dp_solver.hpp"
 
 #include <algorithm>

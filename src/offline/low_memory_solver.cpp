@@ -1,3 +1,7 @@
+// rs-lint: minmax-audited — the rolling-label folds are approved
+// branch-free kernels: a poisoned NaN row is surfaced by the `poison`
+// accumulators below, never laundered into +inf by std::min
+// (DESIGN.md §13).
 #include "offline/low_memory_solver.hpp"
 
 #include <algorithm>

@@ -1,3 +1,8 @@
+// rs-lint: minmax-audited — the advance/relax label folds are approved
+// branch-free kernels: a NaN slot cost is classified downstream (solver
+// poison accumulators, engine NaN demotion, tenant ingest probes), and the
+// RIGHTSIZER_AUDIT labels-nan-free check pins the labels themselves
+// (DESIGN.md §13).
 #include "offline/work_function.hpp"
 
 #include <algorithm>
@@ -10,6 +15,7 @@
 #include <utility>
 
 #include "core/checkpoint.hpp"
+#include "util/audit.hpp"
 #include "util/math_util.hpp"
 
 namespace rs::offline {
@@ -293,6 +299,8 @@ void WorkFunctionTracker::advance_repeated_pwl(const ConvexPwl& f, int count,
         xu[static_cast<std::size_t>(i)] = x_upper_;
       }
       tau_ += remaining;
+      RS_AUDIT(
+          audit_invariants("WorkFunctionTracker::advance_repeated_pwl"));
       return;
     }
   }
@@ -331,6 +339,7 @@ void WorkFunctionTracker::advance_pwl(const ConvexPwl& f) {
     x_upper_ = pwl_u_.argmin().hi;
   }
   ++tau_;
+  RS_AUDIT(audit_invariants("WorkFunctionTracker::advance_pwl"));
 }
 
 void WorkFunctionTracker::advance_dense(std::span<const double> values) {
@@ -395,6 +404,7 @@ void WorkFunctionTracker::advance_dense(std::span<const double> values) {
   x_lower_ = x_lower;
   x_upper_ = x_upper;
   ++tau_;
+  RS_AUDIT(audit_invariants("WorkFunctionTracker::advance_dense"));
 }
 
 namespace {
@@ -551,6 +561,7 @@ WorkFunctionTracker WorkFunctionTracker::restore(
   t.tau_ = static_cast<int>(tau);
   t.x_lower_ = x_lower;
   t.x_upper_ = x_upper;
+  RS_AUDIT(t.audit_invariants("WorkFunctionTracker::restore"));
   return t;
 }
 
@@ -825,7 +836,8 @@ WorkFunctionTracker::Repair WorkFunctionTracker::repair_impl(
       reconverged = states_equal(rebuilt.back().post, next.post);
       ++stop;
     }
-  } catch (...) {
+  } catch (...) {  // rs-lint: catch-all-ok (restore pre-repair state +
+                   // rethrow)
     rewind_replaying_ = was_replaying;
     restore_state(final_backup);
     throw;
@@ -849,6 +861,7 @@ WorkFunctionTracker::Repair WorkFunctionTracker::repair_impl(
     rewind_base_ = std::move(front.post);
     rewind_entries_.pop_front();
   }
+  RS_AUDIT(audit_invariants("WorkFunctionTracker::repair_from"));
   return result;
 }
 
@@ -928,6 +941,108 @@ WorkFunctionTracker WorkFunctionTracker::clone() const {
   t.rewind_base_ = rewind_base_;
   t.rewind_entries_ = rewind_entries_;
   return t;
+}
+
+void WorkFunctionTracker::audit_invariants(const char* site) const {
+  namespace audit = rs::util::audit;
+  if (tau_ == 0) return;  // nothing advanced yet: no corridor to check
+
+  // Corridor invariants (Lemma 6): ordered, in range.
+  audit::require(x_lower_ >= 0 && x_upper_ <= m_, "corridor-in-range", site);
+  audit::require(x_lower_ <= x_upper_, "corridor-ordered", site);
+
+  // A label is an extended real in [0, +inf]: NaN-free, and non-negative up
+  // to FP association noise (the relax re-anchoring subtracts tangents).
+  const auto check_label = [&](double v) {
+    audit::require(!std::isnan(v), "labels-nan-free", site);
+    audit::require(v >= -1e-6 * std::max(1.0, std::fabs(v)),
+                   "labels-nonnegative", site);
+  };
+
+  if (mode_ == Mode::kPwl) {
+    rs::core::audit_convex_pwl(pwl_l_, site);
+    rs::core::audit_convex_pwl(pwl_u_, site);
+    if (pwl_l_.is_infinite() || pwl_u_.is_infinite()) {
+      // All labels +inf: the dense scans' conventions pin the corridor.
+      audit::require(x_lower_ == 0 && x_upper_ == m_,
+                     "corridor-argmin", site);
+      return;
+    }
+    const rs::core::ConvexPwl::ArgminInterval al = pwl_l_.argmin();
+    const rs::core::ConvexPwl::ArgminInterval au = pwl_u_.argmin();
+    audit::require(al.lo == x_lower_ && au.hi == x_upper_,
+                   "corridor-argmin", site);
+    check_label(al.value);
+    check_label(au.value);
+    // Lemma-7 redundancy Ĉ^L(x) = Ĉ^U(x) + βx at the corridor ends.
+    for (const int x : {x_lower_, x_upper_}) {
+      const double cl = pwl_l_.value_at(x);
+      const double cu = pwl_u_.value_at(x);
+      if (std::isinf(cl) || std::isinf(cu)) continue;
+      audit::require(
+          rs::util::approx_equal(cl, cu + beta_ * x, 1e-6, 1e-6),
+          "lemma7-redundancy", site);
+    }
+    return;
+  }
+
+  if (mode_ != Mode::kDense) return;
+  const std::size_t width = static_cast<std::size_t>(m_) + 1;
+  audit::require(chat_l_.size() == width && chat_u_.size() == width,
+                 "labels-shape", site);
+  const double* cl = chat_l_.data();
+  const double* cu = chat_u_.data();
+  // Tie-break-exact argmin re-scan (strict < keeps the smallest argmin of
+  // Ĉ^L; <= walks x^U onto the largest argmin of Ĉ^U) — all-+inf rows
+  // leave x^L at 0 and carry x^U to m, matching the advance conventions.
+  double best_l = kInf;
+  double best_u = kInf;
+  int x_lower = 0;
+  int x_upper = 0;
+  for (int x = 0; x <= m_; ++x) {
+    check_label(cl[static_cast<std::size_t>(x)]);
+    check_label(cu[static_cast<std::size_t>(x)]);
+    if (cl[static_cast<std::size_t>(x)] < best_l) {
+      best_l = cl[static_cast<std::size_t>(x)];
+      x_lower = x;
+    }
+    if (cu[static_cast<std::size_t>(x)] <= best_u) {
+      best_u = cu[static_cast<std::size_t>(x)];
+      x_upper = x;
+    }
+  }
+  audit::require_with(
+      x_lower == x_lower_ && x_upper == x_upper_, "corridor-argmin", site,
+      [&] {
+        return "rescan (" + std::to_string(x_lower) + ", " +
+               std::to_string(x_upper) + ") vs tracked (" +
+               std::to_string(x_lower_) + ", " + std::to_string(x_upper_) +
+               ")";
+      });
+  // Lemma-7 redundancy at sampled states (0, corridor ends, m).
+  for (const int x : {0, x_lower_, x_upper_, m_}) {
+    const double l = cl[static_cast<std::size_t>(x)];
+    const double u = cu[static_cast<std::size_t>(x)];
+    if (std::isinf(l) || std::isinf(u)) continue;
+    audit::require(
+        rs::util::approx_equal(l, u + beta_ * x, 1e-6, 1e-6),
+        "lemma7-redundancy", site);
+  }
+  // min Ĉ^L monotone non-decreasing under relax+add (costs are >= 0, so
+  // work functions only grow).  The watermark reseeds whenever τ moved
+  // backwards — a repair or restore rewound the tracker.
+  if (tau_ > audit_last_tau_ && audit_last_tau_ > 0) {
+    // An infinite watermark (infeasible instance) admits no slack: the
+    // relative term would be inf - inf = NaN and poison the comparison.
+    const double slack =
+        std::isinf(audit_min_watermark_)
+            ? 0.0
+            : 1e-6 * std::max(1.0, std::fabs(audit_min_watermark_));
+    audit::require(best_l >= audit_min_watermark_ - slack,
+                   "workfn-min-monotone", site);
+  }
+  audit_last_tau_ = tau_;
+  audit_min_watermark_ = best_l;
 }
 
 BoundTrajectory compute_bounds(const rs::core::Problem& p,

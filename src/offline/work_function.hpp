@@ -253,7 +253,19 @@ class WorkFunctionTracker {
   /// clone so the live session stays bitwise untouched.
   WorkFunctionTracker clone() const;
 
+  /// Deep corridor-invariant audit (util/audit.hpp; DESIGN.md §13): corridor
+  /// ordered and in range (0 <= x^L <= x^U <= m), labels NaN-free and
+  /// non-negative (extended reals in [0, +inf]), corridor bounds equal to a
+  /// tie-break-exact argmin re-scan of the live Ĉ pair, the Lemma-7
+  /// redundancy Ĉ^L(x) = Ĉ^U(x) + βx at sampled states, and min Ĉ^L
+  /// monotone non-decreasing across advances (work functions only grow).
+  /// Raises rs::util::audit::AuditError naming the violated invariant.
+  /// Always compiled; the RS_AUDIT hooks after every advance / restore /
+  /// repair engage only under RIGHTSIZER_AUDIT.
+  void audit_invariants(const char* site) const;
+
  private:
+  friend struct WorkFunctionTrackerTestAccess;
   enum class Mode { kUndecided, kPwl, kDense };
 
   void require_started() const;
@@ -321,6 +333,32 @@ class WorkFunctionTracker {
   int rewind_base_tau_ = 0;
   TrackerState rewind_base_;
   std::deque<RewindEntry> rewind_entries_;
+  // Auditor watermark for the min-Ĉ^L-monotone check (audit_invariants);
+  // touched only inside audits, reseeded whenever τ moved backwards (a
+  // repair rewound the tracker).
+  mutable int audit_last_tau_ = 0;
+  mutable double audit_min_watermark_ = 0.0;
+};
+
+/// Test-only corruption hooks for the auditor's negative tests
+/// (tests/test_audit.cpp): direct references to the private corridor and
+/// label state so a test can break exactly one invariant and assert
+/// audit_invariants names it.  Never use outside tests.
+struct WorkFunctionTrackerTestAccess {
+  static int& x_lower(WorkFunctionTracker& t) noexcept { return t.x_lower_; }
+  static int& x_upper(WorkFunctionTracker& t) noexcept { return t.x_upper_; }
+  static rs::core::ConvexPwl& pwl_lower(WorkFunctionTracker& t) noexcept {
+    return t.pwl_l_;
+  }
+  static rs::core::ConvexPwl& pwl_upper(WorkFunctionTracker& t) noexcept {
+    return t.pwl_u_;
+  }
+  static std::vector<double>& dense_lower(WorkFunctionTracker& t) noexcept {
+    return t.chat_l_.vec();
+  }
+  static std::vector<double>& dense_upper(WorkFunctionTracker& t) noexcept {
+    return t.chat_u_.vec();
+  }
 };
 
 /// Runs the tracker over the full instance and returns (x^L_τ, x^U_τ) for

@@ -1,6 +1,7 @@
 #include "online/lcp.hpp"
 
 #include "core/checkpoint.hpp"
+#include "util/audit.hpp"
 #include "util/math_util.hpp"
 
 namespace rs::online {
@@ -44,6 +45,9 @@ int Lcp::decide(const rs::core::CostPtr& f,
   last_lower_ = tracker_->x_lower();
   last_upper_ = tracker_->x_upper();
   current_ = rs::util::project(current_, last_lower_, last_upper_);
+  RS_AUDIT(rs::util::audit::require(
+      last_lower_ <= current_ && current_ <= last_upper_,
+      "lcp-projection-in-corridor", "Lcp::decide"));
   return current_;
 }
 
@@ -71,6 +75,9 @@ void Lcp::project_run(int count, std::span<int> decisions,
   }
   last_lower_ = lower[static_cast<std::size_t>(count) - 1];
   last_upper_ = upper[static_cast<std::size_t>(count) - 1];
+  RS_AUDIT(rs::util::audit::require(
+      last_lower_ <= current_ && current_ <= last_upper_,
+      "lcp-projection-in-corridor", "Lcp::project_run"));
 }
 
 void Lcp::decide_run(const rs::core::CostFunction& f, int count,

@@ -10,6 +10,8 @@ namespace rs::scenario {
 
 namespace {
 
+// rs-lint: eval-row-ok (inherits the per-point default so every poison
+// kind misbehaves identically on the batched path)
 class PoisonedCost final : public rs::core::CostFunction {
  public:
   PoisonedCost(rs::core::CostPtr base, PoisonKind kind)

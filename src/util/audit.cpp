@@ -1,0 +1,32 @@
+#include "util/audit.hpp"
+
+#include <utility>
+
+namespace rs::util::audit {
+
+namespace {
+
+std::string format_message(const std::string& invariant,
+                           const std::string& site,
+                           const std::string& detail) {
+  std::string message = "audit violation [" + invariant + "] at " + site;
+  if (!detail.empty()) {
+    message += ": ";
+    message += detail;
+  }
+  return message;
+}
+
+}  // namespace
+
+AuditError::AuditError(std::string invariant, std::string site,
+                       std::string detail)
+    : std::logic_error(format_message(invariant, site, detail)),
+      invariant_(std::move(invariant)),
+      site_(std::move(site)) {}
+
+void fail(const char* invariant, const char* site, const std::string& detail) {
+  throw AuditError(invariant, site, detail);
+}
+
+}  // namespace rs::util::audit

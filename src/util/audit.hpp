@@ -1,0 +1,84 @@
+// Deep invariant auditor — the compile-time-gated correctness layer.
+//
+// The repo's core guarantee (bit-identical results across backends × thread
+// counts, DESIGN.md §§8–12) is defended by example-based tests and
+// sanitizers; this module adds the third leg: *semantic* invariants checked
+// at module boundaries, deep enough to catch corruption no sanitizer can
+// see (a NaN laundered into +inf by a std::min fold, a corridor that
+// crossed, an illegal tenant-ladder transition).
+//
+// Gating contract:
+//
+//   * `RS_AUDIT(expr)` call sites compile to `((void)0)` unless the build
+//     defines RIGHTSIZER_AUDIT (CMake option of the same name), so
+//     production builds pay zero cost — no branch, no call, no argument
+//     evaluation.
+//   * The deep-check *functions* themselves (audit_convex_pwl,
+//     WorkFunctionTracker::audit_invariants, …) are always compiled and
+//     callable, so the auditor's own negative tests run in every build
+//     configuration, not just the audited CI job.
+//
+// A violated invariant raises AuditError naming the invariant and the call
+// site — auditing is for bugs in *this library*, never for bad user input
+// (input validation keeps its typed std::invalid_argument /
+// CheckpointError contracts).  See DESIGN.md §13 for the invariant catalog.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rs::util::audit {
+
+#ifdef RIGHTSIZER_AUDIT
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// An internal invariant did not hold.  `invariant()` is a stable
+/// kebab-case name from the DESIGN.md §13 catalog; `site()` names the
+/// module boundary that ran the check.  Derives from std::logic_error:
+/// an AuditError is always a library bug, not an environmental condition.
+class AuditError : public std::logic_error {
+ public:
+  AuditError(std::string invariant, std::string site, std::string detail);
+
+  const std::string& invariant() const noexcept { return invariant_; }
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string invariant_;
+  std::string site_;
+};
+
+/// Raises AuditError{invariant, site, detail}.
+[[noreturn]] void fail(const char* invariant, const char* site,
+                       const std::string& detail);
+
+/// The basic check: `ok` or AuditError.
+inline void require(bool ok, const char* invariant, const char* site,
+                    const char* detail = "") {
+  if (!ok) fail(invariant, site, detail);
+}
+
+/// require() with a lazily-built detail message (for checks whose context
+/// string is expensive to format on the happy path).
+template <typename DetailFn>
+void require_with(bool ok, const char* invariant, const char* site,
+                  DetailFn&& detail) {
+  if (!ok) fail(invariant, site, detail());
+}
+
+}  // namespace rs::util::audit
+
+// Audit call-site gate.  Variadic so commas in the checked expression need
+// no extra parentheses.  The expression is NOT evaluated when the auditor
+// is compiled out.
+#ifdef RIGHTSIZER_AUDIT
+#define RS_AUDIT(...)    \
+  do {                   \
+    __VA_ARGS__;         \
+  } while (false)
+#else
+#define RS_AUDIT(...) ((void)0)
+#endif

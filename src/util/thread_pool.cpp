@@ -75,7 +75,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     futures.push_back(submit([lo, hi, &fn, &error_mutex, &first_error]() {
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
+      } catch (...) {  // rs-lint: catch-all-ok (first exception captured,
+                       // rethrown on the caller thread)
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
@@ -102,7 +103,8 @@ void ThreadPool::parallel_for_dynamic(
       if (i >= end) return;
       try {
         fn(i);
-      } catch (...) {
+      } catch (...) {  // rs-lint: catch-all-ok (first exception captured,
+                       // rethrown on the caller thread)
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }

@@ -38,6 +38,7 @@ double autocorrelation(const Trace& trace, int lag) {
   const int n = trace.horizon();
   if (n <= lag + 1) return 0.0;
   const TraceStats stats = compute_stats(trace);
+  // rs-lint: float-eq-ok (exact constant-trace sentinel; guards div by 0)
   if (stats.stddev == 0.0) return 0.0;
   rs::util::KahanSum cov;
   for (int t = 0; t + lag < n; ++t) {

@@ -34,12 +34,6 @@ using rs::util::kInf;
 using rs::workload::InstanceFamily;
 using Backend = rs::offline::WorkFunctionTracker::Backend;
 
-std::vector<double> values_of(const ConvexPwl& f, int m) {
-  std::vector<double> out(static_cast<std::size_t>(m) + 1);
-  f.materialize(m, out);
-  return out;
-}
-
 // O(m²) references for the two relax operators, straight from eqs. 11/12.
 std::vector<double> brute_relax(const std::vector<double>& w, double beta,
                                 bool charge_up) {

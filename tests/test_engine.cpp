@@ -101,6 +101,10 @@ rs::engine::SolveOutcome solo_solve(const Problem& p, SolverKind kind) {
       outcome.schedule = r.schedule;
       break;
     }
+    case SolverKind::kDeltaResolve:
+      // Delta jobs carry an edit; this solo reference never issues one.
+      ADD_FAILURE() << "solo_solve has no kDeltaResolve reference";
+      break;
   }
   return outcome;
 }

@@ -692,7 +692,9 @@ TEST(FleetConcurrency, SnapshotDuringAdvanceIsNeverTorn) {
       ASSERT_LE(ck.steps, static_cast<std::uint64_t>(kSlots));
       ASSERT_FALSE(ck.degraded);
       const auto [it, inserted] = by_steps.emplace(ck.steps, bytes);
-      if (!inserted) ASSERT_EQ(it->second, bytes);
+      if (!inserted) {
+        ASSERT_EQ(it->second, bytes);
+      }
     }
     for (const auto& [steps, bytes] : by_steps) {
       const TenantCheckpoint ck = TenantSession::decode_checkpoint(bytes);
